@@ -1,0 +1,250 @@
+// Package repro's benchmarks regenerate every evaluation artifact of the
+// paper, one benchmark per table or figure-level claim. Fault-simulation
+// benches use a deterministic 4096-fault sample so the whole suite runs in
+// minutes; `go run ./cmd/report -table 5` (no -sample) reproduces the
+// full-universe numbers recorded in EXPERIMENTS.md.
+//
+// Per-iteration metrics carry the reproduced quantities (FC%, words,
+// cycles) so `go test -bench` output doubles as the results table.
+package repro
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/synth"
+)
+
+var (
+	onceA sync.Once
+	envA  *bench.Env
+	onceB sync.Once
+	envB  *bench.Env
+)
+
+func benchEnv(b *testing.B) *bench.Env {
+	b.Helper()
+	onceA.Do(func() {
+		var err error
+		envA, err = bench.DefaultEnv()
+		if err != nil {
+			b.Fatal(err)
+		}
+	})
+	if envA == nil {
+		b.Fatal("environment failed to build")
+	}
+	return envA
+}
+
+func benchEnvB(b *testing.B) *bench.Env {
+	b.Helper()
+	onceB.Do(func() {
+		var err error
+		envB, err = bench.NewEnv(synth.NandLib{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	})
+	if envB == nil {
+		b.Fatal("environment failed to build")
+	}
+	return envB
+}
+
+// benchOpt is the deterministic sampled fault-simulation configuration.
+var benchOpt = fault.Options{Sample: 4096, Seed: 1}
+
+// BenchmarkTable1Priority regenerates Table 1 (component class
+// controllability/observability and test priority).
+func BenchmarkTable1Priority(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if s := bench.Table1(); len(s) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTable2Classification regenerates Table 2 (Plasma/MIPS component
+// classification).
+func BenchmarkTable2Classification(b *testing.B) {
+	e := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, _ := bench.Table2(e)
+		if len(rows) != 10 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkTable3GateCounts regenerates Table 3 (per-component gate counts
+// in NAND2 equivalents).
+func BenchmarkTable3GateCounts(b *testing.B) {
+	e := benchEnv(b)
+	b.ResetTimer()
+	var total float64
+	for i := 0; i < b.N; i++ {
+		rows, _ := bench.Table3(e)
+		total = 0
+		for _, r := range rows {
+			total += r.Gates
+		}
+	}
+	b.ReportMetric(total, "NAND2-gates")
+}
+
+// BenchmarkTable4ProgramStats regenerates Table 4 (self-test program words
+// and clock cycles per phase).
+func BenchmarkTable4ProgramStats(b *testing.B) {
+	e := benchEnv(b)
+	b.ResetTimer()
+	var rows []bench.Table4Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, _, err = bench.Table4(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rows[0].Words), "phaseA-words")
+	b.ReportMetric(float64(rows[0].Cycles), "phaseA-cycles")
+	b.ReportMetric(float64(rows[1].Words), "phaseAB-words")
+	b.ReportMetric(float64(rows[1].Cycles), "phaseAB-cycles")
+}
+
+// BenchmarkTable5FaultCoverage regenerates Table 5 (per-component and
+// overall stuck-at fault coverage after Phase A and Phase A+B), on the
+// deterministic fault sample.
+func BenchmarkTable5FaultCoverage(b *testing.B) {
+	e := benchEnv(b)
+	b.ResetTimer()
+	var d *bench.Table5Data
+	for i := 0; i < b.N; i++ {
+		var err error
+		d, _, err = bench.Table5(e, benchOpt, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(fcOf(d.PhaseA), "phaseA-FC%")
+	b.ReportMetric(fcOf(d.PhaseAB), "phaseAB-FC%")
+}
+
+func fcOf(r *fault.Report) float64 {
+	return 100 * float64(r.Overall.DetW) / float64(r.Overall.TotalW)
+}
+
+// BenchmarkTechLibIndependence regenerates the Section 4 technology-
+// independence claim: Phase A+B coverage across two cell libraries.
+func BenchmarkTechLibIndependence(b *testing.B) {
+	eA, eB := benchEnv(b), benchEnvB(b)
+	b.ResetTimer()
+	var rows []bench.TechLibRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, _, err = bench.TechLibIndependence([]*bench.Env{eA, eB}, benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].FC, "libA-FC%")
+	b.ReportMetric(rows[1].FC, "libB-FC%")
+}
+
+// BenchmarkBaselineComparison regenerates the Section 1/4 cost comparison
+// against pseudorandom software self-test.
+func BenchmarkBaselineComparison(b *testing.B) {
+	e := benchEnv(b)
+	b.ResetTimer()
+	var rows []bench.BaselineRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, _, err = bench.BaselineComparison(e, []int{64}, benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].FC, "sbst-FC%")
+	b.ReportMetric(rows[1].FC, "prand64-FC%")
+	b.ReportMetric(float64(rows[1].Cycles)/float64(rows[0].Cycles), "cycle-ratio")
+}
+
+// BenchmarkTesterCostModel regenerates the Figure 1 resource-partitioning
+// argument: download time dominates total test time on slow testers.
+func BenchmarkTesterCostModel(b *testing.B) {
+	e := benchEnv(b)
+	b.ResetTimer()
+	var rows []bench.CostRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, _, err = bench.CostModel(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := rows[len(rows)-1]
+	b.ReportMetric(last.Cost.DownloadShare()*100, "download-share-%@1MHz")
+}
+
+// BenchmarkRoutineAblation regenerates the single-routine contribution
+// ablation (which routine buys how much coverage at what cost).
+func BenchmarkRoutineAblation(b *testing.B) {
+	e := benchEnv(b)
+	b.ResetTimer()
+	var rows []bench.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, _, err = bench.RoutineAblation(e, benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].OverallFC, "regf-only-FC%")
+}
+
+// BenchmarkATPGvsLibrary regenerates the component-level comparison of the
+// deterministic test-set library against structural ATPG (PODEM).
+func BenchmarkATPGvsLibrary(b *testing.B) {
+	var rows []bench.ATPGRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, _, err = bench.ATPGComparison()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].FC, "alu-library-FC%")
+	b.ReportMetric(rows[1].FC, "alu-podem-FC%")
+}
+
+// BenchmarkSelfTestGeneration measures pure test-program generation time
+// (the engineering-automation cost of the methodology).
+func BenchmarkSelfTestGeneration(b *testing.B) {
+	e := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.GenerateSelfTest(e.Comps, core.PhaseC); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGateLevelSimulation measures raw gate-level simulation speed:
+// cycles of the Phase A program per second on the full core.
+func BenchmarkGateLevelSimulation(b *testing.B) {
+	e := benchEnv(b)
+	st, err := e.SelfTest(core.PhaseA)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.FaultSimProgram(st.Program, 256, fault.Options{Sample: 64, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+// Command asmmips assembles MIPS I assembly into a memory image, or
+// disassembles an image back to mnemonics.
+//
+// Usage:
+//
+//	asmmips [-org ADDR] [-o out.hex] file.s      assemble; print or write words
+//	asmmips -d [-org ADDR] file.hex              disassemble hex words
+//
+// The hex format is one 8-digit word per line, matching -o's output.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("asmmips: ")
+	org := flag.Uint64("org", 0, "image origin byte address")
+	out := flag.String("o", "", "write assembled words to file (hex, one per line)")
+	dis := flag.Bool("d", false, "disassemble a hex word file instead")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: asmmips [flags] file")
+		flag.Usage()
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *dis {
+		addr := uint32(*org)
+		for ln, line := range strings.Split(string(data), "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			w, err := strconv.ParseUint(line, 16, 32)
+			if err != nil {
+				log.Fatalf("line %d: bad hex word %q", ln+1, line)
+			}
+			fmt.Printf("%08x: %08x  %s\n", addr, uint32(w), isa.Disassemble(uint32(w), addr))
+			addr += 4
+		}
+		return
+	}
+
+	prog, err := asm.Assemble(string(data), uint32(*org))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bw := bufio.NewWriter(f)
+		for _, w := range prog.Words {
+			fmt.Fprintf(bw, "%08x\n", w)
+		}
+		if err := bw.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d words to %s\n", len(prog.Words), *out)
+		return
+	}
+	fmt.Print(prog.Listing())
+}

@@ -1,0 +1,176 @@
+// Command netlist synthesizes the Plasma/MIPS core (or a standalone
+// component) with a chosen technology library and prints statistics,
+// exports the gate-level netlist in the text format of internal/gate, or
+// dumps a VCD waveform of a program execution.
+//
+// Usage:
+//
+//	netlist [-lib <name>] [-component alu|bsh|regfile|muldiv] [-o out.net]
+//	netlist -vcd out.vcd -run prog.s [-cycles N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/asm"
+	"repro/internal/gate"
+	"repro/internal/plasma"
+	"repro/internal/sim"
+	"repro/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("netlist: ")
+	libName := flag.String("lib", synth.NativeLib{}.Name(), "technology library")
+	component := flag.String("component", "", "standalone component instead of the full core: alu, bsh, regfile or muldiv")
+	out := flag.String("o", "", "export the netlist to this file")
+	vcdPath := flag.String("vcd", "", "dump a VCD of the bus while running -run")
+	runSrc := flag.String("run", "", "assembly program to execute for -vcd")
+	cycles := flag.Int("cycles", 2000, "cycles to run for -vcd")
+	flag.Parse()
+
+	lib := synth.LibraryByName(*libName)
+	if lib == nil {
+		log.Fatalf("unknown library %q", *libName)
+	}
+
+	n, cpu, err := build(lib, *component)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := n.Stats()
+	perComp, total := n.GateCount()
+	fmt.Printf("netlist %s (%s): %.0f NAND2 equivalents, %d cells, %d DFFs, depth %d\n",
+		n.Name, lib.Name(), total, st.Signals, st.DFFs, st.Levels)
+	for i, name := range n.CompNames {
+		if perComp[i] > 0 {
+			fmt.Printf("  %-8s %10.0f\n", name, perComp[i])
+		}
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := gate.WriteNetlist(f, n); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("exported to %s\n", *out)
+	}
+
+	if *vcdPath != "" {
+		if cpu == nil {
+			log.Fatal("-vcd requires the full core (no -component)")
+		}
+		if *runSrc == "" {
+			log.Fatal("-vcd requires -run prog.s")
+		}
+		if err := dumpVCD(cpu, *runSrc, *vcdPath, *cycles); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d cycles)\n", *vcdPath, *cycles)
+	}
+}
+
+func build(lib synth.Library, component string) (*gate.Netlist, *plasma.CPU, error) {
+	if component == "" {
+		cpu, err := plasma.Build(lib)
+		if err != nil {
+			return nil, nil, err
+		}
+		return cpu.Netlist, cpu, nil
+	}
+	c := synth.NewCtx(component, lib)
+	switch component {
+	case "alu":
+		a := c.B.InputBus("a", 32)
+		d := c.B.InputBus("b", 32)
+		op := c.B.InputBus("op", 3)
+		c.B.BeginComponent("ALU")
+		c.B.OutputBus("y", c.ALU(synth.Bus(a), synth.Bus(d), synth.Bus(op)))
+	case "bsh":
+		data := c.B.InputBus("data", 32)
+		amt := c.B.InputBus("amt", 5)
+		right := c.B.Input("right")
+		arith := c.B.Input("arith")
+		c.B.BeginComponent("BSH")
+		c.B.OutputBus("y", c.BarrelShifter(synth.Bus(data), synth.Bus(amt), right, arith))
+	case "regfile":
+		w := c.B.InputBus("waddr", 5)
+		wd := c.B.InputBus("wdata", 32)
+		we := c.B.Input("wen")
+		r1 := c.B.InputBus("ra1", 5)
+		r2 := c.B.InputBus("ra2", 5)
+		c.B.BeginComponent("RegF")
+		rd1, rd2 := c.RegFile(synth.Bus(w), synth.Bus(wd), we, synth.Bus(r1), synth.Bus(r2))
+		c.B.OutputBus("rd1", rd1)
+		c.B.OutputBus("rd2", rd2)
+	case "muldiv":
+		a := c.B.InputBus("a", 32)
+		d := c.B.InputBus("b", 32)
+		start := c.B.Input("start")
+		isDiv := c.B.Input("isdiv")
+		isSigned := c.B.Input("issigned")
+		c.B.BeginComponent("MulD")
+		u := c.MulDiv(synth.Bus(a), synth.Bus(d), start, isDiv, isSigned, c.B.Const0(), c.B.Const0())
+		c.B.OutputBus("hi", u.Hi)
+		c.B.OutputBus("lo", u.Lo)
+		c.B.Output("busy", u.Busy)
+	default:
+		return nil, nil, fmt.Errorf("unknown component %q", component)
+	}
+	if err := c.B.N.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return c.B.N, nil, nil
+}
+
+func dumpVCD(cpu *plasma.CPU, srcPath, vcdPath string, cycles int) error {
+	src, err := os.ReadFile(srcPath)
+	if err != nil {
+		return err
+	}
+	prog, err := asm.Assemble(string(src), 0)
+	if err != nil {
+		return err
+	}
+	mem := sim.NewMemory()
+	mem.LoadProgram(prog)
+	m, err := plasma.NewMachine(cpu, mem)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(vcdPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	n := cpu.Netlist
+	buses := map[string][]gate.Sig{
+		"mem_addr":       n.OutputBus(plasma.PortAddr),
+		"mem_wdata":      n.OutputBus(plasma.PortWData),
+		"mem_wstrobe":    n.OutputBus(plasma.PortWStrobe),
+		"mem_dataaccess": n.OutputBus(plasma.PortDataAccess),
+		"pc":             cpu.PC,
+		"ir":             cpu.IR,
+		"hi":             cpu.Hi,
+		"lo":             cpu.Lo,
+	}
+	v, err := gate.NewVCDWriter(f, m.Sim, buses)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < cycles; i++ {
+		m.Step()
+		v.Sample()
+	}
+	return v.Err()
+}

@@ -1,0 +1,117 @@
+// Command plasma assembles and runs a MIPS assembly program on the golden
+// instruction-set simulator, the gate-level Plasma core, or both
+// (co-simulation with bus-trace comparison).
+//
+// Usage:
+//
+//	plasma [-engine iss|gate|cosim] [-lib <name>] [-max N] [-trace] [-regs] file.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/plasma"
+	"repro/internal/sim"
+	"repro/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("plasma: ")
+	engine := flag.String("engine", "iss", "execution engine: iss, gate, or cosim")
+	libName := flag.String("lib", synth.NativeLib{}.Name(), "technology library for the gate engine")
+	maxCycles := flag.Uint64("max", 1_000_000, "cycle/instruction budget")
+	trace := flag.Bool("trace", false, "print the data-bus trace")
+	regs := flag.Bool("regs", false, "print final architectural registers (iss engine)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: plasma [flags] file.s")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := asm.Assemble(string(src), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	runISS := func() *sim.CPU {
+		mem := sim.NewMemory()
+		mem.LoadProgram(prog)
+		cpu := sim.New(mem, 0)
+		cpu.TraceBus = *trace || *engine == "cosim"
+		halted, err := cpu.Run(*maxCycles)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("iss: halted=%v retired=%d cycles=%d\n", halted, cpu.Retired, cpu.Cycle)
+		return cpu
+	}
+
+	runGate := func(budget uint64) *plasma.Machine {
+		lib := synth.LibraryByName(*libName)
+		if lib == nil {
+			log.Fatalf("unknown library %q", *libName)
+		}
+		cpu, err := plasma.Build(lib)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, halted, err := plasma.RunProgram(cpu, prog, budget, *trace || *engine == "cosim")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("gate: halted=%v cycles=%d pc=%#x\n", halted, m.Cycle, m.PCLane())
+		return m
+	}
+
+	switch *engine {
+	case "iss":
+		cpu := runISS()
+		if *regs {
+			for r := 0; r < 32; r++ {
+				fmt.Printf("  %-5s %08x", isa.RegName(uint32(r)), cpu.Reg[r])
+				if r%4 == 3 {
+					fmt.Println()
+				}
+			}
+			fmt.Printf("  hi    %08x  lo    %08x\n", cpu.Hi, cpu.Lo)
+		}
+		if *trace {
+			for _, e := range cpu.Bus {
+				fmt.Println("  ", e)
+			}
+		}
+	case "gate":
+		m := runGate(*maxCycles)
+		if *trace {
+			for _, e := range m.Bus {
+				fmt.Println("  ", e)
+			}
+		}
+	case "cosim":
+		iss := runISS()
+		m := runGate(iss.Cycle + 100)
+		if len(iss.Bus) != len(m.Bus) {
+			log.Fatalf("bus event counts differ: iss %d vs gate %d", len(iss.Bus), len(m.Bus))
+		}
+		for i := range iss.Bus {
+			a, b := iss.Bus[i], m.Bus[i]
+			if a.Addr != b.Addr || a.Data != b.Data || a.Strobe != b.Strobe || a.Write != b.Write {
+				log.Fatalf("bus event %d differs:\n  iss:  %v\n  gate: %v", i, a, b)
+			}
+		}
+		fmt.Printf("cosim: %d bus events match\n", len(iss.Bus))
+	default:
+		log.Fatalf("unknown engine %q", *engine)
+	}
+}

@@ -1,0 +1,100 @@
+// Command report regenerates the paper's evaluation artifacts: Tables 1-5,
+// the technology-independence comparison, the pseudorandom-baseline cost
+// comparison, and the tester cost model.
+//
+// Usage:
+//
+//	report [-table all|1|2|3|4|5|techlib|baseline|cost] [-sample N] [-seed S] [-workers W]
+//
+// With -sample 0 (the default for -table 5 via -full) the fault simulations
+// run the complete collapsed fault universe, which takes a few minutes;
+// -sample trades accuracy for speed with a deterministic fault sample.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/fault"
+	"repro/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("report: ")
+	table := flag.String("table", "all", "which table to regenerate: all, 1, 2, 3, 4, 5, techlib, baseline, cost, ablation, atpg, latency, periodic, arch, compaction")
+	sample := flag.Int("sample", 0, "fault sample size (0 = full fault universe)")
+	seed := flag.Int64("seed", 1, "fault sampling seed")
+	workers := flag.Int("workers", 0, "fault simulation goroutines (0 = GOMAXPROCS)")
+	rounds := flag.String("rounds", "16,64,256", "pseudorandom baseline round counts")
+	flag.Parse()
+
+	opt := fault.Options{Sample: *sample, Seed: *seed, Workers: *workers}
+
+	env, err := bench.DefaultEnv()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(name string, f func() (string, error)) {
+		if *table != "all" && *table != name {
+			return
+		}
+		s, err := f()
+		if err != nil {
+			log.Fatalf("table %s: %v", name, err)
+		}
+		fmt.Printf("==== Table %s ====\n%s\n", name, s)
+	}
+
+	run("1", func() (string, error) { return bench.Table1(), nil })
+	run("2", func() (string, error) { _, s := bench.Table2(env); return s, nil })
+	run("3", func() (string, error) { _, s := bench.Table3(env); return s, nil })
+	run("4", func() (string, error) { _, s, err := bench.Table4(env); return s, err })
+	run("5", func() (string, error) { _, s, err := bench.Table5(env, opt, true); return s, err })
+	run("techlib", func() (string, error) {
+		envB, err := bench.NewEnv(synth.NandLib{})
+		if err != nil {
+			return "", err
+		}
+		_, s, err := bench.TechLibIndependence([]*bench.Env{env, envB}, opt)
+		return s, err
+	})
+	run("baseline", func() (string, error) {
+		var ns []int
+		var n int
+		rest := *rounds
+		for len(rest) > 0 {
+			if _, err := fmt.Sscanf(rest, "%d", &n); err != nil {
+				return "", fmt.Errorf("bad -rounds %q", *rounds)
+			}
+			ns = append(ns, n)
+			for len(rest) > 0 && rest[0] != ',' {
+				rest = rest[1:]
+			}
+			if len(rest) > 0 {
+				rest = rest[1:]
+			}
+		}
+		_, s, err := bench.BaselineComparison(env, ns, opt)
+		return s, err
+	})
+	run("cost", func() (string, error) { _, s, err := bench.CostModel(env); return s, err })
+	run("ablation", func() (string, error) { _, s, err := bench.RoutineAblation(env, opt); return s, err })
+	run("atpg", func() (string, error) { _, s, err := bench.ATPGComparison(); return s, err })
+	run("latency", func() (string, error) { _, s, err := bench.DetectionLatency(env, opt); return s, err })
+	run("periodic", func() (string, error) { _, s, err := bench.PeriodicComposition(env, opt); return s, err })
+	run("arch", func() (string, error) { _, s, err := bench.AdderArchIndependence(); return s, err })
+	run("compaction", func() (string, error) { _, s, err := bench.PatternCompaction(); return s, err })
+
+	switch *table {
+	case "all", "1", "2", "3", "4", "5", "techlib", "baseline", "cost", "ablation", "atpg", "latency", "periodic", "arch", "compaction":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -table %q\n", *table)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,119 @@
+// Command sbst drives the software-based self-test flow: classify the
+// processor components, generate the self-test program for a phase set,
+// and optionally fault-simulate it against the gate-level core.
+//
+// Usage:
+//
+//	sbst -phase A|B|C [-lib native-0.35um-A|nand2-0.35um-B]
+//	     [-emit] [-listing] [-faultsim] [-sample N] [-seed S]
+//
+// -emit prints the generated assembly source; -listing the assembled
+// image; -faultsim runs stuck-at fault simulation and prints the
+// per-component coverage report.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/plasma"
+	"repro/internal/sim"
+	"repro/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sbst: ")
+	phase := flag.String("phase", "A", "deepest test phase to include: A, B or C")
+	libName := flag.String("lib", synth.NativeLib{}.Name(), "technology library")
+	emit := flag.Bool("emit", false, "print the generated assembly source")
+	listing := flag.Bool("listing", false, "print the assembled listing")
+	faultsim := flag.Bool("faultsim", false, "fault-simulate the program on the gate-level core")
+	profile := flag.Bool("profile", false, "print the program's dynamic instruction mix")
+	sample := flag.Int("sample", 0, "fault sample size (0 = full universe)")
+	seed := flag.Int64("seed", 1, "fault sampling seed")
+	flag.Parse()
+
+	var maxPhase core.PhaseID
+	switch *phase {
+	case "A", "a":
+		maxPhase = core.PhaseA
+	case "B", "b":
+		maxPhase = core.PhaseB
+	case "C", "c":
+		maxPhase = core.PhaseC
+	default:
+		log.Fatalf("unknown phase %q (want A, B or C)", *phase)
+	}
+
+	lib := synth.LibraryByName(*libName)
+	if lib == nil {
+		log.Fatalf("unknown library %q", *libName)
+	}
+
+	cpu, err := plasma.Build(lib)
+	if err != nil {
+		log.Fatal(err)
+	}
+	comps := core.ClassifyNetlist(cpu.Netlist)
+
+	fmt.Println("component classification and test priority:")
+	fmt.Printf("  %-8s %-12s %10s  %s\n", "Name", "Class", "Gates", "Phase")
+	for _, c := range core.Prioritize(comps) {
+		fmt.Printf("  %-8s %-12s %10.0f  %s\n", c.Name, c.Class, c.GateCount, c.Class.Phase())
+	}
+
+	st, err := core.GenerateSelfTest(comps, maxPhase)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nself-test program (phases up to %s):\n", maxPhase)
+	fmt.Printf("  routines: ")
+	for i, r := range st.Routines {
+		if i > 0 {
+			fmt.Print(", ")
+		}
+		fmt.Print(r.Component)
+	}
+	fmt.Printf("\n  size: %d words\n  execution: %d clock cycles\n  responses: %d words\n",
+		st.Words, st.Cycles, st.RespWords)
+
+	if *profile {
+		prof, err := sim.ProfileExecution(st.Program, 2_000_000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\ninstruction mix:\n%s", prof.String())
+	}
+
+	if *emit {
+		fmt.Printf("\n---- assembly source ----\n%s\n", st.Source)
+	}
+	if *listing {
+		fmt.Printf("\n---- listing ----\n%s\n", st.Program.Listing())
+	}
+
+	if *faultsim {
+		golden, err := plasma.CaptureGolden(cpu, st.Program, st.GateCycles())
+		if err != nil {
+			log.Fatal(err)
+		}
+		faults := fault.Universe(cpu.Netlist)
+		fmt.Printf("\nfault universe: %d collapsed / %d total stuck-at faults\n",
+			len(faults), fault.TotalEquiv(faults))
+		res, err := fault.Simulate(cpu, golden, faults, fault.Options{Sample: *sample, Seed: *seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nfault coverage:\n%s", fault.NewReport(cpu.Netlist, res).String())
+
+		lat := fault.NewLatencyStats(res)
+		fmt.Printf("\ndetection latency:\n%s", lat.String())
+
+		dict := fault.BuildDictionary(res)
+		fmt.Printf("\ndiagnostic resolution: %s\n", dict.Resolution())
+	}
+}

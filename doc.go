@@ -1,0 +1,16 @@
+// Package repro is a complete Go reproduction of Kranitis et al.,
+// "Low-Cost Software-Based Self-Testing of RISC Processor Cores" (DATE
+// 2003): the SBST methodology (internal/core), the Plasma/MIPS processor
+// it is evaluated on — both as a golden instruction-set simulator
+// (internal/sim) and as a synthesized gate-level core (internal/plasma,
+// internal/synth, internal/gate) — a stuck-at fault-simulation engine
+// (internal/fault), the comparison baselines (internal/baseline,
+// internal/atpg), the tester cost model (internal/tester), and the
+// experiment harness regenerating every table of the paper
+// (internal/bench, cmd/report).
+//
+// See README.md for usage, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// The package itself holds only the benchmark suite (bench_test.go); the
+// library lives under internal/ and the tools under cmd/.
+package repro

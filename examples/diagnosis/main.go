@@ -1,0 +1,106 @@
+// Diagnosis: the self-test program as a production test. A fault
+// dictionary is built by grading the Phase A program once; then a "failing
+// device" is emulated by injecting an arbitrary stuck-at defect into the
+// gate-level core and running the same program. The device's first
+// failure (cycle + output group) is looked up in the dictionary, and the
+// candidate list localizes the defect — often to a handful of equivalent
+// gates.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/gate"
+	"repro/internal/plasma"
+	"repro/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	cpu, err := plasma.Build(synth.NativeLib{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := core.GenerateSelfTest(core.ClassifyNetlist(cpu.Netlist), core.PhaseA)
+	if err != nil {
+		log.Fatal(err)
+	}
+	golden, err := plasma.CaptureGolden(cpu, st.Program, st.GateCycles())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Build the dictionary over a deterministic sample (use the full
+	// universe for production resolution; sampled here to stay fast).
+	faults := fault.SampleFaults(fault.Universe(cpu.Netlist), 6000, 42)
+	res, err := fault.Simulate(cpu, golden, faults, fault.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dict := fault.BuildDictionary(res)
+	fmt.Printf("dictionary: %s\n\n", dict.Resolution())
+
+	// Emulate three failing devices with defects drawn from the sample.
+	rng := rand.New(rand.NewSource(7))
+	for device := 0; device < 3; device++ {
+		var defect fault.Fault
+		for {
+			defect = faults[rng.Intn(len(faults))]
+			if res.Detected(indexOf(faults, defect)) {
+				break
+			}
+		}
+		obs, ok := observeFirstFailure(cpu, golden, defect.Site)
+		if !ok {
+			log.Fatalf("device %d: defect %v produced no failure", device, defect.Site)
+		}
+		fmt.Printf("device %d fails at cycle %d on %s\n", device, obs.Cycle, obs.GroupString())
+
+		cands := dict.Diagnose(obs)
+		hit := false
+		for _, c := range cands {
+			if c.Fault.Site == defect.Site {
+				hit = true
+			}
+		}
+		comp := cpu.Netlist.ComponentOf(defect.Site.Gate)
+		fmt.Printf("  injected: %v in %s\n", defect.Site, comp)
+		fmt.Printf("  diagnosis: %d candidates, injected defect included: %v\n", len(cands), hit)
+		for i, c := range cands {
+			if i >= 3 {
+				fmt.Printf("    ... %d more\n", len(cands)-3)
+				break
+			}
+			fmt.Printf("    %v in %s (exact=%v)\n",
+				c.Fault.Site, cpu.Netlist.ComponentOf(c.Fault.Site.Gate), c.Exact)
+		}
+		fmt.Println()
+	}
+}
+
+func indexOf(faults []fault.Fault, f fault.Fault) int {
+	for i := range faults {
+		if faults[i].Site == f.Site {
+			return i
+		}
+	}
+	return -1
+}
+
+// observeFirstFailure runs the self-test on a device with the given defect
+// and returns its first bus divergence — what a tester would record.
+func observeFirstFailure(cpu *plasma.CPU, g *plasma.Golden, site gate.FaultSite) (fault.Signature, bool) {
+	res, err := fault.Simulate(cpu, g, []fault.Fault{{Site: site, Equiv: 1}}, fault.Options{Workers: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Detected(0) {
+		return fault.Signature{}, false
+	}
+	return fault.Signature{Cycle: res.DetectedAt[0], Groups: res.SignatureGroups[0]}, true
+}

@@ -1,0 +1,51 @@
+// Phases: the coverage/cost trade-off of multi-phase test development
+// (the Table 4 + Table 5 narrative). Phase A targets the functional
+// components; Phase B adds the control components (memory controller and
+// PC logic first, by size and missed-coverage priority); Phase C adds the
+// hidden pipeline logic. Each phase buys coverage at a test-program size
+// and execution-time cost, and the tester cost model translates that into
+// test application time.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/tester"
+)
+
+func main() {
+	log.SetFlags(0)
+	env, err := bench.DefaultEnv()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opt := fault.Options{Sample: 4096, Seed: 1}
+	fmt.Printf("phase sweep on %s (sampled %d faults)\n\n", env.Lib.Name(), opt.Sample)
+	fmt.Printf("%-8s %8s %10s %10s %14s\n", "Phases", "Words", "Cycles", "FC%", "Test time @10MHz")
+	for _, ph := range []core.PhaseID{core.PhaseA, core.PhaseB, core.PhaseC} {
+		st, err := env.SelfTest(ph)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := env.FaultSimSelfTest(ph, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fc := 100 * float64(rep.Overall.DetW) / float64(rep.Overall.TotalW)
+		cost := tester.Apply(st.Words, st.Cycles, st.RespWords, tester.DefaultProfile)
+		fmt.Printf("%-8s %8d %10d %10.2f %13.1fus\n",
+			"<= "+ph.String(), st.Words, st.Cycles, fc, cost.Total()*1e6)
+	}
+
+	fmt.Println("\nper-component coverage after each phase:")
+	_, table, err := bench.Table5(env, opt, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(table)
+}

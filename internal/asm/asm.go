@@ -1,0 +1,291 @@
+// Package asm implements a two-pass assembler for the MIPS I subset in
+// internal/isa: labels, the directives .org/.word/.space, the usual
+// register names, %hi/%lo relocations, and a small set of pseudo
+// instructions (nop, move, li, la, b, beqz, bnez, not, neg, blt, bge, bgt,
+// ble). It is the tool that turns the generated self-test routines into
+// memory images.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Program is an assembled memory image.
+type Program struct {
+	// Origin is the byte address of Words[0].
+	Origin uint32
+	// Words is the image, one 32-bit word per instruction/data slot.
+	Words []uint32
+	// Symbols maps labels to byte addresses.
+	Symbols map[string]uint32
+	// Lines maps word index to 1-based source line (0 for padding).
+	Lines []int
+}
+
+// SizeWords reports the program size in 32-bit words, the paper's unit for
+// test-program size (Table 4).
+func (p *Program) SizeWords() int { return len(p.Words) }
+
+// WordAt returns the word stored at byte address a, or 0 outside the image.
+func (p *Program) WordAt(a uint32) uint32 {
+	if a < p.Origin {
+		return 0
+	}
+	i := (a - p.Origin) / 4
+	if int(i) >= len(p.Words) {
+		return 0
+	}
+	return p.Words[i]
+}
+
+// Listing renders an address/word/disassembly listing.
+func (p *Program) Listing() string {
+	var sb strings.Builder
+	for i, w := range p.Words {
+		a := p.Origin + uint32(i)*4
+		fmt.Fprintf(&sb, "%08x: %08x  %s\n", a, w, isa.Disassemble(w, a))
+	}
+	return sb.String()
+}
+
+// asmError is a source-located assembly error.
+type asmError struct {
+	line int
+	msg  string
+}
+
+func (e asmError) Error() string { return fmt.Sprintf("line %d: %s", e.line, e.msg) }
+
+// item is a pending word: either a literal value or an instruction encoder
+// run in pass 2 once all symbols are known.
+type item struct {
+	line int
+	addr uint32
+	enc  func(a *assembler, addr uint32) (uint32, error)
+}
+
+type assembler struct {
+	origin  uint32
+	pc      uint32
+	items   []item
+	symbols map[string]uint32
+	errs    []error
+	line    int
+}
+
+// Assemble assembles source text with the image based at origin.
+func Assemble(src string, origin uint32) (*Program, error) {
+	a := &assembler{origin: origin, pc: origin, symbols: make(map[string]uint32)}
+	for i, raw := range strings.Split(src, "\n") {
+		a.line = i + 1
+		a.doLine(raw)
+	}
+	// Pass 2: encode with symbols resolved.
+	prog := &Program{Origin: origin, Symbols: a.symbols}
+	if len(a.items) > 0 {
+		last := a.items[len(a.items)-1]
+		n := (last.addr-origin)/4 + 1
+		prog.Words = make([]uint32, n)
+		prog.Lines = make([]int, n)
+	}
+	for _, it := range a.items {
+		w, err := it.enc(a, it.addr)
+		if err != nil {
+			a.errs = append(a.errs, asmError{it.line, err.Error()})
+			continue
+		}
+		idx := (it.addr - origin) / 4
+		prog.Words[idx] = w
+		prog.Lines[idx] = it.line
+	}
+	if len(a.errs) > 0 {
+		msgs := make([]string, len(a.errs))
+		for i, e := range a.errs {
+			msgs[i] = e.Error()
+		}
+		return nil, fmt.Errorf("asm: %s", strings.Join(msgs, "; "))
+	}
+	return prog, nil
+}
+
+func (a *assembler) errf(format string, args ...interface{}) {
+	a.errs = append(a.errs, asmError{a.line, fmt.Sprintf(format, args...)})
+}
+
+// emit queues one word-producing item at the current location counter.
+func (a *assembler) emit(enc func(a *assembler, addr uint32) (uint32, error)) {
+	a.items = append(a.items, item{line: a.line, addr: a.pc, enc: enc})
+	a.pc += 4
+}
+
+func (a *assembler) emitWord(w uint32) {
+	a.emit(func(*assembler, uint32) (uint32, error) { return w, nil })
+}
+
+func (a *assembler) doLine(raw string) {
+	s := raw
+	if i := strings.IndexAny(s, "#;"); i >= 0 {
+		s = s[:i]
+	}
+	if i := strings.Index(s, "//"); i >= 0 {
+		s = s[:i]
+	}
+	s = strings.TrimSpace(s)
+	for {
+		i := strings.Index(s, ":")
+		if i < 0 {
+			break
+		}
+		label := strings.TrimSpace(s[:i])
+		if !isIdent(label) {
+			a.errf("bad label %q", label)
+			return
+		}
+		if _, dup := a.symbols[label]; dup {
+			a.errf("duplicate label %q", label)
+			return
+		}
+		a.symbols[label] = a.pc
+		s = strings.TrimSpace(s[i+1:])
+	}
+	if s == "" {
+		return
+	}
+	var op, rest string
+	if i := strings.IndexAny(s, " \t"); i >= 0 {
+		op, rest = s[:i], strings.TrimSpace(s[i+1:])
+	} else {
+		op = s
+	}
+	op = strings.ToLower(op)
+	if strings.HasPrefix(op, ".") {
+		a.directive(op, rest)
+		return
+	}
+	a.instruction(op, splitOperands(rest))
+}
+
+func splitOperands(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (a *assembler) directive(op, rest string) {
+	switch op {
+	case ".org":
+		v, err := parseNum(rest)
+		if err != nil {
+			a.errf(".org: %v", err)
+			return
+		}
+		if uint32(v) < a.pc {
+			a.errf(".org 0x%x moves backwards from 0x%x", v, a.pc)
+			return
+		}
+		if v%4 != 0 {
+			a.errf(".org 0x%x not word aligned", v)
+			return
+		}
+		// The gap is implicitly zero-filled (images are allocated zeroed),
+		// so no padding items are emitted; only the location moves.
+		a.pc = uint32(v)
+	case ".word":
+		for _, f := range splitOperands(rest) {
+			f := f
+			a.emit(func(a *assembler, _ uint32) (uint32, error) {
+				v, err := a.resolveValue(f)
+				return v, err
+			})
+		}
+	case ".space":
+		n, err := parseNum(rest)
+		if err != nil {
+			a.errf(".space: %v", err)
+			return
+		}
+		for i := int64(0); i < (n+3)/4; i++ {
+			a.emitWord(0)
+		}
+	case ".text", ".globl", ".global", ".set":
+		// Accepted and ignored for source compatibility.
+	default:
+		a.errf("unknown directive %s", op)
+	}
+}
+
+// parseNum parses a decimal or 0x/0b-prefixed integer with optional sign.
+func parseNum(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, fmt.Errorf("missing number")
+	}
+	neg := false
+	if s[0] == '-' {
+		neg = true
+		s = s[1:]
+	} else if s[0] == '+' {
+		s = s[1:]
+	}
+	v, err := strconv.ParseUint(strings.ToLower(s), 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", s)
+	}
+	if v > 0xFFFFFFFF {
+		return 0, fmt.Errorf("number %q out of 32-bit range", s)
+	}
+	n := int64(v)
+	if neg {
+		n = -n
+	}
+	return n, nil
+}
+
+// resolveValue evaluates a numeric operand: a number, a label, or
+// %hi(expr)/%lo(expr).
+func (a *assembler) resolveValue(s string) (uint32, error) {
+	s = strings.TrimSpace(s)
+	if strings.HasPrefix(s, "%hi(") && strings.HasSuffix(s, ")") {
+		v, err := a.resolveValue(s[4 : len(s)-1])
+		return v >> 16, err
+	}
+	if strings.HasPrefix(s, "%lo(") && strings.HasSuffix(s, ")") {
+		v, err := a.resolveValue(s[4 : len(s)-1])
+		return v & 0xFFFF, err
+	}
+	if v, ok := a.symbols[s]; ok {
+		return v, nil
+	}
+	n, err := parseNum(s)
+	if err != nil {
+		return 0, fmt.Errorf("unresolved symbol or bad number %q", s)
+	}
+	return uint32(n), nil
+}

@@ -1,0 +1,277 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func mustAssemble(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Assemble(src, 0)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return p
+}
+
+func TestBasicEncodings(t *testing.T) {
+	p := mustAssemble(t, `
+		add $t2, $t0, $t1
+		sll $v0, $v1, 4
+		sllv $v0, $v1, $a1
+		jr $ra
+		jalr $t0
+		jalr $s0, $t0
+		mfhi $a3
+		mthi $a3
+		mult $a0, $a1
+		addi $t0, $t1, -1
+		ori $t0, $zero, 0xbeef
+		lui $t0, 0x1234
+		lw $t0, 16($sp)
+		sw $t0, -16($sp)
+		lb $t0, ($t1)
+	`)
+	want := []uint32{
+		isa.EncodeR(isa.FnAdd, 10, 8, 9, 0),
+		isa.EncodeR(isa.FnSll, 2, 0, 3, 4),
+		isa.EncodeR(isa.FnSllv, 2, 5, 3, 0),
+		isa.EncodeR(isa.FnJr, 0, 31, 0, 0),
+		isa.EncodeR(isa.FnJalr, 31, 8, 0, 0),
+		isa.EncodeR(isa.FnJalr, 16, 8, 0, 0),
+		isa.EncodeR(isa.FnMfhi, 7, 0, 0, 0),
+		isa.EncodeR(isa.FnMthi, 0, 7, 0, 0),
+		isa.EncodeR(isa.FnMult, 0, 4, 5, 0),
+		isa.EncodeI(isa.OpAddi, 8, 9, 0xFFFF),
+		isa.EncodeI(isa.OpOri, 8, 0, 0xBEEF),
+		isa.EncodeI(isa.OpLui, 8, 0, 0x1234),
+		isa.EncodeI(isa.OpLw, 8, 29, 16),
+		isa.EncodeI(isa.OpSw, 8, 29, 0xFFF0),
+		isa.EncodeI(isa.OpLb, 8, 9, 0),
+	}
+	if len(p.Words) != len(want) {
+		t.Fatalf("got %d words, want %d", len(p.Words), len(want))
+	}
+	for i, w := range want {
+		if p.Words[i] != w {
+			t.Errorf("word %d = %#x, want %#x (%s)", i, p.Words[i], w, isa.Disassemble(w, 0))
+		}
+	}
+}
+
+func TestLabelsAndBranches(t *testing.T) {
+	p := mustAssemble(t, `
+	start:
+		addiu $t0, $zero, 10
+	loop:
+		addiu $t0, $t0, -1
+		bne $t0, $zero, loop
+		nop
+		beq $zero, $zero, start
+		nop
+	done:
+		j done
+		nop
+	`)
+	// bne at word 2: target loop (word 1): offset = (4 - (8+4))/4 = -2
+	if got := p.Words[2]; got != isa.EncodeI(isa.OpBne, 0, 8, 0xFFFE) {
+		t.Errorf("bne = %#x", got)
+	}
+	// beq at word 4: target start (0): offset = (0-20)/4 = -5... (0 - (16+4))/4 = -5
+	if got := p.Words[4]; got != isa.EncodeI(isa.OpBeq, 0, 0, uint32(0xFFFB)) {
+		t.Errorf("beq = %#x", got)
+	}
+	// j at word 6 targets itself: 24>>2 = 6.
+	if got := p.Words[6]; got != isa.EncodeJ(isa.OpJ, 6) {
+		t.Errorf("j = %#x", got)
+	}
+	if p.Symbols["done"] != 24 {
+		t.Errorf("done = %#x", p.Symbols["done"])
+	}
+}
+
+func TestPseudoInstructions(t *testing.T) {
+	p := mustAssemble(t, `
+		nop
+		move $t0, $t1
+		li $t0, 5
+		li $t0, -5
+		li $t0, 0x8000
+		li $t0, 0x12345678
+		li $t0, 0x10000
+		not $t0, $t1
+		neg $t0, $t1
+	`)
+	want := []uint32{
+		0,
+		isa.EncodeR(isa.FnAddu, 8, 9, 0, 0),
+		isa.EncodeI(isa.OpAddiu, 8, 0, 5),
+		isa.EncodeI(isa.OpAddiu, 8, 0, 0xFFFB),
+		isa.EncodeI(isa.OpOri, 8, 0, 0x8000),
+		isa.EncodeI(isa.OpLui, 8, 0, 0x1234),
+		isa.EncodeI(isa.OpOri, 8, 8, 0x5678),
+		isa.EncodeI(isa.OpLui, 8, 0, 1), // 0x10000: lui only, no ori
+		isa.EncodeR(isa.FnNor, 8, 9, 0, 0),
+		isa.EncodeR(isa.FnSubu, 8, 0, 9, 0),
+	}
+	for i, w := range want {
+		if p.Words[i] != w {
+			t.Errorf("word %d = %#x, want %#x", i, p.Words[i], w)
+		}
+	}
+}
+
+func TestPseudoBranches(t *testing.T) {
+	p := mustAssemble(t, `
+	top:
+		b top
+		beqz $t0, top
+		bnez $t0, top
+		blt $t0, $t1, top
+		bge $t0, $t1, top
+		bgt $t0, $t1, top
+		ble $t0, $t1, top
+	`)
+	if p.Words[0] != isa.EncodeI(isa.OpBeq, 0, 0, 0xFFFF) {
+		t.Errorf("b = %#x", p.Words[0])
+	}
+	if p.Words[1] != isa.EncodeI(isa.OpBeq, 0, 8, uint32(0xFFFE)) {
+		t.Errorf("beqz = %#x", p.Words[1])
+	}
+	if p.Words[2] != isa.EncodeI(isa.OpBne, 0, 8, uint32(0xFFFD)) {
+		t.Errorf("bnez = %#x", p.Words[2])
+	}
+	// blt: slt $at,$t0,$t1 ; bne $at,$zero,top
+	if p.Words[3] != isa.EncodeR(isa.FnSlt, 1, 8, 9, 0) {
+		t.Errorf("blt slt = %#x", p.Words[3])
+	}
+	if p.Words[4] != isa.EncodeI(isa.OpBne, 0, 1, uint32(0xFFFB)) {
+		t.Errorf("blt bne = %#x", p.Words[4])
+	}
+	// bgt swaps operands: slt $at,$t1,$t0.
+	if p.Words[7] != isa.EncodeR(isa.FnSlt, 1, 9, 8, 0) {
+		t.Errorf("bgt slt = %#x", p.Words[7])
+	}
+}
+
+func TestDirectives(t *testing.T) {
+	p := mustAssemble(t, `
+		.org 0x10
+		nop
+	data:
+		.word 0xdeadbeef, 42, data
+		.space 8
+		.word 1
+	`)
+	if p.Words[0] != 0 || p.Words[3] != 0 {
+		t.Error(".org padding not zero")
+	}
+	if p.Symbols["data"] != 0x14 {
+		t.Errorf("data = %#x, want 0x14", p.Symbols["data"])
+	}
+	if p.Words[5] != 0xdeadbeef || p.Words[6] != 42 || p.Words[7] != 0x14 {
+		t.Errorf(".word values wrong: %#x %#x %#x", p.Words[5], p.Words[6], p.Words[7])
+	}
+	if p.Words[10] != 1 {
+		t.Errorf(".space sizing wrong: word 10 = %#x", p.Words[10])
+	}
+}
+
+func TestHiLoRelocations(t *testing.T) {
+	p := mustAssemble(t, `
+		lui $t0, %hi(sym)
+		ori $t0, $t0, %lo(sym)
+		la $t1, sym
+		.org 0x1234beec
+	sym:
+		.word 0
+	`)
+	if p.Words[0] != isa.EncodeI(isa.OpLui, 8, 0, 0x1234) {
+		t.Errorf("lui %%hi = %#x", p.Words[0])
+	}
+	if p.Words[1] != isa.EncodeI(isa.OpOri, 8, 8, 0xBEEC) {
+		t.Errorf("ori %%lo = %#x", p.Words[1])
+	}
+	if p.Words[2] != isa.EncodeI(isa.OpLui, 9, 0, 0x1234) ||
+		p.Words[3] != isa.EncodeI(isa.OpOri, 9, 9, 0xBEEC) {
+		t.Errorf("la = %#x %#x", p.Words[2], p.Words[3])
+	}
+}
+
+func TestCommentsAndLabelsOnSameLine(t *testing.T) {
+	p := mustAssemble(t, `
+	a: b: nop # trailing comment
+	c: addiu $t0, $zero, 1 ; another
+	// whole-line comment
+	`)
+	if p.Symbols["a"] != 0 || p.Symbols["b"] != 0 || p.Symbols["c"] != 4 {
+		t.Errorf("labels: %v", p.Symbols)
+	}
+	if len(p.Words) != 2 {
+		t.Errorf("got %d words", len(p.Words))
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []string{
+		"bogus $t0",
+		"add $t0, $t1",                      // wrong arity
+		"add $t0, $t1, $t99",                // bad register
+		"sll $t0, $t1, 32",                  // shift out of range
+		"addi $t0, $t1, 0x20000",            // immediate out of range
+		"beq $t0, $t1, nowhere",             // unresolved symbol
+		"lw $t0, $t1",                       // bad mem operand
+		".org 0x10\n.org 0x4",               // backwards org
+		"dup: nop\ndup: nop",                // duplicate label
+		"9bad: nop",                         // bad label
+		"j unaligned\n.org 0x6\nunaligned:", // misaligned jump target? org misaligned
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src, 0); err == nil {
+			t.Errorf("Assemble(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestOrigin(t *testing.T) {
+	p, err := Assemble("start: j start", 0x400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Symbols["start"] != 0x400 {
+		t.Errorf("start = %#x", p.Symbols["start"])
+	}
+	if p.Words[0] != isa.EncodeJ(isa.OpJ, 0x100) {
+		t.Errorf("j = %#x", p.Words[0])
+	}
+	if p.WordAt(0x400) != p.Words[0] || p.WordAt(0) != 0 || p.WordAt(0x800) != 0 {
+		t.Error("WordAt addressing wrong")
+	}
+}
+
+func TestListing(t *testing.T) {
+	p := mustAssemble(t, "add $t2, $t0, $t1")
+	l := p.Listing()
+	if !strings.Contains(l, "add $t2, $t0, $t1") || !strings.Contains(l, "00000000:") {
+		t.Errorf("listing = %q", l)
+	}
+}
+
+func TestBranchRangeCheck(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("b far\n")
+	sb.WriteString(".org 0x40000\n")
+	sb.WriteString("far: nop\n")
+	if _, err := Assemble(sb.String(), 0); err == nil {
+		t.Error("branch out of range accepted")
+	}
+}
+
+func TestSizeWords(t *testing.T) {
+	p := mustAssemble(t, "nop\nnop\n.word 1,2,3")
+	if p.SizeWords() != 5 {
+		t.Errorf("SizeWords = %d, want 5", p.SizeWords())
+	}
+}

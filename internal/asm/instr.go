@@ -1,0 +1,425 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+const regAT = 1 // assembler temporary for pseudo expansions
+
+func (a *assembler) instruction(op string, ops []string) {
+	if a.pseudo(op, ops) {
+		return
+	}
+	m := isa.MnemonicByName(op)
+	if m == nil {
+		a.errf("unknown instruction %q", op)
+		return
+	}
+	n := func(want int) bool {
+		if len(ops) != want {
+			a.errf("%s: got %d operands, want %d", op, len(ops), want)
+			return false
+		}
+		return true
+	}
+	switch m.Fmt {
+	case isa.FmtR3:
+		if !n(3) {
+			return
+		}
+		rd, rs, rt, ok := a.reg3(op, ops[0], ops[1], ops[2])
+		if !ok {
+			return
+		}
+		a.emitWord(isa.EncodeR(m.Sub, rd, rs, rt, 0))
+	case isa.FmtShift:
+		if !n(3) {
+			return
+		}
+		rd, ok1 := a.reg(op, ops[0])
+		rt, ok2 := a.reg(op, ops[1])
+		sh, err := parseNum(ops[2])
+		if !ok1 || !ok2 {
+			return
+		}
+		if err != nil || sh < 0 || sh > 31 {
+			a.errf("%s: bad shift amount %q", op, ops[2])
+			return
+		}
+		a.emitWord(isa.EncodeR(m.Sub, rd, 0, rt, uint32(sh)))
+	case isa.FmtShiftV:
+		if !n(3) {
+			return
+		}
+		rd, rt, rs, ok := a.reg3(op, ops[0], ops[1], ops[2])
+		if !ok {
+			return
+		}
+		a.emitWord(isa.EncodeR(m.Sub, rd, rs, rt, 0))
+	case isa.FmtJR:
+		if !n(1) {
+			return
+		}
+		rs, ok := a.reg(op, ops[0])
+		if !ok {
+			return
+		}
+		a.emitWord(isa.EncodeR(m.Sub, 0, rs, 0, 0))
+	case isa.FmtJALR:
+		var rd, rs uint32
+		var ok bool
+		switch len(ops) {
+		case 1:
+			rd = 31
+			rs, ok = a.reg(op, ops[0])
+		case 2:
+			var ok2 bool
+			rd, ok = a.reg(op, ops[0])
+			rs, ok2 = a.reg(op, ops[1])
+			ok = ok && ok2
+		default:
+			a.errf("jalr: got %d operands, want 1 or 2", len(ops))
+			return
+		}
+		if !ok {
+			return
+		}
+		a.emitWord(isa.EncodeR(m.Sub, rd, rs, 0, 0))
+	case isa.FmtMFHiLo:
+		if !n(1) {
+			return
+		}
+		rd, ok := a.reg(op, ops[0])
+		if !ok {
+			return
+		}
+		a.emitWord(isa.EncodeR(m.Sub, rd, 0, 0, 0))
+	case isa.FmtMTHiLo:
+		if !n(1) {
+			return
+		}
+		rs, ok := a.reg(op, ops[0])
+		if !ok {
+			return
+		}
+		a.emitWord(isa.EncodeR(m.Sub, 0, rs, 0, 0))
+	case isa.FmtMulDiv:
+		if !n(2) {
+			return
+		}
+		rs, ok1 := a.reg(op, ops[0])
+		rt, ok2 := a.reg(op, ops[1])
+		if !ok1 || !ok2 {
+			return
+		}
+		a.emitWord(isa.EncodeR(m.Sub, 0, rs, rt, 0))
+	case isa.FmtArithI, isa.FmtLogicI:
+		if !n(3) {
+			return
+		}
+		rt, ok1 := a.reg(op, ops[0])
+		rs, ok2 := a.reg(op, ops[1])
+		if !ok1 || !ok2 {
+			return
+		}
+		imm := ops[2]
+		signed := m.Fmt == isa.FmtArithI
+		opc := m.Op
+		a.emit(func(a *assembler, _ uint32) (uint32, error) {
+			v, err := a.resolveValue(imm)
+			if err != nil {
+				return 0, err
+			}
+			if err := checkImm16(v, signed); err != nil {
+				return 0, fmt.Errorf("%s: %v", op, err)
+			}
+			return isa.EncodeI(opc, rt, rs, v), nil
+		})
+	case isa.FmtLui:
+		if !n(2) {
+			return
+		}
+		rt, ok := a.reg(op, ops[0])
+		if !ok {
+			return
+		}
+		imm := ops[1]
+		a.emit(func(a *assembler, _ uint32) (uint32, error) {
+			v, err := a.resolveValue(imm)
+			if err != nil {
+				return 0, err
+			}
+			if v > 0xFFFF {
+				return 0, fmt.Errorf("lui: immediate 0x%x out of range", v)
+			}
+			return isa.EncodeI(isa.OpLui, rt, 0, v), nil
+		})
+	case isa.FmtMem:
+		if !n(2) {
+			return
+		}
+		rt, ok := a.reg(op, ops[0])
+		if !ok {
+			return
+		}
+		off, base, ok := a.memOperand(op, ops[1])
+		if !ok {
+			return
+		}
+		opc := m.Op
+		a.emit(func(a *assembler, _ uint32) (uint32, error) {
+			v, err := a.resolveValue(off)
+			if err != nil {
+				return 0, err
+			}
+			if err := checkImm16(v, true); err != nil {
+				return 0, fmt.Errorf("%s: %v", op, err)
+			}
+			return isa.EncodeI(opc, rt, base, v), nil
+		})
+	case isa.FmtBranch2:
+		if !n(3) {
+			return
+		}
+		rs, ok1 := a.reg(op, ops[0])
+		rt, ok2 := a.reg(op, ops[1])
+		if !ok1 || !ok2 {
+			return
+		}
+		a.emitBranch(m.Op, 0, rs, rt, ops[2], op)
+	case isa.FmtBranchZ:
+		if !n(2) {
+			return
+		}
+		rs, ok := a.reg(op, ops[0])
+		if !ok {
+			return
+		}
+		if m.Op == isa.OpRegImm {
+			a.emitBranch(m.Op, m.Sub, rs, m.Sub, ops[1], op)
+		} else {
+			a.emitBranch(m.Op, 0, rs, 0, ops[1], op)
+		}
+	case isa.FmtJump:
+		if !n(1) {
+			return
+		}
+		target := ops[0]
+		opc := m.Op
+		a.emit(func(a *assembler, addr uint32) (uint32, error) {
+			v, err := a.resolveValue(target)
+			if err != nil {
+				return 0, err
+			}
+			if v%4 != 0 {
+				return 0, fmt.Errorf("%s: target 0x%x not word aligned", op, v)
+			}
+			if (addr+4)&0xF0000000 != v&0xF0000000 {
+				return 0, fmt.Errorf("%s: target 0x%x outside current 256MB segment", op, v)
+			}
+			return isa.EncodeJ(opc, v>>2), nil
+		})
+	default:
+		a.errf("%s: unhandled format", op)
+	}
+}
+
+// emitBranch queues a PC-relative branch. rtField is the encoded rt
+// register (or REGIMM code).
+func (a *assembler) emitBranch(opc, _ uint32, rs, rtField uint32, target, name string) {
+	a.emit(func(a *assembler, addr uint32) (uint32, error) {
+		v, err := a.resolveValue(target)
+		if err != nil {
+			return 0, err
+		}
+		diff := int64(v) - int64(addr) - 4
+		if diff%4 != 0 {
+			return 0, fmt.Errorf("%s: misaligned branch target 0x%x", name, v)
+		}
+		off := diff / 4
+		if off < -32768 || off > 32767 {
+			return 0, fmt.Errorf("%s: branch target 0x%x out of range", name, v)
+		}
+		return isa.EncodeI(opc, rtField, rs, uint32(off)&0xFFFF), nil
+	})
+}
+
+func checkImm16(v uint32, signed bool) error {
+	if signed {
+		// Accept the union of int16 and uint16 encodings, like most MIPS
+		// assemblers (0xFFFF means -1).
+		if int32(v) >= -32768 && int32(v) <= 65535 {
+			return nil
+		}
+	} else if v <= 0xFFFF {
+		return nil
+	}
+	return fmt.Errorf("immediate 0x%x out of 16-bit range", v)
+}
+
+func (a *assembler) reg(op, s string) (uint32, bool) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "$") {
+		a.errf("%s: expected register, got %q", op, s)
+		return 0, false
+	}
+	r, ok := isa.RegByName(s[1:])
+	if !ok {
+		a.errf("%s: bad register %q", op, s)
+		return 0, false
+	}
+	return r, true
+}
+
+func (a *assembler) reg3(op, s1, s2, s3 string) (r1, r2, r3 uint32, ok bool) {
+	r1, ok1 := a.reg(op, s1)
+	r2, ok2 := a.reg(op, s2)
+	r3, ok3 := a.reg(op, s3)
+	return r1, r2, r3, ok1 && ok2 && ok3
+}
+
+// memOperand parses "offset($base)"; offset may be empty, a number, a
+// symbol, or %lo(...).
+func (a *assembler) memOperand(op, s string) (off string, base uint32, ok bool) {
+	i := strings.Index(s, "(")
+	if i < 0 || !strings.HasSuffix(s, ")") {
+		a.errf("%s: expected offset(base), got %q", op, s)
+		return "", 0, false
+	}
+	off = strings.TrimSpace(s[:i])
+	if off == "" {
+		off = "0"
+	}
+	base, ok = a.reg(op, strings.TrimSpace(s[i+1:len(s)-1]))
+	return off, base, ok
+}
+
+// pseudo expands pseudo instructions; it reports whether op was one.
+func (a *assembler) pseudo(op string, ops []string) bool {
+	switch op {
+	case "nop":
+		a.emitWord(0)
+	case "move":
+		if len(ops) != 2 {
+			a.errf("move: want 2 operands")
+			return true
+		}
+		rd, ok1 := a.reg(op, ops[0])
+		rs, ok2 := a.reg(op, ops[1])
+		if ok1 && ok2 {
+			a.emitWord(isa.EncodeR(isa.FnAddu, rd, rs, 0, 0))
+		}
+	case "li":
+		if len(ops) != 2 {
+			a.errf("li: want 2 operands")
+			return true
+		}
+		rt, ok := a.reg(op, ops[0])
+		if !ok {
+			return true
+		}
+		n, err := parseNum(ops[1])
+		if err != nil {
+			a.errf("li: %v", err)
+			return true
+		}
+		v := uint32(n)
+		switch {
+		case int64(int16(v)) == n:
+			a.emitWord(isa.EncodeI(isa.OpAddiu, rt, 0, v))
+		case n >= 0 && n <= 0xFFFF:
+			a.emitWord(isa.EncodeI(isa.OpOri, rt, 0, v))
+		default:
+			a.emitWord(isa.EncodeI(isa.OpLui, rt, 0, v>>16))
+			if v&0xFFFF != 0 {
+				a.emitWord(isa.EncodeI(isa.OpOri, rt, rt, v&0xFFFF))
+			}
+		}
+	case "la":
+		if len(ops) != 2 {
+			a.errf("la: want 2 operands")
+			return true
+		}
+		rt, ok := a.reg(op, ops[0])
+		if !ok {
+			return true
+		}
+		sym := ops[1]
+		a.emit(func(a *assembler, _ uint32) (uint32, error) {
+			v, err := a.resolveValue(sym)
+			return isa.EncodeI(isa.OpLui, rt, 0, v>>16), err
+		})
+		a.emit(func(a *assembler, _ uint32) (uint32, error) {
+			v, err := a.resolveValue(sym)
+			return isa.EncodeI(isa.OpOri, rt, rt, v&0xFFFF), err
+		})
+	case "b":
+		if len(ops) != 1 {
+			a.errf("b: want 1 operand")
+			return true
+		}
+		a.emitBranch(isa.OpBeq, 0, 0, 0, ops[0], "b")
+	case "beqz", "bnez":
+		if len(ops) != 2 {
+			a.errf("%s: want 2 operands", op)
+			return true
+		}
+		rs, ok := a.reg(op, ops[0])
+		if !ok {
+			return true
+		}
+		opc := uint32(isa.OpBeq)
+		if op == "bnez" {
+			opc = isa.OpBne
+		}
+		a.emitBranch(opc, 0, rs, 0, ops[1], op)
+	case "not":
+		if len(ops) != 2 {
+			a.errf("not: want 2 operands")
+			return true
+		}
+		rd, ok1 := a.reg(op, ops[0])
+		rs, ok2 := a.reg(op, ops[1])
+		if ok1 && ok2 {
+			a.emitWord(isa.EncodeR(isa.FnNor, rd, rs, 0, 0))
+		}
+	case "neg":
+		if len(ops) != 2 {
+			a.errf("neg: want 2 operands")
+			return true
+		}
+		rd, ok1 := a.reg(op, ops[0])
+		rs, ok2 := a.reg(op, ops[1])
+		if ok1 && ok2 {
+			a.emitWord(isa.EncodeR(isa.FnSubu, rd, 0, rs, 0))
+		}
+	case "blt", "bge", "bgt", "ble":
+		if len(ops) != 3 {
+			a.errf("%s: want 3 operands", op)
+			return true
+		}
+		rs, ok1 := a.reg(op, ops[0])
+		rt, ok2 := a.reg(op, ops[1])
+		if !ok1 || !ok2 {
+			return true
+		}
+		// blt: slt $at,rs,rt; bne  -- bge: slt $at,rs,rt; beq
+		// bgt: slt $at,rt,rs; bne  -- ble: slt $at,rt,rs; beq
+		x, y := rs, rt
+		if op == "bgt" || op == "ble" {
+			x, y = rt, rs
+		}
+		a.emitWord(isa.EncodeR(isa.FnSlt, regAT, x, y, 0))
+		opc := uint32(isa.OpBne)
+		if op == "bge" || op == "ble" {
+			opc = isa.OpBeq
+		}
+		a.emitBranch(opc, 0, regAT, 0, ops[2], op)
+	default:
+		return false
+	}
+	return true
+}

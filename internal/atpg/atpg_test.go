@@ -1,0 +1,225 @@
+package atpg
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/gate"
+	"repro/internal/synth"
+)
+
+func TestThreeValuedOps(t *testing.T) {
+	if not3(L0) != L1 || not3(L1) != L0 || not3(X) != X {
+		t.Error("not3 wrong")
+	}
+	if and3(L0, X) != L0 || and3(L1, X) != X || and3(L1, L1) != L1 {
+		t.Error("and3 wrong")
+	}
+	if or3(L1, X) != L1 || or3(L0, X) != X || or3(L0, L0) != L0 {
+		t.Error("or3 wrong")
+	}
+	if xor3(L1, L0) != L1 || xor3(L1, L1) != L0 || xor3(L1, X) != X {
+		t.Error("xor3 wrong")
+	}
+	if mux3(L1, L0, X) != X || mux3(L1, L1, X) != L1 || mux3(L0, L1, L1) != L1 {
+		t.Error("mux3 wrong")
+	}
+	if L0.String() != "0" || L1.String() != "1" || X.String() != "X" {
+		t.Error("stringers wrong")
+	}
+}
+
+func TestGenerateSimpleAnd(t *testing.T) {
+	b := gate.NewBuilder("and")
+	a := b.Input("a")
+	c := b.Input("b")
+	y := b.And(a, c)
+	b.Output("y", y)
+	e, err := NewEngine(b.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// y stuck-at-0 requires a=b=1.
+	p, out := e.Generate(gate.FaultSite{Gate: y, Pin: 0, Stuck: false})
+	if out != Detected {
+		t.Fatalf("outcome = %v", out)
+	}
+	if p[a] != L1 || p[c] != L1 {
+		t.Errorf("pattern = %v, want a=b=1", p)
+	}
+	// y stuck-at-1 requires one input 0.
+	p, out = e.Generate(gate.FaultSite{Gate: y, Pin: 0, Stuck: true})
+	if out != Detected {
+		t.Fatalf("outcome = %v", out)
+	}
+	if p[a] == L1 && p[c] == L1 {
+		t.Errorf("pattern %v does not set output low", p)
+	}
+	// Input-pin fault: a-input of the AND stuck-at-1 needs a=0, b=1.
+	p, out = e.Generate(gate.FaultSite{Gate: y, Pin: 1, Stuck: true})
+	if out != Detected {
+		t.Fatalf("outcome = %v", out)
+	}
+	if p[a] != L0 || p[c] != L1 {
+		t.Errorf("branch fault pattern = %v, want a=0 b=1", p)
+	}
+}
+
+func TestGenerateRedundantFault(t *testing.T) {
+	// y = a OR NOT a is constantly 1: y stuck-at-1 is untestable.
+	b := gate.NewBuilder("taut")
+	a := b.Input("a")
+	y := b.Or(a, b.Not(a))
+	b.Output("y", y)
+	e, err := NewEngine(b.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, out := e.Generate(gate.FaultSite{Gate: y, Pin: 0, Stuck: true}); out != Redundant {
+		t.Errorf("outcome = %v, want redundant", out)
+	}
+	// y stuck-at-0 is testable with any input.
+	if _, out := e.Generate(gate.FaultSite{Gate: y, Pin: 0, Stuck: false}); out != Detected {
+		t.Errorf("outcome = %v, want detected", out)
+	}
+}
+
+func TestEngineRejectsSequential(t *testing.T) {
+	b := gate.NewBuilder("seq")
+	d := b.Input("d")
+	b.Output("q", b.DFF(d))
+	if _, err := NewEngine(b.N); err == nil {
+		t.Error("accepted sequential netlist")
+	}
+}
+
+// buildAdder4 builds a standalone 4-bit ripple adder.
+func buildAdder4() *gate.Netlist {
+	c := synth.NewCtx("add4", synth.NativeLib{})
+	a := c.B.InputBus("a", 4)
+	d := c.B.InputBus("b", 4)
+	cin := c.B.Input("cin")
+	sum, carries := c.RippleAdder(synth.Bus(a), synth.Bus(d), cin)
+	c.B.OutputBus("sum", sum)
+	c.B.Output("cout", carries[len(carries)-1])
+	return c.B.N
+}
+
+// verifyPattern checks with the bit-parallel simulator that the pattern
+// really distinguishes the faulty machine at an output.
+func verifyPattern(t *testing.T, n *gate.Netlist, p Pattern, f gate.FaultSite) bool {
+	t.Helper()
+	s, err := gate.NewSim(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetFaults([]gate.LaneFault{{Site: f, Lane: 1}})
+	for _, name := range n.InputNames() {
+		var v uint64
+		for i, sig := range n.InputBus(name) {
+			pv, ok := p[sig]
+			if ok && pv == L1 {
+				v |= 1 << uint(i)
+			}
+		}
+		s.SetBusUniform(name, v)
+	}
+	s.Eval()
+	for _, name := range n.OutputNames() {
+		if s.BusLane(name, 0) != s.BusLane(name, 1) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestGenerateAllAdderAndVerify(t *testing.T) {
+	n := buildAdder4()
+	e, err := NewEngine(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sites []gate.FaultSite
+	for _, f := range fault.Universe(n) {
+		sites = append(sites, f.Site)
+	}
+	// Generate each fault's test independently and verify it against the
+	// event simulator (an oracle cross-check of the whole engine).
+	detected, redundant := 0, 0
+	for _, f := range sites {
+		p, out := e.Generate(f)
+		switch out {
+		case Detected:
+			detected++
+			if !verifyPattern(t, n, p, f) {
+				t.Fatalf("PODEM pattern %v does not detect %v", p, f)
+			}
+		case Redundant:
+			redundant++
+		case Aborted:
+			t.Errorf("aborted on %v in a tiny adder", f)
+		}
+	}
+	// A ripple adder is fully testable.
+	if redundant != 0 {
+		t.Errorf("%d faults declared redundant in an irredundant adder", redundant)
+	}
+	if detected != len(sites) {
+		t.Errorf("detected %d of %d", detected, len(sites))
+	}
+}
+
+func TestGenerateAllWithDropping(t *testing.T) {
+	n := buildAdder4()
+	e, err := NewEngine(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sites []gate.FaultSite
+	for _, f := range fault.Universe(n) {
+		sites = append(sites, f.Site)
+	}
+	st := e.GenerateAll(sites)
+	if st.Coverage() < 100 {
+		t.Errorf("adder test efficiency = %.2f%%, want 100", st.Coverage())
+	}
+	// Fault dropping must compact the pattern set well below one pattern
+	// per fault.
+	if len(st.Patterns) >= len(sites)/2 {
+		t.Errorf("no compaction: %d patterns for %d faults", len(st.Patterns), len(sites))
+	}
+	if st.Detected+st.Redundant+st.Aborted != len(sites) {
+		t.Error("outcome counts don't sum")
+	}
+}
+
+func TestGenerateOnALUComponent(t *testing.T) {
+	// The full 32-bit ALU: PODEM must reach high test efficiency on a
+	// slice of its fault universe.
+	c := synth.NewCtx("alu", synth.NativeLib{})
+	a := c.B.InputBus("a", 32)
+	d := c.B.InputBus("b", 32)
+	op := c.B.InputBus("op", 3)
+	c.B.OutputBus("y", c.ALU(synth.Bus(a), synth.Bus(d), synth.Bus(op)))
+	e, err := NewEngine(c.B.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := fault.Universe(c.B.N)
+	detected, aborted := 0, 0
+	for i := 0; i < len(all); i += 9 { // deterministic sample
+		p, out := e.Generate(all[i].Site)
+		switch out {
+		case Detected:
+			detected++
+			if !verifyPattern(t, c.B.N, p, all[i].Site) {
+				t.Fatalf("pattern fails oracle for %v", all[i].Site)
+			}
+		case Aborted:
+			aborted++
+		}
+	}
+	if detected < 9*aborted {
+		t.Errorf("ALU test generation weak: %d detected, %d aborted", detected, aborted)
+	}
+}

@@ -1,0 +1,455 @@
+package atpg
+
+import (
+	"fmt"
+
+	"repro/internal/gate"
+)
+
+// Outcome classifies a per-fault generation attempt.
+type Outcome int
+
+// Generation outcomes.
+const (
+	// Detected: a test pattern was found.
+	Detected Outcome = iota
+	// Redundant: the decision space was exhausted without aborting, so the
+	// fault is untestable.
+	Redundant
+	// Aborted: the backtrack limit was hit before a conclusion.
+	Aborted
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Detected:
+		return "detected"
+	case Redundant:
+		return "redundant"
+	case Aborted:
+		return "aborted"
+	}
+	return "unknown"
+}
+
+// Pattern is a primary-input assignment: one value per input signal of the
+// netlist, X where the value is a don't-care.
+type Pattern map[gate.Sig]V
+
+// Engine generates tests on one combinational netlist.
+type Engine struct {
+	n       *gate.Netlist
+	order   []gate.Sig // levelized combinational order
+	inputs  []gate.Sig
+	outputs []gate.Sig
+
+	good   []V
+	faulty []V
+
+	// MaxBacktracks bounds the search per fault (default 2000).
+	MaxBacktracks int
+}
+
+// NewEngine prepares an engine. The netlist must be purely combinational.
+func NewEngine(n *gate.Netlist) (*Engine, error) {
+	for i := range n.Gates {
+		if n.Gates[i].Kind == gate.DFF {
+			return nil, fmt.Errorf("atpg: netlist has sequential cell at signal %d", i)
+		}
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := levelize(n)
+	if err != nil {
+		return nil, err
+	}
+	var inputs []gate.Sig
+	for i := range n.Gates {
+		if n.Gates[i].Kind == gate.Input {
+			inputs = append(inputs, gate.Sig(i))
+		}
+	}
+	return &Engine{
+		n:             n,
+		order:         order,
+		inputs:        inputs,
+		outputs:       n.ObservedSignals(),
+		good:          make([]V, n.NumSignals()),
+		faulty:        make([]V, n.NumSignals()),
+		MaxBacktracks: 2000,
+	}, nil
+}
+
+// levelize re-derives a topological order (Input/Const are sources).
+func levelize(n *gate.Netlist) ([]gate.Sig, error) {
+	indeg := make([]int, n.NumSignals())
+	fanout := make([][]gate.Sig, n.NumSignals())
+	for i := range n.Gates {
+		g := &n.Gates[i]
+		for p := 0; p < g.Kind.NumInputs(); p++ {
+			indeg[i]++
+			fanout[g.In[p]] = append(fanout[g.In[p]], gate.Sig(i))
+		}
+	}
+	var queue, order []gate.Sig
+	for i := range n.Gates {
+		if indeg[i] == 0 {
+			queue = append(queue, gate.Sig(i))
+		}
+	}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		order = append(order, s)
+		for _, t := range fanout[s] {
+			indeg[t]--
+			if indeg[t] == 0 {
+				queue = append(queue, t)
+			}
+		}
+	}
+	if len(order) != n.NumSignals() {
+		return nil, fmt.Errorf("atpg: combinational cycle")
+	}
+	return order, nil
+}
+
+// eval3 evaluates one gate in three-valued logic from the given values,
+// with the engine's current fault injected when machine is the faulty one.
+func (e *Engine) eval3(vals []V, s gate.Sig, f *gate.FaultSite) V {
+	g := &e.n.Gates[s]
+	in := func(p int) V {
+		v := vals[g.In[p]]
+		if f != nil && f.Gate == s && int(f.Pin) == p+1 {
+			v = vOf(f.Stuck)
+		}
+		return v
+	}
+	var out V
+	switch g.Kind {
+	case gate.Input:
+		out = vals[s] // assigned externally
+	case gate.Const0:
+		out = L0
+	case gate.Const1:
+		out = L1
+	case gate.Buf:
+		out = in(0)
+	case gate.Not:
+		out = not3(in(0))
+	case gate.And2:
+		out = and3(in(0), in(1))
+	case gate.Or2:
+		out = or3(in(0), in(1))
+	case gate.Nand2:
+		out = not3(and3(in(0), in(1)))
+	case gate.Nor2:
+		out = not3(or3(in(0), in(1)))
+	case gate.Xor2:
+		out = xor3(in(0), in(1))
+	case gate.Xnor2:
+		out = not3(xor3(in(0), in(1)))
+	case gate.Mux2:
+		out = mux3(in(0), in(1), in(2))
+	default:
+		panic("atpg: unexpected kind")
+	}
+	if f != nil && f.Gate == s && f.Pin == 0 {
+		out = vOf(f.Stuck)
+	}
+	return out
+}
+
+// imply forward-simulates good and faulty machines from the current
+// primary-input assignment.
+func (e *Engine) imply(f *gate.FaultSite) {
+	for _, s := range e.order {
+		if e.n.Gates[s].Kind == gate.Input {
+			e.faulty[s] = e.good[s]
+			if f != nil && f.Gate == s && f.Pin == 0 {
+				e.faulty[s] = vOf(f.Stuck)
+			}
+			continue
+		}
+		e.good[s] = e.eval3(e.good, s, nil)
+		e.faulty[s] = e.eval3(e.faulty, s, f)
+	}
+}
+
+// isD reports whether signal s carries a fault effect (good != faulty,
+// both assigned).
+func (e *Engine) isD(s gate.Sig) bool {
+	return e.good[s] != X && e.faulty[s] != X && e.good[s] != e.faulty[s]
+}
+
+// detectedAtOutput reports whether any observed output carries D.
+func (e *Engine) detectedAtOutput() bool {
+	for _, s := range e.outputs {
+		if e.isD(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// pinCarriesD reports whether input pin p of gate s carries a fault
+// effect, accounting for an injected branch fault on that pin.
+func (e *Engine) pinCarriesD(f gate.FaultSite, s gate.Sig, p int) bool {
+	in := e.n.Gates[s].In[p]
+	goodV := e.good[in]
+	faultyV := e.faulty[in]
+	if f.Gate == s && int(f.Pin) == p+1 {
+		faultyV = vOf(f.Stuck)
+	}
+	return goodV != X && faultyV != X && goodV != faultyV
+}
+
+// dFrontier lists gates with an X composite output and a fault effect on
+// some input; empty means the effect cannot advance.
+func (e *Engine) dFrontier(f gate.FaultSite) []gate.Sig {
+	var frontier []gate.Sig
+	for _, s := range e.order {
+		g := &e.n.Gates[s]
+		if g.Kind == gate.Input || g.Kind == gate.Const0 || g.Kind == gate.Const1 {
+			continue
+		}
+		if e.good[s] != X && e.faulty[s] != X {
+			continue
+		}
+		for p := 0; p < g.Kind.NumInputs(); p++ {
+			if e.pinCarriesD(f, s, p) {
+				frontier = append(frontier, s)
+				break
+			}
+		}
+	}
+	return frontier
+}
+
+// objectives lists candidate (signal, value) goals: fault activation if
+// not yet activated, else X side inputs of every D-frontier gate at their
+// non-controlling values.
+func (e *Engine) objectives(f gate.FaultSite) [][2]int32 {
+	site := faultSignal(e.n, f)
+	if e.good[site] == X {
+		return [][2]int32{{int32(site), int32(vOf(!f.Stuck))}}
+	}
+	var out [][2]int32
+	for _, df := range e.dFrontier(f) {
+		g := &e.n.Gates[df]
+		for p := 0; p < g.Kind.NumInputs(); p++ {
+			in := g.In[p]
+			if e.good[in] == X {
+				out = append(out, [2]int32{int32(in), int32(nonControlling(g.Kind, p))})
+			}
+		}
+	}
+	return out
+}
+
+// faultSignal is the signal whose good value must be set opposite the
+// stuck value to activate the fault: the driven net for output faults, the
+// driving net for input-pin (branch) faults.
+func faultSignal(n *gate.Netlist, f gate.FaultSite) gate.Sig {
+	if f.Pin == 0 {
+		return f.Gate
+	}
+	return n.Gates[f.Gate].In[f.Pin-1]
+}
+
+// nonControlling is the value to apply on a side input so a fault effect
+// passes through a gate of kind k (pin index for Mux2 select handling).
+func nonControlling(k gate.Kind, pin int) V {
+	switch k {
+	case gate.And2, gate.Nand2:
+		return L1
+	case gate.Or2, gate.Nor2:
+		return L0
+	case gate.Mux2:
+		if pin == 2 {
+			// Either select value may propagate; pick 0 and let the search
+			// backtrack to 1 when needed.
+			return L0
+		}
+		return L0
+	default: // XOR/XNOR/NOT/BUF: any value propagates
+		return L0
+	}
+}
+
+// backtrace maps an objective to an unassigned primary input assignment by
+// walking backward through X-valued nets, accumulating inversion parity.
+func (e *Engine) backtrace(s gate.Sig, v V) (gate.Sig, V, bool) {
+	for {
+		g := &e.n.Gates[s]
+		if g.Kind == gate.Input {
+			if e.good[s] != X {
+				return 0, X, false
+			}
+			return s, v, true
+		}
+		switch g.Kind {
+		case gate.Const0, gate.Const1:
+			return 0, X, false
+		case gate.Not, gate.Nand2, gate.Nor2, gate.Xnor2:
+			v = not3(v)
+		}
+		next := gate.NoSig
+		for p := 0; p < g.Kind.NumInputs(); p++ {
+			if e.good[g.In[p]] == X {
+				next = g.In[p]
+				break
+			}
+		}
+		if next == gate.NoSig {
+			return 0, X, false
+		}
+		// XOR-family and mux value choice along the path is heuristic;
+		// wrong choices are corrected by backtracking.
+		s = next
+	}
+}
+
+// decision is one stack entry of the PODEM search.
+type decision struct {
+	input   gate.Sig
+	value   V
+	flipped bool
+}
+
+// Generate attempts to find a test pattern for one stuck-at fault.
+func (e *Engine) Generate(f gate.FaultSite) (Pattern, Outcome) {
+	for i := range e.good {
+		e.good[i] = X
+		e.faulty[i] = X
+	}
+	var stack []decision
+	backtracks := 0
+	e.imply(&f)
+
+	for {
+		if e.detectedAtOutput() {
+			p := make(Pattern, len(stack))
+			for _, d := range stack {
+				p[d.input] = e.good[d.input]
+			}
+			return p, Detected
+		}
+
+		site := faultSignal(e.n, f)
+		activated := e.good[site] != X && e.good[site] == vOf(!f.Stuck)
+		failed := false
+		if e.good[site] != X && !activated {
+			failed = true // fault site pinned to the stuck value
+		}
+		if !failed && activated && len(e.dFrontier(f)) == 0 && !e.detectedAtOutput() {
+			failed = true // effect can no longer reach an output
+		}
+
+		if !failed {
+			advanced := false
+			for _, obj := range e.objectives(f) {
+				if pi, pv, ok := e.backtrace(gate.Sig(obj[0]), V(obj[1])); ok {
+					stack = append(stack, decision{input: pi, value: pv})
+					e.good[pi] = pv
+					e.imply(&f)
+					advanced = true
+					break
+				}
+			}
+			if advanced {
+				continue
+			}
+			failed = true
+		}
+
+		// Backtrack.
+		for {
+			if len(stack) == 0 {
+				return nil, Redundant
+			}
+			d := &stack[len(stack)-1]
+			if !d.flipped {
+				d.flipped = true
+				d.value = not3(d.value)
+				e.good[d.input] = d.value
+				backtracks++
+				if backtracks > e.MaxBacktracks {
+					return nil, Aborted
+				}
+				e.imply(&f)
+				break
+			}
+			e.good[d.input] = X
+			stack = stack[:len(stack)-1]
+			e.imply(&f)
+		}
+	}
+}
+
+// Stats summarizes a generation run over a fault list.
+type Stats struct {
+	Detected  int
+	Redundant int
+	Aborted   int
+	Patterns  []Pattern
+}
+
+// Coverage is the fraction of faults with generated tests, counting proven
+// redundant faults out of the denominator (test efficiency).
+func (s Stats) Coverage() float64 {
+	den := s.Detected + s.Aborted
+	if den == 0 {
+		return 0
+	}
+	return 100 * float64(s.Detected) / float64(den)
+}
+
+// GenerateAll runs PODEM over a fault list, with fault dropping: each new
+// pattern is fault-simulated (three-valued, X-filled as 0) against the
+// remaining faults so covered faults skip generation.
+func (e *Engine) GenerateAll(faults []gate.FaultSite) Stats {
+	var st Stats
+	dropped := make([]bool, len(faults))
+	for i, f := range faults {
+		if dropped[i] {
+			st.Detected++
+			continue
+		}
+		p, out := e.Generate(f)
+		switch out {
+		case Detected:
+			st.Detected++
+			st.Patterns = append(st.Patterns, p)
+			for j := i + 1; j < len(faults); j++ {
+				if !dropped[j] && e.patternDetects(p, faults[j]) {
+					dropped[j] = true
+				}
+			}
+		case Redundant:
+			st.Redundant++
+		case Aborted:
+			st.Aborted++
+		}
+	}
+	return st
+}
+
+// patternDetects fault-simulates one pattern (X inputs filled with 0)
+// against one fault.
+func (e *Engine) patternDetects(p Pattern, f gate.FaultSite) bool {
+	for i := range e.good {
+		e.good[i] = X
+		e.faulty[i] = X
+	}
+	for _, in := range e.inputs {
+		v, ok := p[in]
+		if !ok || v == X {
+			v = L0
+		}
+		e.good[in] = v
+	}
+	e.imply(&f)
+	return e.detectedAtOutput()
+}

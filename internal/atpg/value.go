@@ -1,0 +1,101 @@
+// Package atpg implements combinational test-pattern generation (PODEM)
+// for single stuck-at faults on gate netlists. It is the structural-ATPG
+// comparison point of the paper: Chen & Dey's methodology [6] extracts
+// component tests with ATPG, while the paper's library of deterministic
+// patterns exploits component regularity instead. The benches use this
+// package to compare pattern counts and coverage per component.
+//
+// The engine works on purely combinational netlists (standalone datapath
+// components). Good and faulty circuits are simulated side by side in
+// three-valued logic; the classic D notation falls out as good != faulty.
+package atpg
+
+import "fmt"
+
+// V is a three-valued logic level.
+type V uint8
+
+// Logic levels.
+const (
+	X  V = iota // unassigned / unknown
+	L0          // logic 0
+	L1          // logic 1
+)
+
+func (v V) String() string {
+	switch v {
+	case L0:
+		return "0"
+	case L1:
+		return "1"
+	case X:
+		return "X"
+	}
+	return fmt.Sprintf("V(%d)", uint8(v))
+}
+
+// not3 is three-valued inversion.
+func not3(a V) V {
+	switch a {
+	case L0:
+		return L1
+	case L1:
+		return L0
+	}
+	return X
+}
+
+// and3 is three-valued AND.
+func and3(a, b V) V {
+	if a == L0 || b == L0 {
+		return L0
+	}
+	if a == L1 && b == L1 {
+		return L1
+	}
+	return X
+}
+
+// or3 is three-valued OR.
+func or3(a, b V) V {
+	if a == L1 || b == L1 {
+		return L1
+	}
+	if a == L0 && b == L0 {
+		return L0
+	}
+	return X
+}
+
+// xor3 is three-valued XOR.
+func xor3(a, b V) V {
+	if a == X || b == X {
+		return X
+	}
+	if a == b {
+		return L0
+	}
+	return L1
+}
+
+// mux3 is three-valued 2:1 selection (a0 when sel=0, a1 when sel=1).
+func mux3(a0, a1, sel V) V {
+	switch sel {
+	case L0:
+		return a0
+	case L1:
+		return a1
+	}
+	if a0 == a1 {
+		return a0
+	}
+	return X
+}
+
+// vOf converts a boolean to a logic level.
+func vOf(b bool) V {
+	if b {
+		return L1
+	}
+	return L0
+}

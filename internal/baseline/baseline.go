@@ -1,0 +1,180 @@
+// Package baseline implements the comparison point of the paper's Section
+// 1/4 cost argument: a pseudorandom software-based self-test in the style
+// of Chen & Dey [6]. Self-test signatures (LFSR seed + round count) are
+// downloaded from the tester; an on-chip software-emulated LFSR expands
+// them into pseudorandom operand patterns that are applied to the
+// processor's functional units, with responses compacted and stored.
+//
+// Its cost profile is the paper's foil: comparable (or lower) fault
+// coverage than the deterministic SBST program, at a multiple of the
+// execution cycles, growing with the pattern count.
+package baseline
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/sim"
+)
+
+// Config parameterizes the pseudorandom self-test program.
+type Config struct {
+	// Seeds are the per-signature LFSR seeds (one expansion loop each).
+	Seeds []uint32
+	// Rounds is the number of pseudorandom pattern rounds per seed.
+	Rounds int
+	// WithMulDiv includes multiply/divide in the sampled operation mix
+	// (dominates execution time, as sequential units do).
+	WithMulDiv bool
+	// RespBase is the response region base address.
+	RespBase uint32
+}
+
+// DefaultConfig returns the configuration used by the paper-comparison
+// benches: four signatures, multiply included.
+func DefaultConfig(rounds int) Config {
+	return Config{
+		Seeds:      []uint32{0xACE1ACE1, 0x12345678, 0xDEADBEEF, 0x0BADF00D},
+		Rounds:     rounds,
+		WithMulDiv: true,
+		RespBase:   0x00100000,
+	}
+}
+
+// Program is an assembled pseudorandom self-test with its measured cost.
+type Program struct {
+	Config  Config
+	Source  string
+	Program *asm.Program
+	Words   int
+	Cycles  uint64
+}
+
+// lfsrPoly is the feedback polynomial of the software LFSR (a maximal
+// 32-bit Galois LFSR tap set).
+const lfsrPoly = 0x80200003
+
+// Generate emits, assembles and characterizes the pseudorandom self-test.
+func Generate(cfg Config) (*Program, error) {
+	if cfg.Rounds <= 0 || len(cfg.Seeds) == 0 {
+		return nil, fmt.Errorf("baseline: need at least one seed and positive rounds")
+	}
+	src := buildSource(cfg)
+	prog, err := asm.Assemble(src, 0)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: program failed to assemble: %w", err)
+	}
+	mem := sim.NewMemory()
+	mem.LoadProgram(prog)
+	iss := sim.New(mem, 0)
+	halted, err := iss.Run(50_000_000)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: program crashed: %w", err)
+	}
+	if !halted {
+		return nil, fmt.Errorf("baseline: program did not halt")
+	}
+	return &Program{
+		Config:  cfg,
+		Source:  src,
+		Program: prog,
+		Words:   prog.SizeWords(),
+		Cycles:  iss.Cycle,
+	}, nil
+}
+
+// GateCycles is the golden-capture length for fault simulation.
+func (p *Program) GateCycles() int { return int(p.Cycles) + 16 }
+
+// buildSource emits the expansion and application loops.
+//
+// Register use: $k0 response pointer, $s0 LFSR state, $s1 round counter,
+// $s2 response signature, $t8 seed pointer, $t9 seed counter, $t0/$t1
+// pseudorandom operands, $t2.. results.
+func buildSource(cfg Config) string {
+	var sb strings.Builder
+	w := func(format string, args ...interface{}) {
+		fmt.Fprintf(&sb, format+"\n", args...)
+	}
+	w("# Pseudorandom software-based self-test (Chen & Dey style baseline)")
+	w("\tlui $k0, %#x", cfg.RespBase>>16)
+	if lo := cfg.RespBase & 0xFFFF; lo != 0 {
+		w("\tori $k0, $k0, %#x", lo)
+	}
+	w("\tla $t8, seeds")
+	w("\tli $t9, %d", len(cfg.Seeds))
+	w("outer:")
+	w("\tlw $s0, 0($t8)")
+	w("\tli $s1, %d", cfg.Rounds)
+	w("\tli $s2, 0")
+	w("inner:")
+	// Pseudorandom register allocation, in the spirit of instruction-
+	// randomization self-test [3]: the loop body is unrolled into variants
+	// whose operand/result registers rotate through most of the register
+	// file, so the pseudorandom operands reach more than a fixed handful
+	// of registers. Registers 16-18 and 24-27 are the loop machinery.
+	pool := []int{2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 19, 20, 21, 22, 23, 28, 29, 30, 31}
+	pick := func(i int) string { return fmt.Sprintf("$%d", pool[i%len(pool)]) }
+	for v := 0; v < 4; v++ {
+		a, b := pick(5*v), pick(5*v+1)
+		scratch := pick(5*v + 2)
+		// Two LFSR steps produce the operands. Branchless Galois step:
+		// mask = state >> 31 (arithmetic); state = (state<<1) ^ (mask & poly).
+		for _, dst := range []string{a, b} {
+			w("\tsra %s, $s0, 31", scratch)
+			w("\tli %s, %#x", dst, uint32(lfsrPoly))
+			w("\tand %s, %s, %s", scratch, scratch, dst)
+			w("\tsll $s0, $s0, 1")
+			w("\txor $s0, $s0, %s", scratch)
+			w("\tmove %s, $s0", dst)
+		}
+		// Apply the operation mix, folding results into the signature.
+		ops := []string{"addu", "subu", "and", "or", "xor", "nor", "slt", "sltu", "sllv", "srlv", "srav"}
+		for oi, op := range ops {
+			d := pick(5*v + 3 + oi)
+			w("\t%s %s, %s, %s", op, d, a, b)
+			w("\txor $s2, $s2, %s", d)
+		}
+		if cfg.WithMulDiv && v%2 == 0 {
+			d := pick(5*v + 4)
+			w("\tmultu %s, %s", a, b)
+			w("\tmflo %s", d)
+			w("\txor $s2, $s2, %s", d)
+			w("\tmfhi %s", d)
+			w("\txor $s2, $s2, %s", d)
+			w("\tori %s, %s, 1", d, b)
+			w("\tdivu %s, %s", a, d)
+			w("\tmflo %s", d)
+			w("\txor $s2, $s2, %s", d)
+		}
+	}
+	// One response store per round keeps fault effects observable.
+	w("\tsw $s2, 0($k0)")
+	w("\taddiu $s1, $s1, -1")
+	w("\tbne $s1, $zero, inner")
+	w("\tnop")
+	w("\tsw $s2, 4($k0)")
+	w("\taddiu $k0, $k0, 8")
+	w("\taddiu $t8, $t8, 4")
+	w("\taddiu $t9, $t9, -1")
+	w("\tbne $t9, $zero, outer")
+	w("\tnop")
+	w("halt:")
+	w("\tj halt")
+	w("\tnop")
+	w("seeds:")
+	for _, s := range cfg.Seeds {
+		w("\t.word %#x", s)
+	}
+	return sb.String()
+}
+
+// LFSRRef is the software reference of the program's LFSR step, for tests.
+func LFSRRef(state uint32) uint32 {
+	var mask uint32
+	if state>>31 != 0 {
+		mask = lfsrPoly
+	}
+	return state<<1 ^ mask
+}

@@ -1,0 +1,104 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/plasma"
+	"repro/internal/sim"
+	"repro/internal/synth"
+)
+
+func TestLFSRRefPeriodAndSpread(t *testing.T) {
+	// The LFSR must not get stuck and must visit many distinct states.
+	seen := map[uint32]bool{}
+	s := uint32(0xACE1ACE1)
+	for i := 0; i < 100000; i++ {
+		if s == 0 {
+			t.Fatal("LFSR collapsed to zero")
+		}
+		seen[s] = true
+		s = LFSRRef(s)
+	}
+	if len(seen) < 99000 {
+		t.Errorf("LFSR revisited states early: %d distinct in 100k steps", len(seen))
+	}
+}
+
+func TestGenerateValidatesConfig(t *testing.T) {
+	if _, err := Generate(Config{Rounds: 0, Seeds: []uint32{1}}); err == nil {
+		t.Error("accepted zero rounds")
+	}
+	if _, err := Generate(Config{Rounds: 4}); err == nil {
+		t.Error("accepted empty seeds")
+	}
+}
+
+func TestGenerateRunsAndScales(t *testing.T) {
+	p16, err := Generate(DefaultConfig(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p64, err := Generate(DefaultConfig(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Program size is (nearly) constant: only the seed table and counter
+	// change; execution scales with the pattern count.
+	if diff := p64.Words - p16.Words; diff < -2 || diff > 2 {
+		t.Errorf("program size should not scale with rounds: %d vs %d words", p16.Words, p64.Words)
+	}
+	if p64.Cycles < 3*p16.Cycles {
+		t.Errorf("cycles did not scale with rounds: %d vs %d", p16.Cycles, p64.Cycles)
+	}
+}
+
+func TestLFSRProgramMatchesReference(t *testing.T) {
+	// The in-program LFSR must generate the reference sequence: run one
+	// round on the ISS and check the final state register.
+	cfg := Config{Seeds: []uint32{0xACE1ACE1}, Rounds: 3, RespBase: 0x100000}
+	p, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := sim.NewMemory()
+	mem.LoadProgram(p.Program)
+	iss := sim.New(mem, 0)
+	if halted, err := iss.Run(1_000_000); err != nil || !halted {
+		t.Fatalf("run failed: %v", err)
+	}
+	// Each round advances the LFSR twice per unrolled register variant.
+	want := uint32(0xACE1ACE1)
+	for i := 0; i < cfg.Rounds*8; i++ {
+		want = LFSRRef(want)
+	}
+	if got := iss.Reg[16]; got != want { // $s0 holds the LFSR state
+		t.Errorf("LFSR state after program = %#x, want %#x", got, want)
+	}
+}
+
+func TestBaselineRunsOnGateCPU(t *testing.T) {
+	cpu, err := plasma.Build(synth.NativeLib{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Generate(DefaultConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	issMem := sim.NewMemory()
+	issMem.LoadProgram(p.Program)
+	iss := sim.New(issMem, 0)
+	if halted, err := iss.Run(5_000_000); err != nil || !halted {
+		t.Fatalf("ISS run failed: %v", err)
+	}
+	m, halted, err := plasma.RunProgram(cpu, p.Program, iss.Cycle+100, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !halted {
+		t.Fatal("gate CPU did not halt on baseline program")
+	}
+	if eq, diff := issMem.Equal(m.Mem); !eq {
+		t.Fatalf("gate/ISS memory mismatch: %s", diff)
+	}
+}

@@ -1,0 +1,333 @@
+package bench
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/synth"
+)
+
+var (
+	envOnce sync.Once
+	envA    *Env
+	envErr  error
+)
+
+func getEnv(t *testing.T) *Env {
+	t.Helper()
+	envOnce.Do(func() { envA, envErr = DefaultEnv() })
+	if envErr != nil {
+		t.Fatal(envErr)
+	}
+	return envA
+}
+
+// fastOpt keeps fault simulation quick in tests via sampling.
+var fastOpt = fault.Options{Sample: 768, Seed: 11}
+
+func TestTable1(t *testing.T) {
+	s := Table1()
+	for _, want := range []string{"Functional", "Control", "Hidden", "High", "Medium", "Low"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTable2(t *testing.T) {
+	rows, s := Table2(getEnv(t))
+	if len(rows) != 10 {
+		t.Errorf("Table 2 rows = %d, want 10", len(rows))
+	}
+	if rows[0].Name != "RegF" || rows[0].Class != core.Functional {
+		t.Errorf("Table 2 first row = %+v", rows[0])
+	}
+	if !strings.Contains(s, "PLN") {
+		t.Errorf("Table 2 rendering:\n%s", s)
+	}
+}
+
+func TestTable3(t *testing.T) {
+	rows, s := Table3(getEnv(t))
+	if len(rows) != 10 {
+		t.Errorf("Table 3 rows = %d", len(rows))
+	}
+	var total float64
+	byName := map[string]float64{}
+	for _, r := range rows {
+		total += r.Gates
+		byName[r.Name] = r.Gates
+	}
+	// The paper's size ordering must hold: RegF > MulD > the rest of the
+	// functional components; total in the same order of magnitude as the
+	// paper's 17,459.
+	if !(byName["RegF"] > byName["MulD"] && byName["MulD"] > byName["ALU"] && byName["MulD"] > byName["BSH"]) {
+		t.Errorf("gate-count ordering off: %v", byName)
+	}
+	if total < 10000 || total > 40000 {
+		t.Errorf("total gates %v out of range", total)
+	}
+	if !strings.Contains(s, "Plasma/MIPS Processor") {
+		t.Errorf("Table 3 rendering:\n%s", s)
+	}
+}
+
+func TestTable4(t *testing.T) {
+	rows, s, err := Table4(getEnv(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("Table 4 rows = %d", len(rows))
+	}
+	// Size and cycles grow monotonically with phases; Phase A is O(1K)
+	// words as the paper reports.
+	if !(rows[0].Words < rows[1].Words && rows[1].Words < rows[2].Words) {
+		t.Errorf("word counts not monotone: %+v", rows)
+	}
+	if !(rows[0].Cycles < rows[1].Cycles && rows[1].Cycles < rows[2].Cycles) {
+		t.Errorf("cycles not monotone: %+v", rows)
+	}
+	if rows[0].Words > 2500 {
+		t.Errorf("Phase A program too large: %d words", rows[0].Words)
+	}
+	if !strings.Contains(s, "Clock Cycles") {
+		t.Errorf("Table 4 rendering:\n%s", s)
+	}
+}
+
+func TestTable5Sampled(t *testing.T) {
+	d, s, err := Table5(getEnv(t), fastOpt, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, ab := overallFC(d.PhaseA), overallFC(d.PhaseAB)
+	// Sampled estimates: Phase A well above 80%, A+B above A.
+	if a < 80 {
+		t.Errorf("Phase A sampled coverage %.1f%% too low", a)
+	}
+	if ab < a {
+		t.Errorf("Phase A+B (%.1f%%) below Phase A (%.1f%%)", ab, a)
+	}
+	if d.PhaseABC != nil {
+		t.Error("includeC=false returned a C report")
+	}
+	if !strings.Contains(s, "sampled") || !strings.Contains(s, "Plasma") {
+		t.Errorf("Table 5 rendering:\n%s", s)
+	}
+}
+
+func TestBaselineComparisonSampled(t *testing.T) {
+	rows, s, err := BaselineComparison(getEnv(t), []int{8}, fastOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	sbst, rnd := rows[0], rows[1]
+	if sbst.FC <= rnd.FC {
+		t.Errorf("SBST (%.1f%%) should beat an 8-round pseudorandom program (%.1f%%)", sbst.FC, rnd.FC)
+	}
+	if !strings.Contains(s, "pseudorandom/8") {
+		t.Errorf("rendering:\n%s", s)
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	rows, s, err := CostModel(getEnv(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Download share rises as the tester slows.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Cost.DownloadShare() <= rows[i-1].Cost.DownloadShare() {
+			t.Errorf("download share not rising at row %d", i)
+		}
+	}
+	if !strings.Contains(s, "TesterMHz") {
+		t.Errorf("rendering:\n%s", s)
+	}
+}
+
+func TestTechLibIndependenceSampled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("second CPU build is slow")
+	}
+	eA := getEnv(t)
+	eB, err := NewEnv(synth.NandLib{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, s, err := TechLibIndependence([]*Env{eA, eB}, fastOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	diff := rows[0].FC - rows[1].FC
+	if diff < 0 {
+		diff = -diff
+	}
+	// "Very similar fault coverage" across libraries: within a few points
+	// even under sampling noise.
+	if diff > 6 {
+		t.Errorf("libraries differ by %.1f%% coverage:\n%s", diff, s)
+	}
+}
+
+func TestRoutineAblation(t *testing.T) {
+	rows, s, err := RoutineAblation(getEnv(t), fastOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("ablation rows = %d, want 7 (one per library routine)", len(rows))
+	}
+	// RegF comes first (priority order) and must carry the most overall
+	// coverage of any single routine.
+	if rows[0].Routine != "RegF" {
+		t.Errorf("first ablation row = %s", rows[0].Routine)
+	}
+	for _, r := range rows[1:] {
+		if r.OverallFC > rows[0].OverallFC {
+			t.Errorf("%s overall FC %.1f exceeds RegF's %.1f", r.Routine, r.OverallFC, rows[0].OverallFC)
+		}
+	}
+	// Each routine must cover most of its own component.
+	for _, r := range rows {
+		if r.OwnFC < 55 {
+			t.Errorf("%s own-component FC = %.1f%%, implausibly low", r.Routine, r.OwnFC)
+		}
+	}
+	if !strings.Contains(s, "Own FC%") {
+		t.Errorf("rendering:\n%s", s)
+	}
+}
+
+func TestATPGComparison(t *testing.T) {
+	rows, s, err := ATPGComparison()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byKey := map[string]ATPGRow{}
+	for _, r := range rows {
+		byKey[r.Component+"/"+r.Method] = r
+	}
+	for _, comp := range []string{"ALU", "BSH"} {
+		lib, pod := byKey[comp+"/library"], byKey[comp+"/PODEM"]
+		if lib.FC < 95 || pod.FC < 95 {
+			t.Errorf("%s coverage low: library %.1f%%, PODEM %.1f%%", comp, lib.FC, pod.FC)
+		}
+		if lib.Patterns == 0 || pod.Patterns == 0 {
+			t.Errorf("%s pattern counts: %d / %d", comp, lib.Patterns, pod.Patterns)
+		}
+	}
+	if !strings.Contains(s, "PODEM") {
+		t.Errorf("rendering:\n%s", s)
+	}
+}
+
+func TestDetectionLatency(t *testing.T) {
+	st, s, err := DetectionLatency(getEnv(t), fastOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.DetectCycles) == 0 {
+		t.Fatal("no detections")
+	}
+	// Detection is front-loaded: the median detection must land well
+	// before the program's end.
+	if int(st.Percentile(0.5)) > st.Cycles/2 {
+		t.Errorf("median detection at cycle %d of %d", st.Percentile(0.5), st.Cycles)
+	}
+	if !strings.Contains(s, "percentiles") {
+		t.Errorf("rendering:\n%s", s)
+	}
+}
+
+func TestPeriodicComposition(t *testing.T) {
+	rows, s, err := PeriodicComposition(getEnv(t), fastOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("fragments = %d, want 4", len(rows))
+	}
+	// Cumulative coverage is monotone and ends high.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].CumulativeFC < rows[i-1].CumulativeFC {
+			t.Errorf("cumulative FC dropped at %s", rows[i].Fragment)
+		}
+	}
+	if final := rows[len(rows)-1].CumulativeFC; final < 80 {
+		t.Errorf("composed coverage only %.1f%%", final)
+	}
+	if !strings.Contains(s, "Cumulative") {
+		t.Errorf("rendering:\n%s", s)
+	}
+}
+
+func TestAdderArchIndependence(t *testing.T) {
+	rows, s, err := AdderArchIndependence()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.FC < 95 {
+			t.Errorf("%s: library patterns reach only %.1f%%", r.Architecture, r.FC)
+		}
+	}
+	diff := rows[0].FC - rows[1].FC
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 4 {
+		t.Errorf("architectures differ by %.1f points:\n%s", diff, s)
+	}
+}
+
+func TestPatternCompaction(t *testing.T) {
+	rows, s, err := PatternCompaction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 3 {
+		t.Fatalf("selected only %d patterns", len(rows))
+	}
+	// Coverage is monotone, and a handful of patterns carry most of it.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].FC < rows[i-1].FC {
+			t.Fatalf("coverage decreased at step %d", i)
+		}
+	}
+	if rows[min(7, len(rows)-1)].FC < 90 {
+		t.Errorf("8 patterns reach only %.1f%%", rows[min(7, len(rows)-1)].FC)
+	}
+	if final := rows[len(rows)-1].FC; final < 99 {
+		t.Errorf("final selected coverage %.1f%%", final)
+	}
+	if !strings.Contains(s, "greedy") {
+		t.Errorf("rendering:\n%s", s)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

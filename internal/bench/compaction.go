@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/gate"
+)
+
+// CompactionRow is one step of greedy pattern selection.
+type CompactionRow struct {
+	Pattern core.OperandPair
+	FC      float64 // cumulative component coverage after adding it
+}
+
+// PatternCompaction greedily orders the ALU library's operand pairs by
+// marginal component-level coverage, showing how few deterministic
+// patterns carry the component to high coverage — the quantitative basis
+// of Section 2.3's "small and regular test sets". Returns the selected
+// order with cumulative coverage, stopping when no pattern adds coverage.
+func PatternCompaction() ([]CompactionRow, string, error) {
+	n := buildStandaloneALU()
+	faults := fault.Universe(n)
+	s, err := gate.NewSim(n)
+	if err != nil {
+		return nil, "", err
+	}
+
+	pairs := append(append([]core.OperandPair(nil), core.ALUPatterns...), core.ALUWalkingPatterns()...)
+
+	// detectSets[p] = per-fault detection bitset of pattern p (all 8 ops).
+	detectSets := make([][]uint64, len(pairs))
+	words := (len(faults) + 63) / 64
+	golden := make([][]uint64, len(pairs)) // golden outputs per pattern+op
+
+	outs := n.OutputNames()
+	applyPattern := func(pi int, op uint64) {
+		s.SetBusUniform("a", uint64(pairs[pi].A))
+		s.SetBusUniform("b", uint64(pairs[pi].B))
+		s.SetBusUniform("op", op)
+		s.Eval()
+	}
+	// Golden responses, 8 ops per pattern, concatenated.
+	for pi := range pairs {
+		for op := uint64(0); op < 8; op++ {
+			applyPattern(pi, op)
+			for _, o := range outs {
+				golden[pi] = append(golden[pi], s.BusLane(o, 0))
+			}
+		}
+	}
+	for pi := range pairs {
+		detectSets[pi] = make([]uint64, words)
+	}
+	for lo := 0; lo < len(faults); lo += 64 {
+		hi := lo + 64
+		if hi > len(faults) {
+			hi = len(faults)
+		}
+		lf := make([]gate.LaneFault, hi-lo)
+		for i := range lf {
+			lf[i] = gate.LaneFault{Site: faults[lo+i].Site, Lane: i}
+		}
+		s.SetFaults(lf)
+		for pi := range pairs {
+			var det uint64
+			gi := 0
+			for op := uint64(0); op < 8; op++ {
+				applyPattern(pi, op)
+				for _, o := range outs {
+					g := golden[pi][gi]
+					gi++
+					for b, sig := range n.OutputBus(o) {
+						det |= s.SigWord(sig) ^ (^uint64(0) * (g >> uint(b) & 1))
+					}
+				}
+			}
+			// Record lanes lo..hi-1.
+			for i := 0; i < hi-lo; i++ {
+				if det>>uint(i)&1 != 0 {
+					f := lo + i
+					detectSets[pi][f/64] |= 1 << uint(f%64)
+				}
+			}
+		}
+	}
+	s.ClearFaults()
+
+	// Greedy forward selection by marginal weighted coverage.
+	covered := make([]uint64, words)
+	used := make([]bool, len(pairs))
+	totalW := fault.TotalEquiv(faults)
+	curW := 0
+	var rows []CompactionRow
+	for {
+		best, bestGain := -1, 0
+		for pi := range pairs {
+			if used[pi] {
+				continue
+			}
+			gain := 0
+			for w := 0; w < words; w++ {
+				add := detectSets[pi][w] &^ covered[w]
+				for add != 0 {
+					i := w*64 + bits.TrailingZeros64(add)
+					gain += faults[i].Equiv
+					add &= add - 1
+				}
+			}
+			if gain > bestGain {
+				best, bestGain = pi, gain
+			}
+		}
+		if best < 0 {
+			break
+		}
+		used[best] = true
+		for w := 0; w < words; w++ {
+			covered[w] |= detectSets[best][w]
+		}
+		curW += bestGain
+		rows = append(rows, CompactionRow{
+			Pattern: pairs[best],
+			FC:      100 * float64(curW) / float64(totalW),
+		})
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "greedy ALU pattern selection (%d candidates, component-level)\n", len(pairs))
+	fmt.Fprintf(&sb, "%4s %-24s %10s\n", "#", "Pattern (a, b)", "cum FC%")
+	for i, r := range rows {
+		fmt.Fprintf(&sb, "%4d (%08x, %08x)    %10s\n", i+1, r.Pattern.A, r.Pattern.B, fmtPct(r.FC))
+	}
+	return rows, sb.String(), nil
+}

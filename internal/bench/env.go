@@ -1,0 +1,123 @@
+// Package bench is the experiment harness: it regenerates every table of
+// the paper's evaluation (Tables 1-5) plus the technology-independence,
+// pseudorandom-baseline and tester-cost experiments, printing rows in the
+// layout the paper reports. Structured results back each table so the
+// benches and EXPERIMENTS.md generation share one source of truth.
+package bench
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/plasma"
+	"repro/internal/synth"
+)
+
+// Env caches the expensive artifacts of one technology library: the built
+// CPU, its fault universe, and generated self-test programs.
+type Env struct {
+	Lib   synth.Library
+	CPU   *plasma.CPU
+	Comps []core.Component
+
+	mu        sync.Mutex
+	faults    []fault.Fault
+	selfTests map[core.PhaseID]*core.SelfTest
+	goldens   map[core.PhaseID]*plasma.Golden
+}
+
+// NewEnv builds the CPU for a library and classifies its components.
+func NewEnv(lib synth.Library) (*Env, error) {
+	cpu, err := plasma.Build(lib)
+	if err != nil {
+		return nil, err
+	}
+	return &Env{
+		Lib:       lib,
+		CPU:       cpu,
+		Comps:     core.ClassifyNetlist(cpu.Netlist),
+		selfTests: make(map[core.PhaseID]*core.SelfTest),
+		goldens:   make(map[core.PhaseID]*plasma.Golden),
+	}, nil
+}
+
+// Faults returns the collapsed fault universe (cached).
+func (e *Env) Faults() []fault.Fault {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.faults == nil {
+		e.faults = fault.Universe(e.CPU.Netlist)
+	}
+	return e.faults
+}
+
+// SelfTest generates (and caches) the self-test program up to maxPhase.
+func (e *Env) SelfTest(maxPhase core.PhaseID) (*core.SelfTest, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if st, ok := e.selfTests[maxPhase]; ok {
+		return st, nil
+	}
+	st, err := core.GenerateSelfTest(e.Comps, maxPhase)
+	if err != nil {
+		return nil, err
+	}
+	e.selfTests[maxPhase] = st
+	return st, nil
+}
+
+// Golden captures (and caches) the fault-free execution of the self-test
+// program up to maxPhase.
+func (e *Env) Golden(maxPhase core.PhaseID) (*plasma.Golden, error) {
+	st, err := e.SelfTest(maxPhase)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if g, ok := e.goldens[maxPhase]; ok {
+		return g, nil
+	}
+	g, err := plasma.CaptureGolden(e.CPU, st.Program, st.GateCycles())
+	if err != nil {
+		return nil, err
+	}
+	e.goldens[maxPhase] = g
+	return g, nil
+}
+
+// FaultSimSelfTest fault-simulates the self-test program up to maxPhase
+// and aggregates per-component coverage.
+func (e *Env) FaultSimSelfTest(maxPhase core.PhaseID, opt fault.Options) (*fault.Report, error) {
+	g, err := e.Golden(maxPhase)
+	if err != nil {
+		return nil, err
+	}
+	res, err := fault.Simulate(e.CPU, g, e.Faults(), opt)
+	if err != nil {
+		return nil, err
+	}
+	return fault.NewReport(e.CPU.Netlist, res), nil
+}
+
+// FaultSimProgram fault-simulates an arbitrary assembled program for the
+// given number of cycles.
+func (e *Env) FaultSimProgram(prog *asm.Program, cycles int, opt fault.Options) (*fault.Report, error) {
+	g, err := plasma.CaptureGolden(e.CPU, prog, cycles)
+	if err != nil {
+		return nil, err
+	}
+	res, err := fault.Simulate(e.CPU, g, e.Faults(), opt)
+	if err != nil {
+		return nil, err
+	}
+	return fault.NewReport(e.CPU.Netlist, res), nil
+}
+
+// DefaultEnv builds the library-A environment used by most experiments.
+func DefaultEnv() (*Env, error) { return NewEnv(synth.NativeLib{}) }
+
+func fmtPct(v float64) string { return fmt.Sprintf("%.2f", v) }

@@ -1,0 +1,280 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/tester"
+)
+
+// Table1 renders the component-class test-priority table (Table 1).
+func Table1() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s %-28s %-10s\n", "Class", "Controllability/Observability", "Priority")
+	for _, cl := range []core.Class{core.Functional, core.Control, core.Hidden} {
+		fmt.Fprintf(&sb, "%-12s %-28s %-10s\n", cl, cl.Accessibility(), cl.Priority())
+	}
+	return sb.String()
+}
+
+// Table2Row is one row of the component-classification table.
+type Table2Row struct {
+	Name  string
+	Class core.Class
+}
+
+// Table2 computes the Plasma component classification (Table 2).
+func Table2(e *Env) ([]Table2Row, string) {
+	ordered := core.Prioritize(e.Comps)
+	rows := make([]Table2Row, 0, len(ordered))
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-24s %s\n", "Component Name", "Component Class")
+	for _, c := range ordered {
+		rows = append(rows, Table2Row{Name: c.Name, Class: c.Class})
+		fmt.Fprintf(&sb, "%-24s %s\n", c.Name, c.Class)
+	}
+	return rows, sb.String()
+}
+
+// Table3Row is one row of the gate-count table.
+type Table3Row struct {
+	Name  string
+	Gates float64
+}
+
+// Table3 computes per-component gate counts in NAND2 equivalents
+// (Table 3).
+func Table3(e *Env) ([]Table3Row, string) {
+	perComp, total := e.CPU.Netlist.GateCount()
+	rows := make([]Table3Row, 0, len(e.Comps))
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "library: %s\n", e.Lib.Name())
+	fmt.Fprintf(&sb, "%-24s %10s\n", "Component Name", "Gate Count")
+	for _, c := range core.Prioritize(e.Comps) {
+		for i, name := range e.CPU.Netlist.CompNames {
+			if name == c.Name {
+				rows = append(rows, Table3Row{Name: name, Gates: perComp[i]})
+				fmt.Fprintf(&sb, "%-24s %10.0f\n", name, perComp[i])
+			}
+		}
+	}
+	fmt.Fprintf(&sb, "%-24s %10.0f\n", "Plasma/MIPS Processor", total)
+	return rows, sb.String()
+}
+
+// Table4Row is one column of the self-test program statistics table.
+type Table4Row struct {
+	Phase  core.PhaseID
+	Words  int
+	Cycles uint64
+}
+
+// Table4 generates the self-test programs for Phase A, A+B, and (as an
+// extension) A+B+C and reports their size and execution time (Table 4).
+func Table4(e *Env) ([]Table4Row, string, error) {
+	var rows []Table4Row
+	for _, ph := range []core.PhaseID{core.PhaseA, core.PhaseB, core.PhaseC} {
+		st, err := e.SelfTest(ph)
+		if err != nil {
+			return nil, "", err
+		}
+		rows = append(rows, Table4Row{Phase: ph, Words: st.Words, Cycles: st.Cycles})
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-22s %10s %12s %14s\n", "", "Phase A", "Phase A+B", "Phase A+B+C")
+	fmt.Fprintf(&sb, "%-22s %10d %12d %14d\n", "Test Program (words)", rows[0].Words, rows[1].Words, rows[2].Words)
+	fmt.Fprintf(&sb, "%-22s %10d %12d %14d\n", "Clock Cycles", rows[0].Cycles, rows[1].Cycles, rows[2].Cycles)
+	return rows, sb.String(), nil
+}
+
+// Table5Data holds per-phase coverage reports.
+type Table5Data struct {
+	PhaseA  *fault.Report
+	PhaseAB *fault.Report
+	// PhaseABC is the extension beyond the paper's table.
+	PhaseABC *fault.Report
+}
+
+// Table5 fault-simulates the self-test programs and reports per-component
+// coverage with MOFC for Phase A and Phase A+B (Table 5), plus the A+B+C
+// extension. Sampling via opt keeps fast runs tractable.
+func Table5(e *Env, opt fault.Options, includeC bool) (*Table5Data, string, error) {
+	d := &Table5Data{}
+	var err error
+	if d.PhaseA, err = e.FaultSimSelfTest(core.PhaseA, opt); err != nil {
+		return nil, "", err
+	}
+	if d.PhaseAB, err = e.FaultSimSelfTest(core.PhaseB, opt); err != nil {
+		return nil, "", err
+	}
+	if includeC {
+		if d.PhaseABC, err = e.FaultSimSelfTest(core.PhaseC, opt); err != nil {
+			return nil, "", err
+		}
+	}
+	var sb strings.Builder
+	if opt.Sample > 0 {
+		fmt.Fprintf(&sb, "(sampled: %d of %d collapsed faults, seed %d)\n",
+			opt.Sample, len(e.Faults()), opt.Seed)
+	}
+	fmt.Fprintf(&sb, "%-10s | %8s %8s | %8s %8s", "Component", "A FC%", "A MOFC", "A+B FC%", "A+B MOFC")
+	if includeC {
+		fmt.Fprintf(&sb, " | %8s %8s", "ABC FC%", "ABC MOFC")
+	}
+	sb.WriteString("\n")
+	for _, c := range d.PhaseA.Components {
+		ab, _ := d.PhaseAB.ByName(c.Name)
+		fmt.Fprintf(&sb, "%-10s | %8s %8s | %8s %8s",
+			c.Name, fmtPct(c.FC()), fmtPct(c.MOFC), fmtPct(ab.FC()), fmtPct(ab.MOFC))
+		if includeC {
+			abc, _ := d.PhaseABC.ByName(c.Name)
+			fmt.Fprintf(&sb, " | %8s %8s", fmtPct(abc.FC()), fmtPct(abc.MOFC))
+		}
+		sb.WriteString("\n")
+	}
+	ovA := overallFC(d.PhaseA)
+	ovAB := overallFC(d.PhaseAB)
+	fmt.Fprintf(&sb, "%-10s | %8s %8s | %8s %8s", "Plasma", fmtPct(ovA), "", fmtPct(ovAB), "")
+	if includeC {
+		fmt.Fprintf(&sb, " | %8s %8s", fmtPct(overallFC(d.PhaseABC)), "")
+	}
+	sb.WriteString("\n")
+	return d, sb.String(), nil
+}
+
+func overallFC(r *fault.Report) float64 {
+	if r.Overall.TotalW == 0 {
+		return 0
+	}
+	return 100 * float64(r.Overall.DetW) / float64(r.Overall.TotalW)
+}
+
+// TechLibRow is one technology library's outcome.
+type TechLibRow struct {
+	Library string
+	Gates   float64
+	FC      float64
+}
+
+// TechLibIndependence reproduces the Section 4 claim: synthesizing the
+// core with a different technology library yields very similar Phase A+B
+// fault coverage from the same self-test program.
+func TechLibIndependence(envs []*Env, opt fault.Options) ([]TechLibRow, string, error) {
+	var rows []TechLibRow
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-20s %10s %10s\n", "Library", "Gates", "A+B FC%")
+	for _, e := range envs {
+		rep, err := e.FaultSimSelfTest(core.PhaseB, opt)
+		if err != nil {
+			return nil, "", err
+		}
+		_, total := e.CPU.Netlist.GateCount()
+		r := TechLibRow{Library: e.Lib.Name(), Gates: total, FC: overallFC(rep)}
+		rows = append(rows, r)
+		fmt.Fprintf(&sb, "%-20s %10.0f %10s\n", r.Library, r.Gates, fmtPct(r.FC))
+	}
+	return rows, sb.String(), nil
+}
+
+// BaselineRow is one pseudorandom-baseline measurement.
+type BaselineRow struct {
+	Kind   string // "SBST Phase A" or "pseudorandom/N"
+	Words  int
+	Cycles uint64
+	FC     float64
+}
+
+// BaselineComparison reproduces the cost argument against pseudorandom
+// SBST: the deterministic Phase A program against LFSR-expanded programs
+// of growing pattern counts (program size stays flat; cycles explode;
+// coverage saturates lower).
+func BaselineComparison(e *Env, rounds []int, opt fault.Options) ([]BaselineRow, string, error) {
+	var rows []BaselineRow
+
+	st, err := e.SelfTest(core.PhaseA)
+	if err != nil {
+		return nil, "", err
+	}
+	repA, err := e.FaultSimSelfTest(core.PhaseA, opt)
+	if err != nil {
+		return nil, "", err
+	}
+	rows = append(rows, BaselineRow{
+		Kind: "SBST Phase A", Words: st.Words, Cycles: st.Cycles, FC: overallFC(repA),
+	})
+
+	for _, n := range rounds {
+		p, err := baseline.Generate(baseline.DefaultConfig(n))
+		if err != nil {
+			return nil, "", err
+		}
+		rep, err := e.FaultSimProgram(p.Program, p.GateCycles(), opt)
+		if err != nil {
+			return nil, "", err
+		}
+		rows = append(rows, BaselineRow{
+			Kind:   fmt.Sprintf("pseudorandom/%d", n),
+			Words:  p.Words,
+			Cycles: p.Cycles,
+			FC:     overallFC(rep),
+		})
+	}
+
+	var sb strings.Builder
+	if opt.Sample > 0 {
+		fmt.Fprintf(&sb, "(sampled: %d faults, seed %d)\n", opt.Sample, opt.Seed)
+	}
+	fmt.Fprintf(&sb, "%-20s %8s %10s %8s\n", "Program", "Words", "Cycles", "FC%")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-20s %8d %10d %8s\n", r.Kind, r.Words, r.Cycles, fmtPct(r.FC))
+	}
+	return rows, sb.String(), nil
+}
+
+// DetectionLatency reports when the Phase A program first observes its
+// detected faults: compact per-component routines front-load detection,
+// which is why fault dropping makes grading cheap.
+func DetectionLatency(e *Env, opt fault.Options) (*fault.LatencyStats, string, error) {
+	g, err := e.Golden(core.PhaseA)
+	if err != nil {
+		return nil, "", err
+	}
+	res, err := fault.Simulate(e.CPU, g, e.Faults(), opt)
+	if err != nil {
+		return nil, "", err
+	}
+	st := fault.NewLatencyStats(res)
+	return st, st.String(), nil
+}
+
+// CostRow is one tester-speed point of the cost-model sweep.
+type CostRow struct {
+	TesterMHz float64
+	Cost      tester.Cost
+}
+
+// CostModel reproduces the Figure 1 resource-partitioning argument with
+// the Phase A program: test time against tester speed, download share.
+func CostModel(e *Env) ([]CostRow, string, error) {
+	st, err := e.SelfTest(core.PhaseA)
+	if err != nil {
+		return nil, "", err
+	}
+	speeds := []float64{100, 50, 20, 10, 5, 2, 1}
+	var rows []CostRow
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Phase A program: %d words, %d cycles, %d response words, core %g MHz\n",
+		st.Words, st.Cycles, st.RespWords, tester.DefaultProfile.CoreMHz)
+	fmt.Fprintf(&sb, "%10s %12s %12s %12s %10s\n", "TesterMHz", "Download us", "Execute us", "Total us", "DL share")
+	for _, mhz := range speeds {
+		c := tester.Apply(st.Words, st.Cycles, st.RespWords,
+			tester.Profile{TesterMHz: mhz, CoreMHz: tester.DefaultProfile.CoreMHz})
+		rows = append(rows, CostRow{TesterMHz: mhz, Cost: c})
+		fmt.Fprintf(&sb, "%10g %12.1f %12.1f %12.1f %9.0f%%\n",
+			mhz, c.DownloadSeconds*1e6, c.ExecuteSeconds*1e6, c.Total()*1e6, c.DownloadShare()*100)
+	}
+	return rows, sb.String(), nil
+}

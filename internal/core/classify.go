@@ -1,0 +1,181 @@
+// Package core implements the paper's contribution: the low-cost
+// software-based self-test (SBST) methodology of Kranitis et al. (DATE
+// 2003). It classifies the processor's RT-level components into
+// functional, control and hidden classes (Section 2.1), orders them by
+// test priority — relative gate count plus instruction-level
+// controllability/observability (Section 2.2, Table 1) — and generates
+// compact deterministic self-test routines per component from a test-set
+// library (Section 2.3), organized in phases A (functional), B (control)
+// and C (hidden).
+package core
+
+import (
+	"sort"
+
+	"repro/internal/gate"
+)
+
+// Class is a processor-component class (Section 2.1).
+type Class int
+
+// Component classes in descending test priority.
+const (
+	// Functional components execute instructions directly (ALU, shifter,
+	// multiplier, register file): large, highly controllable/observable.
+	Functional Class = iota
+	// Control components steer instruction/data flow (PC logic, memory
+	// controller, decoders, bus muxes).
+	Control
+	// Hidden components exist only for performance (pipeline registers,
+	// hazard logic) and are invisible to the assembly programmer.
+	Hidden
+)
+
+func (c Class) String() string {
+	switch c {
+	case Functional:
+		return "Functional"
+	case Control:
+		return "Control"
+	case Hidden:
+		return "Hidden"
+	}
+	return "Unknown"
+}
+
+// Level grades instruction-level controllability/observability (Table 1).
+type Level int
+
+// Accessibility levels.
+const (
+	Low Level = iota
+	Medium
+	High
+)
+
+func (l Level) String() string {
+	switch l {
+	case Low:
+		return "Low"
+	case Medium:
+		return "Medium"
+	case High:
+		return "High"
+	}
+	return "Unknown"
+}
+
+// Priority is the test-development priority derived from a component's
+// class (Table 1): functional components first.
+func (c Class) Priority() Level {
+	switch c {
+	case Functional:
+		return High
+	case Control:
+		return Medium
+	default:
+		return Low
+	}
+}
+
+// Accessibility reports the controllability/observability level of a class
+// (Table 1): both track the class in this methodology.
+func (c Class) Accessibility() Level { return c.Priority() }
+
+// Phase maps a class to its test-development phase (Figure 3).
+func (c Class) Phase() PhaseID {
+	switch c {
+	case Functional:
+		return PhaseA
+	case Control:
+		return PhaseB
+	default:
+		return PhaseC
+	}
+}
+
+// PhaseID identifies a test-development phase.
+type PhaseID int
+
+// Test-development phases (Figure 3).
+const (
+	PhaseA PhaseID = iota // functional components
+	PhaseB                // control components
+	PhaseC                // hidden components
+)
+
+func (p PhaseID) String() string {
+	switch p {
+	case PhaseA:
+		return "A"
+	case PhaseB:
+		return "B"
+	case PhaseC:
+		return "C"
+	}
+	return "?"
+}
+
+// Component is one RT-level processor component with its classification
+// and measured size.
+type Component struct {
+	Name      string
+	Class     Class
+	GateCount float64 // NAND2 equivalents from synthesis
+}
+
+// plasmaClasses is the classification of the Plasma/MIPS components
+// (Table 2). Glue logic is listed with the control class at lowest size.
+var plasmaClasses = map[string]Class{
+	"RegF":  Functional,
+	"MulD":  Functional,
+	"ALU":   Functional,
+	"BSH":   Functional,
+	"MCTRL": Control,
+	"PCL":   Control,
+	"CTRL":  Control,
+	"BMUX":  Control,
+	"PLN":   Hidden,
+	"GL":    Control,
+}
+
+// ClassifyNetlist classifies the component regions of a synthesized
+// processor netlist per Table 2 and attaches measured gate counts.
+// Unrecognized regions default to the control class.
+func ClassifyNetlist(n *gate.Netlist) []Component {
+	perComp, _ := n.GateCount()
+	comps := make([]Component, 0, len(n.CompNames))
+	for i, name := range n.CompNames {
+		cl, ok := plasmaClasses[name]
+		if !ok {
+			cl = Control
+		}
+		comps = append(comps, Component{Name: name, Class: cl, GateCount: perComp[i]})
+	}
+	return comps
+}
+
+// Prioritize orders components for test development (Section 2.2): by
+// class (functional, control, hidden), then descending gate count within a
+// class — the largest, most accessible components first.
+func Prioritize(comps []Component) []Component {
+	out := append([]Component(nil), comps...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Class != out[j].Class {
+			return out[i].Class < out[j].Class
+		}
+		return out[i].GateCount > out[j].GateCount
+	})
+	return out
+}
+
+// OfClass filters components by class, preserving order.
+func OfClass(comps []Component, cl Class) []Component {
+	var out []Component
+	for _, c := range comps {
+		if c.Class == cl {
+			out = append(out, c)
+		}
+	}
+	return out
+}

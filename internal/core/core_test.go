@@ -1,0 +1,217 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/plasma"
+	"repro/internal/sim"
+	"repro/internal/synth"
+)
+
+func TestClassPriorities(t *testing.T) {
+	if Functional.Priority() != High || Control.Priority() != Medium || Hidden.Priority() != Low {
+		t.Error("Table 1 priorities wrong")
+	}
+	if Functional.Phase() != PhaseA || Control.Phase() != PhaseB || Hidden.Phase() != PhaseC {
+		t.Error("phase mapping wrong")
+	}
+	if Functional.Accessibility() != High {
+		t.Error("accessibility mapping wrong")
+	}
+	for _, s := range []string{Functional.String(), Control.String(), Hidden.String(),
+		High.String(), Medium.String(), Low.String(), PhaseA.String()} {
+		if s == "" || strings.Contains(s, "Unknown") || s == "?" {
+			t.Errorf("stringer broken: %q", s)
+		}
+	}
+}
+
+func buildTestCPU(t *testing.T) *plasma.CPU {
+	t.Helper()
+	cpu, err := plasma.Build(synth.NativeLib{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cpu
+}
+
+func TestClassifyNetlist(t *testing.T) {
+	cpu := buildTestCPU(t)
+	comps := ClassifyNetlist(cpu.Netlist)
+	want := map[string]Class{
+		"RegF": Functional, "MulD": Functional, "ALU": Functional, "BSH": Functional,
+		"MCTRL": Control, "PCL": Control, "CTRL": Control, "BMUX": Control,
+		"PLN": Hidden, "GL": Control,
+	}
+	got := map[string]Class{}
+	for _, c := range comps {
+		got[c.Name] = c.Class
+		if c.GateCount <= 0 {
+			t.Errorf("%s: gate count %v", c.Name, c.GateCount)
+		}
+	}
+	for name, cl := range want {
+		if got[name] != cl {
+			t.Errorf("%s classified %v, want %v", name, got[name], cl)
+		}
+	}
+}
+
+func TestPrioritizeOrder(t *testing.T) {
+	cpu := buildTestCPU(t)
+	order := Prioritize(ClassifyNetlist(cpu.Netlist))
+	// Functional components first, in descending size; RegF is the largest
+	// so it must lead (the paper's highest-priority target).
+	if order[0].Name != "RegF" {
+		t.Errorf("first component = %s, want RegF", order[0].Name)
+	}
+	if order[1].Name != "MulD" {
+		t.Errorf("second component = %s, want MulD", order[1].Name)
+	}
+	seenClass := Functional
+	for _, c := range order {
+		if c.Class < seenClass {
+			t.Errorf("class order violated at %s", c.Name)
+		}
+		seenClass = c.Class
+	}
+	fun := OfClass(order, Functional)
+	if len(fun) != 4 {
+		t.Errorf("functional components = %d, want 4", len(fun))
+	}
+	for i := 1; i < len(fun); i++ {
+		if fun[i].GateCount > fun[i-1].GateCount {
+			t.Errorf("size order violated: %s > %s", fun[i].Name, fun[i-1].Name)
+		}
+	}
+}
+
+func TestRoutinesGenerate(t *testing.T) {
+	for name, gen := range routineGenerators {
+		r := gen()
+		if r.Component != name {
+			t.Errorf("%s routine reports component %s", name, r.Component)
+		}
+		if r.Code == "" || r.RespWords == 0 {
+			t.Errorf("%s routine empty or stores nothing", name)
+		}
+		if !HasRoutine(name) {
+			t.Errorf("HasRoutine(%s) false", name)
+		}
+	}
+	if HasRoutine("BMUX") {
+		t.Error("BMUX should have no dedicated routine")
+	}
+}
+
+func TestGenerateSelfTestPhases(t *testing.T) {
+	cpu := buildTestCPU(t)
+	comps := ClassifyNetlist(cpu.Netlist)
+
+	var prev *SelfTest
+	for _, ph := range []PhaseID{PhaseA, PhaseB, PhaseC} {
+		st, err := GenerateSelfTest(comps, ph)
+		if err != nil {
+			t.Fatalf("phase %s: %v", ph, err)
+		}
+		if st.Words <= 0 || st.Cycles == 0 {
+			t.Fatalf("phase %s: empty stats %d words %d cycles", ph, st.Words, st.Cycles)
+		}
+		t.Logf("phase <=%s: %d words, %d cycles, %d routines, %d resp words",
+			ph, st.Words, st.Cycles, len(st.Routines), st.RespWords)
+		if prev != nil {
+			if st.Words <= prev.Words || st.Cycles <= prev.Cycles {
+				t.Errorf("phase %s not larger than previous: %d/%d words, %d/%d cycles",
+					ph, st.Words, prev.Words, st.Cycles, prev.Cycles)
+			}
+		}
+		prev = st
+	}
+}
+
+func TestSelfTestPhaseAComposition(t *testing.T) {
+	cpu := buildTestCPU(t)
+	st, err := GenerateSelfTest(ClassifyNetlist(cpu.Netlist), PhaseA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, r := range st.Routines {
+		names = append(names, r.Component)
+		if r.Phase != PhaseA {
+			t.Errorf("phase A program includes %s routine of phase %s", r.Component, r.Phase)
+		}
+	}
+	// All four functional components, register file first.
+	if len(names) != 4 || names[0] != "RegF" {
+		t.Errorf("phase A routines = %v", names)
+	}
+	// Size and time in the paper's ballpark: ~1K words, a few thousand
+	// cycles (Table 4: 3393 cycles for Phase A).
+	if st.Words < 200 || st.Words > 2500 {
+		t.Errorf("phase A program = %d words, expected O(1K)", st.Words)
+	}
+	if st.Cycles < 1000 || st.Cycles > 20000 {
+		t.Errorf("phase A cycles = %d, expected a few thousand", st.Cycles)
+	}
+}
+
+func TestSelfTestWritesResponses(t *testing.T) {
+	cpu := buildTestCPU(t)
+	st, err := GenerateSelfTest(ClassifyNetlist(cpu.Netlist), PhaseC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := sim.NewMemory()
+	mem.LoadProgram(st.Program)
+	iss := sim.New(mem, 0)
+	if halted, err := iss.Run(2_000_000); err != nil || !halted {
+		t.Fatalf("run: halted=%v err=%v", halted, err)
+	}
+	// The completion marker lands right after all response words.
+	marker := mem.Word(DefaultRespBase + uint32(st.RespWords)*4)
+	if marker != 0x600D {
+		t.Errorf("completion marker = %#x, want 0x600d", marker)
+	}
+	// Responses must not be all zero: count nonzero words in the region.
+	nz := 0
+	for i := 0; i < st.RespWords; i++ {
+		if mem.Word(DefaultRespBase+uint32(i)*4) != 0 {
+			nz++
+		}
+	}
+	if nz < st.RespWords/4 {
+		t.Errorf("only %d of %d response words nonzero", nz, st.RespWords)
+	}
+}
+
+func TestSelfTestRunsOnGateLevelCPU(t *testing.T) {
+	// The generated program must execute identically on the gate-level
+	// core: memory images must match between ISS and gate machine.
+	cpu := buildTestCPU(t)
+	st, err := GenerateSelfTest(ClassifyNetlist(cpu.Netlist), PhaseB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	issMem := sim.NewMemory()
+	issMem.LoadProgram(st.Program)
+	iss := sim.New(issMem, 0)
+	if halted, err := iss.Run(2_000_000); err != nil || !halted {
+		t.Fatalf("ISS run: halted=%v err=%v", halted, err)
+	}
+	m, halted, err := plasma.RunProgram(cpu, st.Program, iss.Cycle+100, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !halted {
+		t.Fatal("gate CPU did not halt on self-test program")
+	}
+	if eq, diff := issMem.Equal(m.Mem); !eq {
+		t.Fatalf("gate/ISS memory mismatch after self-test: %s", diff)
+	}
+	// Gate machine pays exactly one extra cycle for the reset bubble.
+	if m.Cycle > iss.Cycle+20 {
+		t.Errorf("gate cycles %d far from ISS cycles %d", m.Cycle, iss.Cycle)
+	}
+}

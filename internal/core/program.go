@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/sim"
+)
+
+// DefaultRespBase is where generated programs store test responses; the
+// tester reads this region back after execution.
+const DefaultRespBase = 0x00100000
+
+// SelfTest is a generated, assembled, and characterized self-test program.
+type SelfTest struct {
+	// MaxPhase is the deepest phase included (A, A+B, or A+B+C).
+	MaxPhase PhaseID
+	// Order is the prioritized component order the generator followed.
+	Order []Component
+	// Routines are the included per-component routines, in order.
+	Routines []Routine
+	// Source is the complete assembly text.
+	Source string
+	// Program is the assembled image at origin 0.
+	Program *asm.Program
+	// Words is the program size in 32-bit words including data tables —
+	// the download cost unit of Table 4.
+	Words int
+	// Cycles is the execution time in clock cycles measured on the golden
+	// model — the second row of Table 4.
+	Cycles uint64
+	// RespWords is the size of the response region written.
+	RespWords int
+}
+
+// GenerateSelfTest builds the self-test program for all components whose
+// phase is at most maxPhase, in test-priority order, then assembles it and
+// measures its execution on the golden model.
+func GenerateSelfTest(comps []Component, maxPhase PhaseID) (*SelfTest, error) {
+	order := Prioritize(comps)
+	st := &SelfTest{MaxPhase: maxPhase, Order: order}
+	for _, c := range order {
+		if c.Class.Phase() > maxPhase {
+			continue
+		}
+		gen, ok := routineGenerators[c.Name]
+		if !ok {
+			continue
+		}
+		st.Routines = append(st.Routines, gen())
+	}
+	if err := st.build(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// BuildProgram assembles and characterizes a self-test program from an
+// explicit routine list (in the given order), for ablations and custom
+// flows outside the phase-driven generator.
+func BuildProgram(routines []Routine) (*SelfTest, error) {
+	maxPhase := PhaseA
+	for _, r := range routines {
+		if r.Phase > maxPhase {
+			maxPhase = r.Phase
+		}
+	}
+	st := &SelfTest{MaxPhase: maxPhase, Routines: routines}
+	if err := st.build(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// build assembles st.Routines and measures execution on the golden model.
+func (st *SelfTest) build() error {
+	if len(st.Routines) == 0 {
+		return fmt.Errorf("core: no routines selected")
+	}
+	st.Source = buildSource(st.Routines)
+
+	prog, err := asm.Assemble(st.Source, 0)
+	if err != nil {
+		return fmt.Errorf("core: self-test program failed to assemble: %w", err)
+	}
+	st.Program = prog
+	st.Words = prog.SizeWords()
+
+	mem := sim.NewMemory()
+	mem.LoadProgram(prog)
+	cpu := sim.New(mem, 0)
+	halted, err := cpu.Run(2_000_000)
+	if err != nil {
+		return fmt.Errorf("core: self-test program crashed on the golden model: %w", err)
+	}
+	if !halted {
+		return fmt.Errorf("core: self-test program did not halt")
+	}
+	st.Cycles = cpu.Cycle
+	st.RespWords = 0
+	for _, r := range st.Routines {
+		st.RespWords += r.RespWords
+	}
+	return nil
+}
+
+// RoutineByName generates a single component routine from the library.
+func RoutineByName(name string) (Routine, bool) {
+	gen, ok := routineGenerators[name]
+	if !ok {
+		return Routine{}, false
+	}
+	return gen(), true
+}
+
+// GateCycles is the golden-capture length for gate-level fault simulation:
+// the measured execution plus a small margin covering the reset offset and
+// the halt loop.
+func (st *SelfTest) GateCycles() int { return int(st.Cycles) + 16 }
+
+// buildSource stitches routines into one program: response-pointer setup,
+// routine codes in order (advancing the response pointer between them), a
+// completion marker, the halt loop, and the data tables.
+func buildSource(routines []Routine) string {
+	var sb strings.Builder
+	sb.WriteString("# Software-based self-test program (generated)\n")
+	sb.WriteString("# Methodology: Kranitis et al., DATE 2003\n")
+	fmt.Fprintf(&sb, "\tlui %s, %#x\n", respReg, DefaultRespBase>>16)
+	if lo := DefaultRespBase & 0xFFFF; lo != 0 {
+		fmt.Fprintf(&sb, "\tori %s, %s, %#x\n", respReg, respReg, lo)
+	}
+	for _, r := range routines {
+		fmt.Fprintf(&sb, "\n# ---- %s routine (Phase %s) ----\n", r.Component, r.Phase)
+		sb.WriteString(r.Code)
+		fmt.Fprintf(&sb, "\taddiu %s, %s, %d\n", respReg, respReg, r.RespWords*4)
+	}
+	sb.WriteString("\n# completion marker and halt\n")
+	fmt.Fprintf(&sb, "\tli %s, 0x600D\n", scratchReg)
+	fmt.Fprintf(&sb, "\tsw %s, 0(%s)\n", scratchReg, respReg)
+	sb.WriteString("selftest_done:\n\tj selftest_done\n\tnop\n")
+	for _, r := range routines {
+		if r.Data != "" {
+			fmt.Fprintf(&sb, "\n# ---- %s data ----\n", r.Component)
+			sb.WriteString(r.Data)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,603 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Routine is a generated self-test routine for one component: a code
+// fragment, its read-only data tables, and the number of response words it
+// stores through the response pointer register $k0.
+type Routine struct {
+	Component string
+	Phase     PhaseID
+	Code      string
+	Data      string
+	RespWords int
+}
+
+// Register conventions of the generated programs: $k0 is the response
+// pointer, $k1 a scratch register; everything else is fair game inside a
+// routine.
+const (
+	respReg    = "$k0"
+	scratchReg = "$k1"
+)
+
+// emitter builds one routine.
+type emitter struct {
+	code   strings.Builder
+	data   strings.Builder
+	prefix string
+	resp   int
+	roll   int
+}
+
+func newEmitter(prefix string) *emitter { return &emitter{prefix: prefix} }
+
+func (e *emitter) f(format string, args ...interface{}) {
+	fmt.Fprintf(&e.code, format+"\n", args...)
+}
+
+func (e *emitter) df(format string, args ...interface{}) {
+	fmt.Fprintf(&e.data, format+"\n", args...)
+}
+
+// store emits a response store of reg and advances the response offset.
+func (e *emitter) store(reg string) {
+	e.f("\tsw %s, %d(%s)", reg, e.resp*4, respReg)
+	e.resp++
+}
+
+// label returns a routine-unique label.
+func (e *emitter) label(name string) string { return e.prefix + "_" + name }
+
+func (e *emitter) routine(component string, phase PhaseID) Routine {
+	return Routine{
+		Component: component,
+		Phase:     phase,
+		Code:      e.code.String(),
+		Data:      e.data.String(),
+		RespWords: e.resp,
+	}
+}
+
+// regFileTestRegs are the registers the register-file march covers: all
+// except r0 (constant) and the reserved $k0/$k1.
+func regFileTestRegs() []int {
+	var regs []int
+	for r := 1; r < 32; r++ {
+		if r == 26 || r == 27 {
+			continue
+		}
+		regs = append(regs, r)
+	}
+	return regs
+}
+
+// RegFileRoutine generates the register-file test: a march-like sequence
+// (write background, read back through both read ports, write inverted
+// background, read back) plus an address-decoder uniqueness pass with a
+// register-number-derived value in every register. The rt read port is
+// observed via direct stores, the rs read port via an XOR signature.
+func RegFileRoutine() Routine {
+	e := newEmitter("regf")
+	regs := regFileTestRegs()
+
+	// readBack observes every register through both read ports: the rt
+	// port feeds store data directly; the rs port is routed through OR
+	// into the scratch register and stored, so a fault anywhere in either
+	// port's mux tree reaches the bus un-compacted.
+	readBack := func() {
+		for _, r := range regs {
+			e.store(fmt.Sprintf("$%d", r)) // rt port
+		}
+		for _, r := range regs {
+			e.f("\tor %s, $%d, $zero", scratchReg, r) // rs port
+			e.store(scratchReg)
+		}
+	}
+
+	for _, pat := range RegFilePatterns[:2] {
+		e.f("\t# RegF background %#x", pat)
+		e.f("\tlui %s, %#x", scratchReg, pat>>16)
+		e.f("\tori %s, %s, %#x", scratchReg, scratchReg, pat&0xFFFF)
+		for _, r := range regs {
+			e.f("\tmove $%d, %s", r, scratchReg)
+		}
+		readBack()
+	}
+
+	// Address-parity pass: registers with odd address get all-ones, even
+	// all-zeros. Any single select-line fault in a read mux tree redirects
+	// a read to a register whose address differs in exactly one bit, so
+	// the wrong value differs in every data bit.
+	e.f("\t# RegF address-parity backgrounds")
+	for _, r := range regs {
+		v := 0
+		if parity5(r) {
+			v = -1
+		}
+		e.f("\taddiu $%d, $zero, %d", r, v)
+	}
+	readBack()
+
+	// Address-decoder uniqueness: a register-number-derived value in every
+	// register exposes decoder aliasing on writes.
+	e.f("\t# RegF address-decoder uniqueness")
+	for _, r := range regs {
+		e.f("\taddiu $%d, $zero, %d", r, r*0x0101)
+	}
+	readBack()
+	return e.routine("RegF", PhaseA)
+}
+
+// parity5 reports odd parity of a 5-bit register number.
+func parity5(r int) bool {
+	p := false
+	for v := r; v != 0; v >>= 1 {
+		if v&1 != 0 {
+			p = !p
+		}
+	}
+	return p
+}
+
+// ALURoutine generates the ALU test: a compact loop applying the library's
+// operand pairs under every ALU operation, storing each result, followed
+// by a short immediate-operand block for the I-format data path.
+func ALURoutine() Routine {
+	e := newEmitter("alu")
+	tbl := e.label("table")
+	loop := e.label("loop")
+
+	e.f("\t# ALU pattern loop over %d operand pairs", len(ALUPatterns))
+	e.f("\tla $t8, %s", tbl)
+	e.f("\tli $t9, %d", len(ALUPatterns))
+	e.f("%s:", loop)
+	e.f("\tlw $t0, 0($t8)")
+	e.f("\tlw $t1, 4($t8)")
+	for _, op := range []string{"add", "sub", "and", "or", "xor", "nor", "slt", "sltu"} {
+		e.f("\t%s $t2, $t0, $t1", op)
+		e.storeRolling("$t2")
+	}
+	e.f("\taddiu $t8, $t8, 8")
+	e.f("\taddiu $t9, $t9, -1")
+	e.f("\tbne $t9, $zero, %s", loop)
+	e.f("\tnop")
+	e.endRolling()
+
+	walk := e.label("walk")
+	e.f("\t# ALU walking generate/propagate sweep (lookahead carry terms)")
+	e.f("\tli $t0, 0xffffffff")
+	e.f("\tli $t1, 1")
+	e.f("\tli $t9, 32")
+	e.f("%s:", walk)
+	e.f("\tadd $t2, $t0, $t1")
+	e.storeRolling("$t2")
+	e.f("\tsub $t3, $t0, $t1")
+	e.storeRolling("$t3")
+	e.f("\tadd $t4, $t1, $t1")
+	e.storeRolling("$t4")
+	e.f("\tsltu $t5, $t0, $t1")
+	e.f("\txor $t4, $t4, $t5")
+	e.storeRolling("$t4")
+	e.f("\tsll $t1, $t1, 1")
+	e.f("\taddiu $t9, $t9, -1")
+	e.f("\tbne $t9, $zero, %s", walk)
+	e.f("\tnop")
+	e.endRolling()
+
+	e.f("\t# ALU immediate-format patterns")
+	for _, imm := range []int32{0, 1, -1, 0x7FFF, -0x8000, 0x5555, -0x5556} {
+		e.f("\taddiu $t2, $t0, %d", imm)
+		e.store("$t2")
+		e.f("\tslti $t2, $t0, %d", imm)
+		e.store("$t2")
+	}
+	for _, imm := range []uint32{0xFFFF, 0x5555, 0xAAAA, 0x0001} {
+		e.f("\tandi $t2, $t0, %#x", imm)
+		e.store("$t2")
+		e.f("\tori $t2, $t1, %#x", imm)
+		e.store("$t2")
+		e.f("\txori $t2, $t1, %#x", imm)
+		e.store("$t2")
+	}
+	e.f("\tlui $t2, 0xa55a")
+	e.store("$t2")
+
+	e.df("%s:", tbl)
+	for _, p := range ALUPatterns {
+		e.df("\t.word %#x, %#x", p.A, p.B)
+	}
+	return e.routine("ALU", PhaseA)
+}
+
+// rollingSlots is the number of response slots a loop body's storeRolling
+// calls cycle through.
+const rollingSlots = 8
+
+// storeRolling is used inside compact loops: successive iterations
+// overwrite the same response slots, so every loop pass is observed on the
+// bus (stores are primary-output events) without growing the response
+// region linearly with iteration count. endRolling reserves the slots.
+func (e *emitter) storeRolling(reg string) {
+	slot := e.resp + e.roll%rollingSlots
+	e.roll++
+	e.f("\tsw %s, %d(%s)", reg, slot*4, respReg)
+}
+
+// endRolling reserves the rolling slots and resets the rotation.
+func (e *emitter) endRolling() {
+	e.resp += rollingSlots
+	e.roll = 0
+}
+
+// ShifterRoutine generates the barrel-shifter test: a compact loop sweeping
+// all 32 shift amounts through the three variable-shift instructions for
+// each library data word, plus an unrolled block for the immediate-shift
+// format.
+func ShifterRoutine() Routine {
+	e := newEmitter("bsh")
+	for di, data := range ShifterData {
+		loop := e.label(fmt.Sprintf("loop%d", di))
+		e.f("\t# BSH amount sweep, data %#x", data)
+		e.f("\tli $t0, %#x", data)
+		e.f("\tli $t1, 0")
+		e.f("\tli $t2, 32")
+		e.f("%s:", loop)
+		e.f("\tsllv $t3, $t0, $t1")
+		e.f("\tsrlv $t4, $t0, $t1")
+		e.f("\tsrav $t5, $t0, $t1")
+		e.f("\txor $t6, $t3, $t4")
+		e.f("\txor $t6, $t6, $t5")
+		e.storeRolling("$t6")
+		e.f("\taddiu $t1, $t1, 1")
+		e.f("\tbne $t1, $t2, %s", loop)
+		e.f("\tnop")
+	}
+	e.endRolling()
+
+	e.f("\t# BSH immediate-shift format")
+	e.f("\tli $t0, %#x", ShifterData[2])
+	for _, amt := range []int{1, 4, 7, 16, 31} {
+		e.f("\tsll $t3, $t0, %d", amt)
+		e.store("$t3")
+		e.f("\tsrl $t4, $t0, %d", amt)
+		e.store("$t4")
+		e.f("\tsra $t5, $t0, %d", amt)
+		e.store("$t5")
+	}
+	return e.routine("BSH", PhaseA)
+}
+
+// MulDivRoutine generates the multiplier/divider test: a corner-pattern
+// loop applying all four operations per pair, a walking-ones multiply loop
+// exercising every shift position of the sequential datapath, and the
+// MTHI/MTLO/MFHI/MFLO register path.
+func MulDivRoutine() Routine {
+	e := newEmitter("muld")
+	tbl := e.label("table")
+	loop := e.label("loop")
+
+	e.f("\t# MulD corner-pattern loop over %d pairs", len(MulDivPatterns))
+	e.f("\tla $t8, %s", tbl)
+	e.f("\tli $t9, %d", len(MulDivPatterns))
+	e.f("%s:", loop)
+	e.f("\tlw $t0, 0($t8)")
+	e.f("\tlw $t1, 4($t8)")
+	for _, op := range []string{"mult", "multu", "div", "divu"} {
+		e.f("\t%s $t0, $t1", op)
+		e.f("\tmflo $t2")
+		e.f("\tmfhi $t3")
+		e.storeRolling("$t2")
+		e.storeRolling("$t3")
+	}
+	e.f("\taddiu $t8, $t8, 8")
+	e.f("\taddiu $t9, $t9, -1")
+	e.f("\tbne $t9, $zero, %s", loop)
+	e.f("\tnop")
+	e.endRolling()
+
+	walk := e.label("walk")
+	e.f("\t# MulD walking-ones multiply sweep")
+	e.f("\tli $t0, 1")
+	e.f("\tli $t1, 0x87654321")
+	e.f("\tli $t9, 16")
+	e.f("%s:", walk)
+	e.f("\tmultu $t0, $t1")
+	e.f("\tmflo $t2")
+	e.f("\tmfhi $t3")
+	e.f("\txor $t2, $t2, $t3")
+	e.storeRolling("$t2")
+	e.f("\tsll $t0, $t0, 2")
+	e.f("\taddiu $t9, $t9, -1")
+	e.f("\tbne $t9, $zero, %s", walk)
+	e.f("\tnop")
+	e.endRolling()
+
+	dwalk := e.label("dwalk")
+	e.f("\t# MulD walking-divisor divide sweep")
+	e.f("\tli $t0, 0xffffffff")
+	e.f("\tli $t1, 1")
+	e.f("\tli $t9, 16")
+	e.f("%s:", dwalk)
+	e.f("\tdivu $t0, $t1")
+	e.f("\tmflo $t2")
+	e.f("\tmfhi $t3")
+	e.f("\txor $t2, $t2, $t3")
+	e.storeRolling("$t2")
+	e.f("\tsll $t1, $t1, 2")
+	e.f("\taddiu $t9, $t9, -1")
+	e.f("\tbne $t9, $zero, %s", dwalk)
+	e.f("\tnop")
+	e.endRolling()
+
+	e.f("\t# MulD HI/LO register path")
+	e.f("\tli $t0, 0x5a5a5a5a")
+	e.f("\tmthi $t0")
+	e.f("\tnot $t1, $t0")
+	e.f("\tmtlo $t1")
+	e.f("\tmfhi $t2")
+	e.store("$t2")
+	e.f("\tmflo $t3")
+	e.store("$t3")
+
+	e.df("%s:", tbl)
+	for _, p := range MulDivPatterns {
+		e.df("\t.word %#x, %#x", p.A, p.B)
+	}
+	return e.routine("MulD", PhaseA)
+}
+
+// MemCtrlRoutine generates the Phase B memory-controller test: every load
+// size, alignment and sign mode against sign-corner data words, and a
+// store-alignment sweep whose merged words are read back.
+func MemCtrlRoutine() Routine {
+	e := newEmitter("mctrl")
+	tbl := e.label("data")
+	wr := e.label("wr")
+
+	e.f("\t# MCTRL load size/alignment/sign sweep")
+	e.f("\tla $t8, %s", tbl)
+	for w := range MemCtrlWords {
+		base := w * 4
+		e.f("\tlw $t0, %d($t8)", base)
+		e.store("$t0")
+		for off := 0; off < 4; off++ {
+			e.f("\tlb $t1, %d($t8)", base+off)
+			e.store("$t1")
+			e.f("\tlbu $t2, %d($t8)", base+off)
+			e.store("$t2")
+		}
+		for off := 0; off < 4; off += 2 {
+			e.f("\tlh $t3, %d($t8)", base+off)
+			e.store("$t3")
+			e.f("\tlhu $t4, %d($t8)", base+off)
+			e.store("$t4")
+		}
+	}
+
+	e.f("\t# MCTRL store alignment sweep")
+	e.f("\tla $t8, %s", wr)
+	for i, v := range MemCtrlStoreBytes {
+		e.f("\tli $t0, %#x", v)
+		e.f("\tsb $t0, %d($t8)", i)
+	}
+	e.f("\tli $t0, 0x8001")
+	e.f("\tsh $t0, 8($t8)")
+	e.f("\tli $t0, 0x7ffe")
+	e.f("\tsh $t0, 10($t8)")
+	e.f("\tli $t0, 0xdeadbeef")
+	e.f("\tsw $t0, 12($t8)")
+	for off := 0; off < 16; off += 4 {
+		e.f("\tlw $t1, %d($t8)", off)
+		e.store("$t1")
+	}
+
+	e.df("%s:", tbl)
+	for _, w := range MemCtrlWords {
+		e.df("\t.word %#x", w)
+	}
+	e.df("%s:", wr)
+	e.df("\t.space 16")
+	return e.routine("MCTRL", PhaseB)
+}
+
+// PCLRoutine generates the Phase B program-counter-logic test: a
+// single-bit comparator sweep on the branch equality logic, a forward
+// branch-offset ladder, sign-condition branches, and jump stubs planted at
+// high addresses so the upper PC bits, incrementer chain and jump muxes
+// toggle observably on the fetch address.
+func PCLRoutine() Routine {
+	e := newEmitter("pcl")
+	l := func(n string) string { return e.label(n) }
+
+	// Comparator sweep: operands differing in exactly one bit position
+	// must compare unequal at every position.
+	e.f("\t# PCL branch comparator single-bit sweep")
+	e.f("\tli $t0, 0xc3a55a3c")
+	e.f("\tli $t2, 1")
+	e.f("\tli $t9, 32")
+	e.f("\tli $t7, 0")
+	loop := l("cmp")
+	e.f("%s:", loop)
+	e.f("\txor $t1, $t0, $t2")
+	e.f("\tbeq $t0, $t1, %s", l("bad"))
+	e.f("\tnop")
+	e.f("\taddiu $t7, $t7, 1")
+	e.f("\tsll $t2, $t2, 1")
+	e.f("\tbne $t9, $t7, %s", loop)
+	e.f("\tnop")
+	e.f("\tbne $t0, $t0, %s", l("bad"))
+	e.f("\tnop")
+	e.f("\tbeq $t0, $t0, %s", l("eqok"))
+	e.f("\tnop")
+	e.f("%s:", l("bad"))
+	e.f("\tli $t7, 0xbad")
+	e.f("%s:", l("eqok"))
+	e.store("$t7")
+
+	// Forward branch-offset ladder: escalating skip distances toggle the
+	// low branch-adder bits with positive offsets (loops cover negative).
+	e.f("\t# PCL branch-offset ladder")
+	pad := 1
+	for i := 0; i < 5; i++ {
+		tgt := l(fmt.Sprintf("lad%d", i))
+		e.f("\tbeq $zero, $zero, %s", tgt)
+		e.f("\taddiu $t7, $t7, 1")
+		for p := 0; p < pad; p++ {
+			e.f("\taddiu $t7, $t7, 100")
+		}
+		e.f("%s:", tgt)
+		pad *= 2
+	}
+	e.store("$t7")
+
+	// Sign conditions through both REGIMM codes and blez/bgtz.
+	e.f("\tli $t0, -1")
+	e.f("\tli $t1, 1")
+	for i, br := range []string{"bltz $t0", "bgez $t1", "blez $t0", "bgtz $t1"} {
+		tgt := l(fmt.Sprintf("sg%d", i))
+		e.f("\t%s, %s", br, tgt)
+		e.f("\taddiu $t7, $t7, 1")
+		e.f("\tli $t7, 0xbad")
+		e.f("%s:", tgt)
+	}
+	e.store("$t7")
+
+	// Plant `jr $ra ; nop` stubs at high addresses and call them: the
+	// fetch address (a primary output) then carries the upper PC bits.
+	e.f("\t# PCL high-address jump stubs")
+	e.f("\tli $t0, %#x", jrRAWord)
+	for _, addr := range []uint32{0x000F0000, 0x00F00000, 0x0F000000} {
+		e.f("\tli $t1, %#x", addr)
+		e.f("\tsw $t0, 0($t1)")
+		e.f("\tjalr $t1")
+		e.f("\tnop")
+		e.f("\taddiu $t7, $t7, 1")
+	}
+	e.store("$t7")
+	return e.routine("PCL", PhaseB)
+}
+
+// jrRAWord is the machine encoding of `jr $ra`, planted by the PCL routine.
+const jrRAWord = 0x03E00008
+
+// PipelineRoutine generates the Phase C hidden-component test: branch and
+// jump control flow in every flavor, delay-slot interactions with loads,
+// and multiply-busy pipeline stalls — the sequences that exercise the
+// pipeline registers and interlock logic.
+func PipelineRoutine() Routine {
+	e := newEmitter("pln")
+	l := func(n string) string { return e.label(n) }
+
+	e.f("\t# PLN control-flow and interlock stress")
+	e.f("\tli $t0, 1")
+	e.f("\tli $t1, -1")
+	e.f("\tli $t7, 0")
+
+	// Taken and untaken variants of every branch.
+	branches := []struct{ op, reg string }{
+		{"beq $zero, $zero", ""}, {"bne $t0, $zero", ""},
+		{"blez $t1", ""}, {"bgtz $t0", ""},
+		{"bltz $t1", ""}, {"bgez $t0", ""},
+	}
+	for i, br := range branches {
+		taken := l(fmt.Sprintf("tk%d", i))
+		e.f("\t%s, %s", br.op, taken)
+		e.f("\taddiu $t7, $t7, 1    # delay slot executes")
+		e.f("\taddiu $t7, $t7, 100  # skipped on taken branch")
+		e.f("%s:", taken)
+	}
+	untaken := []string{"bne $zero, $zero", "beq $t0, $zero", "bgtz $t1", "blez $t0", "bgez $t1", "bltz $t0"}
+	for i, br := range untaken {
+		nt := l(fmt.Sprintf("nt%d", i))
+		e.f("\t%s, %s", br, nt)
+		e.f("\taddiu $t7, $t7, 3")
+		e.f("\taddiu $t7, $t7, 5    # falls through: executes")
+		e.f("%s:", nt)
+	}
+	e.store("$t7")
+
+	// Subroutine linkage through jal/jalr/bgezal and jr.
+	e.f("\tjal %s", l("sub1"))
+	e.f("\tnop")
+	e.f("\tb %s", l("after1"))
+	e.f("\tnop")
+	e.f("%s:", l("sub1"))
+	e.f("\taddiu $t7, $t7, 7")
+	e.f("\tjr $ra")
+	e.f("\taddiu $t7, $t7, 9   # jr delay slot")
+	e.f("%s:", l("after1"))
+	e.f("\tmove $t6, $ra")
+	e.store("$t6")
+	e.f("\tla $t5, %s", l("sub2"))
+	e.f("\tjalr $s0, $t5")
+	e.f("\tnop")
+	e.f("\tb %s", l("after2"))
+	e.f("\tnop")
+	e.f("%s:", l("sub2"))
+	e.f("\taddiu $t7, $t7, 11")
+	e.f("\tjr $s0")
+	e.f("\tnop")
+	e.f("%s:", l("after2"))
+	e.f("\tbgezal $zero, %s", l("sub3"))
+	e.f("\tnop")
+	e.f("\tb %s", l("after3"))
+	e.f("\tnop")
+	e.f("%s:", l("sub3"))
+	e.f("\taddiu $t7, $t7, 13")
+	e.f("\tjr $ra")
+	e.f("\tnop")
+	e.f("%s:", l("after3"))
+	e.store("$t7")
+
+	// Load in a branch delay slot, dependent use right after.
+	e.f("\tla $t8, %s", l("w"))
+	e.f("\tli $t0, 0x13572468")
+	e.f("\tsw $t0, 0($t8)")
+	e.f("\tbeq $zero, $zero, %s", l("ld"))
+	e.f("\tlw $t1, 0($t8)")
+	e.f("\taddiu $t7, $t7, 100")
+	e.f("%s:", l("ld"))
+	e.f("\taddu $t2, $t1, $t1")
+	e.store("$t2")
+
+	// Multiply busy stall: HI/LO access immediately after issue, and a
+	// second issue while busy.
+	e.f("\tli $t0, 0x1234")
+	e.f("\tli $t1, 0x5678")
+	e.f("\tmult $t0, $t1")
+	e.f("\tmfhi $t3")
+	e.f("\tmflo $t4")
+	e.f("\tmult $t4, $t0")
+	e.f("\tdiv $t4, $t1")
+	e.f("\tmflo $t5")
+	e.store("$t3")
+	e.store("$t4")
+	e.store("$t5")
+
+	e.df("%s:", l("w"))
+	e.df("\t.space 4")
+	return e.routine("PLN", PhaseC)
+}
+
+// routineGenerators maps component names to their routine generators.
+var routineGenerators = map[string]func() Routine{
+	"RegF":  RegFileRoutine,
+	"MulD":  MulDivRoutine,
+	"ALU":   ALURoutine,
+	"BSH":   ShifterRoutine,
+	"MCTRL": MemCtrlRoutine,
+	"PCL":   PCLRoutine,
+	"PLN":   PipelineRoutine,
+}
+
+// HasRoutine reports whether the library holds a dedicated routine for the
+// named component. Components without one (small control/glue blocks) are
+// covered collaterally by the other routines, as in the paper.
+func HasRoutine(name string) bool {
+	_, ok := routineGenerators[name]
+	return ok
+}

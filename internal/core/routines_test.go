@@ -1,0 +1,171 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// runRoutine builds a single-routine program and runs it on the golden
+// model, returning the CPU for response inspection.
+func runRoutine(t *testing.T, r Routine) (*sim.CPU, *SelfTest) {
+	t.Helper()
+	st, err := BuildProgram([]Routine{r})
+	if err != nil {
+		t.Fatalf("%s: %v", r.Component, err)
+	}
+	mem := sim.NewMemory()
+	mem.LoadProgram(st.Program)
+	cpu := sim.New(mem, 0)
+	halted, err := cpu.Run(2_000_000)
+	if err != nil {
+		t.Fatalf("%s: %v", r.Component, err)
+	}
+	if !halted {
+		t.Fatalf("%s: did not halt", r.Component)
+	}
+	return cpu, st
+}
+
+// resp reads response word i of a single-routine program.
+func resp(cpu *sim.CPU, i int) uint32 {
+	return cpu.Mem.Word(DefaultRespBase + uint32(i)*4)
+}
+
+func TestRegFileRoutineResponses(t *testing.T) {
+	cpu, _ := runRoutine(t, RegFileRoutine())
+	regs := regFileTestRegs()
+	// First background pass: every rt-port store must hold the background.
+	for i := range regs {
+		if got := resp(cpu, i); got != RegFilePatterns[0] {
+			t.Fatalf("background response %d = %#x, want %#x", i, got, RegFilePatterns[0])
+		}
+	}
+	// rs-port (OR-copied) responses follow.
+	for i := range regs {
+		if got := resp(cpu, len(regs)+i); got != RegFilePatterns[0] {
+			t.Fatalf("rs-port response %d = %#x", i, got)
+		}
+	}
+	// Decoder pass (last readBack): unique value per register.
+	base := 3 * 2 * len(regs) // three readback passes before it, rt+rs each
+	for i, r := range regs {
+		if got := resp(cpu, base+i); got != uint32(r*0x0101) {
+			t.Fatalf("decoder response for r%d = %#x, want %#x", r, got, r*0x0101)
+		}
+	}
+}
+
+func TestALURoutineResponses(t *testing.T) {
+	cpu, _ := runRoutine(t, ALURoutine())
+	// The rolling slots hold the final loop iteration's results: the last
+	// ALUPatterns pair under each operation, in emission order.
+	last := ALUPatterns[len(ALUPatterns)-1]
+	want := []uint32{
+		last.A + last.B,
+		last.A - last.B,
+		last.A & last.B,
+		last.A | last.B,
+		last.A ^ last.B,
+		^(last.A | last.B),
+	}
+	for i, w := range want {
+		if got := resp(cpu, i); got != w {
+			t.Fatalf("rolling slot %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestShifterRoutineResponses(t *testing.T) {
+	cpu, _ := runRoutine(t, ShifterRoutine())
+	// Rolling slot 0 holds the last iteration (amount 31) of the last data
+	// sweep: xor of the three shift results.
+	d := ShifterData[len(ShifterData)-1]
+	want := d<<31 ^ d>>31 ^ uint32(int32(d)>>31)
+	if got := resp(cpu, 0); got != want {
+		t.Fatalf("rolling slot 0 = %#x, want %#x", got, want)
+	}
+}
+
+func TestMulDivRoutineResponses(t *testing.T) {
+	cpu, st := runRoutine(t, MulDivRoutine())
+	// The final two responses are the MTHI/MTLO readbacks.
+	n := st.RespWords
+	if got := resp(cpu, n-2); got != 0x5a5a5a5a {
+		t.Fatalf("mthi readback = %#x", got)
+	}
+	if got := resp(cpu, n-1); got != ^uint32(0x5a5a5a5a) {
+		t.Fatalf("mtlo readback = %#x", got)
+	}
+}
+
+func TestPCLRoutineResponses(t *testing.T) {
+	cpu, st := runRoutine(t, PCLRoutine())
+	// No response may carry the 0xbad marker (a mistaken branch).
+	for i := 0; i < st.RespWords; i++ {
+		if got := resp(cpu, i); got == 0xbad {
+			t.Fatalf("PCL routine took a wrong branch (response %d)", i)
+		}
+	}
+	// The planted stubs must have executed: jr $ra words present at the
+	// high addresses, and the final counter counts all three calls.
+	for _, addr := range []uint32{0x000F0000, 0x00F00000, 0x0F000000} {
+		if got := cpu.Mem.Word(addr); got != jrRAWord {
+			t.Fatalf("stub at %#x = %#x", addr, got)
+		}
+	}
+}
+
+func TestMemCtrlRoutineResponses(t *testing.T) {
+	cpu, _ := runRoutine(t, MemCtrlRoutine())
+	// First response: lw of the first data word.
+	if got := resp(cpu, 0); got != MemCtrlWords[0] {
+		t.Fatalf("first lw = %#x, want %#x", got, MemCtrlWords[0])
+	}
+	// Second response: lb of byte 0 (0x80 sign-extended).
+	if got := resp(cpu, 1); got != 0xFFFFFF80 {
+		t.Fatalf("lb = %#x, want sign-extended 0x80", got)
+	}
+	// Third: lbu zero-extended.
+	if got := resp(cpu, 2); got != 0x80 {
+		t.Fatalf("lbu = %#x", got)
+	}
+}
+
+func TestPipelineRoutineResponses(t *testing.T) {
+	cpu, st := runRoutine(t, PipelineRoutine())
+	for i := 0; i < st.RespWords; i++ {
+		got := resp(cpu, i)
+		if got == 0xbad || got == 100 {
+			t.Fatalf("pipeline routine control flow broken (response %d = %#x)", i, got)
+		}
+	}
+}
+
+func TestRoutinesAvoidReservedRegisters(t *testing.T) {
+	// Routines may only use $k0 as the response pointer: no routine may
+	// overwrite it (write field of sw is fine; as a destination it is not).
+	for name := range routineGenerators {
+		r, _ := RoutineByName(name)
+		for _, line := range strings.Split(r.Code, "\n") {
+			ln := strings.TrimSpace(line)
+			if ln == "" || strings.HasPrefix(ln, "#") || strings.HasSuffix(ln, ":") {
+				continue
+			}
+			fields := strings.Fields(strings.ReplaceAll(ln, ",", " "))
+			if len(fields) < 2 {
+				continue
+			}
+			op := fields[0]
+			switch op {
+			case "sw", "sh", "sb", "mult", "multu", "div", "divu", "mthi", "mtlo",
+				"beq", "bne", "blez", "bgtz", "bltz", "bgez", "jr", "j", "b", "nop":
+				continue
+			}
+			if fields[1] == "$k0" {
+				t.Errorf("%s routine writes the response pointer: %q", name, ln)
+			}
+		}
+	}
+}

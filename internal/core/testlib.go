@@ -1,0 +1,103 @@
+package core
+
+// This file is the component test-set library (Section 2.3): small
+// deterministic pattern sets that exploit the regular structure of each
+// functional component class. They are not ATPG products; each set is
+// derived from the component architecture (ripple carry chains, mux trees,
+// cell arrays), which is what keeps the resulting self-test routines small
+// and technology independent.
+
+// OperandPair is one two-operand test pattern.
+type OperandPair struct {
+	A, B uint32
+}
+
+// ALUPatterns exercises the adder/subtractor carry chain (propagate,
+// generate, kill at every bit), the logic unit with every input minterm at
+// every bit position, and the comparator sign/borrow logic. Applied under
+// add, sub, and, or, xor, nor, slt, sltu, plus the immediate variants.
+var ALUPatterns = []OperandPair{
+	{0x00000000, 0x00000000}, // all-kill
+	{0x00000000, 0xFFFFFFFF}, // minterms 01 everywhere
+	{0xFFFFFFFF, 0x00000001}, // full-length carry propagate
+	{0xFFFFFFFF, 0xFFFFFFFF}, // all-generate
+	{0x55555555, 0xAAAAAAAA}, // alternating 10/01 minterms
+	{0x55555555, 0x55555555}, // alternating generate/kill
+	{0xAAAAAAAA, 0xAAAAAAAA},
+	{0xAAAAAAAA, 0x55555555},
+	{0x7FFFFFFF, 0x00000001}, // carry into the sign bit
+	{0x80000000, 0x80000000}, // sign-bit generate, signed overflow shape
+	{0x80000000, 0x7FFFFFFF}, // signed compare corner
+	{0x0000FFFF, 0xFFFF0000}, // half-word propagate boundaries
+	{0xCCCCCCCC, 0x33333333}, // 2-bit group alternation
+	{0x0F0F0F0F, 0xF0F0F0F0}, // 4-bit group alternation
+	{0x00FF00FF, 0xFF00FF00}, // byte alternation
+	{0x01234567, 0x89ABCDEF}, // mixed carries
+}
+
+// ALUWalkingPatterns generates the walking generate/propagate pairs that
+// complete the adder set for lookahead architectures: a single generate at
+// bit i against full propagate above it, and an isolated generate that
+// must not produce distant carries. Applied by a compact shift loop in the
+// ALU routine.
+func ALUWalkingPatterns() []OperandPair {
+	var out []OperandPair
+	for i := 0; i < 32; i++ {
+		out = append(out,
+			OperandPair{0xFFFFFFFF, 1 << uint(i)},   // generate at i, propagate above
+			OperandPair{1 << uint(i), 1 << uint(i)}, // isolated generate
+		)
+	}
+	return out
+}
+
+// ShifterData are the data words driven through the barrel shifter at
+// every shift amount. Alternating patterns make each mux level's wrong
+// selection visible; the sign-bit pattern distinguishes arithmetic fill.
+var ShifterData = []uint32{
+	0x55555555,
+	0xAAAAAAAA,
+	0x80000001,
+	0x0000FFFF, // half-word contrast distinguishes the wide mux stages
+}
+
+// MulDivPatterns exercises the sequential multiplier/divider datapath:
+// the add/shift path (multiply), the subtract/shift path (divide), the
+// sign pre/post negation corners, and the quotient-bit logic.
+var MulDivPatterns = []OperandPair{
+	{0x00000000, 0x00000000},
+	{0xFFFFFFFF, 0xFFFFFFFF}, // -1 x -1 / all-borrow division
+	{0x80000000, 0xFFFFFFFF}, // INT_MIN corners
+	{0x00000001, 0xFFFFFFFF},
+	{0x55555555, 0x33333333},
+	{0xAAAAAAAA, 0x0000FFFF},
+	{0x7FFFFFFF, 0x00000003},
+	{0xDEADBEEF, 0x00012345},
+	{0xFFFF0000, 0x0000FFFF}, // long carry chains in the negation fixup
+	{0xFFFFFFFE, 0x80000001},
+	{0x00010000, 0xFFFF0001},
+	{0x08000000, 0x10101010},
+}
+
+// RegFilePatterns are the background/inverted-background patterns of the
+// register-file march test; the address-decoder uniqueness pass uses
+// register-number-derived values (r * 0x0101) on top.
+var RegFilePatterns = []uint32{
+	0x55555555,
+	0xAAAAAAAA,
+	0x00000000,
+	0xFFFFFFFF,
+}
+
+// MemCtrlWords are the memory-resident words the Phase B memory-controller
+// routine reads back with every access size, alignment, and sign mode.
+var MemCtrlWords = []uint32{
+	0x80FF017F, // sign corners in every byte lane
+	0x7F01FF80,
+	0x55AA55AA,
+	0x00000000,
+	0xFFFFFFFF,
+}
+
+// MemCtrlStoreBytes are byte values for the store-alignment sweep.
+var MemCtrlStoreBytes = []uint32{0x80, 0x7F, 0xFF, 0x01, 0xA5}

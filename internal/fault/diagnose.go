@@ -1,0 +1,125 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Signature compactly describes how a fault first manifests at the
+// primary outputs: the cycle and which output group diverged. It is the
+// fault-dictionary entry used for diagnosis.
+type Signature struct {
+	Cycle  int32
+	Groups uint8 // SigAddr | SigDataAccess | SigStrobe | SigWData
+}
+
+// Output-group bits of a signature.
+const (
+	SigAddr uint8 = 1 << iota
+	SigDataAccess
+	SigStrobe
+	SigWData
+)
+
+// GroupString renders the diverged output groups.
+func (s Signature) GroupString() string {
+	var parts []string
+	if s.Groups&SigAddr != 0 {
+		parts = append(parts, "addr")
+	}
+	if s.Groups&SigDataAccess != 0 {
+		parts = append(parts, "kind")
+	}
+	if s.Groups&SigStrobe != 0 {
+		parts = append(parts, "strobe")
+	}
+	if s.Groups&SigWData != 0 {
+		parts = append(parts, "wdata")
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, "+")
+}
+
+// Dictionary is a fault dictionary: per detected fault, its first-failure
+// signature under the recorded self-test program. Built once from a
+// full-universe simulation, it turns an observed first failure on a
+// failing device into a ranked set of candidate defect locations.
+type Dictionary struct {
+	Faults     []Fault
+	Signatures []Signature // aligned with Faults; Cycle < 0 = undetected
+}
+
+// BuildDictionary assembles a dictionary from a simulation result that
+// was produced with signature capture (Simulate always captures them).
+func BuildDictionary(r *Result) *Dictionary {
+	d := &Dictionary{Faults: r.Faults, Signatures: make([]Signature, len(r.Faults))}
+	for i := range r.Faults {
+		d.Signatures[i] = Signature{Cycle: r.DetectedAt[i], Groups: r.SignatureGroups[i]}
+	}
+	return d
+}
+
+// Candidate is one diagnosis candidate: a fault whose dictionary entry
+// matches the observation, with a match grade.
+type Candidate struct {
+	Fault Fault
+	Sig   Signature
+	Exact bool // groups matched exactly, not just the cycle
+}
+
+// Diagnose returns the faults whose first failure matches the observed
+// cycle, exact group matches first. An empty result means the observation
+// is not explained by any single stuck-at fault in the dictionary.
+func (d *Dictionary) Diagnose(obs Signature) []Candidate {
+	var out []Candidate
+	for i, s := range d.Signatures {
+		if s.Cycle != obs.Cycle || s.Cycle < 0 {
+			continue
+		}
+		out = append(out, Candidate{Fault: d.Faults[i], Sig: s, Exact: s.Groups == obs.Groups})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].Exact && !out[j].Exact
+	})
+	return out
+}
+
+// Resolution summarizes diagnostic power: how many faults share each
+// signature (smaller classes = sharper diagnosis).
+type Resolution struct {
+	DetectedFaults  int
+	DistinctClasses int
+	MeanClassSize   float64
+	MaxClassSize    int
+}
+
+// Resolution computes the signature-class statistics of the dictionary.
+func (d *Dictionary) Resolution() Resolution {
+	classes := make(map[Signature]int)
+	det := 0
+	for _, s := range d.Signatures {
+		if s.Cycle < 0 {
+			continue
+		}
+		det++
+		classes[s]++
+	}
+	res := Resolution{DetectedFaults: det, DistinctClasses: len(classes)}
+	for _, n := range classes {
+		if n > res.MaxClassSize {
+			res.MaxClassSize = n
+		}
+	}
+	if len(classes) > 0 {
+		res.MeanClassSize = float64(det) / float64(len(classes))
+	}
+	return res
+}
+
+func (r Resolution) String() string {
+	return fmt.Sprintf("%d detected faults in %d signature classes (mean %.1f, max %d per class)",
+		r.DetectedFaults, r.DistinctClasses, r.MeanClassSize, r.MaxClassSize)
+}

@@ -1,0 +1,121 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gate"
+)
+
+func TestDictionaryDiagnosis(t *testing.T) {
+	cpu := getCPU(t)
+	g := captureTestGolden(t, smokeProgram, 60)
+	faults := SampleFaults(Universe(cpu.Netlist), 1024, 5)
+	res, err := Simulate(cpu, g, faults, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := BuildDictionary(res)
+
+	// Every detected fault must diagnose to a candidate set containing
+	// itself, with its own signature as an exact match.
+	checked := 0
+	for i := range d.Faults {
+		if d.Signatures[i].Cycle < 0 {
+			continue
+		}
+		checked++
+		cands := d.Diagnose(d.Signatures[i])
+		found := false
+		for _, c := range cands {
+			if c.Fault.Site == d.Faults[i].Site {
+				found = true
+				if !c.Exact {
+					t.Fatalf("self-diagnosis of %v not exact", d.Faults[i].Site)
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("fault %v missing from its own diagnosis", d.Faults[i].Site)
+		}
+		if checked > 200 {
+			break
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no detected faults to check")
+	}
+
+	// An impossible observation yields no candidates.
+	if cands := d.Diagnose(Signature{Cycle: int32(g.Cycles + 100)}); len(cands) != 0 {
+		t.Errorf("bogus observation diagnosed to %d candidates", len(cands))
+	}
+
+	// Resolution statistics are self-consistent.
+	r := d.Resolution()
+	if r.DetectedFaults == 0 || r.DistinctClasses == 0 {
+		t.Fatalf("resolution empty: %+v", r)
+	}
+	if r.DistinctClasses > r.DetectedFaults || r.MaxClassSize < 1 {
+		t.Errorf("inconsistent resolution: %+v", r)
+	}
+	if !strings.Contains(r.String(), "signature classes") {
+		t.Errorf("rendering: %q", r.String())
+	}
+}
+
+func TestSignatureGroups(t *testing.T) {
+	cpu := getCPU(t)
+	g := captureTestGolden(t, smokeProgram, 60)
+	// An address-bit output fault must manifest in the addr group.
+	sig := cpu.Netlist.OutputBus("mem_addr")[2]
+	res, err := Simulate(cpu, g, []Fault{
+		{Site: gate.FaultSite{Gate: sig, Pin: 0, Stuck: true}, Equiv: 1},
+	}, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Detected(0) {
+		t.Fatal("address fault undetected")
+	}
+	if res.SignatureGroups[0]&SigAddr == 0 {
+		t.Errorf("signature groups = %#x, want addr bit set", res.SignatureGroups[0])
+	}
+	s := Signature{Cycle: res.DetectedAt[0], Groups: res.SignatureGroups[0]}
+	if got := s.GroupString(); !strings.Contains(got, "addr") {
+		t.Errorf("GroupString = %q", got)
+	}
+	if (Signature{}).GroupString() != "none" {
+		t.Error("empty GroupString wrong")
+	}
+}
+
+func TestMergeDetections(t *testing.T) {
+	fs := []Fault{{Equiv: 1}, {Equiv: 1}, {Equiv: 1}}
+	r1 := &Result{Faults: fs, DetectedAt: []int32{5, -1, -1}, Cycles: 100}
+	r2 := &Result{Faults: fs, DetectedAt: []int32{-1, 7, -1}, Cycles: 50}
+	m, err := MergeDetections(r1, r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.DetectedAt[0] != 5 {
+		t.Errorf("fault 0 at %d", m.DetectedAt[0])
+	}
+	if m.DetectedAt[1] != 100+7 {
+		t.Errorf("fault 1 at %d, want offset by run 1 start", m.DetectedAt[1])
+	}
+	if m.DetectedAt[2] != -1 {
+		t.Errorf("fault 2 should stay undetected")
+	}
+	if m.Cycles != 150 {
+		t.Errorf("cycles = %d", m.Cycles)
+	}
+	// Mismatched fault lists are rejected.
+	r3 := &Result{Faults: fs[:2], DetectedAt: []int32{1, 2}, Cycles: 10}
+	if _, err := MergeDetections(r1, r3); err == nil {
+		t.Error("mismatched merge accepted")
+	}
+	if _, err := MergeDetections(); err == nil {
+		t.Error("empty merge accepted")
+	}
+}

@@ -1,0 +1,182 @@
+package fault
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/gate"
+)
+
+// randomCombNetlist builds a random DAG of combinational cells over a few
+// inputs, used to cross-check collapsing against exhaustive simulation.
+func randomCombNetlist(rng *rand.Rand, nInputs, nGates int) *gate.Netlist {
+	b := gate.NewBuilder("rand")
+	sigs := b.InputBus("in", nInputs)
+	kinds := []func(a, c gate.Sig) gate.Sig{
+		b.And, b.Or, b.Nand, b.Nor, b.Xor, b.Xnor,
+	}
+	for i := 0; i < nGates; i++ {
+		a := sigs[rng.Intn(len(sigs))]
+		c := sigs[rng.Intn(len(sigs))]
+		if rng.Intn(6) == 0 {
+			sigs = append(sigs, b.Not(a))
+			continue
+		}
+		sigs = append(sigs, kinds[rng.Intn(len(kinds))](a, c))
+	}
+	// Observe the last few signals.
+	b.OutputBus("out", []gate.Sig(sigs[len(sigs)-3:]))
+	return b.N
+}
+
+// detectionSignature exhaustively simulates a fault over all input values
+// and returns the set of (input, output-bit) detections as a string key.
+func detectionSignature(t *testing.T, n *gate.Netlist, f gate.FaultSite, nInputs int) string {
+	t.Helper()
+	s, err := gate.NewSim(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetFaults([]gate.LaneFault{{Site: f, Lane: 1}})
+	var sb strings.Builder
+	for v := uint64(0); v < 1<<uint(nInputs); v++ {
+		s.SetBusUniform("in", v)
+		s.Eval()
+		if s.BusLane("out", 0) != s.BusLane("out", 1) {
+			sb.WriteString(" ")
+			sb.WriteByte(byte('0' + v%10))
+			sb.WriteString(":")
+			diff := s.BusLane("out", 0) ^ s.BusLane("out", 1)
+			for b := 0; diff != 0; b++ {
+				if diff&1 != 0 {
+					sb.WriteByte(byte('a' + b))
+				}
+				diff >>= 1
+			}
+		}
+	}
+	return sb.String()
+}
+
+// TestCollapsedCoverageMatchesUncollapsed is the soundness property of
+// equivalence collapsing: on random circuits, the set of input vectors
+// that detects a representative fault must detect (somewhere) every count
+// the representative absorbed. We verify the weaker but decisive
+// consequence used by the coverage accounting: a pattern set detects the
+// representative iff it detects each absorbed fault — checked by
+// comparing full detectability (detectable by some vector) between the
+// collapsed universe and the complete pin-fault universe.
+func TestCollapsedCoverageMatchesUncollapsed(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 20; trial++ {
+		const nInputs = 6
+		n := randomCombNetlist(rng, nInputs, 25)
+		collapsed := Universe(n)
+
+		// Exhaustive detectability of each collapsed representative.
+		repDetectable := 0
+		for _, f := range collapsed {
+			if detectionSignature(t, n, f.Site, nInputs) != "" {
+				repDetectable += f.Equiv
+			}
+		}
+
+		// Exhaustive detectability of the complete uncollapsed universe.
+		fullDetectable, fullTotal := 0, 0
+		for i := range n.Gates {
+			g := &n.Gates[i]
+			if g.Kind == gate.Const0 || g.Kind == gate.Const1 {
+				continue
+			}
+			for v := 0; v < 2; v++ {
+				fullTotal++
+				if detectionSignature(t, n, gate.FaultSite{Gate: gate.Sig(i), Pin: 0, Stuck: v == 1}, nInputs) != "" {
+					fullDetectable++
+				}
+			}
+			for p := 0; p < g.Kind.NumInputs(); p++ {
+				for v := 0; v < 2; v++ {
+					fullTotal++
+					if detectionSignature(t, n, gate.FaultSite{Gate: gate.Sig(i), Pin: int8(p + 1), Stuck: v == 1}, nInputs) != "" {
+						fullDetectable++
+					}
+				}
+			}
+		}
+		if TotalEquiv(collapsed) != fullTotal {
+			t.Fatalf("trial %d: equivalence weights sum to %d, full universe has %d",
+				trial, TotalEquiv(collapsed), fullTotal)
+		}
+		if repDetectable != fullDetectable {
+			t.Fatalf("trial %d: weighted detectable %d via representatives vs %d exhaustive",
+				trial, repDetectable, fullDetectable)
+		}
+	}
+}
+
+// TestEquivalencePairsBehaveIdentically verifies the strong per-pair
+// property on directed cases: an absorbed fault and its representative
+// have identical detection signatures over all inputs and outputs.
+func TestEquivalencePairsBehaveIdentically(t *testing.T) {
+	b := gate.NewBuilder("pairs")
+	in := b.InputBus("in", 4)
+	// One gate of each collapsing kind, each with an extra fanout on its
+	// inputs so branch faults are NOT absorbed by the fanout-free rule
+	// (isolating the gate-type equivalences).
+	and := b.And(in[0], in[1])
+	nand := b.Nand(in[0], in[2])
+	or := b.Or(in[1], in[2])
+	nor := b.Nor(in[1], in[3])
+	not := b.Not(in[3])
+	b.OutputBus("out", []gate.Sig{and, nand, or, nor, not, b.Xor(in[0], in[3])})
+	n := b.N
+
+	pairs := []struct {
+		branch, stem gate.FaultSite
+	}{
+		{gate.FaultSite{Gate: and, Pin: 1, Stuck: false}, gate.FaultSite{Gate: and, Pin: 0, Stuck: false}},
+		{gate.FaultSite{Gate: and, Pin: 2, Stuck: false}, gate.FaultSite{Gate: and, Pin: 0, Stuck: false}},
+		{gate.FaultSite{Gate: nand, Pin: 1, Stuck: false}, gate.FaultSite{Gate: nand, Pin: 0, Stuck: true}},
+		{gate.FaultSite{Gate: or, Pin: 1, Stuck: true}, gate.FaultSite{Gate: or, Pin: 0, Stuck: true}},
+		{gate.FaultSite{Gate: nor, Pin: 2, Stuck: true}, gate.FaultSite{Gate: nor, Pin: 0, Stuck: false}},
+		{gate.FaultSite{Gate: not, Pin: 1, Stuck: false}, gate.FaultSite{Gate: not, Pin: 0, Stuck: true}},
+		{gate.FaultSite{Gate: not, Pin: 1, Stuck: true}, gate.FaultSite{Gate: not, Pin: 0, Stuck: false}},
+	}
+	for _, p := range pairs {
+		sa := detectionSignature(t, n, p.branch, 4)
+		sb := detectionSignature(t, n, p.stem, 4)
+		if sa != sb {
+			t.Errorf("pair %v / %v: signatures differ:\n%q\n%q", p.branch, p.stem, sa, sb)
+		}
+		if sa == "" {
+			t.Errorf("pair %v: untestable in this circuit, test is vacuous", p.branch)
+		}
+	}
+}
+
+func TestLatencyStats(t *testing.T) {
+	r := &Result{
+		Faults:     make([]Fault, 6),
+		DetectedAt: []int32{5, -1, 10, 95, 0, 50},
+		Cycles:     100,
+	}
+	st := NewLatencyStats(r)
+	if len(st.DetectCycles) != 5 {
+		t.Fatalf("detected = %d", len(st.DetectCycles))
+	}
+	if st.DetectCycles[0] != 0 || st.DetectCycles[4] != 95 {
+		t.Errorf("sorted cycles: %v", st.DetectCycles)
+	}
+	h := st.Histogram(10)
+	if h[0] != 2 || h[1] != 1 || h[5] != 1 || h[9] != 1 {
+		t.Errorf("histogram: %v", h)
+	}
+	if st.Percentile(0.5) != 10 {
+		t.Errorf("median = %d", st.Percentile(0.5))
+	}
+	s := st.String()
+	if !strings.Contains(s, "percentiles") || !strings.Contains(s, "#") {
+		t.Errorf("rendering: %q", s)
+	}
+}

@@ -1,0 +1,257 @@
+package fault
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/gate"
+	"repro/internal/plasma"
+	"repro/internal/synth"
+)
+
+func TestUniverseCollapsingRules(t *testing.T) {
+	b := gate.NewBuilder("u")
+	a := b.Input("a")
+	c := b.Input("b")
+	y := b.And(a, c) // a,b each fan out once into the AND
+	b.Output("y", y)
+	faults := Universe(b.N)
+
+	// Stems: a, b, y => 6 stem faults. Branch faults on the AND inputs:
+	// s-a-0 absorbed into y s-a-0 (controlling value); s-a-1 absorbed into
+	// the fanout-free driver stems. So 6 collapsed faults total.
+	if len(faults) != 6 {
+		t.Fatalf("collapsed universe = %d faults, want 6: %v", len(faults), faults)
+	}
+	if got := TotalEquiv(faults); got != 10 {
+		t.Fatalf("uncollapsed universe = %d, want 10", got)
+	}
+	// y s-a-0 must have absorbed the two input s-a-0 faults.
+	for _, f := range faults {
+		if f.Site.Gate == y && f.Site.Pin == 0 && !f.Site.Stuck {
+			if f.Equiv != 3 {
+				t.Errorf("AND out s-a-0 equiv = %d, want 3", f.Equiv)
+			}
+		}
+	}
+}
+
+func TestUniverseFanoutBranches(t *testing.T) {
+	b := gate.NewBuilder("u2")
+	a := b.Input("a")
+	y1 := b.Xor(a, a) // two branches of the same stem feeding an XOR
+	b.Output("y1", y1)
+	faults := Universe(b.N)
+	// Stems: a (2), y1 (2). XOR inputs have no gate-type equivalence and
+	// the driver fans out twice, so all 4 branch faults remain.
+	if len(faults) != 8 {
+		t.Fatalf("universe = %d faults, want 8: %v", len(faults), faults)
+	}
+}
+
+func TestUniverseInverterChain(t *testing.T) {
+	b := gate.NewBuilder("u3")
+	a := b.Input("a")
+	y := b.Not(a)
+	b.Output("y", y)
+	faults := Universe(b.N)
+	// Inverter input faults are equivalent to its output faults: 4 stems.
+	if len(faults) != 4 {
+		t.Fatalf("universe = %d faults, want 4: %v", len(faults), faults)
+	}
+	if got := TotalEquiv(faults); got != 6 {
+		t.Fatalf("uncollapsed = %d, want 6", got)
+	}
+}
+
+func TestUniverseExcludesConstants(t *testing.T) {
+	b := gate.NewBuilder("u4")
+	a := b.Input("a")
+	y := b.And(a, b.Const1())
+	b.Output("y", y)
+	for _, f := range Universe(b.N) {
+		if k := b.N.Gates[f.Site.Gate].Kind; k == gate.Const0 || k == gate.Const1 {
+			if f.Site.Pin == 0 {
+				t.Errorf("constant stem fault enumerated: %v", f.Site)
+			}
+		}
+	}
+}
+
+var testCPU *plasma.CPU
+
+func getCPU(t *testing.T) *plasma.CPU {
+	t.Helper()
+	if testCPU == nil {
+		c, err := plasma.Build(synth.NativeLib{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		testCPU = c
+	}
+	return testCPU
+}
+
+func captureTestGolden(t *testing.T, src string, cycles int) *plasma.Golden {
+	t.Helper()
+	prog, err := asm.Assemble(src+"\nh__: j h__\nnop\n", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu := getCPU(t)
+	g, err := plasma.CaptureGolden(cpu, prog, cycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+const smokeProgram = `
+	li $t0, 0x1000
+	li $t1, 0xa5a5
+	sw $t1, 0($t0)
+	lw $t2, 0($t0)
+	addu $t3, $t2, $t1
+	sw $t3, 4($t0)
+	xor $t4, $t2, $t1
+	sw $t4, 8($t0)
+`
+
+func TestSimulateDetectsOutputFault(t *testing.T) {
+	cpu := getCPU(t)
+	g := captureTestGolden(t, smokeProgram, 40)
+	// Stuck-at on bit 2 of the bus address: the PC increments to 4 on the
+	// very first cycle boundary, so either polarity shows up immediately.
+	sig := cpu.Netlist.OutputBus(plasma.PortAddr)[2]
+	faults := []Fault{
+		{Site: gate.FaultSite{Gate: sig, Pin: 0, Stuck: false}, Equiv: 1},
+		{Site: gate.FaultSite{Gate: sig, Pin: 0, Stuck: true}, Equiv: 1},
+	}
+	res, err := Simulate(cpu, g, faults, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range faults {
+		if !res.Detected(i) {
+			t.Errorf("address-bit fault %d undetected", i)
+		}
+	}
+	if res.Coverage() != 100 {
+		t.Errorf("coverage = %v, want 100", res.Coverage())
+	}
+}
+
+func TestSimulateNoFalseDetections(t *testing.T) {
+	// A fault forcing a signal to the value it always has in the golden run
+	// must not be detected. The data-access output is 0 on pure fetch
+	// cycles; a program with no loads/stores never raises it, so s-a-0 on
+	// it is undetectable.
+	cpu := getCPU(t)
+	g := captureTestGolden(t, `
+		li $t0, 5
+		addu $t1, $t0, $t0
+		xor $t2, $t0, $t1
+	`, 20)
+	sig := cpu.Netlist.OutputBus(plasma.PortDataAccess)[0]
+	faults := []Fault{{Site: gate.FaultSite{Gate: sig, Pin: 0, Stuck: false}, Equiv: 1}}
+	res, err := Simulate(cpu, g, faults, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Detected(0) {
+		t.Error("stuck-at matching constant golden behavior was 'detected'")
+	}
+}
+
+func TestSimulateDeterministicAndParallel(t *testing.T) {
+	cpu := getCPU(t)
+	g := captureTestGolden(t, smokeProgram, 60)
+	all := Universe(cpu.Netlist)
+	opt := Options{Sample: 512, Seed: 7}
+
+	opt.Workers = 1
+	r1, err := Simulate(cpu, g, all, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Workers = 4
+	r2, err := Simulate(cpu, g, all, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Faults) != 512 || len(r2.Faults) != 512 {
+		t.Fatalf("sampling sizes: %d, %d", len(r1.Faults), len(r2.Faults))
+	}
+	for i := range r1.DetectedAt {
+		if r1.DetectedAt[i] != r2.DetectedAt[i] {
+			t.Fatalf("worker-count changed result at fault %d: %d vs %d",
+				i, r1.DetectedAt[i], r2.DetectedAt[i])
+		}
+	}
+	if r1.Coverage() <= 5 || r1.Coverage() > 100 {
+		t.Errorf("implausible sampled coverage %.1f%%", r1.Coverage())
+	}
+	if w := r1.WeightedCoverage(); math.Abs(w-r1.Coverage()) > 30 {
+		t.Errorf("weighted coverage %.1f wildly differs from collapsed %.1f", w, r1.Coverage())
+	}
+}
+
+func TestReportAggregation(t *testing.T) {
+	cpu := getCPU(t)
+	g := captureTestGolden(t, smokeProgram, 60)
+	all := Universe(cpu.Netlist)
+	res, err := Simulate(cpu, g, all, Options{Sample: 1024, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := NewReport(cpu.Netlist, res)
+
+	sumTotal, sumDet, sumMOFC := 0, 0, 0.0
+	for _, c := range rep.Components {
+		if c.Detected > c.Total || c.DetW > c.TotalW {
+			t.Errorf("%s: detected exceeds total", c.Name)
+		}
+		sumTotal += c.TotalW
+		sumDet += c.DetW
+		sumMOFC += c.MOFC
+	}
+	if sumTotal != rep.Overall.TotalW || sumDet != rep.Overall.DetW {
+		t.Errorf("component sums don't match overall: %d/%d vs %d/%d",
+			sumDet, sumTotal, rep.Overall.DetW, rep.Overall.TotalW)
+	}
+	overallFC := 100 * float64(rep.Overall.DetW) / float64(rep.Overall.TotalW)
+	if math.Abs(sumMOFC-(100-overallFC)) > 0.01 {
+		t.Errorf("MOFC sum %.3f != 100 - overall FC %.3f", sumMOFC, 100-overallFC)
+	}
+	s := rep.String()
+	if !strings.Contains(s, "Plasma") || !strings.Contains(s, "RegF") {
+		t.Errorf("report rendering: %q", s)
+	}
+	if _, ok := rep.ByName("RegF"); !ok {
+		t.Error("ByName(RegF) missing")
+	}
+}
+
+func TestUniverseOnCPUScale(t *testing.T) {
+	cpu := getCPU(t)
+	all := Universe(cpu.Netlist)
+	unc := TotalEquiv(all)
+	if len(all) >= unc {
+		t.Errorf("collapsing did nothing: %d collapsed vs %d total", len(all), unc)
+	}
+	ratio := float64(len(all)) / float64(unc)
+	if ratio < 0.3 || ratio > 0.9 {
+		t.Errorf("collapse ratio %.2f outside plausible range", ratio)
+	}
+	// Every fault site must be in range and attributed to a component.
+	for _, f := range all {
+		if f.Site.Gate < 0 || int(f.Site.Gate) >= cpu.Netlist.NumSignals() {
+			t.Fatalf("fault site out of range: %v", f.Site)
+		}
+		if int(f.Comp) >= len(cpu.Netlist.CompNames) {
+			t.Fatalf("bad component id %d", f.Comp)
+		}
+	}
+}

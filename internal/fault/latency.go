@@ -1,0 +1,83 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// LatencyStats summarizes when faults are first observed during the test
+// program: compact self-test routines detect most of their targets within
+// the routine's own execution window, which is what allows aggressive
+// fault dropping during grading.
+type LatencyStats struct {
+	// DetectCycles holds the first-detection cycle of every detected
+	// fault, ascending.
+	DetectCycles []int32
+	// Cycles is the program length.
+	Cycles int
+}
+
+// NewLatencyStats extracts detection-latency data from a result.
+func NewLatencyStats(r *Result) *LatencyStats {
+	st := &LatencyStats{Cycles: r.Cycles}
+	for _, c := range r.DetectedAt {
+		if c >= 0 {
+			st.DetectCycles = append(st.DetectCycles, c)
+		}
+	}
+	sort.Slice(st.DetectCycles, func(i, j int) bool { return st.DetectCycles[i] < st.DetectCycles[j] })
+	return st
+}
+
+// Percentile returns the cycle by which the given fraction (0..1) of all
+// detected faults have been observed.
+func (st *LatencyStats) Percentile(p float64) int32 {
+	if len(st.DetectCycles) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(st.DetectCycles)))
+	if i >= len(st.DetectCycles) {
+		i = len(st.DetectCycles) - 1
+	}
+	if i < 0 {
+		i = 0
+	}
+	return st.DetectCycles[i]
+}
+
+// Histogram buckets detections over n equal windows of the program.
+func (st *LatencyStats) Histogram(n int) []int {
+	h := make([]int, n)
+	if st.Cycles == 0 {
+		return h
+	}
+	for _, c := range st.DetectCycles {
+		b := int(c) * n / st.Cycles
+		if b >= n {
+			b = n - 1
+		}
+		h[b]++
+	}
+	return h
+}
+
+// String renders a compact text histogram with detection percentiles.
+func (st *LatencyStats) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "detected faults: %d over %d cycles\n", len(st.DetectCycles), st.Cycles)
+	fmt.Fprintf(&sb, "detection percentiles: 50%%<=%d 90%%<=%d 99%%<=%d cycles\n",
+		st.Percentile(0.50), st.Percentile(0.90), st.Percentile(0.99))
+	h := st.Histogram(10)
+	peak := 1
+	for _, v := range h {
+		if v > peak {
+			peak = v
+		}
+	}
+	for i, v := range h {
+		bar := strings.Repeat("#", v*40/peak)
+		fmt.Fprintf(&sb, "%3d%%-%3d%% %7d %s\n", i*10, (i+1)*10, v, bar)
+	}
+	return sb.String()
+}

@@ -1,0 +1,301 @@
+package fault
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/gate"
+	"repro/internal/plasma"
+)
+
+// Options tunes a fault-simulation run.
+type Options struct {
+	// Workers is the number of parallel simulation goroutines;
+	// 0 means GOMAXPROCS.
+	Workers int
+	// Sample, when nonzero, simulates only a deterministic random sample of
+	// that many collapsed faults (statistical coverage estimation for fast
+	// benches); 0 simulates the full list.
+	Sample int
+	// Seed drives the sampling permutation.
+	Seed int64
+}
+
+// Result is the outcome of a fault-simulation run.
+type Result struct {
+	// Faults is the simulated fault list (the sample, when sampling).
+	Faults []Fault
+	// DetectedAt[i] is the first cycle where fault i was observed at a
+	// primary output, or -1 if it escaped.
+	DetectedAt []int32
+	// SignatureGroups[i] records which output groups diverged at fault
+	// i's first detection (Sig* bits), for fault-dictionary diagnosis.
+	SignatureGroups []uint8
+	// Cycles is the length of the replayed golden execution.
+	Cycles int
+}
+
+// Detected reports whether fault i was detected.
+func (r *Result) Detected(i int) bool { return r.DetectedAt[i] >= 0 }
+
+// Coverage reports collapsed fault coverage in percent.
+func (r *Result) Coverage() float64 {
+	if len(r.Faults) == 0 {
+		return 0
+	}
+	n := 0
+	for i := range r.Faults {
+		if r.Detected(i) {
+			n++
+		}
+	}
+	return 100 * float64(n) / float64(len(r.Faults))
+}
+
+// WeightedCoverage reports equivalence-weighted (uncollapsed) coverage in
+// percent.
+func (r *Result) WeightedCoverage() float64 {
+	det, tot := 0, 0
+	for i, f := range r.Faults {
+		tot += f.Equiv
+		if r.Detected(i) {
+			det += f.Equiv
+		}
+	}
+	if tot == 0 {
+		return 0
+	}
+	return 100 * float64(det) / float64(tot)
+}
+
+// Simulate fault-simulates the collapsed fault list against a recorded
+// golden execution of a self-test program on the CPU. Each pass carries up
+// to 64 faulty machines in the bit lanes of one logic simulation; a fault
+// is detected the first cycle any primary output (bus address, access kind,
+// write strobes, or strobed write data) differs from the golden value.
+// Detected machines are dropped; a pass ends early once all its lanes have
+// been detected.
+func Simulate(cpu *plasma.CPU, golden *plasma.Golden, faults []Fault, opt Options) (*Result, error) {
+	faults = SampleFaults(faults, opt.Sample, opt.Seed)
+	res := &Result{
+		Faults:          faults,
+		DetectedAt:      make([]int32, len(faults)),
+		SignatureGroups: make([]uint8, len(faults)),
+		Cycles:          golden.Cycles,
+	}
+	for i := range res.DetectedAt {
+		res.DetectedAt[i] = -1
+	}
+
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	nPasses := (len(faults) + 63) / 64
+	if workers > nPasses {
+		workers = nPasses
+	}
+	if nPasses == 0 {
+		return res, nil
+	}
+
+	passes := make(chan int, nPasses)
+	for p := 0; p < nPasses; p++ {
+		passes <- p
+	}
+	close(passes)
+
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s, err := gate.NewSim(cpu.Netlist)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			r := newPassRunner(cpu, s, golden)
+			for p := range passes {
+				lo := p * 64
+				hi := lo + 64
+				if hi > len(faults) {
+					hi = len(faults)
+				}
+				r.runPass(faults[lo:hi], res.DetectedAt[lo:hi], res.SignatureGroups[lo:hi])
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// passRunner owns one logic simulator and the precomputed signal lists.
+type passRunner struct {
+	sim    *gate.Sim
+	golden *plasma.Golden
+
+	rdata   []gate.Sig
+	addr    []gate.Sig
+	wdata   []gate.Sig
+	wstrobe []gate.Sig
+	daccess gate.Sig
+}
+
+func newPassRunner(cpu *plasma.CPU, s *gate.Sim, golden *plasma.Golden) *passRunner {
+	n := cpu.Netlist
+	return &passRunner{
+		sim:     s,
+		golden:  golden,
+		rdata:   n.InputBus(plasma.PortRData),
+		addr:    n.OutputBus(plasma.PortAddr),
+		wdata:   n.OutputBus(plasma.PortWData),
+		wstrobe: n.OutputBus(plasma.PortWStrobe),
+		daccess: n.OutputBus(plasma.PortDataAccess)[0],
+	}
+}
+
+var spread = [2]uint64{0, ^uint64(0)}
+
+// runPass simulates one group of up to 64 faults to completion.
+func (r *passRunner) runPass(faults []Fault, detectedAt []int32, sigGroups []uint8) {
+	lf := make([]gate.LaneFault, len(faults))
+	for i, f := range faults {
+		lf[i] = gate.LaneFault{Site: f.Site, Lane: i}
+	}
+	r.sim.Reset()
+	r.sim.SetFaults(lf)
+
+	active := ^uint64(0)
+	if len(faults) < 64 {
+		active = 1<<uint(len(faults)) - 1
+	}
+	var detected uint64
+
+	g := r.golden
+	s := r.sim
+	for t := 0; t < g.Cycles; t++ {
+		s.SetBusUniform(plasma.PortRData, uint64(g.RData[t]))
+		s.Eval()
+
+		out := &g.Out[t]
+		var addrDiff, daDiff, strobeDiff, wdataDiff uint64
+		for i, sig := range r.addr {
+			addrDiff |= s.SigWord(sig) ^ spread[out.Addr>>uint(i)&1]
+		}
+		var da uint64
+		if out.DataAccess {
+			da = ^uint64(0)
+		}
+		daDiff = s.SigWord(r.daccess) ^ da
+
+		var laneWrites uint64
+		for i, sig := range r.wstrobe {
+			w := s.SigWord(sig)
+			laneWrites |= w
+			strobeDiff |= w ^ spread[out.WStrobe>>uint(i)&1]
+		}
+		// Write data is observable only on cycles where the golden machine
+		// or the faulty machine drives a write.
+		if out.WStrobe != 0 {
+			laneWrites = ^uint64(0)
+		}
+		if laneWrites != 0 {
+			var wd uint64
+			for i, sig := range r.wdata {
+				wd |= s.SigWord(sig) ^ spread[out.WData>>uint(i)&1]
+			}
+			wdataDiff = wd & laneWrites
+		}
+
+		diff := addrDiff | daDiff | strobeDiff | wdataDiff
+		if newly := diff & active &^ detected; newly != 0 {
+			for newly != 0 {
+				lane := bits.TrailingZeros64(newly)
+				detectedAt[lane] = int32(t)
+				m := uint64(1) << uint(lane)
+				var groups uint8
+				if addrDiff&m != 0 {
+					groups |= SigAddr
+				}
+				if daDiff&m != 0 {
+					groups |= SigDataAccess
+				}
+				if strobeDiff&m != 0 {
+					groups |= SigStrobe
+				}
+				if wdataDiff&m != 0 {
+					groups |= SigWData
+				}
+				sigGroups[lane] = groups
+				newly &^= m
+			}
+			detected |= diff & active
+			if detected == active {
+				return
+			}
+		}
+		s.Latch()
+	}
+}
+
+// SampleFaults returns a deterministic random sample of n faults (the
+// whole list when n is 0 or not smaller than the list).
+func SampleFaults(faults []Fault, n int, seed int64) []Fault {
+	if n <= 0 || n >= len(faults) {
+		return faults
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(len(faults))[:n]
+	sampled := make([]Fault, n)
+	for i, p := range perm {
+		sampled[i] = faults[p]
+	}
+	return sampled
+}
+
+// MergeDetections unions detections of several runs over the same fault
+// list (e.g. periodic self-test fragments executed separately): a fault
+// counts as detected if any run observed it; the recorded cycle is the
+// earliest run's, offset by that run's start in the overall schedule.
+func MergeDetections(results ...*Result) (*Result, error) {
+	if len(results) == 0 {
+		return nil, fmt.Errorf("fault: nothing to merge")
+	}
+	base := results[0]
+	merged := &Result{
+		Faults:     base.Faults,
+		DetectedAt: append([]int32(nil), base.DetectedAt...),
+		Cycles:     0,
+	}
+	offset := int32(0)
+	for ri, r := range results {
+		if len(r.Faults) != len(base.Faults) {
+			return nil, fmt.Errorf("fault: run %d has %d faults, run 0 has %d", ri, len(r.Faults), len(base.Faults))
+		}
+		for i := range r.Faults {
+			if r.Faults[i].Site != base.Faults[i].Site {
+				return nil, fmt.Errorf("fault: run %d fault %d differs from run 0", ri, i)
+			}
+		}
+		if ri > 0 {
+			for i, c := range r.DetectedAt {
+				if c >= 0 && merged.DetectedAt[i] < 0 {
+					merged.DetectedAt[i] = offset + c
+				}
+			}
+		}
+		merged.Cycles += r.Cycles
+		offset += int32(r.Cycles)
+	}
+	return merged, nil
+}

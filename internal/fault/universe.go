@@ -1,0 +1,136 @@
+// Package fault implements the single-stuck-at fault model over gate
+// netlists: fault-universe enumeration, classic equivalence collapsing, and
+// a bit-parallel (64 faults per pass) full-processor fault simulator that
+// replays a recorded golden execution and observes the processor's primary
+// outputs, mirroring the FlexTest setup of the paper.
+package fault
+
+import (
+	"repro/internal/gate"
+)
+
+// Fault is one collapsed stuck-at fault: a representative site plus the
+// number of equivalent uncollapsed faults it stands for.
+type Fault struct {
+	Site  gate.FaultSite
+	Comp  gate.CompID
+	Equiv int // >= 1: size of the equivalence class
+}
+
+// Universe enumerates the collapsed stuck-at fault universe of a netlist.
+//
+// Enumerated sites: both polarities on every gate output (stem) and on
+// every gate input pin (fanout branch), excluding constant generators.
+// Equivalence collapsing applies the classic rules:
+//
+//   - BUF/DFF input s-a-v is equivalent to its output s-a-v; NOT input
+//     s-a-v to its output s-a-(1-v).
+//   - A controlling-value input fault of AND/NAND/OR/NOR is equivalent to
+//     the corresponding output fault (AND in s-a-0 ≡ out s-a-0, NAND in
+//     s-a-0 ≡ out s-a-1, OR in s-a-1 ≡ out s-a-1, NOR in s-a-1 ≡ out
+//     s-a-0).
+//   - A branch on a fanout-free net is equivalent to its stem.
+//
+// Each absorbed fault increments the Equiv count of its representative, so
+// both collapsed and uncollapsed coverage can be reported.
+func Universe(n *gate.Netlist) []Fault {
+	fanout := make([]int, n.NumSignals())
+	for i := range n.Gates {
+		g := &n.Gates[i]
+		for p := 0; p < g.Kind.NumInputs(); p++ {
+			fanout[g.In[p]]++
+		}
+	}
+	// Observed outputs count as fanout so their stems stay representative.
+	for _, s := range n.ObservedSignals() {
+		fanout[s]++
+	}
+
+	// Stem faults first; remember their indices for absorption.
+	var faults []Fault
+	stemIdx := make([][2]int, n.NumSignals()) // [s-a-0, s-a-1] index+1
+	for i := range n.Gates {
+		g := &n.Gates[i]
+		if g.Kind == gate.Const0 || g.Kind == gate.Const1 {
+			continue
+		}
+		for v := 0; v < 2; v++ {
+			faults = append(faults, Fault{
+				Site:  gate.FaultSite{Gate: gate.Sig(i), Pin: 0, Stuck: v == 1},
+				Comp:  g.Comp,
+				Equiv: 1,
+			})
+			stemIdx[i][v] = len(faults)
+		}
+	}
+	absorbStem := func(sig gate.Sig, v int) {
+		if idx := stemIdx[sig][v]; idx > 0 {
+			faults[idx-1].Equiv++
+		}
+	}
+
+	for i := range n.Gates {
+		g := &n.Gates[i]
+		for p := 0; p < g.Kind.NumInputs(); p++ {
+			drv := g.In[p]
+			for v := 0; v < 2; v++ {
+				if rep, ok := inputEquiv(g.Kind, p, v); ok {
+					// Equivalent to this gate's own output fault.
+					absorbStem(gate.Sig(i), rep)
+					continue
+				}
+				if fanout[drv] == 1 {
+					// Fanout-free branch: equivalent to the driver stem.
+					absorbStem(drv, v)
+					continue
+				}
+				faults = append(faults, Fault{
+					Site:  gate.FaultSite{Gate: gate.Sig(i), Pin: int8(p + 1), Stuck: v == 1},
+					Comp:  g.Comp,
+					Equiv: 1,
+				})
+			}
+		}
+	}
+	return faults
+}
+
+// inputEquiv reports whether a stuck-at-v fault on input pin p of a gate of
+// kind k is equivalent to an output fault, and which output polarity.
+func inputEquiv(k gate.Kind, p, v int) (outV int, ok bool) {
+	switch k {
+	case gate.Buf, gate.DFF:
+		return v, true
+	case gate.Not:
+		return 1 - v, true
+	case gate.And2:
+		if v == 0 {
+			return 0, true
+		}
+	case gate.Nand2:
+		if v == 0 {
+			return 1, true
+		}
+	case gate.Or2:
+		if v == 1 {
+			return 1, true
+		}
+	case gate.Nor2:
+		if v == 1 {
+			return 0, true
+		}
+	case gate.Mux2:
+		// Select (pin 2) and data pins of a mux have no input-output
+		// equivalence; keep all.
+	}
+	return 0, false
+}
+
+// TotalEquiv sums the equivalence-class sizes: the uncollapsed fault count.
+func TotalEquiv(faults []Fault) int {
+	total := 0
+	for _, f := range faults {
+		total += f.Equiv
+	}
+	return total
+}

@@ -1,0 +1,170 @@
+package gate
+
+// Builder constructs netlists one cell at a time. It tracks the current
+// component region so that synthesized structures are tagged for
+// per-component gate counting and fault coverage.
+type Builder struct {
+	N    *Netlist
+	comp CompID
+
+	const0 Sig
+	const1 Sig
+}
+
+// NewBuilder returns a builder over a fresh netlist.
+func NewBuilder(name string) *Builder {
+	b := &Builder{N: NewNetlist(name), const0: NoSig, const1: NoSig}
+	return b
+}
+
+// BeginComponent registers a component region and makes it current; gates
+// created until the next BeginComponent/EndComponent belong to it.
+func (b *Builder) BeginComponent(name string) CompID {
+	id := b.N.AddComponent(name)
+	b.comp = id
+	return id
+}
+
+// SetComponent makes an existing component region current.
+func (b *Builder) SetComponent(id CompID) { b.comp = id }
+
+// EndComponent reverts to the glue-logic region.
+func (b *Builder) EndComponent() { b.comp = GlueComp }
+
+// Component reports the current component region.
+func (b *Builder) Component() CompID { return b.comp }
+
+// InputBus declares a primary input bus in the current component.
+func (b *Builder) InputBus(name string, width int) []Sig {
+	return b.N.AddInputBus(name, width, b.comp)
+}
+
+// Input declares a 1-bit primary input.
+func (b *Builder) Input(name string) Sig { return b.InputBus(name, 1)[0] }
+
+// OutputBus declares a primary output bus.
+func (b *Builder) OutputBus(name string, sigs []Sig) { b.N.AddOutputBus(name, sigs) }
+
+// Output declares a 1-bit primary output.
+func (b *Builder) Output(name string, s Sig) { b.N.AddOutputBus(name, []Sig{s}) }
+
+func (b *Builder) cell(k Kind, in0, in1, in2 Sig) Sig {
+	return b.N.add(Gate{Kind: k, In: [3]Sig{in0, in1, in2}, Comp: b.comp})
+}
+
+// Const0 returns the constant-0 signal (created on first use).
+func (b *Builder) Const0() Sig {
+	if b.const0 == NoSig {
+		b.const0 = b.N.add(Gate{Kind: Const0, In: [3]Sig{NoSig, NoSig, NoSig}, Comp: GlueComp})
+	}
+	return b.const0
+}
+
+// Const1 returns the constant-1 signal (created on first use).
+func (b *Builder) Const1() Sig {
+	if b.const1 == NoSig {
+		b.const1 = b.N.add(Gate{Kind: Const1, In: [3]Sig{NoSig, NoSig, NoSig}, Comp: GlueComp})
+	}
+	return b.const1
+}
+
+// ConstBit returns Const0 or Const1.
+func (b *Builder) ConstBit(v bool) Sig {
+	if v {
+		return b.Const1()
+	}
+	return b.Const0()
+}
+
+// Buf inserts a buffer.
+func (b *Builder) Buf(a Sig) Sig { return b.cell(Buf, a, NoSig, NoSig) }
+
+// Not inserts an inverter.
+func (b *Builder) Not(a Sig) Sig { return b.cell(Not, a, NoSig, NoSig) }
+
+// And inserts a 2-input AND.
+func (b *Builder) And(a, c Sig) Sig { return b.cell(And2, a, c, NoSig) }
+
+// Or inserts a 2-input OR.
+func (b *Builder) Or(a, c Sig) Sig { return b.cell(Or2, a, c, NoSig) }
+
+// Nand inserts a 2-input NAND.
+func (b *Builder) Nand(a, c Sig) Sig { return b.cell(Nand2, a, c, NoSig) }
+
+// Nor inserts a 2-input NOR.
+func (b *Builder) Nor(a, c Sig) Sig { return b.cell(Nor2, a, c, NoSig) }
+
+// Xor inserts a 2-input XOR.
+func (b *Builder) Xor(a, c Sig) Sig { return b.cell(Xor2, a, c, NoSig) }
+
+// Xnor inserts a 2-input XNOR.
+func (b *Builder) Xnor(a, c Sig) Sig { return b.cell(Xnor2, a, c, NoSig) }
+
+// Mux inserts a 2-to-1 mux: result is a when sel==0, c when sel==1.
+func (b *Builder) Mux(a, c, sel Sig) Sig { return b.cell(Mux2, a, c, sel) }
+
+// DFF inserts a D flip-flop clocked by the implicit global clock.
+func (b *Builder) DFF(d Sig) Sig { return b.cell(DFF, d, NoSig, NoSig) }
+
+// DFFPlaceholder inserts a flip-flop whose D input is connected later via
+// ConnectD, enabling feedback (state machine) construction.
+func (b *Builder) DFFPlaceholder() Sig { return b.cell(DFF, NoSig, NoSig, NoSig) }
+
+// ConnectD wires the D input of a placeholder flip-flop.
+func (b *Builder) ConnectD(ff, d Sig) {
+	g := &b.N.Gates[ff]
+	if g.Kind != DFF {
+		panic("gate: ConnectD target is not a DFF")
+	}
+	if g.In[0] != NoSig {
+		panic("gate: DFF D input already connected")
+	}
+	g.In[0] = d
+}
+
+// Wire inserts a forward-declared buffer whose driver is connected later
+// via DriveWire, breaking build-order cycles between components.
+func (b *Builder) Wire() Sig { return b.cell(Buf, NoSig, NoSig, NoSig) }
+
+// DriveWire connects the driver of a forward-declared wire.
+func (b *Builder) DriveWire(w, src Sig) {
+	g := &b.N.Gates[w]
+	if g.Kind != Buf {
+		panic("gate: DriveWire target is not a wire")
+	}
+	if g.In[0] != NoSig {
+		panic("gate: wire already driven")
+	}
+	g.In[0] = src
+}
+
+// AndN reduces any number of signals with a balanced AND tree.
+func (b *Builder) AndN(sigs ...Sig) Sig { return b.reduce(b.And, b.Const1(), sigs) }
+
+// OrN reduces any number of signals with a balanced OR tree.
+func (b *Builder) OrN(sigs ...Sig) Sig { return b.reduce(b.Or, b.Const0(), sigs) }
+
+// XorN reduces any number of signals with a balanced XOR tree.
+func (b *Builder) XorN(sigs ...Sig) Sig { return b.reduce(b.Xor, b.Const0(), sigs) }
+
+func (b *Builder) reduce(op func(Sig, Sig) Sig, empty Sig, sigs []Sig) Sig {
+	switch len(sigs) {
+	case 0:
+		return empty
+	case 1:
+		return sigs[0]
+	}
+	// Balanced tree keeps logic depth logarithmic.
+	cur := append([]Sig(nil), sigs...)
+	for len(cur) > 1 {
+		var next []Sig
+		for i := 0; i+1 < len(cur); i += 2 {
+			next = append(next, op(cur[i], cur[i+1]))
+		}
+		if len(cur)%2 == 1 {
+			next = append(next, cur[len(cur)-1])
+		}
+		cur = next
+	}
+	return cur[0]
+}

@@ -1,0 +1,483 @@
+package gate
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// buildAllKinds builds a netlist with one cell of every combinational kind
+// fed by two inputs, outputs named per kind.
+func buildAllKinds() *Builder {
+	b := NewBuilder("kinds")
+	a := b.Input("a")
+	c := b.Input("b")
+	b.Output("buf", b.Buf(a))
+	b.Output("not", b.Not(a))
+	b.Output("and", b.And(a, c))
+	b.Output("or", b.Or(a, c))
+	b.Output("nand", b.Nand(a, c))
+	b.Output("nor", b.Nor(a, c))
+	b.Output("xor", b.Xor(a, c))
+	b.Output("xnor", b.Xnor(a, c))
+	b.Output("c0", b.Const0())
+	b.Output("c1", b.Const1())
+	return b
+}
+
+func TestTruthTables(t *testing.T) {
+	b := buildAllKinds()
+	s, err := NewSim(b.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		a, c uint64
+	}{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	want := map[string]func(a, c uint64) uint64{
+		"buf":  func(a, c uint64) uint64 { return a },
+		"not":  func(a, c uint64) uint64 { return 1 ^ a },
+		"and":  func(a, c uint64) uint64 { return a & c },
+		"or":   func(a, c uint64) uint64 { return a | c },
+		"nand": func(a, c uint64) uint64 { return 1 ^ a&c },
+		"nor":  func(a, c uint64) uint64 { return 1 ^ (a | c) },
+		"xor":  func(a, c uint64) uint64 { return a ^ c },
+		"xnor": func(a, c uint64) uint64 { return 1 ^ a ^ c },
+		"c0":   func(a, c uint64) uint64 { return 0 },
+		"c1":   func(a, c uint64) uint64 { return 1 },
+	}
+	for _, tc := range cases {
+		s.SetBusUniform("a", tc.a)
+		s.SetBusUniform("b", tc.c)
+		s.Eval()
+		for name, f := range want {
+			if got := s.BusLane(name, 0) & 1; got != f(tc.a, tc.c) {
+				t.Errorf("%s(a=%d,b=%d) = %d, want %d", name, tc.a, tc.c, got, f(tc.a, tc.c))
+			}
+			// All lanes must agree with uniform inputs.
+			if got := s.BusLane(name, 63) & 1; got != f(tc.a, tc.c) {
+				t.Errorf("%s lane 63 disagrees with lane 0", name)
+			}
+		}
+	}
+}
+
+func TestMux(t *testing.T) {
+	b := NewBuilder("mux")
+	a := b.Input("a")
+	c := b.Input("b")
+	sel := b.Input("sel")
+	b.Output("y", b.Mux(a, c, sel))
+	s, err := NewSim(b.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		av, cv, sv := uint64(i&1), uint64(i>>1&1), uint64(i>>2&1)
+		s.SetBusUniform("a", av)
+		s.SetBusUniform("b", cv)
+		s.SetBusUniform("sel", sv)
+		s.Eval()
+		want := av
+		if sv == 1 {
+			want = cv
+		}
+		if got := s.BusLane("y", 0); got != want {
+			t.Errorf("mux(a=%d,b=%d,sel=%d) = %d, want %d", av, cv, sv, got, want)
+		}
+	}
+}
+
+func TestDFFHoldsState(t *testing.T) {
+	b := NewBuilder("dff")
+	d := b.Input("d")
+	q := b.DFF(d)
+	b.Output("q", q)
+	s, err := NewSim(b.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Reset()
+	s.SetBusUniform("d", 1)
+	s.Eval()
+	if got := s.BusLane("q", 0); got != 0 {
+		t.Fatalf("DFF output before first clock = %d, want 0", got)
+	}
+	s.Latch()
+	s.SetBusUniform("d", 0)
+	s.Eval()
+	if got := s.BusLane("q", 0); got != 1 {
+		t.Fatalf("DFF output after latching 1 = %d, want 1", got)
+	}
+	s.Latch()
+	s.Eval()
+	if got := s.BusLane("q", 0); got != 0 {
+		t.Fatalf("DFF output after latching 0 = %d, want 0", got)
+	}
+}
+
+func TestDFFFeedbackToggle(t *testing.T) {
+	// T flip-flop via placeholder: D = NOT Q toggles every cycle.
+	b := NewBuilder("toggle")
+	q := b.DFFPlaceholder()
+	b.ConnectD(q, b.Not(q))
+	b.Output("q", q)
+	s, err := NewSim(b.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Reset()
+	want := uint64(0)
+	for i := 0; i < 10; i++ {
+		s.Eval()
+		if got := s.BusLane("q", 0); got != want {
+			t.Fatalf("cycle %d: q = %d, want %d", i, got, want)
+		}
+		s.Latch()
+		want ^= 1
+	}
+}
+
+func TestCombinationalCycleDetected(t *testing.T) {
+	b := NewBuilder("cycle")
+	a := b.Input("a")
+	// Create a loop: x = AND(a, y), y = BUF(x) by patching.
+	x := b.And(a, a)
+	y := b.Buf(x)
+	b.N.Gates[x].In[1] = y
+	if err := b.N.Validate(); err == nil {
+		t.Fatal("Validate accepted a combinational cycle")
+	}
+}
+
+func TestValidateCatchesBadPins(t *testing.T) {
+	b := NewBuilder("bad")
+	a := b.Input("a")
+	x := b.Not(a)
+	b.N.Gates[x].In[0] = 999
+	if err := b.N.Validate(); err == nil {
+		t.Fatal("Validate accepted out-of-range input pin")
+	}
+}
+
+func TestFaultInjectionOutputPin(t *testing.T) {
+	b := NewBuilder("finj")
+	a := b.Input("a")
+	c := b.Input("b")
+	y := b.And(a, c)
+	b.Output("y", y)
+	s, err := NewSim(b.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lane 3: y stuck-at-1; lane 5: y stuck-at-0.
+	s.SetFaults([]LaneFault{
+		{Site: FaultSite{Gate: y, Pin: 0, Stuck: true}, Lane: 3},
+		{Site: FaultSite{Gate: y, Pin: 0, Stuck: false}, Lane: 5},
+	})
+	s.SetBusUniform("a", 0)
+	s.SetBusUniform("b", 1)
+	s.Eval()
+	if got := s.BusLane("y", 0); got != 0 {
+		t.Errorf("good lane: y = %d, want 0", got)
+	}
+	if got := s.BusLane("y", 3); got != 1 {
+		t.Errorf("s-a-1 lane: y = %d, want 1", got)
+	}
+	s.SetBusUniform("a", 1)
+	s.Eval()
+	if got := s.BusLane("y", 0); got != 1 {
+		t.Errorf("good lane: y = %d, want 1", got)
+	}
+	if got := s.BusLane("y", 5); got != 0 {
+		t.Errorf("s-a-0 lane: y = %d, want 0", got)
+	}
+	s.ClearFaults()
+	s.Eval()
+	if got := s.BusLane("y", 3) | s.BusLane("y", 5); got != 1 {
+		t.Errorf("after ClearFaults, faulty lanes should follow good value")
+	}
+}
+
+func TestFaultInjectionInputPin(t *testing.T) {
+	// Input-pin faults must affect only the one gate, not the shared net.
+	b := NewBuilder("finj2")
+	a := b.Input("a")
+	c := b.Input("b")
+	y1 := b.And(a, c)
+	y2 := b.Or(a, c)
+	b.Output("y1", y1)
+	b.Output("y2", y2)
+	s, err := NewSim(b.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fault: AND gate's first input (pin 1) stuck-at-0 in lane 0.
+	s.SetFaults([]LaneFault{{Site: FaultSite{Gate: y1, Pin: 1, Stuck: false}, Lane: 0}})
+	s.SetBusUniform("a", 1)
+	s.SetBusUniform("b", 1)
+	s.Eval()
+	if got := s.BusLane("y1", 0); got != 0 {
+		t.Errorf("AND with in0 s-a-0: y1 = %d, want 0", got)
+	}
+	if got := s.BusLane("y2", 0); got != 1 {
+		t.Errorf("OR sharing net a must be unaffected: y2 = %d, want 1", got)
+	}
+	if got := s.BusLane("y1", 1); got != 1 {
+		t.Errorf("fault leaked into lane 1: y1 = %d, want 1", got)
+	}
+}
+
+func TestFaultInjectionDFF(t *testing.T) {
+	b := NewBuilder("fdff")
+	d := b.Input("d")
+	q := b.DFF(d)
+	b.Output("q", q)
+	s, err := NewSim(b.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Reset()
+	// DFF output stuck-at-1 in lane 2; D-input (pin 1) stuck-at-1 in lane 4.
+	s.SetFaults([]LaneFault{
+		{Site: FaultSite{Gate: q, Pin: 0, Stuck: true}, Lane: 2},
+		{Site: FaultSite{Gate: q, Pin: 1, Stuck: true}, Lane: 4},
+	})
+	s.SetBusUniform("d", 0)
+	s.Step()
+	s.Eval()
+	if got := s.BusLane("q", 0); got != 0 {
+		t.Errorf("good lane q = %d, want 0", got)
+	}
+	if got := s.BusLane("q", 2); got != 1 {
+		t.Errorf("q-output s-a-1 lane = %d, want 1", got)
+	}
+	if got := s.BusLane("q", 4); got != 1 {
+		t.Errorf("D s-a-1 lane after clock = %d, want 1", got)
+	}
+}
+
+func TestReduceTrees(t *testing.T) {
+	b := NewBuilder("reduce")
+	in := b.InputBus("x", 7)
+	b.Output("and", b.AndN(in...))
+	b.Output("or", b.OrN(in...))
+	b.Output("xor", b.XorN(in...))
+	s, err := NewSim(b.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(x uint64) bool {
+		s.SetBusUniform("x", x)
+		s.Eval()
+		x &= 0x7f
+		wantAnd := uint64(0)
+		if x == 0x7f {
+			wantAnd = 1
+		}
+		wantOr := uint64(0)
+		if x != 0 {
+			wantOr = 1
+		}
+		var wantXor uint64
+		for i := 0; i < 7; i++ {
+			wantXor ^= x >> uint(i) & 1
+		}
+		return s.BusLane("and", 0) == wantAnd &&
+			s.BusLane("or", 0) == wantOr &&
+			s.BusLane("xor", 0) == wantXor
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+	// Exhaustive for 7 bits as well.
+	for x := uint64(0); x < 128; x++ {
+		if !check(x) {
+			t.Fatalf("reduce trees wrong for x=%#x", x)
+		}
+	}
+}
+
+func TestGateCountWeights(t *testing.T) {
+	b := NewBuilder("area")
+	a := b.Input("a")
+	c := b.Input("b")
+	b.BeginComponent("ALU")
+	n1 := b.Nand(a, c)
+	x1 := b.Xor(a, c)
+	b.EndComponent()
+	d := b.DFF(n1)
+	b.Output("y", x1)
+	b.Output("q", d)
+	perComp, total := b.N.GateCount()
+	// NAND2 = 1, XOR2 = 2.5 in component ALU; DFF = 6 in glue.
+	if got := perComp[1]; got != 3.5 {
+		t.Errorf("ALU area = %v, want 3.5", got)
+	}
+	if got := perComp[0]; got != 6 {
+		t.Errorf("glue area = %v, want 6 (DFF)", got)
+	}
+	if total != 9.5 {
+		t.Errorf("total area = %v, want 9.5", total)
+	}
+	st := b.N.Stats()
+	if st.DFFs != 1 {
+		t.Errorf("Stats.DFFs = %d, want 1", st.DFFs)
+	}
+	if st.Levels != 1 {
+		t.Errorf("Stats.Levels = %d, want 1", st.Levels)
+	}
+}
+
+func TestBusWordsRoundTrip(t *testing.T) {
+	b := NewBuilder("bus")
+	in := b.InputBus("x", 8)
+	out := make([]Sig, 8)
+	for i := range out {
+		out[i] = b.Buf(in[i])
+	}
+	b.OutputBus("y", out)
+	s, err := NewSim(b.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := make([]uint64, 8)
+	for i := range words {
+		words[i] = uint64(i) * 0x0123456789abcdef
+	}
+	s.SetBusWords("x", words)
+	s.Eval()
+	got := make([]uint64, 8)
+	s.BusWords("y", got)
+	for i := range got {
+		if got[i] != words[i] {
+			t.Errorf("bit %d: got %#x, want %#x", i, got[i], words[i])
+		}
+	}
+	// Per-lane extraction must transpose correctly.
+	for lane := 0; lane < 64; lane += 7 {
+		var want uint64
+		for i := range words {
+			want |= (words[i] >> uint(lane) & 1) << uint(i)
+		}
+		if got := s.BusLane("y", lane); got != want {
+			t.Errorf("lane %d: got %#x, want %#x", lane, got, want)
+		}
+	}
+}
+
+func TestObservedSignalsDedup(t *testing.T) {
+	b := NewBuilder("obs")
+	a := b.Input("a")
+	y := b.Not(a)
+	b.Output("y1", y)
+	b.Output("y2", y)
+	if got := len(b.N.ObservedSignals()); got != 1 {
+		t.Errorf("ObservedSignals len = %d, want 1", got)
+	}
+}
+
+func TestBuilderAccessors(t *testing.T) {
+	b := NewBuilder("acc")
+	a := b.Input("a")
+	id := b.BeginComponent("X")
+	if b.Component() != id {
+		t.Error("Component() after Begin")
+	}
+	b.EndComponent()
+	b.SetComponent(id)
+	y := b.And(a, b.ConstBit(true))
+	z := b.Or(a, b.ConstBit(false))
+	b.Output("y", y)
+	b.Output("z", z)
+	if b.N.Gates[y].Comp != id {
+		t.Error("SetComponent not applied")
+	}
+	if b.N.ComponentOf(y) != "X" {
+		t.Errorf("ComponentOf = %q", b.N.ComponentOf(y))
+	}
+	names := b.N.SortedComponentNames()
+	if len(names) != 2 || names[0] != "GL" || names[1] != "X" {
+		t.Errorf("SortedComponentNames = %v", names)
+	}
+	if got := b.N.NumSignals(); got != len(b.N.Gates) {
+		t.Errorf("NumSignals = %d", got)
+	}
+	if in := b.N.InputNames(); len(in) != 1 || in[0] != "a" {
+		t.Errorf("InputNames = %v", in)
+	}
+	if out := b.N.OutputNames(); len(out) != 2 || out[0] != "y" {
+		t.Errorf("OutputNames = %v", out)
+	}
+	cc := b.N.CellCount(false)
+	if cc[And2] != 1 || cc[Or2] != 1 || cc[Input] != 0 {
+		t.Errorf("CellCount = %v", cc)
+	}
+	ccAll := b.N.CellCount(true)
+	if ccAll[Input] != 1 || ccAll[Const1] != 1 {
+		t.Errorf("CellCount(true) = %v", ccAll)
+	}
+}
+
+func TestWireDrive(t *testing.T) {
+	b := NewBuilder("wire")
+	a := b.Input("a")
+	w := b.Wire()
+	y := b.Not(w)
+	b.Output("y", y)
+	b.DriveWire(w, a)
+	s, err := NewSim(b.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetBusUniform("a", 1)
+	s.Eval()
+	if got := s.BusLane("y", 0); got != 0 {
+		t.Errorf("wired inverter = %d", got)
+	}
+	// Errors: double drive, wrong target.
+	func() {
+		defer func() { recover() }()
+		b.DriveWire(w, a)
+		t.Error("double DriveWire accepted")
+	}()
+	func() {
+		defer func() { recover() }()
+		b.DriveWire(y, a)
+		t.Error("DriveWire on non-wire accepted")
+	}()
+}
+
+func TestConnectDErrors(t *testing.T) {
+	b := NewBuilder("cd")
+	a := b.Input("a")
+	ff := b.DFF(a)
+	func() {
+		defer func() { recover() }()
+		b.ConnectD(ff, a) // already connected
+		t.Error("double ConnectD accepted")
+	}()
+	func() {
+		defer func() { recover() }()
+		b.ConnectD(a, a) // not a DFF
+		t.Error("ConnectD on input accepted")
+	}()
+}
+
+func TestStringers(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		if k.String() == "" {
+			t.Errorf("kind %d has empty name", k)
+		}
+	}
+	if Kind(200).String() == "" {
+		t.Error("out-of-range kind stringer")
+	}
+	f := FaultSite{Gate: 3, Pin: 0, Stuck: true}
+	if f.String() != "g3/out s-a-1" {
+		t.Errorf("FaultSite.String = %q", f.String())
+	}
+	f = FaultSite{Gate: 7, Pin: 2, Stuck: false}
+	if f.String() != "g7/in1 s-a-0" {
+		t.Errorf("FaultSite.String = %q", f.String())
+	}
+}

@@ -1,0 +1,115 @@
+// Package gate provides the gate-level substrate for the SBST reproduction:
+// a small structural cell library, a netlist data structure with named ports
+// and per-component tagging, and a cycle-accurate bit-parallel logic
+// simulator with fault-injection hooks.
+//
+// Signals are identified by the index of the gate that drives them; every
+// gate drives exactly one signal. Sequential behaviour is modeled by DFF
+// cells that latch their D input at the end of every Step.
+package gate
+
+import "fmt"
+
+// Kind enumerates the cell library. All cells have at most three inputs;
+// wider functions are built structurally from these.
+type Kind uint8
+
+const (
+	// Input is a primary input pin of the netlist. Its value is set
+	// externally before each evaluation.
+	Input Kind = iota
+	// Const0 drives constant logic 0.
+	Const0
+	// Const1 drives constant logic 1.
+	Const1
+	// Buf drives its single input unchanged.
+	Buf
+	// Not drives the complement of its single input.
+	Not
+	// And2 is a 2-input AND.
+	And2
+	// Or2 is a 2-input OR.
+	Or2
+	// Nand2 is a 2-input NAND, the unit cell for gate counting.
+	Nand2
+	// Nor2 is a 2-input NOR.
+	Nor2
+	// Xor2 is a 2-input XOR.
+	Xor2
+	// Xnor2 is a 2-input XNOR.
+	Xnor2
+	// Mux2 selects In[0] when In[2] is 0 and In[1] when In[2] is 1.
+	Mux2
+	// DFF is a positive-edge D flip-flop: its output presents the state
+	// latched at the previous Step; In[0] is the D input. Reset clears the
+	// state to 0.
+	DFF
+
+	numKinds = iota
+)
+
+var kindNames = [numKinds]string{
+	Input:  "INPUT",
+	Const0: "CONST0",
+	Const1: "CONST1",
+	Buf:    "BUF",
+	Not:    "NOT",
+	And2:   "AND2",
+	Or2:    "OR2",
+	Nand2:  "NAND2",
+	Nor2:   "NOR2",
+	Xor2:   "XOR2",
+	Xnor2:  "XNOR2",
+	Mux2:   "MUX2",
+	DFF:    "DFF",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// arity reports the number of connected input pins for each kind.
+var arity = [numKinds]int{
+	Input:  0,
+	Const0: 0,
+	Const1: 0,
+	Buf:    1,
+	Not:    1,
+	And2:   2,
+	Or2:    2,
+	Nand2:  2,
+	Nor2:   2,
+	Xor2:   2,
+	Xnor2:  2,
+	Mux2:   3,
+	DFF:    1,
+}
+
+// NumInputs reports how many input pins cells of kind k have.
+func (k Kind) NumInputs() int { return arity[k] }
+
+// halfUnits is the area of each cell in half-NAND2 equivalents, loosely
+// following typical standard-cell library ratios (INV=0.5, NAND2=1,
+// AND2=1.5, XOR2=2.5, MUX2=2.5, DFF=6 NAND2 equivalents).
+var halfUnits = [numKinds]int{
+	Input:  0,
+	Const0: 0,
+	Const1: 0,
+	Buf:    1,
+	Not:    1,
+	And2:   3,
+	Or2:    3,
+	Nand2:  2,
+	Nor2:   2,
+	Xor2:   5,
+	Xnor2:  5,
+	Mux2:   5,
+	DFF:    12,
+}
+
+// NAND2Equivalents reports the cell area in 2-input-NAND equivalents, the
+// gate-count unit used by Table 3 of the paper.
+func (k Kind) NAND2Equivalents() float64 { return float64(halfUnits[k]) / 2 }

@@ -1,0 +1,305 @@
+package gate
+
+import "fmt"
+
+// FaultSite identifies a single stuck-at fault location: a pin of a gate.
+// Pin 0 is the gate output (equivalently the stem of the driven signal);
+// pins 1..3 are the gate's input pins 0..2 (fanout-branch faults).
+type FaultSite struct {
+	Gate  Sig
+	Pin   int8
+	Stuck bool // true: stuck-at-1, false: stuck-at-0
+}
+
+func (f FaultSite) String() string {
+	v := 0
+	if f.Stuck {
+		v = 1
+	}
+	if f.Pin == 0 {
+		return fmt.Sprintf("g%d/out s-a-%d", f.Gate, v)
+	}
+	return fmt.Sprintf("g%d/in%d s-a-%d", f.Gate, f.Pin-1, v)
+}
+
+// LaneFault assigns a fault site to one of the 64 simulation lanes.
+type LaneFault struct {
+	Site FaultSite
+	Lane int
+}
+
+// laneInject is the compiled per-gate injection record.
+type laneInject struct {
+	pin   int8
+	mask  uint64 // 1 bit set: the lane carrying this fault
+	stuck uint64 // mask when stuck-at-1, 0 when stuck-at-0
+}
+
+// Sim is a cycle-accurate, bit-parallel simulator over a fixed netlist.
+// Each signal carries a 64-bit word: one independent machine per bit lane.
+// Lanes are used either for 64 test patterns at once (combinational
+// characterization) or 64 faulty machines at once (fault simulation).
+//
+// A Step evaluates all combinational logic from the current inputs and DFF
+// outputs, then latches every DFF. Faults registered via SetFaults are
+// injected only into their assigned lane.
+type Sim struct {
+	n     *Netlist
+	order []Sig
+
+	val   []uint64 // current signal values
+	state []uint64 // DFF latched state, indexed by signal
+
+	hookIdx []int32 // per signal: -1 or index into hooks
+	hooks   [][]laneInject
+	hooked  []Sig // signals that currently have hooks, for cheap clearing
+}
+
+// NewSim compiles a netlist into a simulator. The netlist must validate.
+func NewSim(n *Netlist) (*Sim, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := n.levelize()
+	if err != nil {
+		return nil, err
+	}
+	s := &Sim{
+		n:       n,
+		order:   order,
+		val:     make([]uint64, len(n.Gates)),
+		state:   make([]uint64, len(n.Gates)),
+		hookIdx: make([]int32, len(n.Gates)),
+		hooks:   make([][]laneInject, 0, 64),
+	}
+	for i := range s.hookIdx {
+		s.hookIdx[i] = -1
+	}
+	return s, nil
+}
+
+// Netlist returns the compiled netlist.
+func (s *Sim) Netlist() *Netlist { return s.n }
+
+// Reset clears all flip-flop state and signal values.
+func (s *Sim) Reset() {
+	for i := range s.state {
+		s.state[i] = 0
+		s.val[i] = 0
+	}
+}
+
+// SetFaults installs the given lane faults, replacing any previous set.
+// Lanes must be in [0, 64).
+func (s *Sim) SetFaults(faults []LaneFault) {
+	s.ClearFaults()
+	for _, lf := range faults {
+		if lf.Lane < 0 || lf.Lane > 63 {
+			panic(fmt.Sprintf("gate: lane %d out of range", lf.Lane))
+		}
+		g := lf.Site.Gate
+		if g < 0 || int(g) >= len(s.n.Gates) {
+			panic(fmt.Sprintf("gate: fault site gate %d out of range", g))
+		}
+		inj := laneInject{pin: lf.Site.Pin, mask: 1 << uint(lf.Lane)}
+		if lf.Site.Stuck {
+			inj.stuck = inj.mask
+		}
+		if s.hookIdx[g] < 0 {
+			s.hookIdx[g] = int32(len(s.hooks))
+			s.hooks = append(s.hooks, nil)
+			s.hooked = append(s.hooked, g)
+		}
+		h := s.hookIdx[g]
+		s.hooks[h] = append(s.hooks[h], inj)
+	}
+}
+
+// ClearFaults removes all installed faults.
+func (s *Sim) ClearFaults() {
+	for _, g := range s.hooked {
+		s.hookIdx[g] = -1
+	}
+	s.hooked = s.hooked[:0]
+	s.hooks = s.hooks[:0]
+}
+
+// SetBusUniform drives an input bus with the same value in every lane.
+// Bit i of value drives signal i of the bus (all-zeros/all-ones words).
+func (s *Sim) SetBusUniform(name string, value uint64) {
+	sigs := s.n.InputBus(name)
+	for i, sig := range sigs {
+		if value>>uint(i)&1 != 0 {
+			s.val[sig] = ^uint64(0)
+		} else {
+			s.val[sig] = 0
+		}
+	}
+}
+
+// SetBusWords drives an input bus with per-lane values: words[i] is the full
+// 64-lane word for bit i of the bus.
+func (s *Sim) SetBusWords(name string, words []uint64) {
+	sigs := s.n.InputBus(name)
+	if len(words) != len(sigs) {
+		panic(fmt.Sprintf("gate: SetBusWords(%q): got %d words, bus width %d", name, len(words), len(sigs)))
+	}
+	for i, sig := range sigs {
+		s.val[sig] = words[i]
+	}
+}
+
+// BusWords reads an output bus as per-bit lane words into dst, which must
+// have the bus width.
+func (s *Sim) BusWords(name string, dst []uint64) {
+	sigs := s.n.OutputBus(name)
+	if len(dst) != len(sigs) {
+		panic(fmt.Sprintf("gate: BusWords(%q): got %d words, bus width %d", name, len(dst), len(sigs)))
+	}
+	for i, sig := range sigs {
+		dst[i] = s.val[sig]
+	}
+}
+
+// BusLane extracts the value of an output bus in a single lane.
+func (s *Sim) BusLane(name string, lane int) uint64 {
+	sigs := s.n.OutputBus(name)
+	var v uint64
+	for i, sig := range sigs {
+		v |= (s.val[sig] >> uint(lane) & 1) << uint(i)
+	}
+	return v
+}
+
+// SigWord returns the raw 64-lane word of a signal (for observation capture).
+func (s *Sim) SigWord(sig Sig) uint64 { return s.val[sig] }
+
+// inVal reads the value seen by pin (1-based input index) of a hooked gate,
+// applying any input-pin fault injections for that pin.
+func (s *Sim) hookedIn(h int32, pin int8, raw uint64) uint64 {
+	for _, inj := range s.hooks[h] {
+		if inj.pin == pin {
+			raw = raw&^inj.mask | inj.stuck
+		}
+	}
+	return raw
+}
+
+// hookedOut applies output-pin fault injections of a hooked gate.
+func (s *Sim) hookedOut(h int32, raw uint64) uint64 {
+	for _, inj := range s.hooks[h] {
+		if inj.pin == 0 {
+			raw = raw&^inj.mask | inj.stuck
+		}
+	}
+	return raw
+}
+
+// Eval evaluates combinational logic from the current primary inputs and
+// flip-flop state without latching. Primary outputs are valid afterwards.
+func (s *Sim) Eval() {
+	gates := s.n.Gates
+	val := s.val
+
+	// Present DFF state (and constants) with output-fault injection.
+	for i := range gates {
+		switch gates[i].Kind {
+		case DFF:
+			v := s.state[i]
+			if h := s.hookIdx[i]; h >= 0 {
+				v = s.hookedOut(h, v)
+			}
+			val[i] = v
+		case Const0:
+			v := uint64(0)
+			if h := s.hookIdx[i]; h >= 0 {
+				v = s.hookedOut(h, v)
+			}
+			val[i] = v
+		case Const1:
+			v := ^uint64(0)
+			if h := s.hookIdx[i]; h >= 0 {
+				v = s.hookedOut(h, v)
+			}
+			val[i] = v
+		case Input:
+			if h := s.hookIdx[i]; h >= 0 {
+				val[i] = s.hookedOut(h, val[i])
+			}
+		}
+	}
+
+	for _, sig := range s.order {
+		g := &gates[sig]
+		h := s.hookIdx[sig]
+		var a, b, c uint64
+		switch g.Kind.NumInputs() {
+		case 1:
+			a = val[g.In[0]]
+			if h >= 0 {
+				a = s.hookedIn(h, 1, a)
+			}
+		case 2:
+			a, b = val[g.In[0]], val[g.In[1]]
+			if h >= 0 {
+				a = s.hookedIn(h, 1, a)
+				b = s.hookedIn(h, 2, b)
+			}
+		case 3:
+			a, b, c = val[g.In[0]], val[g.In[1]], val[g.In[2]]
+			if h >= 0 {
+				a = s.hookedIn(h, 1, a)
+				b = s.hookedIn(h, 2, b)
+				c = s.hookedIn(h, 3, c)
+			}
+		}
+		var out uint64
+		switch g.Kind {
+		case Buf:
+			out = a
+		case Not:
+			out = ^a
+		case And2:
+			out = a & b
+		case Or2:
+			out = a | b
+		case Nand2:
+			out = ^(a & b)
+		case Nor2:
+			out = ^(a | b)
+		case Xor2:
+			out = a ^ b
+		case Xnor2:
+			out = ^(a ^ b)
+		case Mux2:
+			out = a&^c | b&c
+		default:
+			panic(fmt.Sprintf("gate: unexpected kind %s in eval order", g.Kind))
+		}
+		if h >= 0 {
+			out = s.hookedOut(h, out)
+		}
+		val[sig] = out
+	}
+}
+
+// Latch clocks every DFF, capturing its (possibly fault-injected) D input.
+func (s *Sim) Latch() {
+	gates := s.n.Gates
+	for i := range gates {
+		if gates[i].Kind != DFF {
+			continue
+		}
+		d := s.val[gates[i].In[0]]
+		if h := s.hookIdx[i]; h >= 0 {
+			d = s.hookedIn(h, 1, d)
+		}
+		s.state[i] = d
+	}
+}
+
+// Step performs one full clock cycle: Eval then Latch.
+func (s *Sim) Step() {
+	s.Eval()
+	s.Latch()
+}

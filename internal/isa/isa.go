@@ -1,0 +1,165 @@
+// Package isa defines the MIPS I instruction subset implemented by the
+// Plasma core: all user-mode instructions except unaligned loads/stores and
+// exceptions. It provides instruction encodings, field extraction, a
+// mnemonic table shared by the assembler and disassembler, and register
+// naming.
+package isa
+
+import "fmt"
+
+// Opcode values (bits 31:26).
+const (
+	OpSpecial = 0x00
+	OpRegImm  = 0x01
+	OpJ       = 0x02
+	OpJal     = 0x03
+	OpBeq     = 0x04
+	OpBne     = 0x05
+	OpBlez    = 0x06
+	OpBgtz    = 0x07
+	OpAddi    = 0x08
+	OpAddiu   = 0x09
+	OpSlti    = 0x0a
+	OpSltiu   = 0x0b
+	OpAndi    = 0x0c
+	OpOri     = 0x0d
+	OpXori    = 0x0e
+	OpLui     = 0x0f
+	OpLb      = 0x20
+	OpLh      = 0x21
+	OpLw      = 0x23
+	OpLbu     = 0x24
+	OpLhu     = 0x25
+	OpSb      = 0x28
+	OpSh      = 0x29
+	OpSw      = 0x2b
+)
+
+// SPECIAL function codes (bits 5:0 when opcode is 0).
+const (
+	FnSll   = 0x00
+	FnSrl   = 0x02
+	FnSra   = 0x03
+	FnSllv  = 0x04
+	FnSrlv  = 0x06
+	FnSrav  = 0x07
+	FnJr    = 0x08
+	FnJalr  = 0x09
+	FnMfhi  = 0x10
+	FnMthi  = 0x11
+	FnMflo  = 0x12
+	FnMtlo  = 0x13
+	FnMult  = 0x18
+	FnMultu = 0x19
+	FnDiv   = 0x1a
+	FnDivu  = 0x1b
+	FnAdd   = 0x20
+	FnAddu  = 0x21
+	FnSub   = 0x22
+	FnSubu  = 0x23
+	FnAnd   = 0x24
+	FnOr    = 0x25
+	FnXor   = 0x26
+	FnNor   = 0x27
+	FnSlt   = 0x2a
+	FnSltu  = 0x2b
+)
+
+// REGIMM rt codes (bits 20:16 when opcode is 1).
+const (
+	RtBltz   = 0x00
+	RtBgez   = 0x01
+	RtBltzal = 0x10
+	RtBgezal = 0x11
+)
+
+// Fields is a fully decoded instruction word.
+type Fields struct {
+	Word   uint32
+	Op     uint32 // bits 31:26
+	Rs     uint32 // bits 25:21
+	Rt     uint32 // bits 20:16
+	Rd     uint32 // bits 15:11
+	Shamt  uint32 // bits 10:6
+	Funct  uint32 // bits 5:0
+	Imm    uint32 // bits 15:0 (raw, unextended)
+	Target uint32 // bits 25:0
+}
+
+// Decode splits an instruction word into its fields.
+func Decode(word uint32) Fields {
+	return Fields{
+		Word:   word,
+		Op:     word >> 26,
+		Rs:     word >> 21 & 31,
+		Rt:     word >> 16 & 31,
+		Rd:     word >> 11 & 31,
+		Shamt:  word >> 6 & 31,
+		Funct:  word & 63,
+		Imm:    word & 0xFFFF,
+		Target: word & 0x03FFFFFF,
+	}
+}
+
+// SignExtImm returns the sign-extended 16-bit immediate.
+func (f Fields) SignExtImm() uint32 { return uint32(int32(int16(f.Imm))) }
+
+// EncodeR encodes a SPECIAL (R-type) instruction.
+func EncodeR(funct, rd, rs, rt, shamt uint32) uint32 {
+	return rs<<21 | rt<<16 | rd<<11 | shamt<<6 | funct
+}
+
+// EncodeI encodes an I-type instruction with a raw 16-bit immediate.
+func EncodeI(op, rt, rs, imm uint32) uint32 {
+	return op<<26 | rs<<21 | rt<<16 | imm&0xFFFF
+}
+
+// EncodeJ encodes a J-type instruction; target is the word index within the
+// current 256 MB segment.
+func EncodeJ(op, target uint32) uint32 {
+	return op<<26 | target&0x03FFFFFF
+}
+
+// EncodeRegImm encodes a REGIMM branch.
+func EncodeRegImm(rtCode, rs, imm uint32) uint32 {
+	return OpRegImm<<26 | rs<<21 | rtCode<<16 | imm&0xFFFF
+}
+
+// regNames maps register numbers to conventional MIPS names.
+var regNames = [32]string{
+	"zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+	"t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+	"s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+	"t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra",
+}
+
+// RegName returns the conventional name of register r, e.g. "$t0".
+func RegName(r uint32) string {
+	if r < 32 {
+		return "$" + regNames[r]
+	}
+	return fmt.Sprintf("$?%d", r)
+}
+
+// RegByName resolves a register name without the leading '$': either a
+// number ("5") or a conventional name ("t0", "s8" as alias for "fp").
+func RegByName(name string) (uint32, bool) {
+	for i, n := range regNames {
+		if n == name {
+			return uint32(i), true
+		}
+	}
+	if name == "s8" {
+		return 30, true
+	}
+	var v uint32
+	var n int
+	for n < len(name) && name[n] >= '0' && name[n] <= '9' {
+		v = v*10 + uint32(name[n]-'0')
+		n++
+	}
+	if n == len(name) && n > 0 && v < 32 {
+		return v, true
+	}
+	return 0, false
+}

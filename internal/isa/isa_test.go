@@ -1,0 +1,165 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDecodeFields(t *testing.T) {
+	// add $t2, $t0, $t1 => opcode 0, rs=8, rt=9, rd=10, funct 0x20
+	w := EncodeR(FnAdd, 10, 8, 9, 0)
+	f := Decode(w)
+	if f.Op != OpSpecial || f.Rs != 8 || f.Rt != 9 || f.Rd != 10 || f.Funct != FnAdd {
+		t.Errorf("decode add: %+v", f)
+	}
+	// lw $t0, -4($sp)
+	w = EncodeI(OpLw, 8, 29, 0xFFFC)
+	f = Decode(w)
+	if f.Op != OpLw || f.Rt != 8 || f.Rs != 29 || f.SignExtImm() != 0xFFFFFFFC {
+		t.Errorf("decode lw: %+v signext=%#x", f, f.SignExtImm())
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	check := func(word uint32) bool {
+		f := Decode(word)
+		switch f.Op {
+		case OpSpecial:
+			return EncodeR(f.Funct, f.Rd, f.Rs, f.Rt, f.Shamt) == word
+		case OpRegImm:
+			return EncodeRegImm(f.Rt, f.Rs, f.Imm) == word
+		case OpJ, OpJal:
+			return EncodeJ(f.Op, f.Target) == word
+		default:
+			return EncodeI(f.Op, f.Rt, f.Rs, f.Imm) == word
+		}
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegNames(t *testing.T) {
+	cases := map[string]uint32{
+		"zero": 0, "at": 1, "v0": 2, "a0": 4, "t0": 8, "t7": 15,
+		"s0": 16, "t8": 24, "gp": 28, "sp": 29, "fp": 30, "s8": 30, "ra": 31,
+		"13": 13, "31": 31,
+	}
+	for name, want := range cases {
+		got, ok := RegByName(name)
+		if !ok || got != want {
+			t.Errorf("RegByName(%q) = %d, %v; want %d", name, got, ok, want)
+		}
+	}
+	for _, bad := range []string{"", "x9", "32", "t10", "99"} {
+		if _, ok := RegByName(bad); ok {
+			t.Errorf("RegByName(%q) accepted", bad)
+		}
+	}
+	if RegName(8) != "$t0" || RegName(31) != "$ra" {
+		t.Error("RegName wrong")
+	}
+}
+
+func TestLookupCoversAllMnemonics(t *testing.T) {
+	for _, m := range Mnemonics {
+		var w uint32
+		switch m.Op {
+		case OpSpecial:
+			w = EncodeR(m.Sub, 1, 2, 3, 4)
+		case OpRegImm:
+			w = EncodeRegImm(m.Sub, 2, 0x10)
+		case OpJ, OpJal:
+			w = EncodeJ(m.Op, 0x100)
+		default:
+			w = EncodeI(m.Op, 1, 2, 0x10)
+		}
+		got := Lookup(Decode(w))
+		if got == nil || got.Name != m.Name {
+			t.Errorf("Lookup round trip failed for %q", m.Name)
+		}
+	}
+}
+
+func TestLookupRejectsUnknown(t *testing.T) {
+	// COP0 (0x10) is not implemented.
+	if Lookup(Decode(0x10<<26)) != nil {
+		t.Error("Lookup accepted COP0")
+	}
+	// SPECIAL with unused funct 0x3f.
+	if Lookup(Decode(EncodeR(0x3f, 0, 0, 0, 0))) != nil {
+		t.Error("Lookup accepted bad funct")
+	}
+}
+
+func TestDisassembleSpotChecks(t *testing.T) {
+	cases := []struct {
+		word uint32
+		pc   uint32
+		want string
+	}{
+		{0, 0, "nop"},
+		{EncodeR(FnAdd, 10, 8, 9, 0), 0, "add $t2, $t0, $t1"},
+		{EncodeR(FnSll, 2, 0, 3, 4), 0, "sll $v0, $v1, 4"},
+		{EncodeR(FnSllv, 2, 5, 3, 0), 0, "sllv $v0, $v1, $a1"},
+		{EncodeR(FnJr, 0, 31, 0, 0), 0, "jr $ra"},
+		{EncodeR(FnMfhi, 7, 0, 0, 0), 0, "mfhi $a3"},
+		{EncodeR(FnMult, 0, 4, 5, 0), 0, "mult $a0, $a1"},
+		{EncodeI(OpAddi, 8, 9, 0xFFFF), 0, "addi $t0, $t1, -1"},
+		{EncodeI(OpOri, 8, 0, 0xBEEF), 0, "ori $t0, $zero, 0xbeef"},
+		{EncodeI(OpLui, 8, 0, 0x1234), 0, "lui $t0, 0x1234"},
+		{EncodeI(OpLw, 8, 29, 16), 0, "lw $t0, 16($sp)"},
+		{EncodeI(OpSw, 8, 29, 0xFFF0), 0, "sw $t0, -16($sp)"},
+		{EncodeI(OpBeq, 9, 8, 3), 0x100, "beq $t0, $t1, 0x110"},
+		{EncodeRegImm(RtBltz, 8, 0xFFFF), 0x100, "bltz $t0, 0x100"},
+		{EncodeJ(OpJ, 0x40), 0x100, "j 0x100"},
+		{0x42000018, 0, ".word 0x42000018"}, // COP0 region
+	}
+	for _, tc := range cases {
+		if got := Disassemble(tc.word, tc.pc); got != tc.want {
+			t.Errorf("Disassemble(%#x) = %q, want %q", tc.word, got, tc.want)
+		}
+	}
+}
+
+func TestBranchAndJumpTargets(t *testing.T) {
+	f := Decode(EncodeI(OpBeq, 0, 0, 0xFFFE)) // offset -2
+	if got := BranchTarget(f, 0x1000); got != 0x1000+4-8 {
+		t.Errorf("backward branch target = %#x", got)
+	}
+	f = Decode(EncodeJ(OpJ, 0x00400))
+	if got := JumpTarget(f, 0x10000000); got != 0x10001000 {
+		t.Errorf("jump target = %#x", got)
+	}
+}
+
+func TestLoadStoreClassifiers(t *testing.T) {
+	for _, op := range []uint32{OpLb, OpLh, OpLw, OpLbu, OpLhu} {
+		if !IsLoad(op) || IsStore(op) {
+			t.Errorf("op %#x misclassified", op)
+		}
+	}
+	for _, op := range []uint32{OpSb, OpSh, OpSw} {
+		if IsLoad(op) || !IsStore(op) {
+			t.Errorf("op %#x misclassified", op)
+		}
+	}
+	if IsLoad(OpAddi) || IsStore(OpBeq) {
+		t.Error("non-memory op classified as memory")
+	}
+}
+
+func TestRegNameOutOfRange(t *testing.T) {
+	if got := RegName(40); got != "$?40" {
+		t.Errorf("RegName(40) = %q", got)
+	}
+}
+
+func TestMnemonicByName(t *testing.T) {
+	if m := MnemonicByName("add"); m == nil || m.Sub != FnAdd {
+		t.Error("MnemonicByName(add) wrong")
+	}
+	if MnemonicByName("bogus") != nil {
+		t.Error("MnemonicByName accepted bogus")
+	}
+}

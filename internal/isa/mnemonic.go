@@ -1,0 +1,199 @@
+package isa
+
+import "fmt"
+
+// Format describes the assembly operand syntax of a mnemonic.
+type Format int
+
+// Operand formats.
+const (
+	FmtR3      Format = iota // op rd, rs, rt
+	FmtShift                 // op rd, rt, shamt
+	FmtShiftV                // op rd, rt, rs
+	FmtJR                    // op rs
+	FmtJALR                  // op rd, rs
+	FmtMFHiLo                // op rd
+	FmtMTHiLo                // op rs
+	FmtMulDiv                // op rs, rt
+	FmtArithI                // op rt, rs, imm (signed immediate)
+	FmtLogicI                // op rt, rs, imm (unsigned immediate)
+	FmtLui                   // op rt, imm
+	FmtMem                   // op rt, offset(rs)
+	FmtBranch2               // op rs, rt, label
+	FmtBranchZ               // op rs, label
+	FmtJump                  // op target
+)
+
+// Mnemonic is one machine instruction's assembly name and encoding recipe.
+type Mnemonic struct {
+	Name string
+	Fmt  Format
+	Op   uint32 // primary opcode
+	Sub  uint32 // funct (SPECIAL) or rt code (REGIMM); 0 otherwise
+}
+
+// Mnemonics is the full instruction table of the implemented subset.
+var Mnemonics = []Mnemonic{
+	{"sll", FmtShift, OpSpecial, FnSll},
+	{"srl", FmtShift, OpSpecial, FnSrl},
+	{"sra", FmtShift, OpSpecial, FnSra},
+	{"sllv", FmtShiftV, OpSpecial, FnSllv},
+	{"srlv", FmtShiftV, OpSpecial, FnSrlv},
+	{"srav", FmtShiftV, OpSpecial, FnSrav},
+	{"jr", FmtJR, OpSpecial, FnJr},
+	{"jalr", FmtJALR, OpSpecial, FnJalr},
+	{"mfhi", FmtMFHiLo, OpSpecial, FnMfhi},
+	{"mthi", FmtMTHiLo, OpSpecial, FnMthi},
+	{"mflo", FmtMFHiLo, OpSpecial, FnMflo},
+	{"mtlo", FmtMTHiLo, OpSpecial, FnMtlo},
+	{"mult", FmtMulDiv, OpSpecial, FnMult},
+	{"multu", FmtMulDiv, OpSpecial, FnMultu},
+	{"div", FmtMulDiv, OpSpecial, FnDiv},
+	{"divu", FmtMulDiv, OpSpecial, FnDivu},
+	{"add", FmtR3, OpSpecial, FnAdd},
+	{"addu", FmtR3, OpSpecial, FnAddu},
+	{"sub", FmtR3, OpSpecial, FnSub},
+	{"subu", FmtR3, OpSpecial, FnSubu},
+	{"and", FmtR3, OpSpecial, FnAnd},
+	{"or", FmtR3, OpSpecial, FnOr},
+	{"xor", FmtR3, OpSpecial, FnXor},
+	{"nor", FmtR3, OpSpecial, FnNor},
+	{"slt", FmtR3, OpSpecial, FnSlt},
+	{"sltu", FmtR3, OpSpecial, FnSltu},
+
+	{"bltz", FmtBranchZ, OpRegImm, RtBltz},
+	{"bgez", FmtBranchZ, OpRegImm, RtBgez},
+	{"bltzal", FmtBranchZ, OpRegImm, RtBltzal},
+	{"bgezal", FmtBranchZ, OpRegImm, RtBgezal},
+
+	{"j", FmtJump, OpJ, 0},
+	{"jal", FmtJump, OpJal, 0},
+	{"beq", FmtBranch2, OpBeq, 0},
+	{"bne", FmtBranch2, OpBne, 0},
+	{"blez", FmtBranchZ, OpBlez, 0},
+	{"bgtz", FmtBranchZ, OpBgtz, 0},
+	{"addi", FmtArithI, OpAddi, 0},
+	{"addiu", FmtArithI, OpAddiu, 0},
+	{"slti", FmtArithI, OpSlti, 0},
+	{"sltiu", FmtArithI, OpSltiu, 0},
+	{"andi", FmtLogicI, OpAndi, 0},
+	{"ori", FmtLogicI, OpOri, 0},
+	{"xori", FmtLogicI, OpXori, 0},
+	{"lui", FmtLui, OpLui, 0},
+	{"lb", FmtMem, OpLb, 0},
+	{"lh", FmtMem, OpLh, 0},
+	{"lw", FmtMem, OpLw, 0},
+	{"lbu", FmtMem, OpLbu, 0},
+	{"lhu", FmtMem, OpLhu, 0},
+	{"sb", FmtMem, OpSb, 0},
+	{"sh", FmtMem, OpSh, 0},
+	{"sw", FmtMem, OpSw, 0},
+}
+
+// MnemonicByName resolves an assembly mnemonic, or nil.
+func MnemonicByName(name string) *Mnemonic {
+	for i := range Mnemonics {
+		if Mnemonics[i].Name == name {
+			return &Mnemonics[i]
+		}
+	}
+	return nil
+}
+
+// Lookup finds the mnemonic of a decoded instruction, or nil for an
+// unimplemented encoding.
+func Lookup(f Fields) *Mnemonic {
+	for i := range Mnemonics {
+		m := &Mnemonics[i]
+		if m.Op != f.Op {
+			continue
+		}
+		switch f.Op {
+		case OpSpecial:
+			if m.Sub == f.Funct {
+				return m
+			}
+		case OpRegImm:
+			if m.Sub == f.Rt {
+				return m
+			}
+		default:
+			return m
+		}
+	}
+	return nil
+}
+
+// IsLoad reports whether the opcode is a load.
+func IsLoad(op uint32) bool {
+	switch op {
+	case OpLb, OpLh, OpLw, OpLbu, OpLhu:
+		return true
+	}
+	return false
+}
+
+// IsStore reports whether the opcode is a store.
+func IsStore(op uint32) bool {
+	switch op {
+	case OpSb, OpSh, OpSw:
+		return true
+	}
+	return false
+}
+
+// Disassemble renders an instruction word at address pc (branch and jump
+// targets are shown as absolute addresses).
+func Disassemble(word, pc uint32) string {
+	if word == 0 {
+		return "nop"
+	}
+	f := Decode(word)
+	m := Lookup(f)
+	if m == nil {
+		return fmt.Sprintf(".word 0x%08x", word)
+	}
+	switch m.Fmt {
+	case FmtR3:
+		return fmt.Sprintf("%s %s, %s, %s", m.Name, RegName(f.Rd), RegName(f.Rs), RegName(f.Rt))
+	case FmtShift:
+		return fmt.Sprintf("%s %s, %s, %d", m.Name, RegName(f.Rd), RegName(f.Rt), f.Shamt)
+	case FmtShiftV:
+		return fmt.Sprintf("%s %s, %s, %s", m.Name, RegName(f.Rd), RegName(f.Rt), RegName(f.Rs))
+	case FmtJR:
+		return fmt.Sprintf("%s %s", m.Name, RegName(f.Rs))
+	case FmtJALR:
+		return fmt.Sprintf("%s %s, %s", m.Name, RegName(f.Rd), RegName(f.Rs))
+	case FmtMFHiLo:
+		return fmt.Sprintf("%s %s", m.Name, RegName(f.Rd))
+	case FmtMTHiLo:
+		return fmt.Sprintf("%s %s", m.Name, RegName(f.Rs))
+	case FmtMulDiv:
+		return fmt.Sprintf("%s %s, %s", m.Name, RegName(f.Rs), RegName(f.Rt))
+	case FmtArithI:
+		return fmt.Sprintf("%s %s, %s, %d", m.Name, RegName(f.Rt), RegName(f.Rs), int32(int16(f.Imm)))
+	case FmtLogicI:
+		return fmt.Sprintf("%s %s, %s, 0x%x", m.Name, RegName(f.Rt), RegName(f.Rs), f.Imm)
+	case FmtLui:
+		return fmt.Sprintf("%s %s, 0x%x", m.Name, RegName(f.Rt), f.Imm)
+	case FmtMem:
+		return fmt.Sprintf("%s %s, %d(%s)", m.Name, RegName(f.Rt), int32(int16(f.Imm)), RegName(f.Rs))
+	case FmtBranch2:
+		return fmt.Sprintf("%s %s, %s, 0x%x", m.Name, RegName(f.Rs), RegName(f.Rt), BranchTarget(f, pc))
+	case FmtBranchZ:
+		return fmt.Sprintf("%s %s, 0x%x", m.Name, RegName(f.Rs), BranchTarget(f, pc))
+	case FmtJump:
+		return fmt.Sprintf("%s 0x%x", m.Name, JumpTarget(f, pc))
+	}
+	return fmt.Sprintf(".word 0x%08x", word)
+}
+
+// BranchTarget computes the absolute branch destination of a branch at pc.
+func BranchTarget(f Fields, pc uint32) uint32 {
+	return pc + 4 + f.SignExtImm()<<2
+}
+
+// JumpTarget computes the absolute jump destination of a J/JAL at pc.
+func JumpTarget(f Fields, pc uint32) uint32 {
+	return (pc+4)&0xF0000000 | f.Target<<2
+}

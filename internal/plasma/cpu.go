@@ -1,0 +1,356 @@
+// Package plasma builds the gate-level Plasma/MIPS CPU core: a 3-stage
+// (fetch / execute / memory-pause) pipeline implementing the MIPS I subset
+// in internal/isa, assembled from the component generators in
+// internal/synth and tagged with the component regions of Table 2 of the
+// paper (RegF, MulD, ALU, BSH, MCTRL, PCL, CTRL, BMUX, PLN, glue).
+//
+// The core has a single shared memory port: on normal cycles it fetches the
+// next instruction at PC; a load/store occupies the bus for one extra data
+// cycle (the Plasma "memory pause"). Multiply/divide run in the sequential
+// MulD unit; instructions that touch HI/LO stall while it is busy.
+//
+// Primary outputs are exactly the memory bus (address, write data, write
+// strobes, access kind): the fault-observation points.
+package plasma
+
+import (
+	"fmt"
+
+	"repro/internal/gate"
+	"repro/internal/synth"
+)
+
+// Port names of the CPU netlist.
+const (
+	PortRData      = "mem_rdata"      // input: 32-bit read data (instruction or load)
+	PortAddr       = "mem_addr"       // output: 32-bit byte address on the bus
+	PortWData      = "mem_wdata"      // output: 32-bit write data (lane-replicated)
+	PortWStrobe    = "mem_wstrobe"    // output: 4 byte-lane write strobes (bit 3 = MSB lanes)
+	PortDataAccess = "mem_dataaccess" // output: 1 when this cycle is a data access, 0 for fetch
+)
+
+// CPU is the built core: the netlist plus handles to key internal state for
+// debugging and co-simulation (these are not primary outputs and do not
+// widen the fault-observation surface).
+type CPU struct {
+	Netlist *gate.Netlist
+	Lib     synth.Library
+
+	PC synth.Bus
+	IR synth.Bus
+	Hi synth.Bus
+	Lo synth.Bus
+
+	MemCycle gate.Sig
+	Busy     gate.Sig
+}
+
+// Build synthesizes the CPU with the given technology library.
+func Build(lib synth.Library) (*CPU, error) {
+	c := synth.NewCtx("plasma", lib)
+	b := c.B
+
+	rdata := synth.Bus(b.InputBus(PortRData, 32))
+
+	// Forward wires across component build order.
+	busyW := b.Wire()      // MulD busy flag
+	dataCycleW := b.Wire() // current cycle is a load/store data access
+
+	// ---------------- PLN: pipeline register (IR) ----------------
+	b.BeginComponent("PLN")
+	ir := c.RegBusPlaceholder(32)
+	stallW := b.Wire() // HI/LO access stall while MulD busy
+	hold := c.Or(stallW, dataCycleW)
+	c.ConnectRegBus(ir, c.MuxBus(rdata, ir, hold))
+
+	// Instruction fields (pure wiring).
+	op := ir[26:32]
+	rsF := ir[21:26]
+	rtF := ir[16:21]
+	rdF := ir[11:16]
+	shamt := ir[6:11]
+	funct := ir[0:6]
+	imm := ir[0:16]
+
+	// ---------------- CTRL: instruction decoder ----------------
+	b.BeginComponent("CTRL")
+	opN := c.NotBus(op)
+	fnN := c.NotBus(funct)
+	f0, f1, f2, f3, f4, f5 := funct[0], funct[1], funct[2], funct[3], funct[4], funct[5]
+	nf0, nf1, nf2, nf3, nf4, nf5 := fnN[0], fnN[1], fnN[2], fnN[3], fnN[4], fnN[5]
+	o0, o1, o2, o3, o5 := op[0], op[1], op[2], op[3], op[5]
+	no0, no1, no2, no3, no4, no5 := opN[0], opN[1], opN[2], opN[3], opN[4], opN[5]
+
+	opSpecial := c.AndN(no5, no4, no3, no2, no1, no0)
+	opRegimm := c.AndN(no5, no4, no3, no2, no1, o0)
+
+	// SPECIAL subgroups.
+	isShift := c.AndN(opSpecial, nf5, nf4, nf3) // funct 0x00-0x07
+	shiftVar := c.And(isShift, f2)
+	shiftRight := f1
+	shiftArith := f0
+	spJr := c.AndN(opSpecial, nf5, nf4, f3, nf2, nf1, nf0)  // 0x08
+	spJalr := c.AndN(opSpecial, nf5, nf4, f3, nf2, nf1, f0) // 0x09
+	hiLoGrp := c.AndN(opSpecial, nf5, f4, nf3, nf2)         // 0x10-0x13
+	mfhi := c.AndN(hiLoGrp, nf1, nf0)
+	mthi := c.AndN(hiLoGrp, nf1, f0)
+	mflo := c.AndN(hiLoGrp, f1, nf0)
+	mtlo := c.AndN(hiLoGrp, f1, f0)
+	multDiv := c.AndN(opSpecial, nf5, f4, f3, nf2) // 0x18-0x1b
+	mdDiv := f1
+	mdSigned := nf0
+	aluR := c.And(opSpecial, f5) // 0x20-0x2b
+
+	rSub := c.AndN(aluR, nf3, nf2, f1)
+	rAnd := c.AndN(aluR, nf3, f2, nf1, nf0)
+	rOr := c.AndN(aluR, nf3, f2, nf1, f0)
+	rXor := c.AndN(aluR, nf3, f2, f1, nf0)
+	rNor := c.AndN(aluR, nf3, f2, f1, f0)
+	rSlt := c.AndN(aluR, f3, f1, nf0)
+	rSltu := c.AndN(aluR, f3, f1, f0)
+
+	// I-type ALU group (opcodes 0x08-0x0F).
+	immGrp := c.AndN(no5, no4, o3)
+	iSlt := c.AndN(immGrp, no2, o1, no0)
+	iSltu := c.AndN(immGrp, no2, o1, o0)
+	iAnd := c.AndN(immGrp, o2, no1, no0)
+	iOr := c.AndN(immGrp, o2, no1, o0)
+	iXor := c.AndN(immGrp, o2, o1, no0)
+	isLui := c.AndN(immGrp, o2, o1, o0)
+	zeroExtImm := c.OrN(iAnd, iOr, iXor)
+
+	// Memory group.
+	isMem := o5
+	isStore := c.And(o5, o3)
+	isLoad := c.And(o5, c.Not(o3))
+	memHalf := c.And(o0, c.Not(o1))
+	memWord := o1
+	loadUnsigned := o2
+
+	// Branch group.
+	brOp := c.AndN(no5, no4, no3, o2) // opcodes 4-7
+	jOp := c.AndN(no5, no4, no3, no2, o1)
+	jLink := c.And(jOp, o0)
+	rimmGez := rtF[0]
+	rimmLink := c.And(opRegimm, rtF[4])
+	isLink := c.OrN(jLink, spJalr, rimmLink)
+
+	// ALU operation select.
+	selSub := rSub
+	selAnd := c.Or(rAnd, iAnd)
+	selOr := c.Or(rOr, iOr)
+	selXor := c.Or(rXor, iXor)
+	selNor := rNor
+	selSlt := c.Or(rSlt, iSlt)
+	selSltu := c.Or(rSltu, iSltu)
+	aluOp := synth.Bus{
+		c.OrN(selSub, selOr, selNor, selSltu),
+		c.OrN(selAnd, selOr, selSlt, selSltu),
+		c.OrN(selXor, selNor, selSlt, selSltu),
+	}
+
+	// Register write destination and enable.
+	wrR := c.OrN(aluR, isShift, mfhi, mflo, spJalr)
+	wrLink31 := c.Or(jLink, rimmLink)
+	regWrite := c.OrN(wrR, immGrp, isLoad, wrLink31)
+	waddr := c.MuxBus(synth.Bus(rtF), synth.Bus(rdF), wrR)
+	waddr = c.OrBus(waddr, c.Repeat(wrLink31, 5))
+
+	stall := c.And(c.OrN(multDiv, hiLoGrp), busyW)
+	b.DriveWire(stallW, stall)
+	notBusy := c.Not(busyW)
+	mdStart := multDiv
+	mdSetHi := c.And(mthi, notBusy)
+	mdSetLo := c.And(mtlo, notBusy)
+
+	wen := c.Or(
+		c.AndN(regWrite, c.Not(isMem), c.Not(stall)),
+		c.And(isLoad, dataCycleW),
+	)
+
+	// ---------------- RegF: register file ----------------
+	b.BeginComponent("RegF")
+	wdataW := c.WireBus(32) // result bus, connected after BMUX
+	rsVal, rtVal := c.RegFile(waddr, wdataW, wen, synth.Bus(rsF), synth.Bus(rtF))
+
+	// ---------------- BMUX: operand selection ----------------
+	bmuxID := b.BeginComponent("BMUX")
+	notLui := c.Not(isLui)
+	signSel := c.Not(c.Or(zeroExtImm, isLui))
+	signFill := c.And(imm[15], signSel)
+	immExt := make(synth.Bus, 32)
+	for i := 0; i < 16; i++ {
+		immExt[i] = c.And(imm[i], notLui)
+	}
+	for i := 16; i < 32; i++ {
+		immExt[i] = c.Mux(signFill, imm[i-16], isLui)
+	}
+	useImm := c.Or(immGrp, isMem)
+	aluA := c.AndBus(rsVal, c.Repeat(notLui, 32))
+	aluB := c.MuxBus(rtVal, immExt, useImm)
+	shAmt := c.MuxBus(synth.Bus(shamt), rsVal[0:5], shiftVar)
+
+	// ---------------- ALU ----------------
+	b.BeginComponent("ALU")
+	aluOut := c.ALU(aluA, aluB, aluOp)
+
+	// ---------------- BSH: barrel shifter ----------------
+	b.BeginComponent("BSH")
+	shiftOut := c.BarrelShifter(rtVal, shAmt, shiftRight, shiftArith)
+
+	// ---------------- MulD: multiplier/divider ----------------
+	b.BeginComponent("MulD")
+	md := c.MulDiv(rsVal, rtVal, mdStart, mdDiv, mdSigned, mdSetHi, mdSetLo)
+	b.DriveWire(busyW, md.Busy)
+
+	// ---------------- MCTRL: memory controller ----------------
+	b.BeginComponent("MCTRL")
+	memCycle := b.DFFPlaceholder()
+	dataCycle := c.And(isMem, c.Not(memCycle))
+	b.ConnectD(memCycle, dataCycle)
+	b.DriveWire(dataCycleW, dataCycle)
+
+	a0, a1 := aluOut[0], aluOut[1]
+	na0, na1 := c.Not(a0), c.Not(a1)
+	lane3 := c.And(na1, na0)
+	lane2 := c.And(na1, a0)
+	lane1 := c.And(a1, na0)
+	lane0 := c.And(a1, a0)
+	strobeByte := synth.Bus{lane0, lane1, lane2, lane3}
+	strobeHalf := synth.Bus{a1, a1, na1, na1}
+	ones4 := synth.Bus{b.Const1(), b.Const1(), b.Const1(), b.Const1()}
+	strobe := c.MuxBus(strobeByte, strobeHalf, memHalf)
+	strobe = c.MuxBus(strobe, ones4, memWord)
+	strobeEn := c.And(isStore, dataCycle)
+	strobe = c.AndBus(strobe, c.Repeat(strobeEn, 4))
+
+	// Store data lane replication.
+	byteRep := make(synth.Bus, 32)
+	halfRep := make(synth.Bus, 32)
+	for i := 0; i < 32; i++ {
+		byteRep[i] = rtVal[i%8]
+		halfRep[i] = rtVal[i%16]
+	}
+	wdataOut := c.MuxBus(byteRep, halfRep, memHalf)
+	wdataOut = c.MuxBus(wdataOut, rtVal, memWord)
+
+	// Load data extraction (big-endian lanes).
+	byteOpts := []synth.Bus{rdata[24:32], rdata[16:24], rdata[8:16], rdata[0:8]}
+	byteVal := c.MuxTree(byteOpts, synth.Bus{a0, a1})
+	halfVal := c.MuxBus(rdata[16:32], rdata[0:16], a1)
+	loadSigned := c.Not(loadUnsigned)
+	byteFill := c.And(byteVal[7], loadSigned)
+	halfFill := c.And(halfVal[15], loadSigned)
+	byteExt := append(append(synth.Bus{}, byteVal...), c.Repeat(byteFill, 24)...)
+	halfExt := append(append(synth.Bus{}, halfVal...), c.Repeat(halfFill, 16)...)
+	loadData := c.MuxBus(byteExt, halfExt, memHalf)
+	loadData = c.MuxBus(loadData, rdata, memWord)
+
+	// ---------------- PCL: program counter logic ----------------
+	b.BeginComponent("PCL")
+	pc := c.RegBusPlaceholder(32)
+	pcInc, _ := c.Incrementer(pc[2:32], b.Const1())
+	pcPlus4 := append(synth.Bus{pc[0], pc[1]}, pcInc...)
+
+	// Branch target: PC + sign-extended immediate << 2.
+	brOff := make(synth.Bus, 32)
+	brOff[0], brOff[1] = b.Const0(), b.Const0()
+	for i := 0; i < 16; i++ {
+		brOff[i+2] = imm[i]
+	}
+	for i := 18; i < 32; i++ {
+		brOff[i] = imm[15]
+	}
+	brTarget, _ := c.RippleAdder(pc, brOff, b.Const0())
+
+	// Jump target: segment of the delay slot PC, target field << 2.
+	jTarget := make(synth.Bus, 32)
+	jTarget[0], jTarget[1] = b.Const0(), b.Const0()
+	for i := 0; i < 26; i++ {
+		jTarget[i+2] = ir[i]
+	}
+	copy(jTarget[28:], pc[28:])
+
+	// Branch conditions.
+	eq := c.EqBus(rsVal, rtVal)
+	rsSign := rsVal[31]
+	lez := c.Or(rsSign, c.IsZero(rsVal))
+	brCond := c.MuxTree([]synth.Bus{{eq}, {c.Not(eq)}, {lez}, {c.Not(lez)}}, synth.Bus{o0, o1})[0]
+	rimmCond := c.Mux(rsSign, c.Not(rsSign), rimmGez)
+	taken := c.Or(c.And(brOp, brCond), c.And(opRegimm, rimmCond))
+
+	pcNext := c.MuxBus(pcPlus4, brTarget, taken)
+	pcNext = c.MuxBus(pcNext, jTarget, jOp)
+	pcNext = c.MuxBus(pcNext, rsVal, c.Or(spJr, spJalr))
+	pcNext = c.MuxBus(pcNext, pc, hold)
+	c.ConnectRegBus(pc, pcNext)
+
+	// ---------------- BMUX: result bus ----------------
+	b.SetComponent(bmuxID)
+	result := c.MuxBus(aluOut, shiftOut, isShift)
+	result = c.MuxBus(result, md.Hi, mfhi)
+	result = c.MuxBus(result, md.Lo, mflo)
+	result = c.MuxBus(result, loadData, isLoad)
+	result = c.MuxBus(result, pcPlus4, isLink)
+	c.DriveBus(wdataW, result)
+
+	// ---------------- Glue: bus outputs ----------------
+	b.EndComponent()
+	memAddr := c.MuxBus(pc, aluOut, dataCycle)
+	b.OutputBus(PortAddr, memAddr)
+	b.OutputBus(PortWData, wdataOut)
+	b.OutputBus(PortWStrobe, strobe)
+	b.Output(PortDataAccess, dataCycle)
+
+	cpu := &CPU{
+		Netlist:  b.N,
+		Lib:      lib,
+		PC:       pc,
+		IR:       ir,
+		Hi:       md.Hi,
+		Lo:       md.Lo,
+		MemCycle: memCycle,
+		Busy:     md.Busy,
+	}
+	if err := b.N.Validate(); err != nil {
+		return nil, fmt.Errorf("plasma: built netlist invalid: %w", err)
+	}
+	if err := checkNoRDataToOutputPath(b.N); err != nil {
+		return nil, err
+	}
+	return cpu, nil
+}
+
+// checkNoRDataToOutputPath verifies the structural invariant the two-phase
+// memory protocol depends on: no combinational path from the mem_rdata
+// inputs to any primary output (read data may only feed register D inputs).
+func checkNoRDataToOutputPath(n *gate.Netlist) error {
+	tainted := make([]bool, n.NumSignals())
+	for _, s := range n.InputBus(PortRData) {
+		tainted[s] = true
+	}
+	// Gates are in creation order, which is not topological; iterate to a
+	// fixed point (the netlist is small and converges in a few rounds).
+	for changed := true; changed; {
+		changed = false
+		for i := range n.Gates {
+			g := &n.Gates[i]
+			if g.Kind == gate.DFF || tainted[i] {
+				continue
+			}
+			for p := 0; p < g.Kind.NumInputs(); p++ {
+				if tainted[g.In[p]] {
+					tainted[i] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	for _, s := range n.ObservedSignals() {
+		if tainted[s] {
+			return fmt.Errorf("plasma: combinational path from %s to output signal %d", PortRData, s)
+		}
+	}
+	return nil
+}

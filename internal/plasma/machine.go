@@ -1,0 +1,226 @@
+package plasma
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/gate"
+	"repro/internal/sim"
+)
+
+// Machine runs a gate-level CPU against a behavioral memory. All 64
+// simulation lanes carry the same (fault-free) machine; fault simulation
+// reuses the recorded golden trace instead (see internal/fault).
+//
+// The per-cycle protocol exploits the structural invariant that the memory
+// bus outputs do not combinationally depend on read data:
+//
+//  1. Eval: bus outputs (address, write data, strobes, kind) become valid.
+//  2. The memory services the access: commits strobed writes, returns the
+//     addressed word.
+//  3. Read data is driven; Eval again; all registers latch.
+type Machine struct {
+	CPU *CPU
+	Sim *gate.Sim
+	Mem *sim.Memory
+
+	// Cycle counts completed clock cycles.
+	Cycle uint64
+
+	// TraceBus enables recording data accesses (as in sim.CPU).
+	TraceBus bool
+	Bus      []sim.BusEvent
+
+	addr    []uint64
+	wdata   []uint64
+	wstrobe []uint64
+	daccess []uint64
+}
+
+// NewMachine compiles the CPU into a simulator bound to mem.
+func NewMachine(cpu *CPU, mem *sim.Memory) (*Machine, error) {
+	s, err := gate.NewSim(cpu.Netlist)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		CPU:     cpu,
+		Sim:     s,
+		Mem:     mem,
+		addr:    make([]uint64, 32),
+		wdata:   make([]uint64, 32),
+		wstrobe: make([]uint64, 4),
+		daccess: make([]uint64, 1),
+	}
+	m.Reset()
+	return m, nil
+}
+
+// Reset clears all processor state; execution restarts at address 0.
+func (m *Machine) Reset() {
+	m.Sim.Reset()
+	m.Cycle = 0
+	m.Bus = nil
+}
+
+// BusState is the sampled value of the processor primary outputs for one
+// cycle: the fault-observation data.
+type BusState struct {
+	Addr       uint32
+	WData      uint32
+	WStrobe    uint8
+	DataAccess bool
+}
+
+// Step executes one clock cycle and returns the bus activity it performed.
+func (m *Machine) Step() BusState {
+	m.Sim.Eval()
+	bs := m.sampleBus()
+	rdata := m.service(bs)
+	m.Sim.SetBusUniform(PortRData, uint64(rdata))
+	m.Sim.Eval()
+	m.Sim.Latch()
+	m.Cycle++
+	return bs
+}
+
+// sampleBus reads the primary outputs in lane 0.
+func (m *Machine) sampleBus() BusState {
+	return BusState{
+		Addr:       uint32(m.Sim.BusLane(PortAddr, 0)),
+		WData:      uint32(m.Sim.BusLane(PortWData, 0)),
+		WStrobe:    uint8(m.Sim.BusLane(PortWStrobe, 0)),
+		DataAccess: m.Sim.BusLane(PortDataAccess, 0) != 0,
+	}
+}
+
+// service performs the memory side of the cycle and returns read data.
+func (m *Machine) service(bs BusState) uint32 {
+	a := bs.Addr &^ 3
+	if bs.WStrobe != 0 {
+		old := m.Mem.Word(a)
+		var mask uint32
+		for lane := 0; lane < 4; lane++ {
+			if bs.WStrobe>>uint(lane)&1 != 0 {
+				mask |= 0xFF << (8 * uint(lane))
+			}
+		}
+		merged := old&^mask | bs.WData&mask
+		m.Mem.SetWord(a, merged)
+		if m.TraceBus {
+			m.Bus = append(m.Bus, sim.BusEvent{
+				Cycle: m.Cycle, Addr: a, Data: merged, Strobe: bs.WStrobe, Write: true,
+			})
+		}
+		return old
+	}
+	v := m.Mem.Word(a)
+	if m.TraceBus && bs.DataAccess {
+		m.Bus = append(m.Bus, sim.BusEvent{Cycle: m.Cycle, Addr: a, Data: v, Write: false})
+	}
+	return v
+}
+
+// PCLane returns the current PC in lane 0 (debug).
+func (m *Machine) PCLane() uint32 { return uint32(m.readBusLane(m.CPU.PC)) }
+
+// IRLane returns the current IR in lane 0 (debug).
+func (m *Machine) IRLane() uint32 { return uint32(m.readBusLane(m.CPU.IR)) }
+
+func (m *Machine) readBusLane(bus []gate.Sig) uint64 {
+	var v uint64
+	for i, s := range bus {
+		v |= (m.Sim.SigWord(s) & 1) << uint(i)
+	}
+	return v
+}
+
+// Run executes up to maxCycles cycles, stopping early (and reporting true)
+// once the CPU reaches a jump-to-self steady state: fetch addresses repeat
+// with period <= 2 for several cycles with no data activity and the
+// multiply/divide unit idle (a mid-stall refetch is not a halt).
+func (m *Machine) Run(maxCycles uint64) bool {
+	h0, h1 := uint32(0xFFFFFFFF), uint32(0xFFFFFFFE) // fetch address history
+	stable := 0
+	for i := uint64(0); i < maxCycles; i++ {
+		bs := m.Step()
+		busy := m.Sim.SigWord(m.CPU.Busy)&1 != 0
+		if bs.DataAccess || bs.WStrobe != 0 || busy {
+			stable = 0
+			continue
+		}
+		if bs.Addr == h1 {
+			stable++
+			if stable >= 6 {
+				return true
+			}
+		} else {
+			stable = 0
+		}
+		h1, h0 = h0, bs.Addr
+	}
+	return false
+}
+
+// Golden is the recorded fault-free execution of a program: the per-cycle
+// read-data stream and primary-output values. Fault simulation replays the
+// read data and compares outputs.
+type Golden struct {
+	// RData[t] is the word returned by memory at cycle t.
+	RData []uint32
+	// Out[t] is the sampled primary-output state at cycle t.
+	Out []BusState
+	// Cycles is len(RData).
+	Cycles int
+}
+
+// CaptureGolden runs a program image from reset for cycles clock cycles and
+// records the golden read-data and output streams.
+func CaptureGolden(cpu *CPU, prog *asm.Program, cycles int) (*Golden, error) {
+	mem := sim.NewMemory()
+	mem.LoadProgram(prog)
+	m, err := NewMachine(cpu, mem)
+	if err != nil {
+		return nil, err
+	}
+	g := &Golden{
+		RData:  make([]uint32, cycles),
+		Out:    make([]BusState, cycles),
+		Cycles: cycles,
+	}
+	for t := 0; t < cycles; t++ {
+		m.Sim.Eval()
+		bs := m.sampleBus()
+		rdata := m.service(bs)
+		m.Sim.SetBusUniform(PortRData, uint64(rdata))
+		m.Sim.Eval()
+		m.Sim.Latch()
+		m.Cycle++
+		g.RData[t] = rdata
+		g.Out[t] = bs
+	}
+	return g, nil
+}
+
+// RunProgram is a convenience: run prog on a fresh machine until halt or
+// maxCycles, returning the machine for state inspection.
+func RunProgram(cpu *CPU, prog *asm.Program, maxCycles uint64, trace bool) (*Machine, bool, error) {
+	mem := sim.NewMemory()
+	mem.LoadProgram(prog)
+	m, err := NewMachine(cpu, mem)
+	if err != nil {
+		return nil, false, err
+	}
+	m.TraceBus = trace
+	halted := m.Run(maxCycles)
+	return m, halted, nil
+}
+
+// String renders a bus state compactly.
+func (bs BusState) String() string {
+	kind := "F"
+	if bs.DataAccess {
+		kind = "D"
+	}
+	return fmt.Sprintf("%s %08x w=%08x/%x", kind, bs.Addr, bs.WData, bs.WStrobe)
+}

@@ -1,0 +1,503 @@
+package plasma
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/sim"
+	"repro/internal/synth"
+)
+
+var builtCPUs = map[string]*CPU{}
+
+func buildCPU(t *testing.T, lib synth.Library) *CPU {
+	t.Helper()
+	if c, ok := builtCPUs[lib.Name()]; ok {
+		return c
+	}
+	c, err := Build(lib)
+	if err != nil {
+		t.Fatalf("Build(%s): %v", lib.Name(), err)
+	}
+	builtCPUs[lib.Name()] = c
+	return c
+}
+
+func TestBuildValidates(t *testing.T) {
+	for _, lib := range synth.Libraries() {
+		cpu := buildCPU(t, lib)
+		st := cpu.Netlist.Stats()
+		if st.Area < 8000 || st.Area > 40000 {
+			t.Errorf("%s: total area %.0f NAND2 out of plausible range", lib.Name(), st.Area)
+		}
+		perComp, _ := cpu.Netlist.GateCount()
+		names := cpu.Netlist.CompNames
+		byName := map[string]float64{}
+		for i, n := range names {
+			byName[n] = perComp[i]
+		}
+		// The paper's size ordering: RegF largest, then MulD among the
+		// functional components.
+		if byName["RegF"] <= byName["MulD"] || byName["MulD"] <= byName["ALU"] {
+			t.Errorf("%s: unexpected component size ordering: %v", lib.Name(), byName)
+		}
+		for _, want := range []string{"RegF", "MulD", "ALU", "BSH", "MCTRL", "PCL", "CTRL", "BMUX", "PLN", "GL"} {
+			if byName[want] <= 0 {
+				t.Errorf("%s: component %s has no gates", lib.Name(), want)
+			}
+		}
+	}
+}
+
+// coSim runs src on both the ISS and the gate-level CPU and compares bus
+// traces (with the constant one-cycle reset offset), final memory contents,
+// and halting.
+func coSim(t *testing.T, cpu *CPU, src string) (*sim.CPU, *Machine) {
+	t.Helper()
+	full := src + "\ncosim_halt__: j cosim_halt__\nnop\n"
+	prog, err := asm.Assemble(full, 0)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+
+	issMem := sim.NewMemory()
+	issMem.LoadProgram(prog)
+	iss := sim.New(issMem, 0)
+	iss.TraceBus = true
+	halted, err := iss.Run(200000)
+	if err != nil {
+		t.Fatalf("ISS: %v", err)
+	}
+	if !halted {
+		t.Fatal("ISS did not halt")
+	}
+
+	m, gateHalted, err := RunProgram(cpu, prog, iss.Cycle+200, true)
+	if err != nil {
+		t.Fatalf("gate machine: %v", err)
+	}
+	if !gateHalted {
+		t.Fatalf("gate CPU did not halt (ISS took %d cycles); PC=%#x IR=%#x",
+			iss.Cycle, m.PCLane(), m.IRLane())
+	}
+
+	if len(iss.Bus) != len(m.Bus) {
+		t.Fatalf("bus event count: ISS %d vs gate %d\nISS: %v\ngate: %v",
+			len(iss.Bus), len(m.Bus), iss.Bus, m.Bus)
+	}
+	for i := range iss.Bus {
+		ie, ge := iss.Bus[i], m.Bus[i]
+		if ie.Addr != ge.Addr || ie.Data != ge.Data || ie.Strobe != ge.Strobe || ie.Write != ge.Write {
+			t.Fatalf("bus event %d differs:\nISS:  %v\ngate: %v", i, ie, ge)
+		}
+		if ge.Cycle != ie.Cycle-1 {
+			t.Errorf("bus event %d cycle: ISS %d vs gate %d (want gate = ISS-1)", i, ie.Cycle, ge.Cycle)
+		}
+	}
+	if eq, diff := issMem.Equal(m.Mem); !eq {
+		t.Fatalf("final memory differs: %s", diff)
+	}
+	return iss, m
+}
+
+// storeAllRegs emits code that dumps r1..r25 to memory so register state is
+// part of the compared surface.
+func storeAllRegs(base uint32) string {
+	s := fmt.Sprintf("lui $at, %#x\n", base>>16)
+	for r := 2; r <= 25; r++ {
+		s += fmt.Sprintf("sw $%d, %d($at)\n", r, (r-2)*4)
+	}
+	return s
+}
+
+func TestCoSimArithmetic(t *testing.T) {
+	cpu := buildCPU(t, synth.NativeLib{})
+	coSim(t, cpu, `
+		li $t0, 100
+		li $t1, -30
+		add $t2, $t0, $t1
+		sub $t3, $t0, $t1
+		and $t4, $t0, $t1
+		or  $t5, $t0, $t1
+		xor $t6, $t0, $t1
+		nor $t7, $t0, $t1
+		slt $s0, $t1, $t0
+		sltu $s1, $t1, $t0
+		addiu $s2, $t0, -1000
+		slti $s3, $t1, 6
+		sltiu $s4, $t1, 6
+		andi $s5, $t1, 0xf0f0
+		ori $s6, $t1, 0x1234
+		xori $s7, $t1, 0xffff
+		lui $t8, 0xabcd
+	`+storeAllRegs(0x2000))
+}
+
+func TestCoSimShifts(t *testing.T) {
+	cpu := buildCPU(t, synth.NativeLib{})
+	coSim(t, cpu, `
+		li $t0, 0x80000001
+		li $t1, 7
+		sll $t2, $t0, 1
+		srl $t3, $t0, 1
+		sra $t4, $t0, 1
+		sll $t5, $t0, 31
+		sra $t6, $t0, 31
+		sllv $t7, $t0, $t1
+		srlv $s0, $t0, $t1
+		srav $s1, $t0, $t1
+		li $t1, 32          # variable shift uses low 5 bits: 0
+		sllv $s2, $t0, $t1
+	`+storeAllRegs(0x2000))
+}
+
+func TestCoSimBranches(t *testing.T) {
+	cpu := buildCPU(t, synth.NativeLib{})
+	coSim(t, cpu, `
+		li $t0, 5
+		li $s0, 0
+	loop:
+		addiu $s0, $s0, 3
+		addiu $t0, $t0, -1
+		bne $t0, $zero, loop
+		nop
+		beq $s0, $zero, never
+		li $s1, 1          # delay slot
+		bltz $s0, never
+		nop
+		bgez $s0, took1
+		nop
+	never:
+		li $s7, 0xbad
+	took1:
+		blez $zero, took2
+		nop
+		li $s7, 0xbad2
+	took2:
+		bgtz $s0, took3
+		nop
+		li $s7, 0xbad3
+	took3:
+	`+storeAllRegs(0x2000))
+}
+
+func TestCoSimJumps(t *testing.T) {
+	cpu := buildCPU(t, synth.NativeLib{})
+	coSim(t, cpu, `
+		jal sub1
+		nop
+		la $t0, sub2
+		jalr $s5, $t0
+		nop
+		bgezal $zero, sub3
+		nop
+		b end
+		nop
+	sub1:
+		li $s0, 0x111
+		jr $ra
+		nop
+	sub2:
+		li $s1, 0x222
+		jr $s5
+		nop
+	sub3:
+		li $s2, 0x333
+		jr $ra
+		nop
+	end:
+		move $s3, $ra
+	`+storeAllRegs(0x2000))
+}
+
+func TestCoSimMemory(t *testing.T) {
+	cpu := buildCPU(t, synth.NativeLib{})
+	coSim(t, cpu, `
+		li $t0, 0x1000
+		li $t1, 0x89abcdef
+		sw $t1, 0($t0)
+		lw $t2, 0($t0)
+		lb $t3, 0($t0)
+		lbu $t4, 1($t0)
+		lb $t5, 3($t0)
+		lh $t6, 0($t0)
+		lhu $t7, 2($t0)
+		sb $t1, 4($t0)
+		sb $t1, 7($t0)
+		sh $t1, 8($t0)
+		sh $t1, 14($t0)
+		lw $s0, 4($t0)
+		lw $s1, 8($t0)
+		lw $s2, 12($t0)
+	`+storeAllRegs(0x2000))
+}
+
+func TestCoSimMulDiv(t *testing.T) {
+	cpu := buildCPU(t, synth.NativeLib{})
+	coSim(t, cpu, `
+		li $t0, -7
+		li $t1, 9
+		mult $t0, $t1
+		mflo $t2
+		mfhi $t3
+		multu $t0, $t1
+		mflo $t4
+		mfhi $t5
+		div $t0, $t1
+		mflo $t6
+		mfhi $t7
+		divu $t1, $t0
+		mflo $s0
+		mfhi $s1
+		li $s2, 0x1234
+		mthi $s2
+		mtlo $t1
+		mfhi $s3
+		mflo $s4
+		# overlap: useful work between mult and mfhi
+		mult $t1, $t1
+		addiu $s5, $zero, 0
+		addiu $s5, $s5, 7
+		addiu $s5, $s5, 7
+		mflo $s6
+	`+storeAllRegs(0x2000))
+}
+
+func TestCoSimMulDivEdgeCases(t *testing.T) {
+	cpu := buildCPU(t, synth.NativeLib{})
+	coSim(t, cpu, `
+		li $t0, 0x80000000
+		li $t1, -1
+		mult $t0, $t1
+		mflo $s0
+		mfhi $s1
+		div $t0, $t1
+		mflo $s2
+		mfhi $s3
+		li $t1, 0xffffffff
+		multu $t1, $t1
+		mflo $s4
+		mfhi $s5
+		divu $t0, $t1
+		mflo $s6
+		mfhi $s7
+	`+storeAllRegs(0x2000))
+}
+
+func TestCoSimLoadInDelaySlot(t *testing.T) {
+	cpu := buildCPU(t, synth.NativeLib{})
+	coSim(t, cpu, `
+		li $t0, 0x1000
+		li $t1, 0x5a5a5a5a
+		sw $t1, 0($t0)
+		beq $zero, $zero, after
+		lw $t2, 0($t0)     # load in delay slot
+		li $t3, 0xbad
+	after:
+		sw $t2, 4($t0)
+	`+storeAllRegs(0x2000))
+}
+
+func TestCoSimRandomPrograms(t *testing.T) {
+	cpu := buildCPU(t, synth.NativeLib{})
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 8; trial++ {
+		src := randomProgram(rng, 120)
+		coSim(t, cpu, src)
+	}
+}
+
+func TestCoSimNandLib(t *testing.T) {
+	cpu := buildCPU(t, synth.NandLib{})
+	rng := rand.New(rand.NewSource(43))
+	coSim(t, cpu, randomProgram(rng, 80))
+}
+
+// randomProgram emits a straight-line random program over r8..r23 with
+// occasional memory traffic and mul/div, ending with a register dump.
+func randomProgram(rng *rand.Rand, n int) string {
+	reg := func() int { return 8 + rng.Intn(16) }
+	src := "li $fp, 0x3000\n"
+	for r := 8; r < 24; r++ {
+		src += fmt.Sprintf("li $%d, %#x\n", r, rng.Uint32())
+	}
+	rrOps := []string{"add", "addu", "sub", "subu", "and", "or", "xor", "nor", "slt", "sltu", "sllv", "srlv", "srav"}
+	iOps := []string{"addi", "addiu", "slti", "sltiu"}
+	uOps := []string{"andi", "ori", "xori"}
+	shOps := []string{"sll", "srl", "sra"}
+	for i := 0; i < n; i++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3:
+			src += fmt.Sprintf("%s $%d, $%d, $%d\n", rrOps[rng.Intn(len(rrOps))], reg(), reg(), reg())
+		case 4:
+			src += fmt.Sprintf("%s $%d, $%d, %d\n", iOps[rng.Intn(len(iOps))], reg(), reg(), rng.Intn(65536)-32768)
+		case 5:
+			src += fmt.Sprintf("%s $%d, $%d, %#x\n", uOps[rng.Intn(len(uOps))], reg(), reg(), rng.Intn(65536))
+		case 6:
+			src += fmt.Sprintf("%s $%d, $%d, %d\n", shOps[rng.Intn(len(shOps))], reg(), reg(), rng.Intn(32))
+		case 7:
+			off := rng.Intn(32) * 4
+			if rng.Intn(2) == 0 {
+				src += fmt.Sprintf("sw $%d, %d($fp)\n", reg(), off)
+			} else {
+				src += fmt.Sprintf("lw $%d, %d($fp)\n", reg(), off)
+			}
+		case 8:
+			off := rng.Intn(128)
+			if rng.Intn(2) == 0 {
+				src += fmt.Sprintf("sb $%d, %d($fp)\n", reg(), off)
+			} else if rng.Intn(2) == 0 {
+				src += fmt.Sprintf("lbu $%d, %d($fp)\n", reg(), off)
+			} else {
+				src += fmt.Sprintf("lb $%d, %d($fp)\n", reg(), off)
+			}
+		case 9:
+			md := []string{"mult", "multu", "div", "divu"}[rng.Intn(4)]
+			a, b := reg(), reg()
+			if md == "div" || md == "divu" {
+				// Keep divisor nonzero and away from the signed-overflow
+				// pair so ISS and hardware agree by construction.
+				src += fmt.Sprintf("ori $%d, $%d, 3\n", b, b)
+			}
+			src += fmt.Sprintf("%s $%d, $%d\n", md, a, b)
+			src += fmt.Sprintf("mflo $%d\n", reg())
+			src += fmt.Sprintf("mfhi $%d\n", reg())
+		}
+	}
+	return src + storeAllRegs(0x2000)
+}
+
+func TestGoldenCaptureMatchesMachine(t *testing.T) {
+	cpu := buildCPU(t, synth.NativeLib{})
+	prog, err := asm.Assemble(`
+		li $t0, 0x1000
+		li $t1, 0xa5
+		sw $t1, 0($t0)
+		lw $t2, 0($t0)
+	h:	j h
+		nop
+	`, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := CaptureGolden(cpu, prog, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Cycles != 30 || len(g.Out) != 30 {
+		t.Fatalf("golden sizing wrong: %d", g.Cycles)
+	}
+	// Find the store in the golden output stream.
+	found := false
+	for _, o := range g.Out {
+		if o.WStrobe == 0xF && o.Addr == 0x1000 && o.WData == 0xA5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("golden trace missing the sw event")
+	}
+}
+
+// randomLoopProgram emits a structured random program with counted loops,
+// forward branches and a subroutine — terminating by construction — to
+// stress control flow in co-simulation beyond straight-line code.
+func randomLoopProgram(rng *rand.Rand, id int) string {
+	var sb strings.Builder
+	w := func(format string, args ...interface{}) { fmt.Fprintf(&sb, format+"\n", args...) }
+	label := 0
+	newLabel := func(p string) string { label++; return fmt.Sprintf("rl%d_%s%d", id, p, label) }
+	reg := func() int { return 8 + rng.Intn(8) } // $t0..$t7
+
+	w("li $fp, 0x4000")
+	for r := 8; r < 16; r++ {
+		w("li $%d, %#x", r, rng.Uint32())
+	}
+
+	body := func() {
+		ops := []string{"addu", "subu", "xor", "and", "or", "slt", "sllv"}
+		for i := 0; i < 2+rng.Intn(4); i++ {
+			w("%s $%d, $%d, $%d", ops[rng.Intn(len(ops))], reg(), reg(), reg())
+		}
+		if rng.Intn(2) == 0 {
+			w("sw $%d, %d($fp)", reg(), rng.Intn(16)*4)
+		}
+		if rng.Intn(3) == 0 {
+			skip := newLabel("sk")
+			w("bne $%d, $%d, %s", reg(), reg(), skip)
+			w("addiu $%d, $%d, 1", reg(), reg()) // delay slot
+			w("xor $%d, $%d, $%d", reg(), reg(), reg())
+			w("%s:", skip)
+		}
+	}
+
+	sub := newLabel("sub")
+	after := newLabel("after")
+	w("jal %s", sub)
+	w("nop")
+	w("b %s", after)
+	w("nop")
+	w("%s:", sub)
+	body()
+	w("jr $ra")
+	w("nop")
+	w("%s:", after)
+
+	for seg := 0; seg < 3; seg++ {
+		outer := newLabel("lp")
+		w("li $s0, %d", 2+rng.Intn(4))
+		w("%s:", outer)
+		body()
+		if rng.Intn(2) == 0 {
+			inner := newLabel("in")
+			w("li $s1, %d", 2+rng.Intn(3))
+			w("%s:", inner)
+			body()
+			w("addiu $s1, $s1, -1")
+			w("bne $s1, $zero, %s", inner)
+			w("nop")
+		}
+		w("addiu $s0, $s0, -1")
+		w("bne $s0, $zero, %s", outer)
+		w("nop")
+	}
+	return sb.String() + storeAllRegs(0x2000)
+}
+
+func TestCoSimStructuredRandom(t *testing.T) {
+	cpu := buildCPU(t, synth.NativeLib{})
+	rng := rand.New(rand.NewSource(777))
+	for trial := 0; trial < 6; trial++ {
+		coSim(t, cpu, randomLoopProgram(rng, trial))
+	}
+}
+
+func TestDebugLanesAndBusStateString(t *testing.T) {
+	cpu := buildCPU(t, synth.NativeLib{})
+	prog, err := asm.Assemble("li $t0, 5\nh: j h\nnop", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _, err := RunProgram(cpu, prog, 20, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After the halt loop, the PC cycles within the two halt words.
+	if pc := m.PCLane(); pc > 0x10 {
+		t.Errorf("PC = %#x after halt", pc)
+	}
+	if ir := m.IRLane(); ir == 0xFFFFFFFF {
+		t.Errorf("IR lane read broken: %#x", ir)
+	}
+	bs := BusState{Addr: 0x40, WData: 0xAA, WStrobe: 0xF, DataAccess: true}
+	if s := bs.String(); !strings.Contains(s, "D") || !strings.Contains(s, "aa") {
+		t.Errorf("BusState.String = %q", s)
+	}
+	bs.DataAccess = false
+	if s := bs.String(); !strings.Contains(s, "F ") {
+		t.Errorf("fetch BusState.String = %q", s)
+	}
+}

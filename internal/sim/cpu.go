@@ -1,0 +1,298 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/synth"
+)
+
+// BusEvent records one data-memory access on the processor bus, the
+// observation stream used to compare machines.
+type BusEvent struct {
+	Cycle  uint64
+	Addr   uint32 // word-aligned address
+	Data   uint32 // full word written (after lane merge) or loaded
+	Strobe uint8  // byte-lane write strobes (0 for reads)
+	Write  bool
+}
+
+func (e BusEvent) String() string {
+	dir := "R"
+	if e.Write {
+		dir = "W"
+	}
+	return fmt.Sprintf("@%d %s %08x=%08x/%x", e.Cycle, dir, e.Addr, e.Data, e.Strobe)
+}
+
+// CPU is the golden-model Plasma/MIPS processor state.
+type CPU struct {
+	PC  uint32 // address of the instruction about to execute
+	NPC uint32 // address of the next instruction (delay-slot successor)
+	Reg [32]uint32
+	Hi  uint32
+	Lo  uint32
+	Mem *Memory
+
+	// Cycle is the running cycle count under the Plasma cost model.
+	Cycle uint64
+	// Retired counts executed instructions.
+	Retired uint64
+	// Halted is set when the CPU executes a jump-to-self.
+	Halted bool
+
+	// TraceBus enables recording data-memory accesses into Bus.
+	TraceBus bool
+	Bus      []BusEvent
+
+	// TraceExec, when non-nil, receives every retired instruction.
+	TraceExec func(pc, word uint32)
+
+	mulBusyUntil uint64
+}
+
+// New returns a CPU with PC at start and an empty register file.
+func New(mem *Memory, start uint32) *CPU {
+	return &CPU{PC: start, NPC: start + 4, Mem: mem}
+}
+
+// busEvent appends a bus record when tracing is on.
+func (c *CPU) busEvent(addr, data uint32, strobe uint8, write bool) {
+	if c.TraceBus {
+		c.Bus = append(c.Bus, BusEvent{Cycle: c.Cycle, Addr: addr &^ 3, Data: data, Strobe: strobe, Write: write})
+	}
+}
+
+func (c *CPU) setReg(r, v uint32) {
+	if r != 0 {
+		c.Reg[r] = v
+	}
+}
+
+// stallMulDiv advances time until the multiply/divide unit is idle: the
+// stalled instruction executes on the cycle after busy deasserts.
+func (c *CPU) stallMulDiv() {
+	if c.Cycle <= c.mulBusyUntil {
+		c.Cycle = c.mulBusyUntil + 1
+	}
+}
+
+// Step executes one instruction. It returns an error on an encoding outside
+// the implemented subset or an unaligned memory access.
+func (c *CPU) Step() error {
+	cur := c.PC
+	w := c.Mem.Word(cur)
+	f := isa.Decode(w)
+
+	// Advance the PC pair; branches override NPC (delay-slot semantics).
+	c.PC = c.NPC
+	c.NPC += 4
+	c.Cycle++
+	c.Retired++
+	if c.TraceExec != nil {
+		c.TraceExec(cur, w)
+	}
+
+	branch := func(taken bool) {
+		if taken {
+			c.NPC = isa.BranchTarget(f, cur)
+		}
+	}
+
+	switch f.Op {
+	case isa.OpSpecial:
+		rs, rt := c.Reg[f.Rs], c.Reg[f.Rt]
+		switch f.Funct {
+		case isa.FnSll:
+			c.setReg(f.Rd, synth.ShiftRef(rt, f.Shamt, false, false))
+		case isa.FnSrl:
+			c.setReg(f.Rd, synth.ShiftRef(rt, f.Shamt, true, false))
+		case isa.FnSra:
+			c.setReg(f.Rd, synth.ShiftRef(rt, f.Shamt, true, true))
+		case isa.FnSllv:
+			c.setReg(f.Rd, synth.ShiftRef(rt, rs&31, false, false))
+		case isa.FnSrlv:
+			c.setReg(f.Rd, synth.ShiftRef(rt, rs&31, true, false))
+		case isa.FnSrav:
+			c.setReg(f.Rd, synth.ShiftRef(rt, rs&31, true, true))
+		case isa.FnJr:
+			if rs == cur {
+				c.Halted = true
+			}
+			c.NPC = rs
+		case isa.FnJalr:
+			c.setReg(f.Rd, cur+8)
+			c.NPC = rs
+		case isa.FnMfhi:
+			c.stallMulDiv()
+			c.setReg(f.Rd, c.Hi)
+		case isa.FnMflo:
+			c.stallMulDiv()
+			c.setReg(f.Rd, c.Lo)
+		case isa.FnMthi:
+			c.stallMulDiv()
+			c.Hi = rs
+		case isa.FnMtlo:
+			c.stallMulDiv()
+			c.Lo = rs
+		case isa.FnMult, isa.FnMultu, isa.FnDiv, isa.FnDivu:
+			c.stallMulDiv()
+			isDiv := f.Funct == isa.FnDiv || f.Funct == isa.FnDivu
+			isSigned := f.Funct == isa.FnMult || f.Funct == isa.FnDiv
+			c.Hi, c.Lo = synth.MulDivRef(rs, rt, isDiv, isSigned)
+			c.mulBusyUntil = c.Cycle + synth.MulDivBusyCycles
+		case isa.FnAdd, isa.FnAddu:
+			c.setReg(f.Rd, rs+rt)
+		case isa.FnSub, isa.FnSubu:
+			c.setReg(f.Rd, rs-rt)
+		case isa.FnAnd:
+			c.setReg(f.Rd, rs&rt)
+		case isa.FnOr:
+			c.setReg(f.Rd, rs|rt)
+		case isa.FnXor:
+			c.setReg(f.Rd, rs^rt)
+		case isa.FnNor:
+			c.setReg(f.Rd, ^(rs | rt))
+		case isa.FnSlt:
+			c.setReg(f.Rd, synth.ALURef(synth.ALUSlt, rs, rt))
+		case isa.FnSltu:
+			c.setReg(f.Rd, synth.ALURef(synth.ALUSltu, rs, rt))
+		default:
+			return fmt.Errorf("sim: unimplemented SPECIAL funct %#x at %#x", f.Funct, cur)
+		}
+
+	case isa.OpRegImm:
+		rs := c.Reg[f.Rs]
+		switch f.Rt {
+		case isa.RtBltz:
+			branch(int32(rs) < 0)
+		case isa.RtBgez:
+			branch(int32(rs) >= 0)
+		case isa.RtBltzal:
+			c.setReg(31, cur+8)
+			branch(int32(rs) < 0)
+		case isa.RtBgezal:
+			c.setReg(31, cur+8)
+			branch(int32(rs) >= 0)
+		default:
+			return fmt.Errorf("sim: unimplemented REGIMM rt %#x at %#x", f.Rt, cur)
+		}
+
+	case isa.OpJ, isa.OpJal:
+		target := isa.JumpTarget(f, cur)
+		if f.Op == isa.OpJal {
+			c.setReg(31, cur+8)
+		}
+		if target == cur {
+			c.Halted = true
+		}
+		c.NPC = target
+
+	case isa.OpBeq:
+		branch(c.Reg[f.Rs] == c.Reg[f.Rt])
+	case isa.OpBne:
+		branch(c.Reg[f.Rs] != c.Reg[f.Rt])
+	case isa.OpBlez:
+		branch(int32(c.Reg[f.Rs]) <= 0)
+	case isa.OpBgtz:
+		branch(int32(c.Reg[f.Rs]) > 0)
+
+	case isa.OpAddi, isa.OpAddiu:
+		c.setReg(f.Rt, c.Reg[f.Rs]+f.SignExtImm())
+	case isa.OpSlti:
+		c.setReg(f.Rt, synth.ALURef(synth.ALUSlt, c.Reg[f.Rs], f.SignExtImm()))
+	case isa.OpSltiu:
+		c.setReg(f.Rt, synth.ALURef(synth.ALUSltu, c.Reg[f.Rs], f.SignExtImm()))
+	case isa.OpAndi:
+		c.setReg(f.Rt, c.Reg[f.Rs]&f.Imm)
+	case isa.OpOri:
+		c.setReg(f.Rt, c.Reg[f.Rs]|f.Imm)
+	case isa.OpXori:
+		c.setReg(f.Rt, c.Reg[f.Rs]^f.Imm)
+	case isa.OpLui:
+		c.setReg(f.Rt, f.Imm<<16)
+
+	default:
+		if isa.IsLoad(f.Op) || isa.IsStore(f.Op) {
+			return c.memAccess(f, cur)
+		}
+		return fmt.Errorf("sim: unimplemented opcode %#x at %#x", f.Op, cur)
+	}
+	return nil
+}
+
+// memAccess executes loads and stores, including the one-cycle bus pause of
+// the Plasma model.
+func (c *CPU) memAccess(f isa.Fields, cur uint32) error {
+	addr := c.Reg[f.Rs] + f.SignExtImm()
+	c.Cycle++ // memory pause cycle
+
+	switch f.Op {
+	case isa.OpLw:
+		if addr&3 != 0 {
+			return fmt.Errorf("sim: unaligned lw at %#x addr %#x", cur, addr)
+		}
+		v := c.Mem.Word(addr)
+		c.busEvent(addr, v, 0, false)
+		c.setReg(f.Rt, v)
+	case isa.OpLh, isa.OpLhu:
+		if addr&1 != 0 {
+			return fmt.Errorf("sim: unaligned lh at %#x addr %#x", cur, addr)
+		}
+		v := c.Mem.Half(addr)
+		c.busEvent(addr, c.Mem.Word(addr), 0, false)
+		if f.Op == isa.OpLh {
+			c.setReg(f.Rt, uint32(int32(int16(v))))
+		} else {
+			c.setReg(f.Rt, uint32(v))
+		}
+	case isa.OpLb, isa.OpLbu:
+		v := c.Mem.Byte(addr)
+		c.busEvent(addr, c.Mem.Word(addr), 0, false)
+		if f.Op == isa.OpLb {
+			c.setReg(f.Rt, uint32(int32(int8(v))))
+		} else {
+			c.setReg(f.Rt, uint32(v))
+		}
+	case isa.OpSw:
+		if addr&3 != 0 {
+			return fmt.Errorf("sim: unaligned sw at %#x addr %#x", cur, addr)
+		}
+		c.Mem.SetWord(addr, c.Reg[f.Rt])
+		c.busEvent(addr, c.Mem.Word(addr), 0xF, true)
+	case isa.OpSh:
+		if addr&1 != 0 {
+			return fmt.Errorf("sim: unaligned sh at %#x addr %#x", cur, addr)
+		}
+		c.Mem.SetHalf(addr, uint16(c.Reg[f.Rt]))
+		strobe := uint8(0xC) // big-endian: upper half => lanes 3..2
+		if addr&2 != 0 {
+			strobe = 0x3
+		}
+		c.busEvent(addr, c.Mem.Word(addr), strobe, true)
+	case isa.OpSb:
+		c.Mem.SetByte(addr, uint8(c.Reg[f.Rt]))
+		strobe := uint8(1) << (3 - addr&3)
+		c.busEvent(addr, c.Mem.Word(addr), strobe, true)
+	}
+	return nil
+}
+
+// Run executes instructions until the CPU halts on a jump-to-self or
+// maxInstructions have retired. It reports whether the CPU halted.
+func (c *CPU) Run(maxInstructions uint64) (bool, error) {
+	for i := uint64(0); i < maxInstructions; i++ {
+		if err := c.Step(); err != nil {
+			return false, err
+		}
+		if c.Halted {
+			// Let the delay slot of the final jump execute, as hardware
+			// would, so stores in it are not lost.
+			if err := c.Step(); err != nil {
+				return false, err
+			}
+			return true, nil
+		}
+	}
+	return false, nil
+}

@@ -1,0 +1,539 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/synth"
+)
+
+// run assembles src at origin 0, appends a halt loop, and runs to halt.
+func run(t *testing.T, src string) *CPU {
+	t.Helper()
+	full := src + "\nhalt_loop__: j halt_loop__\nnop\n"
+	p, err := asm.Assemble(full, 0)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	mem := NewMemory()
+	mem.LoadProgram(p)
+	c := New(mem, 0)
+	halted, err := c.Run(100000)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !halted {
+		t.Fatal("program did not halt")
+	}
+	return c
+}
+
+func TestArithmeticAndLogic(t *testing.T) {
+	c := run(t, `
+		li $t0, 100
+		li $t1, -30
+		add $t2, $t0, $t1     # 70
+		sub $t3, $t0, $t1     # 130
+		and $t4, $t0, $t1
+		or  $t5, $t0, $t1
+		xor $t6, $t0, $t1
+		nor $t7, $t0, $t1
+		slt $s0, $t1, $t0     # 1 (signed -30 < 100)
+		sltu $s1, $t1, $t0    # 0 (unsigned huge > 100)
+	`)
+	want := map[int]uint32{
+		10: 70, 11: 130,
+		12: 100 & 0xFFFFFFE2, 13: 100 | 0xFFFFFFE2,
+		14: 100 ^ 0xFFFFFFE2, 15: ^(uint32(100) | 0xFFFFFFE2),
+		16: 1, 17: 0,
+	}
+	for r, v := range want {
+		if c.Reg[r] != v {
+			t.Errorf("r%d = %#x, want %#x", r, c.Reg[r], v)
+		}
+	}
+}
+
+func TestImmediates(t *testing.T) {
+	c := run(t, `
+		addiu $t0, $zero, -1
+		addi  $t1, $zero, 5
+		slti  $t2, $t1, 6
+		slti  $t3, $t1, 5
+		sltiu $t4, $t1, 6
+		sltiu $t5, $t0, 1     # 0xffffffff < 1 unsigned? no
+		andi  $t6, $t0, 0xf0f0
+		ori   $t7, $zero, 0x1234
+		xori  $s0, $t0, 0xffff
+		lui   $s1, 0xabcd
+	`)
+	want := map[int]uint32{
+		8: 0xFFFFFFFF, 9: 5, 10: 1, 11: 0, 12: 1, 13: 0,
+		14: 0xF0F0, 15: 0x1234, 16: 0xFFFF0000, 17: 0xABCD0000,
+	}
+	for r, v := range want {
+		if c.Reg[r] != v {
+			t.Errorf("r%d = %#x, want %#x", r, c.Reg[r], v)
+		}
+	}
+}
+
+func TestShifts(t *testing.T) {
+	c := run(t, `
+		li $t0, 0x80000001
+		sll $t1, $t0, 4
+		srl $t2, $t0, 4
+		sra $t3, $t0, 4
+		li $t4, 33          # variable shifts use low 5 bits => 1
+		sllv $t5, $t0, $t4
+		srlv $t6, $t0, $t4
+		srav $t7, $t0, $t4
+	`)
+	want := map[int]uint32{
+		9:  0x00000010,
+		10: 0x08000000,
+		11: 0xF8000000,
+		13: 0x00000002,
+		14: 0x40000000,
+		15: 0xC0000000,
+	}
+	for r, v := range want {
+		if c.Reg[r] != v {
+			t.Errorf("r%d = %#x, want %#x", r, c.Reg[r], v)
+		}
+	}
+}
+
+func TestR0Immutable(t *testing.T) {
+	c := run(t, `
+		li $t0, 7
+		add $zero, $t0, $t0
+		ori $zero, $t0, 0xffff
+	`)
+	if c.Reg[0] != 0 {
+		t.Errorf("r0 = %#x", c.Reg[0])
+	}
+}
+
+func TestBranchDelaySlot(t *testing.T) {
+	// The instruction after a taken branch always executes.
+	c := run(t, `
+		li $t0, 1
+		beq $zero, $zero, skip
+		li $t1, 2         # delay slot: executes
+		li $t2, 3         # skipped
+	skip:
+		li $t3, 4
+	`)
+	if c.Reg[9] != 2 {
+		t.Errorf("delay slot did not execute: t1 = %d", c.Reg[9])
+	}
+	if c.Reg[10] != 0 {
+		t.Errorf("skipped instruction executed: t2 = %d", c.Reg[10])
+	}
+	if c.Reg[11] != 4 {
+		t.Errorf("branch target missed: t3 = %d", c.Reg[11])
+	}
+}
+
+func TestBranchConditions(t *testing.T) {
+	c := run(t, `
+		li $t0, -5
+		li $t1, 5
+		li $s0, 0
+
+		bltz $t0, L1
+		nop
+		b fail
+		nop
+	L1:	bgez $t1, L2
+		nop
+		b fail
+		nop
+	L2:	blez $zero, L3
+		nop
+		b fail
+		nop
+	L3:	bgtz $t1, L4
+		nop
+		b fail
+		nop
+	L4:	bne $t0, $t1, L5
+		nop
+		b fail
+		nop
+	L5:	bltz $t1, fail    # not taken
+		nop
+		bgtz $t0, fail    # not taken
+		nop
+		li $s0, 1
+		b end
+		nop
+	fail:
+		li $s0, 2
+	end:
+	`)
+	if c.Reg[16] != 1 {
+		t.Errorf("branch condition suite failed: s0 = %d", c.Reg[16])
+	}
+}
+
+func TestJalAndJr(t *testing.T) {
+	c := run(t, `
+		jal sub
+		nop
+		b end
+		nop
+	sub:
+		li $t0, 42
+		jr $ra
+		li $t1, 43       # delay slot of jr
+	end:
+	`)
+	if c.Reg[8] != 42 || c.Reg[9] != 43 {
+		t.Errorf("subroutine results: t0=%d t1=%d", c.Reg[8], c.Reg[9])
+	}
+	if c.Reg[31] != 8 {
+		t.Errorf("ra = %#x, want 0x8", c.Reg[31])
+	}
+}
+
+func TestJalrAndRegimmLink(t *testing.T) {
+	c := run(t, `
+		la $t0, sub
+		jalr $s0, $t0
+		nop
+		b end
+		nop
+	sub:
+		li $t1, 9
+		jr $s0
+		nop
+	end:
+		li $t2, 1
+		bgezal $zero, sub2
+		nop
+		b end2
+		nop
+	sub2:
+		li $t3, 11
+		jr $ra
+		nop
+	end2:
+	`)
+	if c.Reg[9] != 9 || c.Reg[11] != 11 || c.Reg[10] != 1 {
+		t.Errorf("t1=%d t3=%d t2=%d", c.Reg[9], c.Reg[11], c.Reg[10])
+	}
+}
+
+func TestLoadsAndStores(t *testing.T) {
+	c := run(t, `
+		li $t0, 0x1000
+		li $t1, 0x89abcdef
+		sw $t1, 0($t0)
+		lw $t2, 0($t0)
+		lb $t3, 0($t0)    # 0x89 sign-extended
+		lbu $t4, 0($t0)
+		lb $t5, 3($t0)    # 0xef sign-extended
+		lh $t6, 0($t0)    # 0x89ab sign-extended
+		lhu $t7, 2($t0)   # 0xcdef
+		sb $t1, 4($t0)    # writes 0xef to byte 0 of word at 0x1004
+		sh $t1, 8($t0)    # writes 0xcdef to upper half of 0x1008
+		sh $t1, 14($t0)   # writes 0xcdef to lower half of 0x100c
+	`)
+	want := map[int]uint32{
+		10: 0x89ABCDEF,
+		11: 0xFFFFFF89,
+		12: 0x89,
+		13: 0xFFFFFFEF,
+		14: 0xFFFF89AB,
+		15: 0xCDEF,
+	}
+	for r, v := range want {
+		if c.Reg[r] != v {
+			t.Errorf("r%d = %#x, want %#x", r, c.Reg[r], v)
+		}
+	}
+	if w := c.Mem.Word(0x1004); w != 0xEF000000 {
+		t.Errorf("sb result = %#x", w)
+	}
+	if w := c.Mem.Word(0x1008); w != 0xCDEF0000 {
+		t.Errorf("sh upper = %#x", w)
+	}
+	if w := c.Mem.Word(0x100C); w != 0x0000CDEF {
+		t.Errorf("sh lower = %#x", w)
+	}
+}
+
+func TestUnalignedAccessErrors(t *testing.T) {
+	for _, src := range []string{
+		"li $t0, 2\nlw $t1, 0($t0)",
+		"li $t0, 1\nlh $t1, 0($t0)",
+		"li $t0, 2\nsw $t1, 0($t0)",
+		"li $t0, 1\nsh $t1, 0($t0)",
+	} {
+		p, err := asm.Assemble(src, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mem := NewMemory()
+		mem.LoadProgram(p)
+		c := New(mem, 0)
+		var stepErr error
+		for i := 0; i < 10 && stepErr == nil; i++ {
+			stepErr = c.Step()
+		}
+		if stepErr == nil {
+			t.Errorf("unaligned access not rejected: %q", src)
+		}
+	}
+}
+
+func TestMulDivInstructions(t *testing.T) {
+	c := run(t, `
+		li $t0, -7
+		li $t1, 9
+		mult $t0, $t1
+		mflo $t2         # -63
+		mfhi $t3         # sign extension: 0xffffffff
+		multu $t0, $t1
+		mflo $t4
+		mfhi $t5
+		div $t0, $t1     # -7/9 = 0 rem -7
+		mflo $t6
+		mfhi $t7
+		divu $t1, $t0
+		mflo $s0         # 9 / 0xfffffff9 = 0
+		mfhi $s1         # rem 9
+		li $s2, 0x1234
+		mthi $s2
+		mtlo $s2
+		mfhi $s3
+		mflo $s4
+	`)
+	wantHi, wantLo := synth.MulDivRef(uint32(0xFFFFFFF9), 9, false, false)
+	want := map[int]uint32{
+		10: uint32(0xFFFFFFC1), // -63
+		11: 0xFFFFFFFF,
+		12: wantLo, 13: wantHi,
+		14: 0, 15: uint32(0xFFFFFFF9),
+		16: 0, 17: 9,
+		19: 0x1234, 20: 0x1234,
+	}
+	for r, v := range want {
+		if c.Reg[r] != v {
+			t.Errorf("r%d = %#x, want %#x", r, c.Reg[r], v)
+		}
+	}
+}
+
+func TestCycleModel(t *testing.T) {
+	// 4 plain instructions + halt jump + delay slot = 6 cycles.
+	c := run(t, `
+		li $t0, 1
+		li $t1, 2
+		add $t2, $t0, $t1
+		sub $t3, $t0, $t1
+	`)
+	if c.Cycle != 6 {
+		t.Errorf("plain: %d cycles, want 6", c.Cycle)
+	}
+	// A load adds one pause cycle.
+	c2 := run(t, `
+		li $t0, 0x100
+		lw $t1, 0($t0)
+		sw $t1, 4($t0)
+	`)
+	// 3 instructions + 2 pauses + 2 halt = 7.
+	if c2.Cycle != 7 {
+		t.Errorf("memory: %d cycles, want 7", c2.Cycle)
+	}
+}
+
+func TestMulDivStallModel(t *testing.T) {
+	// mfhi immediately after mult stalls for the full busy window.
+	c := run(t, `
+		li $t0, 3
+		li $t1, 4
+		mult $t0, $t1
+		mfhi $t2
+	`)
+	// 2 li + mult + (stall to busyUntil) + mfhi + 2 halt.
+	minCycles := uint64(3 + synth.MulDivBusyCycles + 1 + 2)
+	if c.Cycle != minCycles {
+		t.Errorf("stalled: %d cycles, want %d", c.Cycle, minCycles)
+	}
+	// Independent work between mult and mfhi hides the latency.
+	c2 := run(t, `
+		li $t0, 3
+		li $t1, 4
+		mult $t0, $t1
+		li $t3, 0
+	wait:
+		addiu $t3, $t3, 1
+		bne $t3, $t1, wait
+		nop
+		mfhi $t2
+	`)
+	if c2.Reg[10] != 0 {
+		t.Errorf("hi = %#x", c2.Reg[10])
+	}
+	if c2.Cycle >= minCycles+20 {
+		t.Errorf("overlapped version too slow: %d cycles", c2.Cycle)
+	}
+}
+
+func TestBusTrace(t *testing.T) {
+	p, err := asm.Assemble(`
+		li $t0, 0x200
+		li $t1, 0xbeef
+		sw $t1, 0($t0)
+		lw $t2, 0($t0)
+		sb $t1, 5($t0)
+	halt: j halt
+		nop
+	`, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := NewMemory()
+	mem.LoadProgram(p)
+	c := New(mem, 0)
+	c.TraceBus = true
+	if _, err := c.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Bus) != 3 {
+		t.Fatalf("bus events = %d, want 3: %v", len(c.Bus), c.Bus)
+	}
+	if !c.Bus[0].Write || c.Bus[0].Addr != 0x200 || c.Bus[0].Data != 0xBEEF || c.Bus[0].Strobe != 0xF {
+		t.Errorf("sw event: %v", c.Bus[0])
+	}
+	if c.Bus[1].Write || c.Bus[1].Data != 0xBEEF {
+		t.Errorf("lw event: %v", c.Bus[1])
+	}
+	if !c.Bus[2].Write || c.Bus[2].Addr != 0x204 || c.Bus[2].Strobe != 0x4 {
+		t.Errorf("sb event: %v", c.Bus[2])
+	}
+}
+
+func TestMemoryPrimitives(t *testing.T) {
+	m := NewMemory()
+	m.SetWord(0x100, 0x01020304)
+	if m.Byte(0x100) != 1 || m.Byte(0x101) != 2 || m.Byte(0x102) != 3 || m.Byte(0x103) != 4 {
+		t.Error("big-endian byte order wrong")
+	}
+	if m.Half(0x100) != 0x0102 || m.Half(0x102) != 0x0304 {
+		t.Error("halfword order wrong")
+	}
+	m.SetByte(0x101, 0xAA)
+	if m.Word(0x100) != 0x01AA0304 {
+		t.Errorf("SetByte: %#x", m.Word(0x100))
+	}
+	m.SetHalf(0x102, 0xBBCC)
+	if m.Word(0x100) != 0x01AABBCC {
+		t.Errorf("SetHalf: %#x", m.Word(0x100))
+	}
+	m2 := NewMemory()
+	m2.SetWord(0x100, 0x01AABBCC)
+	if eq, _ := m.Equal(m2); !eq {
+		t.Error("Equal false negative")
+	}
+	m2.SetWord(0x200, 5)
+	if eq, _ := m.Equal(m2); eq {
+		t.Error("Equal false positive")
+	}
+}
+
+func TestExecTrace(t *testing.T) {
+	p, err := asm.Assemble("li $t0, 1\nadd $t1, $t0, $t0\nh: j h\nnop\n", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := NewMemory()
+	mem.LoadProgram(p)
+	c := New(mem, 0)
+	var pcs []uint32
+	c.TraceExec = func(pc, word uint32) { pcs = append(pcs, pc) }
+	if _, err := c.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if len(pcs) < 4 || pcs[0] != 0 || pcs[1] != 4 || pcs[2] != 8 {
+		t.Errorf("trace pcs: %v", pcs)
+	}
+}
+
+func TestProfileExecution(t *testing.T) {
+	p, err := asm.Assemble(`
+		li $t0, 3
+	loop:
+		addiu $t0, $t0, -1
+		bne $t0, $zero, loop
+		nop
+		sw $t0, 0x100($zero)
+	h:	j h
+		nop
+	`, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := ProfileExecution(p, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Counts["addiu"] != 4 { // li expands to addiu, plus 3 loop decrements
+		t.Errorf("addiu count = %d", prof.Counts["addiu"])
+	}
+	if prof.Counts["bne"] != 3 || prof.Counts["sw"] != 1 {
+		t.Errorf("counts: %v", prof.Counts)
+	}
+	if prof.Retired == 0 || prof.Cycles <= prof.Retired {
+		t.Errorf("retired=%d cycles=%d", prof.Retired, prof.Cycles)
+	}
+	s := prof.String()
+	if !strings.Contains(s, "addiu") || !strings.Contains(s, "%") {
+		t.Errorf("rendering: %q", s)
+	}
+}
+
+func TestBusEventString(t *testing.T) {
+	e := BusEvent{Cycle: 3, Addr: 0x100, Data: 0xBEEF, Strobe: 0xF, Write: true}
+	if s := e.String(); !strings.Contains(s, "W") || !strings.Contains(s, "beef") {
+		t.Errorf("BusEvent.String = %q", s)
+	}
+	e.Write = false
+	if s := e.String(); !strings.Contains(s, "R") {
+		t.Errorf("read event: %q", s)
+	}
+}
+
+func TestMemorySnapshot(t *testing.T) {
+	m := NewMemory()
+	m.SetWord(0x10, 7)
+	m.SetWord(0x20, 0) // zero words excluded
+	snap := m.Snapshot()
+	if len(snap) != 1 || snap[0x10] != 7 {
+		t.Errorf("snapshot: %v", snap)
+	}
+}
+
+func TestRunBudgetExhausted(t *testing.T) {
+	p, err := asm.Assemble("loop: addiu $t0, $t0, 1\nb loop\nnop", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := NewMemory()
+	mem.LoadProgram(p)
+	c := New(mem, 0)
+	halted, err := c.Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if halted {
+		t.Error("infinite loop reported halted")
+	}
+	if c.Retired != 100 {
+		t.Errorf("retired = %d", c.Retired)
+	}
+}

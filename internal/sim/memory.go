@@ -1,0 +1,96 @@
+// Package sim implements the golden instruction-set simulator (ISS) for the
+// Plasma MIPS I subset: architectural state, branch delay slots, HI/LO, a
+// sparse memory, a bus-event trace, and a cycle cost model matching the
+// gate-level core (loads/stores pause one cycle; mult/div is a 33-cycle
+// sequential unit that stalls HI/LO access).
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+)
+
+// Memory is a sparse, word-granular 32-bit memory.
+type Memory struct {
+	words map[uint32]uint32
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{words: make(map[uint32]uint32)}
+}
+
+// LoadProgram copies an assembled image into memory.
+func (m *Memory) LoadProgram(p *asm.Program) {
+	for i, w := range p.Words {
+		m.SetWord(p.Origin+uint32(i)*4, w)
+	}
+}
+
+// Word reads the aligned word containing addr.
+func (m *Memory) Word(addr uint32) uint32 {
+	return m.words[addr&^3]
+}
+
+// SetWord writes the aligned word containing addr.
+func (m *Memory) SetWord(addr, v uint32) {
+	m.words[addr&^3] = v
+}
+
+// Byte reads one byte (big-endian within the word, as on MIPS).
+func (m *Memory) Byte(addr uint32) uint8 {
+	w := m.Word(addr)
+	shift := (3 - addr&3) * 8
+	return uint8(w >> shift)
+}
+
+// SetByte writes one byte.
+func (m *Memory) SetByte(addr uint32, v uint8) {
+	shift := (3 - addr&3) * 8
+	w := m.Word(addr)
+	w = w&^(0xFF<<shift) | uint32(v)<<shift
+	m.SetWord(addr, w)
+}
+
+// Half reads an aligned halfword.
+func (m *Memory) Half(addr uint32) uint16 {
+	w := m.Word(addr)
+	shift := (2 - addr&2) * 8
+	return uint16(w >> shift)
+}
+
+// SetHalf writes an aligned halfword.
+func (m *Memory) SetHalf(addr uint32, v uint16) {
+	shift := (2 - addr&2) * 8
+	w := m.Word(addr)
+	w = w&^(0xFFFF<<shift) | uint32(v)<<shift
+	m.SetWord(addr, w)
+}
+
+// Snapshot returns a copy of all nonzero words, for state comparison.
+func (m *Memory) Snapshot() map[uint32]uint32 {
+	cp := make(map[uint32]uint32, len(m.words))
+	for a, v := range m.words {
+		if v != 0 {
+			cp[a] = v
+		}
+	}
+	return cp
+}
+
+// Equal reports whether two memories hold identical contents, and if not,
+// describes the first difference found.
+func (m *Memory) Equal(o *Memory) (bool, string) {
+	for a, v := range m.words {
+		if ov := o.words[a&^3]; ov != v {
+			return false, fmt.Sprintf("word %#x: %#x vs %#x", a, v, ov)
+		}
+	}
+	for a, v := range o.words {
+		if mv := m.words[a&^3]; mv != v {
+			return false, fmt.Sprintf("word %#x: %#x vs %#x", mv, v, a)
+		}
+	}
+	return true, ""
+}

@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+// Profile is a dynamic instruction-mix profile of one program execution.
+type Profile struct {
+	// Counts maps mnemonics to retired-instruction counts.
+	Counts map[string]int
+	// Retired is the total retired instruction count.
+	Retired uint64
+	// Cycles is the execution time under the Plasma cost model.
+	Cycles uint64
+}
+
+// ProfileExecution runs a program on the golden model to completion and
+// returns its dynamic instruction mix — how a self-test program spends its
+// execution budget across the instruction set.
+func ProfileExecution(prog *asm.Program, maxInstructions uint64) (*Profile, error) {
+	mem := NewMemory()
+	mem.LoadProgram(prog)
+	cpu := New(mem, 0)
+	p := &Profile{Counts: make(map[string]int)}
+	cpu.TraceExec = func(pc, word uint32) {
+		name := "nop"
+		if word != 0 {
+			if m := isa.Lookup(isa.Decode(word)); m != nil {
+				name = m.Name
+			} else {
+				name = "<illegal>"
+			}
+		}
+		p.Counts[name]++
+	}
+	halted, err := cpu.Run(maxInstructions)
+	if err != nil {
+		return nil, err
+	}
+	if !halted {
+		return nil, fmt.Errorf("sim: profiled program did not halt")
+	}
+	p.Retired = cpu.Retired
+	p.Cycles = cpu.Cycle
+	return p, nil
+}
+
+// String renders the mix sorted by frequency.
+func (p *Profile) String() string {
+	type row struct {
+		name string
+		n    int
+	}
+	rows := make([]row, 0, len(p.Counts))
+	for name, n := range p.Counts {
+		rows = append(rows, row{name, n})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].n != rows[j].n {
+			return rows[i].n > rows[j].n
+		}
+		return rows[i].name < rows[j].name
+	})
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d instructions retired in %d cycles\n", p.Retired, p.Cycles)
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %-8s %8d (%5.1f%%)\n", r.name, r.n, 100*float64(r.n)/float64(p.Retired))
+	}
+	return sb.String()
+}

@@ -1,0 +1,100 @@
+package synth
+
+import "repro/internal/gate"
+
+// FullAdder builds one full-adder bit: sum = x^y^cin, cout = majority.
+func (c *Ctx) FullAdder(x, y, cin gate.Sig) (sum, cout gate.Sig) {
+	p := c.Xor(x, y)
+	sum = c.Xor(p, cin)
+	cout = c.Or(c.And(x, y), c.And(p, cin))
+	return sum, cout
+}
+
+// RippleAdder builds a ripple-carry adder: sum = a + d + cin. The returned
+// carries slice holds the carry into each bit position plus the final
+// carry-out at index len(a) (useful for overflow detection).
+func (c *Ctx) RippleAdder(a, d Bus, cin gate.Sig) (sum Bus, carries Bus) {
+	if len(a) != len(d) {
+		panic("synth: adder operand width mismatch")
+	}
+	sum = make(Bus, len(a))
+	carries = make(Bus, len(a)+1)
+	carries[0] = cin
+	for i := range a {
+		sum[i], carries[i+1] = c.FullAdder(a[i], d[i], carries[i])
+	}
+	return sum, carries
+}
+
+// AddSub builds a shared adder/subtractor: result = a + d when sub=0,
+// a - d (two's complement) when sub=1. cout is the final carry-out: for
+// subtraction, cout=1 means no borrow (a >= d unsigned).
+func (c *Ctx) AddSub(a, d Bus, sub gate.Sig) (sum Bus, cout gate.Sig) {
+	dx := make(Bus, len(d))
+	for i := range d {
+		dx[i] = c.Xor(d[i], sub)
+	}
+	s, carries := c.RippleAdder(a, dx, sub)
+	return s, carries[len(carries)-1]
+}
+
+// Incrementer builds result = a + cin using a half-adder chain, cheaper
+// than a full adder (used for two's-complement negation and PC+1 logic).
+func (c *Ctx) Incrementer(a Bus, cin gate.Sig) (sum Bus, cout gate.Sig) {
+	sum = make(Bus, len(a))
+	carry := cin
+	for i := range a {
+		sum[i] = c.Xor(a[i], carry)
+		if i < len(a)-1 {
+			carry = c.And(a[i], carry)
+		} else {
+			cout = c.And(a[i], carry)
+		}
+	}
+	return sum, cout
+}
+
+// Negate builds the two's complement of a: ~a + 1.
+func (c *Ctx) Negate(a Bus) Bus {
+	s, _ := c.Incrementer(c.NotBus(a), c.B.Const1())
+	return s
+}
+
+// CondNegate negates a when neg=1, passes it through otherwise; realized as
+// XOR with neg followed by a conditional increment (ripple of ANDs), the
+// standard sign-magnitude fixup structure.
+func (c *Ctx) CondNegate(a Bus, neg gate.Sig) Bus {
+	x := make(Bus, len(a))
+	for i := range a {
+		x[i] = c.Xor(a[i], neg)
+	}
+	s, _ := c.Incrementer(x, neg)
+	return s
+}
+
+// Decrementer builds result = a - 1 with a ripple borrow chain.
+func (c *Ctx) Decrementer(a Bus) Bus {
+	out := make(Bus, len(a))
+	borrow := c.B.Const1()
+	for i := range a {
+		out[i] = c.Xor(a[i], borrow)
+		if i < len(a)-1 {
+			borrow = c.And(c.Not(a[i]), borrow)
+		}
+	}
+	return out
+}
+
+// LessThan builds the signed and unsigned a < d comparisons from a shared
+// subtraction. Returns (signed, unsigned) 1-bit results.
+func (c *Ctx) LessThan(a, d Bus) (lt, ltu gate.Sig) {
+	diff, cout := c.AddSub(a, d, c.B.Const1())
+	// Unsigned: borrow out means a < d.
+	ltu = c.Not(cout)
+	// Signed: if signs differ, a < d iff a is negative; otherwise use the
+	// sign of the difference.
+	as, ds := a[len(a)-1], d[len(d)-1]
+	signsDiffer := c.Xor(as, ds)
+	lt = c.Mux(diff[len(diff)-1], as, signsDiffer)
+	return lt, ltu
+}

@@ -1,0 +1,195 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gate"
+)
+
+// harness wraps a combinational netlist for single-lane poke/peek testing.
+type harness struct {
+	t *testing.T
+	s *gate.Sim
+}
+
+func newHarness(t *testing.T, c *Ctx) *harness {
+	t.Helper()
+	s, err := gate.NewSim(c.B.N)
+	if err != nil {
+		t.Fatalf("NewSim: %v", err)
+	}
+	return &harness{t: t, s: s}
+}
+
+func (h *harness) set(name string, v uint64) { h.s.SetBusUniform(name, v) }
+func (h *harness) eval()                     { h.s.Eval() }
+func (h *harness) step()                     { h.s.Step() }
+func (h *harness) get(name string) uint64    { return h.s.BusLane(name, 0) }
+func (h *harness) reset()                    { h.s.Reset() }
+
+func forEachLib(t *testing.T, f func(t *testing.T, lib Library)) {
+	for _, lib := range Libraries() {
+		lib := lib
+		t.Run(lib.Name(), func(t *testing.T) { f(t, lib) })
+	}
+}
+
+func TestRippleAdder(t *testing.T) {
+	forEachLib(t, func(t *testing.T, lib Library) {
+		c := NewCtx("adder", lib)
+		a := c.B.InputBus("a", 32)
+		d := c.B.InputBus("b", 32)
+		cin := c.B.Input("cin")
+		sum, carries := c.RippleAdder(Bus(a), Bus(d), cin)
+		c.B.OutputBus("sum", sum)
+		c.B.Output("cout", carries[len(carries)-1])
+		h := newHarness(t, c)
+
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < 500; i++ {
+			x, y := rng.Uint32(), rng.Uint32()
+			ci := uint64(i & 1)
+			h.set("a", uint64(x))
+			h.set("b", uint64(y))
+			h.set("cin", ci)
+			h.eval()
+			full := uint64(x) + uint64(y) + ci
+			if got := h.get("sum"); got != full&0xFFFFFFFF {
+				t.Fatalf("%d + %d + %d: sum = %#x, want %#x", x, y, ci, got, full&0xFFFFFFFF)
+			}
+			if got := h.get("cout"); got != full>>32 {
+				t.Fatalf("%d + %d + %d: cout = %d, want %d", x, y, ci, got, full>>32)
+			}
+		}
+	})
+}
+
+func TestAddSubExhaustive4Bit(t *testing.T) {
+	forEachLib(t, func(t *testing.T, lib Library) {
+		c := NewCtx("addsub4", lib)
+		a := c.B.InputBus("a", 4)
+		d := c.B.InputBus("b", 4)
+		sub := c.B.Input("sub")
+		sum, cout := c.AddSub(Bus(a), Bus(d), sub)
+		c.B.OutputBus("sum", sum)
+		c.B.Output("cout", cout)
+		h := newHarness(t, c)
+
+		for x := uint64(0); x < 16; x++ {
+			for y := uint64(0); y < 16; y++ {
+				for s := uint64(0); s < 2; s++ {
+					h.set("a", x)
+					h.set("b", y)
+					h.set("sub", s)
+					h.eval()
+					var want, wantC uint64
+					if s == 0 {
+						want = (x + y) & 15
+						wantC = (x + y) >> 4
+					} else {
+						want = (x - y) & 15
+						if x >= y {
+							wantC = 1 // no borrow
+						}
+					}
+					if got := h.get("sum"); got != want {
+						t.Fatalf("x=%d y=%d sub=%d: sum=%d want %d", x, y, s, got, want)
+					}
+					if got := h.get("cout"); got != wantC {
+						t.Fatalf("x=%d y=%d sub=%d: cout=%d want %d", x, y, s, got, wantC)
+					}
+				}
+			}
+		}
+	})
+}
+
+func TestIncDecNegate(t *testing.T) {
+	c := NewCtx("incdec", NativeLib{})
+	a := c.B.InputBus("a", 8)
+	inc, cout := c.Incrementer(Bus(a), c.B.Const1())
+	dec := c.Decrementer(Bus(a))
+	neg := c.Negate(Bus(a))
+	c.B.OutputBus("inc", inc)
+	c.B.Output("cout", cout)
+	c.B.OutputBus("dec", dec)
+	c.B.OutputBus("neg", neg)
+	h := newHarness(t, c)
+
+	for x := uint64(0); x < 256; x++ {
+		h.set("a", x)
+		h.eval()
+		if got := h.get("inc"); got != (x+1)&255 {
+			t.Fatalf("inc(%d) = %d, want %d", x, got, (x+1)&255)
+		}
+		wantC := uint64(0)
+		if x == 255 {
+			wantC = 1
+		}
+		if got := h.get("cout"); got != wantC {
+			t.Fatalf("inc cout(%d) = %d, want %d", x, got, wantC)
+		}
+		if got := h.get("dec"); got != (x-1)&255 {
+			t.Fatalf("dec(%d) = %d, want %d", x, got, (x-1)&255)
+		}
+		if got := h.get("neg"); got != (-x)&255 {
+			t.Fatalf("neg(%d) = %d, want %d", x, got, (-x)&255)
+		}
+	}
+}
+
+func TestCondNegate(t *testing.T) {
+	c := NewCtx("cneg", NandLib{})
+	a := c.B.InputBus("a", 8)
+	en := c.B.Input("en")
+	c.B.OutputBus("y", c.CondNegate(Bus(a), en))
+	h := newHarness(t, c)
+	for x := uint64(0); x < 256; x++ {
+		for e := uint64(0); e < 2; e++ {
+			h.set("a", x)
+			h.set("en", e)
+			h.eval()
+			want := x
+			if e == 1 {
+				want = (-x) & 255
+			}
+			if got := h.get("y"); got != want {
+				t.Fatalf("condneg(%d, en=%d) = %d, want %d", x, e, got, want)
+			}
+		}
+	}
+}
+
+func TestLessThan(t *testing.T) {
+	forEachLib(t, func(t *testing.T, lib Library) {
+		c := NewCtx("lt", lib)
+		a := c.B.InputBus("a", 8)
+		d := c.B.InputBus("b", 8)
+		lt, ltu := c.LessThan(Bus(a), Bus(d))
+		c.B.Output("lt", lt)
+		c.B.Output("ltu", ltu)
+		h := newHarness(t, c)
+		for x := uint64(0); x < 256; x++ {
+			for y := uint64(0); y < 256; y += 3 {
+				h.set("a", x)
+				h.set("b", y)
+				h.eval()
+				wantU := uint64(0)
+				if x < y {
+					wantU = 1
+				}
+				wantS := uint64(0)
+				if int8(x) < int8(y) {
+					wantS = 1
+				}
+				if got := h.get("ltu"); got != wantU {
+					t.Fatalf("ltu(%d,%d) = %d, want %d", x, y, got, wantU)
+				}
+				if got := h.get("lt"); got != wantS {
+					t.Fatalf("lt(%d,%d) = %d, want %d", x, y, got, wantS)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,59 @@
+package synth
+
+import "repro/internal/gate"
+
+// ALU operation encodings, shared by the gate-level ALU, the Plasma control
+// decoder, and the instruction-set simulator.
+const (
+	ALUAdd  = 0
+	ALUSub  = 1
+	ALUAnd  = 2
+	ALUOr   = 3
+	ALUXor  = 4
+	ALUNor  = 5
+	ALUSlt  = 6
+	ALUSltu = 7
+
+	// ALUOpWidth is the width of the ALU operation select bus.
+	ALUOpWidth = 3
+)
+
+// ALURef is the software reference for the gate-level ALU, used by the ISS
+// and by tests.
+func ALURef(op int, a, b uint32) uint32 {
+	switch op {
+	case ALUAdd:
+		return a + b
+	case ALUSub:
+		return a - b
+	case ALUAnd:
+		return a & b
+	case ALUOr:
+		return a | b
+	case ALUXor:
+		return a ^ b
+	case ALUNor:
+		return ^(a | b)
+	case ALUSlt:
+		if int32(a) < int32(b) {
+			return 1
+		}
+		return 0
+	case ALUSltu:
+		if a < b {
+			return 1
+		}
+		return 0
+	}
+	panic("synth: bad ALU op")
+}
+
+// ALU builds the arithmetic-logic unit: a 32-bit ripple-carry
+// adder/subtractor shared with the set-on-less-than comparisons, plus a
+// four-function logic unit and a one-hot result selector. op follows the
+// ALU* encodings above. ALUArch selects a different adder architecture.
+func (c *Ctx) ALU(a, d Bus, op Bus) Bus {
+	return c.ALUArch(a, d, op, func(c *Ctx, a, d Bus, sub gate.Sig) (Bus, gate.Sig) {
+		return c.AddSub(a, d, sub)
+	})
+}

@@ -1,0 +1,105 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func buildALUHarness(t *testing.T, lib Library) *harness {
+	c := NewCtx("alu", lib)
+	a := c.B.InputBus("a", 32)
+	d := c.B.InputBus("b", 32)
+	op := c.B.InputBus("op", 3)
+	c.B.OutputBus("y", c.ALU(Bus(a), Bus(d), Bus(op)))
+	return newHarness(t, c)
+}
+
+func TestALUAllOps(t *testing.T) {
+	forEachLib(t, func(t *testing.T, lib Library) {
+		h := buildALUHarness(t, lib)
+		check := func(x, y uint32, opSel uint8) bool {
+			op := int(opSel) & 7
+			h.set("a", uint64(x))
+			h.set("b", uint64(y))
+			h.set("op", uint64(op))
+			h.eval()
+			return uint32(h.get("y")) == ALURef(op, x, y)
+		}
+		if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func TestALUCornerCases(t *testing.T) {
+	h := buildALUHarness(t, NativeLib{})
+	values := []uint32{0, 1, 0xFFFFFFFF, 0x80000000, 0x7FFFFFFF, 0x55555555, 0xAAAAAAAA}
+	for _, x := range values {
+		for _, y := range values {
+			for op := 0; op < 8; op++ {
+				h.set("a", uint64(x))
+				h.set("b", uint64(y))
+				h.set("op", uint64(op))
+				h.eval()
+				if got := uint32(h.get("y")); got != ALURef(op, x, y) {
+					t.Fatalf("ALU op=%d a=%#x b=%#x: got %#x, want %#x", op, x, y, got, ALURef(op, x, y))
+				}
+			}
+		}
+	}
+}
+
+func TestShifter(t *testing.T) {
+	forEachLib(t, func(t *testing.T, lib Library) {
+		c := NewCtx("bsh", lib)
+		data := c.B.InputBus("data", 32)
+		amt := c.B.InputBus("amt", 5)
+		right := c.B.Input("right")
+		arith := c.B.Input("arith")
+		c.B.OutputBus("y", c.BarrelShifter(Bus(data), Bus(amt), right, arith))
+		h := newHarness(t, c)
+
+		rng := rand.New(rand.NewSource(4))
+		vals := []uint32{0, 0xFFFFFFFF, 0x80000000, 1, 0x55555555, 0xAAAAAAAA}
+		for i := 0; i < 10; i++ {
+			vals = append(vals, rng.Uint32())
+		}
+		for _, v := range vals {
+			for amtV := uint32(0); amtV < 32; amtV++ {
+				for mode := 0; mode < 3; mode++ {
+					r, ar := mode > 0, mode == 2
+					h.set("data", uint64(v))
+					h.set("amt", uint64(amtV))
+					h.set("right", b2u(r))
+					h.set("arith", b2u(ar))
+					h.eval()
+					want := ShiftRef(v, amtV, r, ar)
+					if got := uint32(h.get("y")); got != want {
+						t.Fatalf("shift v=%#x amt=%d right=%v arith=%v: got %#x, want %#x",
+							v, amtV, r, ar, got, want)
+					}
+				}
+			}
+		}
+	})
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func TestShiftRefMatchesGo(t *testing.T) {
+	check := func(v, amt uint32) bool {
+		amt &= 31
+		return ShiftRef(v, amt, false, false) == v<<amt &&
+			ShiftRef(v, amt, true, false) == v>>amt &&
+			ShiftRef(v, amt, true, true) == uint32(int32(v)>>amt)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}

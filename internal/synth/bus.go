@@ -1,0 +1,274 @@
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/gate"
+)
+
+// Bus is an ordered bundle of signals, least-significant bit first.
+type Bus []gate.Sig
+
+// Ctx bundles a netlist builder with a technology library; all synthesis
+// generators operate through it.
+type Ctx struct {
+	B   *gate.Builder
+	Lib Library
+}
+
+// NewCtx returns a synthesis context over a fresh netlist.
+func NewCtx(name string, lib Library) *Ctx {
+	return &Ctx{B: gate.NewBuilder(name), Lib: lib}
+}
+
+// Scalar cell wrappers through the technology library.
+
+// Not maps a NOT through the library.
+func (c *Ctx) Not(a gate.Sig) gate.Sig { return c.Lib.Not(c.B, a) }
+
+// And maps an AND2 through the library.
+func (c *Ctx) And(x, y gate.Sig) gate.Sig { return c.Lib.And(c.B, x, y) }
+
+// Or maps an OR2 through the library.
+func (c *Ctx) Or(x, y gate.Sig) gate.Sig { return c.Lib.Or(c.B, x, y) }
+
+// Nand maps a NAND2 through the library.
+func (c *Ctx) Nand(x, y gate.Sig) gate.Sig { return c.Lib.Nand(c.B, x, y) }
+
+// Nor maps a NOR2 through the library.
+func (c *Ctx) Nor(x, y gate.Sig) gate.Sig { return c.Lib.Nor(c.B, x, y) }
+
+// Xor maps an XOR2 through the library.
+func (c *Ctx) Xor(x, y gate.Sig) gate.Sig { return c.Lib.Xor(c.B, x, y) }
+
+// Xnor maps an XNOR2 through the library.
+func (c *Ctx) Xnor(x, y gate.Sig) gate.Sig { return c.Lib.Xnor(c.B, x, y) }
+
+// Mux maps a 2:1 mux through the library (a0 when sel=0, a1 when sel=1).
+func (c *Ctx) Mux(a0, a1, sel gate.Sig) gate.Sig { return c.Lib.Mux(c.B, a0, a1, sel) }
+
+// AndN reduces signals with a balanced AND tree through the library.
+func (c *Ctx) AndN(sigs ...gate.Sig) gate.Sig { return c.reduce(c.And, c.B.Const1(), sigs) }
+
+// OrN reduces signals with a balanced OR tree through the library.
+func (c *Ctx) OrN(sigs ...gate.Sig) gate.Sig { return c.reduce(c.Or, c.B.Const0(), sigs) }
+
+func (c *Ctx) reduce(op func(x, y gate.Sig) gate.Sig, empty gate.Sig, sigs []gate.Sig) gate.Sig {
+	switch len(sigs) {
+	case 0:
+		return empty
+	case 1:
+		return sigs[0]
+	}
+	cur := append([]gate.Sig(nil), sigs...)
+	for len(cur) > 1 {
+		var next []gate.Sig
+		for i := 0; i+1 < len(cur); i += 2 {
+			next = append(next, op(cur[i], cur[i+1]))
+		}
+		if len(cur)%2 == 1 {
+			next = append(next, cur[len(cur)-1])
+		}
+		cur = next
+	}
+	return cur[0]
+}
+
+// Const builds a constant bus of the given width from value's low bits.
+func (c *Ctx) Const(value uint64, width int) Bus {
+	bus := make(Bus, width)
+	for i := range bus {
+		bus[i] = c.B.ConstBit(value>>uint(i)&1 != 0)
+	}
+	return bus
+}
+
+// Repeat builds a bus of width copies of one signal.
+func (c *Ctx) Repeat(s gate.Sig, width int) Bus {
+	bus := make(Bus, width)
+	for i := range bus {
+		bus[i] = s
+	}
+	return bus
+}
+
+// NotBus inverts every bit.
+func (c *Ctx) NotBus(a Bus) Bus {
+	out := make(Bus, len(a))
+	for i := range a {
+		out[i] = c.Not(a[i])
+	}
+	return out
+}
+
+func (c *Ctx) zipBus(a, d Bus, op func(x, y gate.Sig) gate.Sig) Bus {
+	if len(a) != len(d) {
+		panic(fmt.Sprintf("synth: bus width mismatch %d vs %d", len(a), len(d)))
+	}
+	out := make(Bus, len(a))
+	for i := range a {
+		out[i] = op(a[i], d[i])
+	}
+	return out
+}
+
+// AndBus is the bitwise AND of two buses.
+func (c *Ctx) AndBus(a, d Bus) Bus { return c.zipBus(a, d, c.And) }
+
+// OrBus is the bitwise OR of two buses.
+func (c *Ctx) OrBus(a, d Bus) Bus { return c.zipBus(a, d, c.Or) }
+
+// XorBus is the bitwise XOR of two buses.
+func (c *Ctx) XorBus(a, d Bus) Bus { return c.zipBus(a, d, c.Xor) }
+
+// NorBus is the bitwise NOR of two buses.
+func (c *Ctx) NorBus(a, d Bus) Bus { return c.zipBus(a, d, c.Nor) }
+
+// MuxBus selects a when sel=0, d when sel=1, bitwise.
+func (c *Ctx) MuxBus(a, d Bus, sel gate.Sig) Bus {
+	if len(a) != len(d) {
+		panic(fmt.Sprintf("synth: mux bus width mismatch %d vs %d", len(a), len(d)))
+	}
+	out := make(Bus, len(a))
+	for i := range a {
+		out[i] = c.Mux(a[i], d[i], sel)
+	}
+	return out
+}
+
+// MuxTree selects options[sel] with a binary mux tree. The number of
+// options must be 1 << len(sel).
+func (c *Ctx) MuxTree(options []Bus, sel Bus) Bus {
+	if len(options) != 1<<uint(len(sel)) {
+		panic(fmt.Sprintf("synth: mux tree needs %d options, got %d", 1<<uint(len(sel)), len(options)))
+	}
+	cur := options
+	for level := 0; level < len(sel); level++ {
+		next := make([]Bus, len(cur)/2)
+		for i := range next {
+			next[i] = c.MuxBus(cur[2*i], cur[2*i+1], sel[level])
+		}
+		cur = next
+	}
+	return cur[0]
+}
+
+// Decoder produces the one-hot decode of sel: output i is high iff
+// sel == i. Built as an AND tree over (possibly inverted) select lines.
+func (c *Ctx) Decoder(sel Bus) []gate.Sig {
+	n := 1 << uint(len(sel))
+	inv := c.NotBus(sel)
+	out := make([]gate.Sig, n)
+	for i := 0; i < n; i++ {
+		terms := make([]gate.Sig, len(sel))
+		for b := range sel {
+			if i>>uint(b)&1 != 0 {
+				terms[b] = sel[b]
+			} else {
+				terms[b] = inv[b]
+			}
+		}
+		out[i] = c.AndN(terms...)
+	}
+	return out
+}
+
+// EqConst is high iff bus equals the constant value.
+func (c *Ctx) EqConst(a Bus, value uint64) gate.Sig {
+	terms := make([]gate.Sig, len(a))
+	for i := range a {
+		if value>>uint(i)&1 != 0 {
+			terms[i] = a[i]
+		} else {
+			terms[i] = c.Not(a[i])
+		}
+	}
+	return c.AndN(terms...)
+}
+
+// EqBus is high iff the buses are bit-for-bit equal.
+func (c *Ctx) EqBus(a, d Bus) gate.Sig {
+	eq := c.zipBus(a, d, c.Xnor)
+	return c.AndN(eq...)
+}
+
+// IsZero is high iff every bit of the bus is 0.
+func (c *Ctx) IsZero(a Bus) gate.Sig { return c.Not(c.OrN(a...)) }
+
+// SignExtend widens a bus to width by replicating its MSB.
+func (c *Ctx) SignExtend(a Bus, width int) Bus {
+	out := make(Bus, width)
+	copy(out, a)
+	msb := a[len(a)-1]
+	for i := len(a); i < width; i++ {
+		out[i] = msb
+	}
+	return out
+}
+
+// ZeroExtend widens a bus to width with constant zeros.
+func (c *Ctx) ZeroExtend(a Bus, width int) Bus {
+	out := make(Bus, width)
+	copy(out, a)
+	for i := len(a); i < width; i++ {
+		out[i] = c.B.Const0()
+	}
+	return out
+}
+
+// Reverse returns the bus with bit order reversed (pure wiring).
+func Reverse(a Bus) Bus {
+	out := make(Bus, len(a))
+	for i := range a {
+		out[i] = a[len(a)-1-i]
+	}
+	return out
+}
+
+// WireBus declares a bus of forward wires, driven later via DriveBus.
+func (c *Ctx) WireBus(width int) Bus {
+	out := make(Bus, width)
+	for i := range out {
+		out[i] = c.B.Wire()
+	}
+	return out
+}
+
+// DriveBus connects the drivers of a forward-declared wire bus.
+func (c *Ctx) DriveBus(wires, src Bus) {
+	if len(wires) != len(src) {
+		panic(fmt.Sprintf("synth: wire bus width mismatch %d vs %d", len(wires), len(src)))
+	}
+	for i := range wires {
+		c.B.DriveWire(wires[i], src[i])
+	}
+}
+
+// RegBus builds a register: one DFF per bit.
+func (c *Ctx) RegBus(d Bus) Bus {
+	out := make(Bus, len(d))
+	for i := range d {
+		out[i] = c.B.DFF(d[i])
+	}
+	return out
+}
+
+// RegBusPlaceholder builds a register whose D inputs are connected later
+// via ConnectRegBus, for feedback structures.
+func (c *Ctx) RegBusPlaceholder(width int) Bus {
+	out := make(Bus, width)
+	for i := range out {
+		out[i] = c.B.DFFPlaceholder()
+	}
+	return out
+}
+
+// ConnectRegBus wires the D inputs of a placeholder register.
+func (c *Ctx) ConnectRegBus(reg, d Bus) {
+	if len(reg) != len(d) {
+		panic(fmt.Sprintf("synth: register width mismatch %d vs %d", len(reg), len(d)))
+	}
+	for i := range reg {
+		c.B.ConnectD(reg[i], d[i])
+	}
+}

@@ -1,0 +1,163 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDecoderOneHot(t *testing.T) {
+	forEachLib(t, func(t *testing.T, lib Library) {
+		c := NewCtx("dec", lib)
+		sel := c.B.InputBus("sel", 5)
+		dec := c.Decoder(Bus(sel))
+		c.B.OutputBus("y", dec)
+		h := newHarness(t, c)
+		for v := uint64(0); v < 32; v++ {
+			h.set("sel", v)
+			h.eval()
+			if got := h.get("y"); got != 1<<v {
+				t.Fatalf("decode(%d) = %#x, want %#x", v, got, uint64(1)<<v)
+			}
+		}
+	})
+}
+
+func TestMuxTree(t *testing.T) {
+	c := NewCtx("muxtree", NativeLib{})
+	options := make([]Bus, 8)
+	for i := range options {
+		options[i] = c.Const(uint64(i*37+5), 8)
+	}
+	sel := c.B.InputBus("sel", 3)
+	c.B.OutputBus("y", c.MuxTree(options, Bus(sel)))
+	h := newHarness(t, c)
+	for v := uint64(0); v < 8; v++ {
+		h.set("sel", v)
+		h.eval()
+		if got := h.get("y"); got != (v*37+5)&255 {
+			t.Fatalf("muxtree(%d) = %d, want %d", v, got, (v*37+5)&255)
+		}
+	}
+}
+
+func TestEqAndZero(t *testing.T) {
+	c := NewCtx("eq", NandLib{})
+	a := c.B.InputBus("a", 6)
+	d := c.B.InputBus("b", 6)
+	c.B.Output("eqc", c.EqConst(Bus(a), 0b101101))
+	c.B.Output("eqb", c.EqBus(Bus(a), Bus(d)))
+	c.B.Output("z", c.IsZero(Bus(a)))
+	h := newHarness(t, c)
+	for x := uint64(0); x < 64; x++ {
+		for y := uint64(0); y < 64; y += 5 {
+			h.set("a", x)
+			h.set("b", y)
+			h.eval()
+			b2u := func(b bool) uint64 {
+				if b {
+					return 1
+				}
+				return 0
+			}
+			if got := h.get("eqc"); got != b2u(x == 0b101101) {
+				t.Fatalf("eqc(%d) = %d", x, got)
+			}
+			if got := h.get("eqb"); got != b2u(x == y) {
+				t.Fatalf("eqb(%d,%d) = %d", x, y, got)
+			}
+			if got := h.get("z"); got != b2u(x == 0) {
+				t.Fatalf("z(%d) = %d", x, got)
+			}
+		}
+	}
+}
+
+func TestExtendAndReverse(t *testing.T) {
+	c := NewCtx("ext", NativeLib{})
+	a := c.B.InputBus("a", 8)
+	c.B.OutputBus("se", c.SignExtend(Bus(a), 16))
+	c.B.OutputBus("ze", c.ZeroExtend(Bus(a), 16))
+	c.B.OutputBus("rev", Reverse(Bus(a)))
+	h := newHarness(t, c)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		x := uint64(rng.Intn(256))
+		h.set("a", x)
+		h.eval()
+		wantSE := uint64(uint16(int16(int8(x))))
+		if got := h.get("se"); got != wantSE {
+			t.Fatalf("signext(%#x) = %#x, want %#x", x, got, wantSE)
+		}
+		if got := h.get("ze"); got != x {
+			t.Fatalf("zeroext(%#x) = %#x, want %#x", x, got, x)
+		}
+		var wantRev uint64
+		for b := 0; b < 8; b++ {
+			wantRev |= (x >> uint(b) & 1) << uint(7-b)
+		}
+		if got := h.get("rev"); got != wantRev {
+			t.Fatalf("reverse(%#x) = %#x, want %#x", x, got, wantRev)
+		}
+	}
+}
+
+func TestConstAndRepeat(t *testing.T) {
+	c := NewCtx("const", NativeLib{})
+	s := c.B.Input("s")
+	c.B.OutputBus("k", c.Const(0xA5, 8))
+	c.B.OutputBus("r", c.Repeat(s, 4))
+	h := newHarness(t, c)
+	h.set("s", 1)
+	h.eval()
+	if got := h.get("k"); got != 0xA5 {
+		t.Fatalf("const = %#x, want 0xa5", got)
+	}
+	if got := h.get("r"); got != 0xF {
+		t.Fatalf("repeat(1) = %#x, want 0xf", got)
+	}
+	h.set("s", 0)
+	h.eval()
+	if got := h.get("r"); got != 0 {
+		t.Fatalf("repeat(0) = %#x, want 0", got)
+	}
+}
+
+func TestLibraryEquivalence(t *testing.T) {
+	// Both libraries must realize identical functions: compare an ALU built
+	// with each on random vectors.
+	build := func(lib Library) *harness {
+		c := NewCtx("alu", lib)
+		a := c.B.InputBus("a", 32)
+		d := c.B.InputBus("b", 32)
+		op := c.B.InputBus("op", 3)
+		c.B.OutputBus("y", c.ALU(Bus(a), Bus(d), Bus(op)))
+		return newHarness(t, c)
+	}
+	ha := build(NativeLib{})
+	hb := build(NandLib{})
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		x, y := uint64(rng.Uint32()), uint64(rng.Uint32())
+		op := uint64(rng.Intn(8))
+		for _, h := range []*harness{ha, hb} {
+			h.set("a", x)
+			h.set("b", y)
+			h.set("op", op)
+			h.eval()
+		}
+		if ga, gb := ha.get("y"), hb.get("y"); ga != gb {
+			t.Fatalf("libraries disagree: op=%d a=%#x b=%#x: %#x vs %#x", op, x, y, ga, gb)
+		}
+	}
+}
+
+func TestLibraryByName(t *testing.T) {
+	for _, lib := range Libraries() {
+		if got := LibraryByName(lib.Name()); got == nil || got.Name() != lib.Name() {
+			t.Errorf("LibraryByName(%q) failed", lib.Name())
+		}
+	}
+	if LibraryByName("nope") != nil {
+		t.Error("LibraryByName accepted unknown name")
+	}
+}

@@ -1,0 +1,102 @@
+package synth
+
+import "repro/internal/gate"
+
+// CLAAdder builds a carry-lookahead adder with 4-bit lookahead blocks
+// (ripple between blocks): a different adder architecture than RippleAdder
+// with identical function, used by the architecture-independence
+// experiment — the paper's component test library targets structure
+// classes, not one gate-level implementation.
+func (c *Ctx) CLAAdder(a, d Bus, cin gate.Sig) (sum Bus, cout gate.Sig) {
+	if len(a) != len(d) {
+		panic("synth: adder operand width mismatch")
+	}
+	n := len(a)
+	sum = make(Bus, n)
+	carry := cin
+	for blk := 0; blk < n; blk += 4 {
+		end := blk + 4
+		if end > n {
+			end = n
+		}
+		w := end - blk
+		p := make(Bus, w)
+		g := make(Bus, w)
+		for i := 0; i < w; i++ {
+			p[i] = c.Xor(a[blk+i], d[blk+i])
+			g[i] = c.And(a[blk+i], d[blk+i])
+		}
+		// Lookahead carries within the block:
+		// c[i+1] = g[i] | p[i]g[i-1] | ... | p[i]..p[0]c0.
+		carries := make(Bus, w+1)
+		carries[0] = carry
+		for i := 0; i < w; i++ {
+			terms := []gate.Sig{g[i]}
+			prod := p[i]
+			for j := i - 1; j >= 0; j-- {
+				terms = append(terms, c.And(prod, g[j]))
+				prod = c.And(prod, p[j])
+			}
+			terms = append(terms, c.And(prod, carries[0]))
+			carries[i+1] = c.OrN(terms...)
+		}
+		for i := 0; i < w; i++ {
+			sum[blk+i] = c.Xor(p[i], carries[i])
+		}
+		carry = carries[w]
+	}
+	return sum, carry
+}
+
+// CLAAddSub is the carry-lookahead counterpart of AddSub.
+func (c *Ctx) CLAAddSub(a, d Bus, sub gate.Sig) (sum Bus, cout gate.Sig) {
+	dx := make(Bus, len(d))
+	for i := range d {
+		dx[i] = c.Xor(d[i], sub)
+	}
+	return c.CLAAdder(a, dx, sub)
+}
+
+// AddSubFn abstracts the adder architecture inside the ALU.
+type AddSubFn func(c *Ctx, a, d Bus, sub gate.Sig) (sum Bus, cout gate.Sig)
+
+// ALUArch builds the ALU over a chosen adder architecture; ALU uses the
+// ripple-carry default.
+func (c *Ctx) ALUArch(a, d, op Bus, addsub AddSubFn) Bus {
+	if len(op) != ALUOpWidth {
+		panic("synth: ALU op bus must be 3 bits wide")
+	}
+	dec := c.Decoder(op)
+	sub := c.OrN(dec[ALUSub], dec[ALUSlt], dec[ALUSltu])
+	sum, cout := addsub(c, a, d, sub)
+
+	ltu := c.Not(cout)
+	as, ds := a[len(a)-1], d[len(d)-1]
+	signsDiffer := c.Xor(as, ds)
+	lt := c.Mux(sum[len(sum)-1], as, signsDiffer)
+
+	andv := c.AndBus(a, d)
+	orv := c.OrBus(a, d)
+	xorv := c.XorBus(a, d)
+	norv := c.NotBus(orv)
+
+	selSum := c.Or(dec[ALUAdd], dec[ALUSub])
+	out := make(Bus, len(a))
+	for i := range out {
+		terms := []gate.Sig{
+			c.And(selSum, sum[i]),
+			c.And(dec[ALUAnd], andv[i]),
+			c.And(dec[ALUOr], orv[i]),
+			c.And(dec[ALUXor], xorv[i]),
+			c.And(dec[ALUNor], norv[i]),
+		}
+		if i == 0 {
+			terms = append(terms,
+				c.And(dec[ALUSlt], lt),
+				c.And(dec[ALUSltu], ltu),
+			)
+		}
+		out[i] = c.OrN(terms...)
+	}
+	return out
+}

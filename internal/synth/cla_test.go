@@ -1,0 +1,122 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gate"
+)
+
+func TestCLAAdderExhaustive8Bit(t *testing.T) {
+	forEachLib(t, func(t *testing.T, lib Library) {
+		c := NewCtx("cla8", lib)
+		a := c.B.InputBus("a", 8)
+		d := c.B.InputBus("b", 8)
+		cin := c.B.Input("cin")
+		sum, cout := c.CLAAdder(Bus(a), Bus(d), cin)
+		c.B.OutputBus("sum", sum)
+		c.B.Output("cout", cout)
+		h := newHarness(t, c)
+		for x := uint64(0); x < 256; x += 3 {
+			for y := uint64(0); y < 256; y += 5 {
+				for ci := uint64(0); ci < 2; ci++ {
+					h.set("a", x)
+					h.set("b", y)
+					h.set("cin", ci)
+					h.eval()
+					full := x + y + ci
+					if got := h.get("sum"); got != full&255 {
+						t.Fatalf("%d+%d+%d: sum=%d want %d", x, y, ci, got, full&255)
+					}
+					if got := h.get("cout"); got != full>>8 {
+						t.Fatalf("%d+%d+%d: cout=%d want %d", x, y, ci, got, full>>8)
+					}
+				}
+			}
+		}
+	})
+}
+
+func TestCLAAdder32Random(t *testing.T) {
+	c := NewCtx("cla32", NativeLib{})
+	a := c.B.InputBus("a", 32)
+	d := c.B.InputBus("b", 32)
+	sub := c.B.Input("sub")
+	sum, cout := c.CLAAddSub(Bus(a), Bus(d), sub)
+	c.B.OutputBus("sum", sum)
+	c.B.Output("cout", cout)
+	h := newHarness(t, c)
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 500; i++ {
+		x, y := rng.Uint32(), rng.Uint32()
+		s := uint64(i & 1)
+		h.set("a", uint64(x))
+		h.set("b", uint64(y))
+		h.set("sub", s)
+		h.eval()
+		var want uint32
+		var wantC uint64
+		if s == 0 {
+			want = x + y
+			wantC = (uint64(x) + uint64(y)) >> 32
+		} else {
+			want = x - y
+			if x >= y {
+				wantC = 1
+			}
+		}
+		if got := uint32(h.get("sum")); got != want {
+			t.Fatalf("addsub(%#x,%#x,%d) = %#x, want %#x", x, y, s, got, want)
+		}
+		if got := h.get("cout"); got != wantC {
+			t.Fatalf("cout(%#x,%#x,%d) = %d, want %d", x, y, s, got, wantC)
+		}
+	}
+}
+
+func TestALUCLAMatchesReference(t *testing.T) {
+	c := NewCtx("alucla", NativeLib{})
+	a := c.B.InputBus("a", 32)
+	d := c.B.InputBus("b", 32)
+	op := c.B.InputBus("op", 3)
+	y := c.ALUArch(Bus(a), Bus(d), Bus(op), func(c *Ctx, a, d Bus, sub gateSig) (Bus, gateSig) {
+		return c.CLAAddSub(a, d, sub)
+	})
+	c.B.OutputBus("y", y)
+	h := newHarness(t, c)
+	check := func(x, y uint32, opSel uint8) bool {
+		opv := int(opSel) & 7
+		h.set("a", uint64(x))
+		h.set("b", uint64(y))
+		h.set("op", uint64(opv))
+		h.eval()
+		return uint32(h.get("y")) == ALURef(opv, x, y)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCLAAndRippleAreaDiffer(t *testing.T) {
+	// The two architectures must actually be different netlists.
+	build := func(f AddSubFn) float64 {
+		c := NewCtx("x", NativeLib{})
+		a := c.B.InputBus("a", 32)
+		d := c.B.InputBus("b", 32)
+		sub := c.B.Input("sub")
+		sum, cout := f(c, Bus(a), Bus(d), sub)
+		c.B.OutputBus("sum", sum)
+		c.B.Output("cout", cout)
+		_, total := c.B.N.GateCount()
+		return total
+	}
+	ripple := build(func(c *Ctx, a, d Bus, sub gateSig) (Bus, gateSig) { return c.AddSub(a, d, sub) })
+	cla := build(func(c *Ctx, a, d Bus, sub gateSig) (Bus, gateSig) { return c.CLAAddSub(a, d, sub) })
+	if cla <= ripple {
+		t.Errorf("CLA (%.0f) not larger than ripple (%.0f); architectures identical?", cla, ripple)
+	}
+}
+
+// gateSig aliases the gate signal type for test readability.
+type gateSig = gate.Sig

@@ -1,0 +1,116 @@
+// Package synth synthesizes RT-level datapath and control structures into
+// gate netlists over the cell library in internal/gate. It provides the
+// regular structures the paper's component test library exploits: ripple
+// adders, logic units, barrel shifters, register files, and a sequential
+// multiplier/divider, plus generic mux trees and decoders.
+//
+// All generators are parameterized by a technology Library, so the same RTL
+// can be mapped to two different cell mixes — reproducing the paper's claim
+// that the methodology is technology independent.
+package synth
+
+import "repro/internal/gate"
+
+// Library is a technology mapping: how each logic function is realized in
+// cells. Different libraries produce different netlists (and gate counts)
+// with identical function.
+type Library interface {
+	Name() string
+	Not(b *gate.Builder, a gate.Sig) gate.Sig
+	And(b *gate.Builder, x, y gate.Sig) gate.Sig
+	Or(b *gate.Builder, x, y gate.Sig) gate.Sig
+	Nand(b *gate.Builder, x, y gate.Sig) gate.Sig
+	Nor(b *gate.Builder, x, y gate.Sig) gate.Sig
+	Xor(b *gate.Builder, x, y gate.Sig) gate.Sig
+	Xnor(b *gate.Builder, x, y gate.Sig) gate.Sig
+	Mux(b *gate.Builder, a0, a1, sel gate.Sig) gate.Sig
+}
+
+// NativeLib maps every function to its native cell: the richest library
+// (XOR2, XNOR2 and MUX2 cells available). This is "library A" in the
+// technology-independence experiment.
+type NativeLib struct{}
+
+// Name implements Library.
+func (NativeLib) Name() string { return "native-0.35um-A" }
+
+// Not implements Library.
+func (NativeLib) Not(b *gate.Builder, a gate.Sig) gate.Sig { return b.Not(a) }
+
+// And implements Library.
+func (NativeLib) And(b *gate.Builder, x, y gate.Sig) gate.Sig { return b.And(x, y) }
+
+// Or implements Library.
+func (NativeLib) Or(b *gate.Builder, x, y gate.Sig) gate.Sig { return b.Or(x, y) }
+
+// Nand implements Library.
+func (NativeLib) Nand(b *gate.Builder, x, y gate.Sig) gate.Sig { return b.Nand(x, y) }
+
+// Nor implements Library.
+func (NativeLib) Nor(b *gate.Builder, x, y gate.Sig) gate.Sig { return b.Nor(x, y) }
+
+// Xor implements Library.
+func (NativeLib) Xor(b *gate.Builder, x, y gate.Sig) gate.Sig { return b.Xor(x, y) }
+
+// Xnor implements Library.
+func (NativeLib) Xnor(b *gate.Builder, x, y gate.Sig) gate.Sig { return b.Xnor(x, y) }
+
+// Mux implements Library.
+func (NativeLib) Mux(b *gate.Builder, a0, a1, sel gate.Sig) gate.Sig { return b.Mux(a0, a1, sel) }
+
+// NandLib maps everything onto NAND2 and NOT cells (plus DFFs), the way a
+// NAND-dominant library or a remapping flow would. This is "library B" in
+// the technology-independence experiment: same function, different netlist.
+type NandLib struct{}
+
+// Name implements Library.
+func (NandLib) Name() string { return "nand2-0.35um-B" }
+
+// Not implements Library.
+func (NandLib) Not(b *gate.Builder, a gate.Sig) gate.Sig { return b.Not(a) }
+
+// Nand implements Library.
+func (NandLib) Nand(b *gate.Builder, x, y gate.Sig) gate.Sig { return b.Nand(x, y) }
+
+// And implements Library.
+func (NandLib) And(b *gate.Builder, x, y gate.Sig) gate.Sig { return b.Not(b.Nand(x, y)) }
+
+// Or implements Library.
+func (NandLib) Or(b *gate.Builder, x, y gate.Sig) gate.Sig {
+	return b.Nand(b.Not(x), b.Not(y))
+}
+
+// Nor implements Library.
+func (l NandLib) Nor(b *gate.Builder, x, y gate.Sig) gate.Sig {
+	return b.Not(l.Or(b, x, y))
+}
+
+// Xor implements Library (the classic 4-NAND realization).
+func (NandLib) Xor(b *gate.Builder, x, y gate.Sig) gate.Sig {
+	n1 := b.Nand(x, y)
+	return b.Nand(b.Nand(x, n1), b.Nand(y, n1))
+}
+
+// Xnor implements Library.
+func (l NandLib) Xnor(b *gate.Builder, x, y gate.Sig) gate.Sig {
+	return b.Not(l.Xor(b, x, y))
+}
+
+// Mux implements Library (AOI-style on NAND cells).
+func (NandLib) Mux(b *gate.Builder, a0, a1, sel gate.Sig) gate.Sig {
+	ns := b.Not(sel)
+	return b.Nand(b.Nand(a0, ns), b.Nand(a1, sel))
+}
+
+// Libraries returns both technology libraries, library A first.
+func Libraries() []Library { return []Library{NativeLib{}, NandLib{}} }
+
+// LibraryByName returns the library with the given name, or nil.
+func LibraryByName(name string) Library {
+	for _, l := range Libraries() {
+		if l.Name() == name {
+			return l
+		}
+	}
+	return nil
+}

@@ -1,0 +1,154 @@
+package synth
+
+import "repro/internal/gate"
+
+// MulDivBusyCycles is the number of cycles the multiplier/divider reports
+// busy after a start: 32 iteration cycles plus one sign-fixup cycle.
+const MulDivBusyCycles = 33
+
+// MulDivRef is the software reference for the sequential multiply/divide
+// unit, including its (architecturally undefined in MIPS I) divide-by-zero
+// behaviour, which falls out of the restoring-division hardware:
+// quotient all-ones (sign-fixed), remainder = dividend.
+func MulDivRef(a, b uint32, isDiv, isSigned bool) (hi, lo uint32) {
+	if !isDiv {
+		if isSigned {
+			p := int64(int32(a)) * int64(int32(b))
+			return uint32(uint64(p) >> 32), uint32(uint64(p))
+		}
+		p := uint64(a) * uint64(b)
+		return uint32(p >> 32), uint32(p)
+	}
+	if b == 0 {
+		lo = 0xFFFFFFFF // unsigned all-ones quotient
+		if isSigned && int32(a) < 0 {
+			lo = 1 // sign fixup of all-ones quotient
+		}
+		return a, lo
+	}
+	if isSigned {
+		if a == 0x80000000 && b == 0xFFFFFFFF {
+			// Overflow case: sign-magnitude hardware yields INT_MIN, 0.
+			return 0, 0x80000000
+		}
+		q := int32(a) / int32(b)
+		r := int32(a) % int32(b)
+		return uint32(r), uint32(q)
+	}
+	return a % b, a / b
+}
+
+// MulDivUnit is the bundle of outputs from the MulDiv generator.
+type MulDivUnit struct {
+	Hi, Lo Bus
+	Busy   gate.Sig
+}
+
+// MulDiv builds the sequential 32-cycle multiplier/divider with HI/LO
+// result registers. The unit starts an operation when start is high and it
+// is idle; isDiv selects division (restoring), isSigned selects
+// sign-magnitude pre/post negation. setHi/setLo implement MTHI/MTLO by
+// loading register a directly. Busy is high from the cycle after start
+// until results are valid (MulDivBusyCycles cycles).
+func (c *Ctx) MulDiv(a, d Bus, start, isDiv, isSigned, setHi, setLo gate.Sig) MulDivUnit {
+	if len(a) != 32 || len(d) != 32 {
+		panic("synth: muldiv wants 32-bit operands")
+	}
+	b := c.B
+
+	busy := b.DFFPlaceholder()
+	cnt := c.RegBusPlaceholder(6)
+	hi := c.RegBusPlaceholder(32)
+	lo := c.RegBusPlaceholder(32)
+	bb := c.RegBusPlaceholder(32) // held second operand (multiplicand/divisor)
+	negLo := b.DFFPlaceholder()
+	negHi := b.DFFPlaceholder()
+	isDivR := b.DFFPlaceholder()
+
+	startNow := c.And(start, c.Not(busy))
+	cntNotZero := c.OrN(cnt...)
+	iterStep := c.And(busy, cntNotZero)
+	fixupStep := c.And(busy, c.Not(cntNotZero))
+
+	// Operand load: absolute values and result-sign flags.
+	signA, signD := a[31], d[31]
+	negA := c.And(isSigned, signA)
+	negD := c.And(isSigned, signD)
+	absA := c.CondNegate(a, negA)
+	absD := c.CondNegate(d, negD)
+	negLoLoad := c.And(isSigned, c.Xor(signA, signD))
+	// Multiplication negates the whole 64-bit product; division negates the
+	// remainder to the dividend's sign.
+	negHiLoad := c.Mux(negLoLoad, negA, isDiv)
+
+	// Shared 33-bit adder/subtractor for both iteration kinds.
+	// Division operand: {HI,LO} shifted left by one.
+	divShift := make(Bus, 33)
+	divShift[0] = lo[31]
+	for i := 1; i < 33; i++ {
+		divShift[i] = hi[i-1]
+	}
+	mulA := c.ZeroExtend(hi, 33)
+	in1 := c.MuxBus(mulA, divShift, isDivR)
+	maskedB := c.AndBus(bb, c.Repeat(lo[0], 32))
+	in2 := c.MuxBus(c.ZeroExtend(maskedB, 33), c.ZeroExtend(bb, 33), isDivR)
+	t, cout := c.AddSub(in1, in2, isDivR)
+	noBorrow := cout // division only: trial subtraction succeeded
+
+	// Multiply step: shift {t, LO} right by one.
+	mulHi := Bus(t[1:33])
+	mulLo := make(Bus, 32)
+	for i := 0; i < 31; i++ {
+		mulLo[i] = lo[i+1]
+	}
+	mulLo[31] = t[0]
+
+	// Divide step: keep trial result on success, shifted value otherwise;
+	// shift the quotient bit into LO.
+	divHi := c.MuxBus(Bus(divShift[0:32]), Bus(t[0:32]), noBorrow)
+	divLo := make(Bus, 32)
+	divLo[0] = noBorrow
+	for i := 1; i < 32; i++ {
+		divLo[i] = lo[i-1]
+	}
+
+	iterHi := c.MuxBus(mulHi, divHi, isDivR)
+	iterLo := c.MuxBus(mulLo, divLo, isDivR)
+
+	// Fixup (sign restoration) values.
+	fixLo := c.CondNegate(lo, negLo)
+	loZero := c.IsZero(lo)
+	cinHi := c.And(negHi, c.Or(isDivR, loZero))
+	fixHiX := make(Bus, 32)
+	for i := range fixHiX {
+		fixHiX[i] = c.Xor(hi[i], negHi)
+	}
+	fixHi, _ := c.Incrementer(fixHiX, cinHi)
+
+	// Register next-state networks (later muxes take priority).
+	zero := c.Const(0, 32)
+	hiN := c.MuxBus(hi, iterHi, iterStep)
+	hiN = c.MuxBus(hiN, fixHi, fixupStep)
+	hiN = c.MuxBus(hiN, zero, startNow)
+	hiN = c.MuxBus(hiN, a, setHi)
+	c.ConnectRegBus(hi, hiN)
+
+	loN := c.MuxBus(lo, iterLo, iterStep)
+	loN = c.MuxBus(loN, fixLo, fixupStep)
+	loN = c.MuxBus(loN, absA, startNow)
+	loN = c.MuxBus(loN, a, setLo)
+	c.ConnectRegBus(lo, loN)
+
+	c.ConnectRegBus(bb, c.MuxBus(bb, absD, startNow))
+
+	cntN := c.MuxBus(cnt, c.Decrementer(cnt), iterStep)
+	cntN = c.MuxBus(cntN, c.Const(32, 6), startNow)
+	c.ConnectRegBus(cnt, cntN)
+
+	b.ConnectD(busy, c.Or(startNow, iterStep))
+	b.ConnectD(negLo, c.Mux(negLo, negLoLoad, startNow))
+	b.ConnectD(negHi, c.Mux(negHi, negHiLoad, startNow))
+	b.ConnectD(isDivR, c.Mux(isDivR, isDiv, startNow))
+
+	return MulDivUnit{Hi: hi, Lo: lo, Busy: busy}
+}

@@ -1,0 +1,167 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func buildMulDivHarness(t *testing.T, lib Library) *harness {
+	c := NewCtx("muld", lib)
+	a := c.B.InputBus("a", 32)
+	d := c.B.InputBus("b", 32)
+	start := c.B.Input("start")
+	isDiv := c.B.Input("isdiv")
+	isSigned := c.B.Input("issigned")
+	setHi := c.B.Input("sethi")
+	setLo := c.B.Input("setlo")
+	u := c.MulDiv(Bus(a), Bus(d), start, isDiv, isSigned, setHi, setLo)
+	c.B.OutputBus("hi", u.Hi)
+	c.B.OutputBus("lo", u.Lo)
+	c.B.Output("busy", u.Busy)
+	return newHarness(t, c)
+}
+
+// runOp drives one mul/div operation to completion and returns (hi, lo).
+func runOp(t *testing.T, h *harness, a, b uint32, isDiv, isSigned bool) (uint32, uint32) {
+	t.Helper()
+	h.set("a", uint64(a))
+	h.set("b", uint64(b))
+	h.set("isdiv", b2u(isDiv))
+	h.set("issigned", b2u(isSigned))
+	h.set("start", 1)
+	h.step()
+	h.set("start", 0)
+	cycles := 0
+	for {
+		h.eval()
+		if h.get("busy") == 0 {
+			break
+		}
+		h.step()
+		cycles++
+		if cycles > MulDivBusyCycles+2 {
+			t.Fatalf("muldiv did not finish within %d cycles", cycles)
+		}
+	}
+	if cycles != MulDivBusyCycles {
+		t.Fatalf("muldiv busy for %d cycles, want %d", cycles, MulDivBusyCycles)
+	}
+	return uint32(h.get("hi")), uint32(h.get("lo"))
+}
+
+func TestMulDivDirected(t *testing.T) {
+	forEachLib(t, func(t *testing.T, lib Library) {
+		h := buildMulDivHarness(t, lib)
+		h.reset()
+		h.set("sethi", 0)
+		h.set("setlo", 0)
+		cases := []struct {
+			a, b            uint32
+			isDiv, isSigned bool
+		}{
+			{6, 7, false, false},
+			{6, 7, false, true},
+			{0xFFFFFFFF, 0xFFFFFFFF, false, false}, // max unsigned product
+			{0xFFFFFFFF, 0xFFFFFFFF, false, true},  // (-1) * (-1)
+			{0x80000000, 0xFFFFFFFF, false, true},  // INT_MIN * -1
+			{0x80000000, 2, false, true},
+			{0, 12345, false, true},
+			{100, 7, true, false},
+			{100, 7, true, true},
+			{0xFFFFFF9C, 7, true, true},          // -100 / 7
+			{100, 0xFFFFFFF9, true, true},        // 100 / -7
+			{0xFFFFFF9C, 0xFFFFFFF9, true, true}, // -100 / -7
+			{0x80000000, 0xFFFFFFFF, true, true}, // INT_MIN / -1
+			{7, 100, true, false},
+			{0, 5, true, true},
+			{0xFFFFFFFF, 1, true, false},
+			{12345, 0, true, false},     // divide by zero, unsigned
+			{12345, 0, true, true},      // divide by zero, positive dividend
+			{0xFFFFCFC7, 0, true, true}, // divide by zero, negative dividend
+		}
+		for _, tc := range cases {
+			wantHi, wantLo := MulDivRef(tc.a, tc.b, tc.isDiv, tc.isSigned)
+			hi, lo := runOp(t, h, tc.a, tc.b, tc.isDiv, tc.isSigned)
+			if hi != wantHi || lo != wantLo {
+				t.Errorf("a=%#x b=%#x div=%v signed=%v: got hi=%#x lo=%#x, want hi=%#x lo=%#x",
+					tc.a, tc.b, tc.isDiv, tc.isSigned, hi, lo, wantHi, wantLo)
+			}
+		}
+	})
+}
+
+func TestMulDivRandom(t *testing.T) {
+	h := buildMulDivHarness(t, NativeLib{})
+	h.reset()
+	h.set("sethi", 0)
+	h.set("setlo", 0)
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 60; i++ {
+		a, b := rng.Uint32(), rng.Uint32()
+		isDiv := rng.Intn(2) == 1
+		isSigned := rng.Intn(2) == 1
+		wantHi, wantLo := MulDivRef(a, b, isDiv, isSigned)
+		hi, lo := runOp(t, h, a, b, isDiv, isSigned)
+		if hi != wantHi || lo != wantLo {
+			t.Fatalf("a=%#x b=%#x div=%v signed=%v: got hi=%#x lo=%#x, want hi=%#x lo=%#x",
+				a, b, isDiv, isSigned, hi, lo, wantHi, wantLo)
+		}
+	}
+}
+
+func TestMulDivMTHIMTLO(t *testing.T) {
+	h := buildMulDivHarness(t, NativeLib{})
+	h.reset()
+	h.set("start", 0)
+	h.set("isdiv", 0)
+	h.set("issigned", 0)
+	h.set("a", 0xCAFEBABE)
+	h.set("sethi", 1)
+	h.set("setlo", 0)
+	h.step()
+	h.set("a", 0x12345678)
+	h.set("sethi", 0)
+	h.set("setlo", 1)
+	h.step()
+	h.set("setlo", 0)
+	h.eval()
+	if got := uint32(h.get("hi")); got != 0xCAFEBABE {
+		t.Errorf("hi after MTHI = %#x, want 0xcafebabe", got)
+	}
+	if got := uint32(h.get("lo")); got != 0x12345678 {
+		t.Errorf("lo after MTLO = %#x, want 0x12345678", got)
+	}
+	if got := h.get("busy"); got != 0 {
+		t.Errorf("busy after MTHI/MTLO = %d, want 0", got)
+	}
+}
+
+func TestMulDivRefAgainstGoArithmetic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		a, b := rng.Uint32(), rng.Uint32()
+		if b == 0 {
+			continue
+		}
+		hi, lo := MulDivRef(a, b, false, false)
+		p := uint64(a) * uint64(b)
+		if hi != uint32(p>>32) || lo != uint32(p) {
+			t.Fatalf("multu ref broken for %d * %d", a, b)
+		}
+		hi, lo = MulDivRef(a, b, false, true)
+		sp := int64(int32(a)) * int64(int32(b))
+		if hi != uint32(uint64(sp)>>32) || lo != uint32(uint64(sp)) {
+			t.Fatalf("mult ref broken for %d * %d", int32(a), int32(b))
+		}
+		hi, lo = MulDivRef(a, b, true, false)
+		if lo != a/b || hi != a%b {
+			t.Fatalf("divu ref broken for %d / %d", a, b)
+		}
+		if !(a == 0x80000000 && b == 0xFFFFFFFF) {
+			hi, lo = MulDivRef(a, b, true, true)
+			if int32(lo) != int32(a)/int32(b) || int32(hi) != int32(a)%int32(b) {
+				t.Fatalf("div ref broken for %d / %d", int32(a), int32(b))
+			}
+		}
+	}
+}

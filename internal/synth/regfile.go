@@ -1,0 +1,27 @@
+package synth
+
+import "repro/internal/gate"
+
+// RegFile builds the MIPS register file: 31 32-bit registers (r0 reads as
+// constant zero), one write port and two combinational read ports. Writes
+// are realized as a hold/load mux in front of each flip-flop gated by a
+// one-hot write decoder; reads are binary mux trees.
+func (c *Ctx) RegFile(waddr Bus, wdata Bus, wen gate.Sig, raddr1, raddr2 Bus) (rd1, rd2 Bus) {
+	if len(waddr) != 5 || len(raddr1) != 5 || len(raddr2) != 5 || len(wdata) != 32 {
+		panic("synth: register file wants 5-bit addresses, 32-bit data")
+	}
+	dec := c.Decoder(waddr)
+
+	regs := make([]Bus, 32)
+	regs[0] = c.Const(0, 32)
+	for r := 1; r < 32; r++ {
+		en := c.And(dec[r], wen)
+		q := c.RegBusPlaceholder(32)
+		c.ConnectRegBus(q, c.MuxBus(q, wdata, en))
+		regs[r] = q
+	}
+
+	rd1 = c.MuxTree(regs, raddr1)
+	rd2 = c.MuxTree(regs, raddr2)
+	return rd1, rd2
+}

@@ -1,0 +1,47 @@
+package synth
+
+import "repro/internal/gate"
+
+// ShiftRef is the software reference for the gate-level barrel shifter.
+func ShiftRef(data uint32, amount uint32, right, arith bool) uint32 {
+	amount &= 31
+	switch {
+	case !right:
+		return data << amount
+	case arith:
+		return uint32(int32(data) >> amount)
+	default:
+		return data >> amount
+	}
+}
+
+// BarrelShifter builds a 32-bit logarithmic shifter. right selects shift
+// direction (1 = right); arith selects arithmetic right shift (sign fill).
+// Left shifts are realized by bit-reversing around the right-shift core,
+// the classic Plasma structure.
+func (c *Ctx) BarrelShifter(data Bus, amount Bus, right, arith gate.Sig) Bus {
+	if len(amount) != 5 || len(data) != 32 {
+		panic("synth: barrel shifter wants 32-bit data, 5-bit amount")
+	}
+	// Fill bit: sign bit for arithmetic right shifts, else 0. Left shifts
+	// always fill with 0 (the reversal maps their fill to the same bit).
+	fill := c.And(c.And(arith, right), data[31])
+
+	// Reverse the word for left shifts so the core always shifts right.
+	in := c.MuxBus(Reverse(data), data, right)
+
+	cur := in
+	for k := 0; k < 5; k++ {
+		s := 1 << uint(k)
+		shifted := make(Bus, 32)
+		for i := 0; i < 32; i++ {
+			if i+s < 32 {
+				shifted[i] = cur[i+s]
+			} else {
+				shifted[i] = fill
+			}
+		}
+		cur = c.MuxBus(cur, shifted, amount[k])
+	}
+	return c.MuxBus(Reverse(cur), cur, right)
+}

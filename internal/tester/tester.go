@@ -1,0 +1,78 @@
+// Package tester models the test-application cost of software-based
+// self-testing (Figure 1 and Section 1 of the paper): the test program and
+// data are downloaded into on-chip memory at the low frequency of the
+// external tester, then executed at full processor speed, and finally the
+// responses are read back by the tester. The download term dominates total
+// test time on low-cost testers, which is why small test programs — the
+// methodology's first objective — directly reduce test cost.
+package tester
+
+import "fmt"
+
+// Profile describes a tester/core pairing.
+type Profile struct {
+	// TesterMHz is the external tester's transfer rate in million words
+	// per second (one 32-bit word per tester cycle).
+	TesterMHz float64
+	// CoreMHz is the processor clock in MHz (the paper's synthesized core
+	// runs at 66 MHz).
+	CoreMHz float64
+}
+
+// DefaultProfile matches the paper's setup: a slow external tester and the
+// 66 MHz synthesized Plasma core.
+var DefaultProfile = Profile{TesterMHz: 10, CoreMHz: 66}
+
+// Cost breaks down the test-application time of one self-test run.
+type Cost struct {
+	// DownloadSeconds is the time to load the program and test data.
+	DownloadSeconds float64
+	// ExecuteSeconds is the self-test execution time at core speed.
+	ExecuteSeconds float64
+	// ReadbackSeconds is the time to read the response region back out.
+	ReadbackSeconds float64
+}
+
+// Total is the end-to-end test application time.
+func (c Cost) Total() float64 {
+	return c.DownloadSeconds + c.ExecuteSeconds + c.ReadbackSeconds
+}
+
+// DownloadShare is the fraction of total time spent on the tester link.
+func (c Cost) DownloadShare() float64 {
+	t := c.Total()
+	if t == 0 {
+		return 0
+	}
+	return (c.DownloadSeconds + c.ReadbackSeconds) / t
+}
+
+func (c Cost) String() string {
+	return fmt.Sprintf("download %.1fus + execute %.1fus + readback %.1fus = %.1fus (%.0f%% on tester link)",
+		c.DownloadSeconds*1e6, c.ExecuteSeconds*1e6, c.ReadbackSeconds*1e6,
+		c.Total()*1e6, c.DownloadShare()*100)
+}
+
+// Apply computes the cost of a self-test program of the given size (words,
+// including data), execution length (core cycles) and response size.
+func Apply(words int, cycles uint64, respWords int, p Profile) Cost {
+	if p.TesterMHz <= 0 || p.CoreMHz <= 0 {
+		panic("tester: profile rates must be positive")
+	}
+	return Cost{
+		DownloadSeconds: float64(words) / (p.TesterMHz * 1e6),
+		ExecuteSeconds:  float64(cycles) / (p.CoreMHz * 1e6),
+		ReadbackSeconds: float64(respWords) / (p.TesterMHz * 1e6),
+	}
+}
+
+// SweepTesterMHz evaluates the cost at several tester speeds, the Figure 1
+// resource-partitioning argument: as the tester slows down, download time
+// dominates and program size becomes the primary cost driver.
+func SweepTesterMHz(words int, cycles uint64, respWords int, coreMHz float64, testerMHz []float64) []Cost {
+	out := make([]Cost, len(testerMHz))
+	for i, t := range testerMHz {
+		out[i] = Apply(words, cycles, respWords, Profile{TesterMHz: t, CoreMHz: coreMHz})
+	}
+	return out
+}

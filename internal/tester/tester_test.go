@@ -1,0 +1,67 @@
+package tester
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestApplyArithmetic(t *testing.T) {
+	c := Apply(1000, 66_000, 100, Profile{TesterMHz: 1, CoreMHz: 66})
+	if math.Abs(c.DownloadSeconds-1e-3) > 1e-12 {
+		t.Errorf("download = %v, want 1ms", c.DownloadSeconds)
+	}
+	if math.Abs(c.ExecuteSeconds-1e-3) > 1e-12 {
+		t.Errorf("execute = %v, want 1ms", c.ExecuteSeconds)
+	}
+	if math.Abs(c.ReadbackSeconds-1e-4) > 1e-12 {
+		t.Errorf("readback = %v, want 0.1ms", c.ReadbackSeconds)
+	}
+	if math.Abs(c.Total()-2.1e-3) > 1e-12 {
+		t.Errorf("total = %v", c.Total())
+	}
+	if s := c.String(); !strings.Contains(s, "download") {
+		t.Errorf("String: %q", s)
+	}
+}
+
+func TestDownloadDominatesOnSlowTesters(t *testing.T) {
+	// The Figure 1 argument: sweeping the tester down in speed, the
+	// download share must rise monotonically toward 1.
+	costs := SweepTesterMHz(1000, 4000, 200, 66, []float64{100, 50, 20, 10, 5, 1})
+	prev := -1.0
+	for i, c := range costs {
+		share := c.DownloadShare()
+		if share <= prev {
+			t.Errorf("share not increasing at step %d: %v <= %v", i, share, prev)
+		}
+		prev = share
+	}
+	if costs[len(costs)-1].DownloadShare() < 0.9 {
+		t.Errorf("1 MHz tester share = %v, expected download-dominated", prev)
+	}
+}
+
+func TestCostProperties(t *testing.T) {
+	check := func(words uint16, cycles uint32, resp uint16) bool {
+		c := Apply(int(words), uint64(cycles), int(resp), DefaultProfile)
+		if c.DownloadSeconds < 0 || c.ExecuteSeconds < 0 || c.ReadbackSeconds < 0 {
+			return false
+		}
+		share := c.DownloadShare()
+		return share >= 0 && share <= 1
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApplyPanicsOnBadProfile(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on zero-rate profile")
+		}
+	}()
+	Apply(1, 1, 1, Profile{})
+}
