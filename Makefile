@@ -1,0 +1,18 @@
+GO ?= go
+
+.PHONY: build test check bench-faultsim
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The tier-1 gate: build + vet + tests + a short -race pass of the
+# concurrency-bearing packages (fault simulation workers, event engine).
+check:
+	./scripts/check.sh
+
+# The headline fault-grading benchmark; compare against BENCH_faultsim.json.
+bench-faultsim:
+	$(GO) test -bench BenchmarkTable5FaultCoverage -benchtime 1x -run '^$$' -timeout 3600s .

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	report [-table all|1|2|3|4|5|techlib|baseline|cost] [-sample N] [-seed S] [-workers W]
+//	       [-engine event|oblivious] [-stats]
 //
 // With -sample 0 (the default for -table 5 via -full) the fault simulations
 // run the complete collapsed fault universe, which takes a few minutes;
@@ -30,9 +31,25 @@ func main() {
 	seed := flag.Int64("seed", 1, "fault sampling seed")
 	workers := flag.Int("workers", 0, "fault simulation goroutines (0 = GOMAXPROCS)")
 	rounds := flag.String("rounds", "16,64,256", "pseudorandom baseline round counts")
+	engine := flag.String("engine", "event", "fault-simulation engine: event or oblivious")
+	stats := flag.Bool("stats", false, "print cumulative fault-simulation work statistics")
 	flag.Parse()
 
-	opt := fault.Options{Sample: *sample, Seed: *seed, Workers: *workers}
+	var eng fault.Engine
+	switch *engine {
+	case "event":
+		eng = fault.EngineEvent
+	case "oblivious":
+		eng = fault.EngineOblivious
+	default:
+		log.Fatalf("unknown -engine %q (want event or oblivious)", *engine)
+	}
+
+	var simStats fault.SimStats
+	opt := fault.Options{Sample: *sample, Seed: *seed, Workers: *workers, Engine: eng}
+	if *stats {
+		opt.CollectInto = &simStats
+	}
 
 	env, err := bench.DefaultEnv()
 	if err != nil {
@@ -96,5 +113,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown -table %q\n", *table)
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *stats {
+		fmt.Printf("==== fault-simulation statistics (engine=%s) ====\n%s\n", *engine, simStats.String())
 	}
 }

@@ -6,10 +6,15 @@
 //
 //	sbst -phase A|B|C [-lib native-0.35um-A|nand2-0.35um-B]
 //	     [-emit] [-listing] [-faultsim] [-sample N] [-seed S]
+//	     [-workers W] [-engine event|oblivious] [-stats]
 //
 // -emit prints the generated assembly source; -listing the assembled
 // image; -faultsim runs stuck-at fault simulation and prints the
-// per-component coverage report.
+// per-component coverage report. -workers sets the simulation parallelism
+// (0 = GOMAXPROCS), -engine selects the differential event-driven engine
+// (default) or the oblivious reference engine, and -stats prints the
+// engine's work counters (gate evals/cycle, fast-forwarded cycles, lane
+// drops).
 package main
 
 import (
@@ -24,6 +29,16 @@ import (
 	"repro/internal/synth"
 )
 
+func parseEngine(name string) (fault.Engine, error) {
+	switch name {
+	case "event":
+		return fault.EngineEvent, nil
+	case "oblivious":
+		return fault.EngineOblivious, nil
+	}
+	return 0, fmt.Errorf("unknown -engine %q (want event or oblivious)", name)
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sbst: ")
@@ -35,7 +50,15 @@ func main() {
 	profile := flag.Bool("profile", false, "print the program's dynamic instruction mix")
 	sample := flag.Int("sample", 0, "fault sample size (0 = full universe)")
 	seed := flag.Int64("seed", 1, "fault sampling seed")
+	workers := flag.Int("workers", 0, "fault simulation goroutines (0 = GOMAXPROCS)")
+	engine := flag.String("engine", "event", "fault-simulation engine: event or oblivious")
+	stats := flag.Bool("stats", false, "print fault-simulation work statistics")
 	flag.Parse()
+
+	eng, err := parseEngine(*engine)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	var maxPhase core.PhaseID
 	switch *phase {
@@ -104,11 +127,15 @@ func main() {
 		faults := fault.Universe(cpu.Netlist)
 		fmt.Printf("\nfault universe: %d collapsed / %d total stuck-at faults\n",
 			len(faults), fault.TotalEquiv(faults))
-		res, err := fault.Simulate(cpu, golden, faults, fault.Options{Sample: *sample, Seed: *seed})
+		opt := fault.Options{Sample: *sample, Seed: *seed, Workers: *workers, Engine: eng}
+		res, err := fault.Simulate(cpu, golden, faults, opt)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("\nfault coverage:\n%s", fault.NewReport(cpu.Netlist, res).String())
+		if *stats {
+			fmt.Printf("\nsimulation statistics (engine=%s):\n%s\n", *engine, res.Stats.String())
+		}
 
 		lat := fault.NewLatencyStats(res)
 		fmt.Printf("\ndetection latency:\n%s", lat.String())

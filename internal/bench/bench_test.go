@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/plasma"
 	"repro/internal/synth"
 )
 
@@ -275,6 +276,59 @@ func TestPeriodicComposition(t *testing.T) {
 	}
 	if !strings.Contains(s, "Cumulative") {
 		t.Errorf("rendering:\n%s", s)
+	}
+}
+
+// TestPeriodicDropListEquivalence asserts the drop-list optimization in
+// PeriodicComposition (later fragments simulate only escapes) produces the
+// same cumulative coverage as the naive full-regrade + MergeDetections.
+func TestPeriodicDropListEquivalence(t *testing.T) {
+	e := getEnv(t)
+	rows, _, err := PeriodicComposition(e, fastOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faults := fault.SampleFaults(e.Faults(), fastOpt.Sample, fastOpt.Seed)
+	opt := fastOpt
+	opt.Sample = 0
+	var results []*fault.Result
+	var want []float64
+	for _, c := range core.Prioritize(e.Comps) {
+		if c.Class.Phase() != core.PhaseA {
+			continue
+		}
+		r, ok := core.RoutineByName(c.Name)
+		if !ok {
+			continue
+		}
+		st, err := core.BuildProgram([]core.Routine{r})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := plasma.CaptureGolden(e.CPU, st.Program, st.GateCycles())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := fault.Simulate(e.CPU, g, faults, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, res)
+		merged, err := fault.MergeDetections(results...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, merged.WeightedCoverage())
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("fragment counts differ: %d vs %d", len(rows), len(want))
+	}
+	for i := range rows {
+		if rows[i].CumulativeFC != want[i] {
+			t.Errorf("fragment %s: drop-list FC %.4f != naive merge FC %.4f",
+				rows[i].Fragment, rows[i].CumulativeFC, want[i])
+		}
 	}
 }
 

@@ -1,0 +1,170 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/gate"
+	"repro/internal/plasma"
+)
+
+// runBothEngines simulates the same workload under the oblivious reference
+// engine and the differential event engine and asserts DetectedAt and
+// SignatureGroups are bit-identical.
+func runBothEngines(t *testing.T, cpu *plasma.CPU, g *plasma.Golden, faults []Fault, opt Options) (ob, ev *Result) {
+	t.Helper()
+	opt.Engine = EngineOblivious
+	ob, err := Simulate(cpu, g, faults, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Engine = EngineEvent
+	ev, err = Simulate(cpu, g, faults, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ob.DetectedAt) != len(ev.DetectedAt) {
+		t.Fatalf("result sizes differ: %d vs %d", len(ob.DetectedAt), len(ev.DetectedAt))
+	}
+	for i := range ob.DetectedAt {
+		if ob.DetectedAt[i] != ev.DetectedAt[i] {
+			t.Fatalf("fault %d (%v): oblivious DetectedAt=%d, event=%d",
+				i, ob.Faults[i].Site, ob.DetectedAt[i], ev.DetectedAt[i])
+		}
+		if ob.SignatureGroups[i] != ev.SignatureGroups[i] {
+			t.Fatalf("fault %d (%v): oblivious groups=%#x, event=%#x",
+				i, ob.Faults[i].Site, ob.SignatureGroups[i], ev.SignatureGroups[i])
+		}
+	}
+	return ob, ev
+}
+
+// TestEngineEquivalenceDirected cross-checks the engines on a directed
+// load/store/ALU program over a sampled fault universe.
+func TestEngineEquivalenceDirected(t *testing.T) {
+	cpu := getCPU(t)
+	g := captureTestGolden(t, smokeProgram, 60)
+	all := Universe(cpu.Netlist)
+	ob, ev := runBothEngines(t, cpu, g, all, Options{Sample: 512, Seed: 7, Workers: 1})
+
+	// The differential engine must have done strictly less eval work.
+	if ev.Stats.GateEvals >= ob.Stats.GateEvals {
+		t.Errorf("event engine evals %d not below oblivious %d", ev.Stats.GateEvals, ob.Stats.GateEvals)
+	}
+	if ev.Stats.Passes == 0 || ev.Stats.SimCycles == 0 || ev.Stats.Events == 0 {
+		t.Errorf("event stats not collected: %+v", ev.Stats)
+	}
+	if ob.Stats.GateEvals == 0 || ob.Stats.SimCycles == 0 {
+		t.Errorf("oblivious stats not collected: %+v", ob.Stats)
+	}
+}
+
+// TestEngineEquivalenceRandomPrograms cross-checks the engines on
+// pseudorandom self-test programs with fixed seeds.
+func TestEngineEquivalenceRandomPrograms(t *testing.T) {
+	cpu := getCPU(t)
+	all := Universe(cpu.Netlist)
+	cfgs := []baseline.Config{
+		{Seeds: []uint32{0xACE1ACE1}, Rounds: 2, RespBase: 0x00100000},
+		{Seeds: []uint32{0x1234ABCD, 0x0BADF00D}, Rounds: 1, RespBase: 0x00100000},
+	}
+	for ci, cfg := range cfgs {
+		p, err := baseline.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := plasma.CaptureGolden(cpu, p.Program, p.GateCycles())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ob, ev := runBothEngines(t, cpu, g, all, Options{Sample: 256, Seed: int64(31 + ci)})
+		if ob.Coverage() != ev.Coverage() {
+			t.Errorf("config %d: coverage differs %.2f vs %.2f", ci, ob.Coverage(), ev.Coverage())
+		}
+	}
+}
+
+// TestNeverActivatedSkip checks that a fault whose site never holds the
+// activating value is skipped outright and still reported undetected.
+func TestNeverActivatedSkip(t *testing.T) {
+	cpu := getCPU(t)
+	// No loads/stores: the data-access output is 0 for the whole run, so
+	// s-a-0 on it never activates.
+	g := captureTestGolden(t, `
+		li $t0, 5
+		addu $t1, $t0, $t0
+		xor $t2, $t0, $t1
+	`, 20)
+	if !g.HasActivation() {
+		t.Fatal("golden lacks activation metadata")
+	}
+	sig := cpu.Netlist.OutputBus(plasma.PortDataAccess)[0]
+	faults := []Fault{{Site: gate.FaultSite{Gate: sig, Pin: 0, Stuck: false}, Equiv: 1}}
+	res, err := Simulate(cpu, g, faults, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Detected(0) {
+		t.Error("never-activated fault reported detected")
+	}
+	if res.Stats.SkippedFaults != 1 {
+		t.Errorf("SkippedFaults = %d, want 1", res.Stats.SkippedFaults)
+	}
+	if res.Stats.Passes != 0 {
+		t.Errorf("Passes = %d, want 0 (nothing left to simulate)", res.Stats.Passes)
+	}
+}
+
+// TestMergedDictionaryRegression reproduces the PeriodicComposition-style
+// crash: building a dictionary from MergeDetections output used to panic
+// because the merge never populated SignatureGroups.
+func TestMergedDictionaryRegression(t *testing.T) {
+	cpu := getCPU(t)
+	all := Universe(cpu.Netlist)
+	gA := captureTestGolden(t, smokeProgram, 60)
+	gB := captureTestGolden(t, `
+		li $t0, 0x2000
+		li $t1, 7
+		sllv $t2, $t1, $t1
+		sw $t2, 0($t0)
+	`, 50)
+	opt := Options{Sample: 256, Seed: 5}
+	rA, err := Simulate(cpu, gA, all, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rB, err := Simulate(cpu, gB, all, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := MergeDetections(rA, rB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := BuildDictionary(merged) // used to panic: SignatureGroups was nil
+	if len(d.Signatures) != len(merged.Faults) {
+		t.Fatalf("dictionary size %d != faults %d", len(d.Signatures), len(merged.Faults))
+	}
+	for i := range merged.Faults {
+		sig := d.Signatures[i]
+		if sig.Cycle != merged.DetectedAt[i] {
+			t.Fatalf("fault %d: dictionary cycle %d != merged %d", i, sig.Cycle, merged.DetectedAt[i])
+		}
+		if sig.Cycle < 0 {
+			continue
+		}
+		// Groups must come from the earliest-detecting run.
+		var want uint8
+		if rA.DetectedAt[i] >= 0 {
+			want = rA.SignatureGroups[i]
+		} else {
+			want = rB.SignatureGroups[i]
+		}
+		if sig.Groups != want {
+			t.Fatalf("fault %d: merged groups %#x, want %#x", i, sig.Groups, want)
+		}
+		if sig.Groups == 0 {
+			t.Fatalf("fault %d detected at %d with empty signature groups", i, sig.Cycle)
+		}
+	}
+}

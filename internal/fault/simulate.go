@@ -5,10 +5,27 @@ import (
 	"math/bits"
 	"math/rand"
 	"runtime"
+	"sort"
 	"sync"
 
 	"repro/internal/gate"
 	"repro/internal/plasma"
+)
+
+// Engine selects the fault-simulation algorithm.
+type Engine int
+
+const (
+	// EngineEvent (the default) is the differential engine: event-driven
+	// incremental logic evaluation, passes packed by fault-activation
+	// cycle and fast-forwarded to a golden checkpoint just before their
+	// earliest activation, never-activated faults skipped outright, and
+	// detected lanes conformed back to the golden trajectory. Bit-for-bit
+	// equivalent to EngineOblivious (cross-checked in tests).
+	EngineEvent Engine = iota
+	// EngineOblivious is the reference implementation: every gate
+	// re-evaluated every cycle, every fault simulated from reset.
+	EngineOblivious
 )
 
 // Options tunes a fault-simulation run.
@@ -22,6 +39,12 @@ type Options struct {
 	Sample int
 	// Seed drives the sampling permutation.
 	Seed int64
+	// Engine selects the simulation algorithm (default EngineEvent).
+	Engine Engine
+	// CollectInto, when non-nil, accumulates the run's SimStats (also
+	// available per run as Result.Stats) — useful for totals across
+	// multi-run benches.
+	CollectInto *SimStats
 }
 
 // Result is the outcome of a fault-simulation run.
@@ -36,6 +59,8 @@ type Result struct {
 	SignatureGroups []uint8
 	// Cycles is the length of the replayed golden execution.
 	Cycles int
+	// Stats reports how much work the engine performed.
+	Stats SimStats
 }
 
 // Detected reports whether fault i was detected.
@@ -71,6 +96,13 @@ func (r *Result) WeightedCoverage() float64 {
 	return 100 * float64(det) / float64(tot)
 }
 
+// passJob is one 64-lane pass: the original indices of its faults (into
+// Result.Faults) and the cycle the pass starts simulating at.
+type passJob struct {
+	idxs  []int
+	start int32
+}
+
 // Simulate fault-simulates the collapsed fault list against a recorded
 // golden execution of a self-test program on the CPU. Each pass carries up
 // to 64 faulty machines in the bit lanes of one logic simulation; a fault
@@ -90,44 +122,58 @@ func Simulate(cpu *plasma.CPU, golden *plasma.Golden, faults []Fault, opt Option
 		res.DetectedAt[i] = -1
 	}
 
+	jobs, skipped := packPasses(cpu.Netlist, golden, faults, opt.Engine)
+	res.Stats.SkippedFaults = skipped
+
 	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	nPasses := (len(faults) + 63) / 64
-	if workers > nPasses {
-		workers = nPasses
+	if workers > len(jobs) {
+		workers = len(jobs)
 	}
-	if nPasses == 0 {
+	if len(jobs) == 0 {
+		if opt.CollectInto != nil {
+			opt.CollectInto.Add(&res.Stats)
+		}
 		return res, nil
 	}
 
-	passes := make(chan int, nPasses)
-	for p := 0; p < nPasses; p++ {
-		passes <- p
+	queue := make(chan passJob, len(jobs))
+	for _, j := range jobs {
+		queue <- j
 	}
-	close(passes)
+	close(queue)
 
 	var wg sync.WaitGroup
 	errs := make([]error, workers)
+	stats := make([]SimStats, workers)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			s, err := gate.NewSim(cpu.Netlist)
+			var s *gate.Sim
+			var err error
+			if opt.Engine == EngineOblivious {
+				s, err = gate.NewSim(cpu.Netlist)
+			} else {
+				s, err = gate.NewEventSim(cpu.Netlist)
+			}
 			if err != nil {
 				errs[w] = err
 				return
 			}
 			r := newPassRunner(cpu, s, golden)
-			for p := range passes {
-				lo := p * 64
-				hi := lo + 64
-				if hi > len(faults) {
-					hi = len(faults)
-				}
-				r.runPass(faults[lo:hi], res.DetectedAt[lo:hi], res.SignatureGroups[lo:hi])
+			for j := range queue {
+				r.runPass(faults, j, res.DetectedAt, res.SignatureGroups)
 			}
+			if evals, events := s.EvalStats(); s.EventDriven() {
+				r.stats.GateEvals = int64(evals)
+				r.stats.Events = int64(events)
+			} else {
+				r.stats.GateEvals = r.stats.SimCycles * int64(s.CombGates())
+			}
+			stats[w] = r.stats
 		}(w)
 	}
 	wg.Wait()
@@ -136,13 +182,73 @@ func Simulate(cpu *plasma.CPU, golden *plasma.Golden, faults []Fault, opt Option
 			return nil, err
 		}
 	}
+	for w := range stats {
+		res.Stats.Add(&stats[w])
+	}
+	if opt.CollectInto != nil {
+		opt.CollectInto.Add(&res.Stats)
+	}
 	return res, nil
+}
+
+// packPasses groups faults into 64-lane passes. The oblivious engine packs
+// in list order from cycle 0. The differential engine sorts faults by
+// activation cycle (secondarily by component, then index, for determinism
+// and shared live windows), skips faults that never activate — their site
+// never holds the activating value anywhere in the golden run, so they are
+// provably undetectable — and starts each pass at its earliest activation.
+func packPasses(n *gate.Netlist, golden *plasma.Golden, faults []Fault, engine Engine) ([]passJob, int64) {
+	differential := engine != EngineOblivious && golden.HasActivation()
+	type actFault struct {
+		idx  int
+		act  int32
+		comp gate.CompID
+	}
+	order := make([]actFault, 0, len(faults))
+	var skipped int64
+	for i, f := range faults {
+		var act int32
+		if differential {
+			act = golden.ActivationCycle(n, f.Site)
+			if act < 0 {
+				skipped++
+				continue
+			}
+		}
+		order = append(order, actFault{idx: i, act: act, comp: f.Comp})
+	}
+	if differential {
+		sort.Slice(order, func(a, b int) bool {
+			x, y := order[a], order[b]
+			if x.act != y.act {
+				return x.act < y.act
+			}
+			if x.comp != y.comp {
+				return x.comp < y.comp
+			}
+			return x.idx < y.idx
+		})
+	}
+	var jobs []passJob
+	for lo := 0; lo < len(order); lo += 64 {
+		hi := lo + 64
+		if hi > len(order) {
+			hi = len(order)
+		}
+		idxs := make([]int, hi-lo)
+		for k := range idxs {
+			idxs[k] = order[lo+k].idx
+		}
+		jobs = append(jobs, passJob{idxs: idxs, start: order[lo].act})
+	}
+	return jobs, skipped
 }
 
 // passRunner owns one logic simulator and the precomputed signal lists.
 type passRunner struct {
 	sim    *gate.Sim
 	golden *plasma.Golden
+	stats  SimStats
 
 	rdata   []gate.Sig
 	addr    []gate.Sig
@@ -166,24 +272,45 @@ func newPassRunner(cpu *plasma.CPU, s *gate.Sim, golden *plasma.Golden) *passRun
 
 var spread = [2]uint64{0, ^uint64(0)}
 
-// runPass simulates one group of up to 64 faults to completion.
-func (r *passRunner) runPass(faults []Fault, detectedAt []int32, sigGroups []uint8) {
-	lf := make([]gate.LaneFault, len(faults))
-	for i, f := range faults {
-		lf[i] = gate.LaneFault{Site: f.Site, Lane: i}
+// runPass simulates one group of up to 64 faults to completion, writing
+// each lane's outcome through the pass's original-index mapping. A pass
+// starting past cycle 0 is fast-forwarded by loading the golden flip-flop
+// checkpoint: before its earliest activation every faulty machine is
+// bit-identical to the golden machine, so nothing is lost. When checkpoints
+// are available, each detected lane is conformed back to the golden
+// trajectory (state overwrite + fault disarm) — sound because detected
+// lanes are masked out of all future detection logic — which starves the
+// event queue of its activity.
+func (r *passRunner) runPass(faults []Fault, job passJob, detectedAt []int32, sigGroups []uint8) {
+	lf := make([]gate.LaneFault, len(job.idxs))
+	for lane, idx := range job.idxs {
+		lf[lane] = gate.LaneFault{Site: faults[idx].Site, Lane: lane}
 	}
-	r.sim.Reset()
-	r.sim.SetFaults(lf)
-
-	active := ^uint64(0)
-	if len(faults) < 64 {
-		active = 1<<uint(len(faults)) - 1
-	}
-	var detected uint64
-
 	g := r.golden
 	s := r.sim
-	for t := 0; t < g.Cycles; t++ {
+	s.Reset()
+	s.SetFaults(lf)
+	conform := g.HasActivation() && s.EventDriven()
+	if job.start > 0 {
+		s.LoadState(g.DFFs, g.State[job.start])
+	}
+
+	r.stats.Passes++
+	r.stats.FastForwarded += int64(job.start)
+
+	active := ^uint64(0)
+	if len(job.idxs) < 64 {
+		active = 1<<uint(len(job.idxs)) - 1
+	}
+	var detected, toConform uint64
+
+	exit := func(t int) {
+		if t >= 0 && g.Cycles > 0 {
+			r.stats.ExitHist[t*10/g.Cycles]++
+		}
+	}
+	for t := int(job.start); t < g.Cycles; t++ {
+		r.stats.SimCycles++
 		s.SetBusUniform(plasma.PortRData, uint64(g.RData[t]))
 		s.Eval()
 
@@ -219,9 +346,10 @@ func (r *passRunner) runPass(faults []Fault, detectedAt []int32, sigGroups []uin
 
 		diff := addrDiff | daDiff | strobeDiff | wdataDiff
 		if newly := diff & active &^ detected; newly != 0 {
-			for newly != 0 {
-				lane := bits.TrailingZeros64(newly)
-				detectedAt[lane] = int32(t)
+			window := t * 10 / g.Cycles
+			for rem := newly; rem != 0; {
+				lane := bits.TrailingZeros64(rem)
+				detectedAt[job.idxs[lane]] = int32(t)
 				m := uint64(1) << uint(lane)
 				var groups uint8
 				if addrDiff&m != 0 {
@@ -236,16 +364,33 @@ func (r *passRunner) runPass(faults []Fault, detectedAt []int32, sigGroups []uin
 				if wdataDiff&m != 0 {
 					groups |= SigWData
 				}
-				sigGroups[lane] = groups
-				newly &^= m
+				sigGroups[job.idxs[lane]] = groups
+				rem &^= m
 			}
-			detected |= diff & active
+			r.stats.LanesDropped += int64(bits.OnesCount64(newly))
+			r.stats.DroppedPerWindow[window] += int64(bits.OnesCount64(newly))
+			detected |= newly
 			if detected == active {
+				exit(t)
 				return
 			}
+			toConform |= newly
 		}
 		s.Latch()
+		if conform && toConform != 0 {
+			// Conform detected lanes to the golden state entering cycle
+			// t+1. Must happen after Latch: Latch would overwrite the
+			// conformed bits with the lane's faulty D values.
+			for rem := toConform; rem != 0; {
+				lane := bits.TrailingZeros64(rem)
+				s.DropLaneFaults(lane)
+				s.SetLaneState(lane, g.DFFs, g.State[t+1])
+				rem &^= 1 << uint(lane)
+			}
+			toConform = 0
+		}
 	}
+	exit(g.Cycles - 1)
 }
 
 // SampleFaults returns a deterministic random sample of n faults (the
@@ -265,18 +410,21 @@ func SampleFaults(faults []Fault, n int, seed int64) []Fault {
 
 // MergeDetections unions detections of several runs over the same fault
 // list (e.g. periodic self-test fragments executed separately): a fault
-// counts as detected if any run observed it; the recorded cycle is the
-// earliest run's, offset by that run's start in the overall schedule.
+// counts as detected if any run observed it; the recorded cycle and
+// signature groups are the earliest-detecting run's, the cycle offset by
+// that run's start in the overall schedule.
 func MergeDetections(results ...*Result) (*Result, error) {
 	if len(results) == 0 {
 		return nil, fmt.Errorf("fault: nothing to merge")
 	}
 	base := results[0]
 	merged := &Result{
-		Faults:     base.Faults,
-		DetectedAt: append([]int32(nil), base.DetectedAt...),
-		Cycles:     0,
+		Faults:          base.Faults,
+		DetectedAt:      append([]int32(nil), base.DetectedAt...),
+		SignatureGroups: make([]uint8, len(base.Faults)),
+		Cycles:          0,
 	}
+	copy(merged.SignatureGroups, base.SignatureGroups)
 	offset := int32(0)
 	for ri, r := range results {
 		if len(r.Faults) != len(base.Faults) {
@@ -291,11 +439,15 @@ func MergeDetections(results ...*Result) (*Result, error) {
 			for i, c := range r.DetectedAt {
 				if c >= 0 && merged.DetectedAt[i] < 0 {
 					merged.DetectedAt[i] = offset + c
+					if i < len(r.SignatureGroups) {
+						merged.SignatureGroups[i] = r.SignatureGroups[i]
+					}
 				}
 			}
 		}
 		merged.Cycles += r.Cycles
 		offset += int32(r.Cycles)
+		merged.Stats.Add(&r.Stats)
 	}
 	return merged, nil
 }

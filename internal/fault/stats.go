@@ -1,0 +1,87 @@
+package fault
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SimStats is the observability layer of a fault-simulation run: how much
+// work the engine actually performed, and where detections landed. All
+// counters are totals across every pass of the run.
+type SimStats struct {
+	// Passes is the number of 64-lane passes executed.
+	Passes int64
+	// SimCycles is the number of clock cycles actually simulated (after
+	// fast-forwarding and early pass exits).
+	SimCycles int64
+	// FastForwarded is the number of cycles skipped by jumping passes to
+	// the golden checkpoint before their earliest fault activation.
+	FastForwarded int64
+	// SkippedFaults counts faults never simulated because their site never
+	// holds the activating value anywhere in the golden run (provably
+	// undetectable by this program).
+	SkippedFaults int64
+	// GateEvals is the number of combinational gate evaluations performed;
+	// GateEvals/SimCycles is the differential engine's headline win over
+	// the oblivious engine's evals/cycle (== the netlist's gate count).
+	GateEvals int64
+	// Events is the number of signal value changes propagated by the
+	// event-driven evaluator.
+	Events int64
+	// LanesDropped counts detected faulty machines conformed back to the
+	// golden trajectory (true fault dropping).
+	LanesDropped int64
+	// DroppedPerWindow histograms lane drops by detection cycle decile of
+	// the golden run: front-loaded detection fills the early buckets.
+	DroppedPerWindow [10]int64
+	// ExitHist histograms pass end cycles (early exit on full detection or
+	// run-out) by golden-run decile.
+	ExitHist [10]int64
+}
+
+// Add accumulates other into s.
+func (s *SimStats) Add(other *SimStats) {
+	s.Passes += other.Passes
+	s.SimCycles += other.SimCycles
+	s.FastForwarded += other.FastForwarded
+	s.SkippedFaults += other.SkippedFaults
+	s.GateEvals += other.GateEvals
+	s.Events += other.Events
+	s.LanesDropped += other.LanesDropped
+	for i := range s.DroppedPerWindow {
+		s.DroppedPerWindow[i] += other.DroppedPerWindow[i]
+		s.ExitHist[i] += other.ExitHist[i]
+	}
+}
+
+// EvalsPerCycle reports the mean combinational gate evaluations per
+// simulated cycle.
+func (s *SimStats) EvalsPerCycle() float64 {
+	if s.SimCycles == 0 {
+		return 0
+	}
+	return float64(s.GateEvals) / float64(s.SimCycles)
+}
+
+func histString(h *[10]int64) string {
+	parts := make([]string, len(h))
+	for i, v := range h {
+		parts[i] = fmt.Sprintf("%d", v)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// String renders the stats as a compact multi-line report.
+func (s *SimStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "passes            %d\n", s.Passes)
+	fmt.Fprintf(&b, "sim cycles        %d\n", s.SimCycles)
+	fmt.Fprintf(&b, "fast-forwarded    %d cycles\n", s.FastForwarded)
+	fmt.Fprintf(&b, "skipped faults    %d (never activated)\n", s.SkippedFaults)
+	fmt.Fprintf(&b, "gate evals        %d (%.1f/cycle)\n", s.GateEvals, s.EvalsPerCycle())
+	fmt.Fprintf(&b, "events            %d\n", s.Events)
+	fmt.Fprintf(&b, "lanes dropped     %d\n", s.LanesDropped)
+	fmt.Fprintf(&b, "drops by decile   %s\n", histString(&s.DroppedPerWindow))
+	fmt.Fprintf(&b, "pass exit decile  %s", histString(&s.ExitHist))
+	return b.String()
+}

@@ -1,0 +1,428 @@
+package gate
+
+// Event-driven (differential) evaluation mode for Sim. The oblivious
+// evaluator in sim.go re-evaluates every combinational gate on every Eval;
+// a clocked processor has low per-cycle switching activity, so most of
+// that work recomputes values that cannot have changed. The incremental
+// evaluator keeps per-level dirty queues and only re-evaluates gates whose
+// fan-in changed since the previous Eval:
+//
+//   - signals are levelized once; a changed signal schedules its
+//     combinational consumers (which all sit at strictly higher levels),
+//     so one ascending sweep over the level queues reaches a fixed point;
+//   - flip-flops latch only when a D input saw an event, and present their
+//     new output only when the latched state actually changed;
+//   - gates with fault-injection hooks are kept permanently dirty: a hook
+//     changes the gate's function without any input event (installation,
+//     and per-lane disarming via DropLaneFaults), so they are re-evaluated
+//     every cycle to keep stuck-at masking correct.
+//
+// The invariant maintained between Evals is word-level: every signal's
+// 64-lane word equals its gate function applied to its fan-in words (with
+// injection hooks applied). Any operation that breaks the invariant
+// wholesale (Reset, SetFaults, LoadState) marks the simulator fully dirty,
+// and the next Eval falls back to one oblivious sweep.
+
+// incState is the bookkeeping of the event-driven evaluator.
+type incState struct {
+	level    []int32 // per signal: combinational level (sources at 0)
+	maxLevel int32
+
+	// CSR fan-out of each signal, split into combinational consumers
+	// (scheduled into level queues) and flip-flop D inputs (scheduled
+	// into the latch-pending set).
+	combIdx []int32
+	combFan []Sig
+	dffIdx  []int32
+	dffFan  []Sig
+
+	dffs []Sig // every flip-flop signal, for full latches
+
+	queue   [][]Sig // per-level pending combinational gates
+	inQueue []bool
+
+	dffPending []Sig // DFFs whose D input saw an event since the last Latch
+	dffPendSet []bool
+	dffChanged []Sig // DFFs whose latched state changed since the last Eval
+	dffChgSet  []bool
+
+	allDirty bool // next Eval must be a full oblivious sweep
+	latchAll bool // next Latch must scan every flip-flop
+
+	evals  uint64 // gate evaluations performed
+	events uint64 // signal value changes propagated
+}
+
+// NewEventSim compiles a netlist into a simulator that uses event-driven
+// incremental evaluation. It is bit-for-bit equivalent to NewSim's
+// oblivious evaluator (cross-checked in tests) and much faster on
+// low-activity workloads.
+func NewEventSim(n *Netlist) (*Sim, error) {
+	s, err := NewSim(n)
+	if err != nil {
+		return nil, err
+	}
+	s.inc = newIncState(n, s.order)
+	return s, nil
+}
+
+// EventDriven reports whether this simulator evaluates incrementally.
+func (s *Sim) EventDriven() bool { return s.inc != nil }
+
+func newIncState(n *Netlist, order []Sig) *incState {
+	ng := len(n.Gates)
+	inc := &incState{
+		level:      make([]int32, ng),
+		inQueue:    make([]bool, ng),
+		dffPendSet: make([]bool, ng),
+		dffChgSet:  make([]bool, ng),
+		allDirty:   true,
+		latchAll:   true,
+	}
+	for _, sig := range order {
+		g := &n.Gates[sig]
+		lv := int32(0)
+		for p := 0; p < g.Kind.NumInputs(); p++ {
+			if l := inc.level[g.In[p]] + 1; l > lv {
+				lv = l
+			}
+		}
+		inc.level[sig] = lv
+		if lv > inc.maxLevel {
+			inc.maxLevel = lv
+		}
+	}
+	combCnt := make([]int32, ng+1)
+	dffCnt := make([]int32, ng+1)
+	for i := range n.Gates {
+		g := &n.Gates[i]
+		if g.Kind == DFF {
+			inc.dffs = append(inc.dffs, Sig(i))
+			dffCnt[g.In[0]+1]++
+			continue
+		}
+		for p := 0; p < g.Kind.NumInputs(); p++ {
+			combCnt[g.In[p]+1]++
+		}
+	}
+	for i := 0; i < ng; i++ {
+		combCnt[i+1] += combCnt[i]
+		dffCnt[i+1] += dffCnt[i]
+	}
+	inc.combIdx, inc.dffIdx = combCnt, dffCnt
+	inc.combFan = make([]Sig, combCnt[ng])
+	inc.dffFan = make([]Sig, dffCnt[ng])
+	combPos := append([]int32(nil), combCnt[:ng]...)
+	dffPos := append([]int32(nil), dffCnt[:ng]...)
+	for i := range n.Gates {
+		g := &n.Gates[i]
+		if g.Kind == DFF {
+			d := g.In[0]
+			inc.dffFan[dffPos[d]] = Sig(i)
+			dffPos[d]++
+			continue
+		}
+		for p := 0; p < g.Kind.NumInputs(); p++ {
+			in := g.In[p]
+			inc.combFan[combPos[in]] = Sig(i)
+			combPos[in]++
+		}
+	}
+	inc.queue = make([][]Sig, inc.maxLevel+1)
+	return inc
+}
+
+// invalidate marks the whole simulator dirty; the next Eval performs one
+// oblivious sweep to re-establish the incremental invariant.
+func (s *Sim) invalidate() {
+	if s.inc != nil {
+		s.inc.allDirty = true
+	}
+}
+
+// propagate schedules the consumers of a changed signal.
+func (s *Sim) propagate(sig Sig) {
+	inc := s.inc
+	for _, c := range inc.combFan[inc.combIdx[sig]:inc.combIdx[sig+1]] {
+		if !inc.inQueue[c] {
+			inc.inQueue[c] = true
+			lv := inc.level[c]
+			inc.queue[lv] = append(inc.queue[lv], c)
+		}
+	}
+	for _, d := range inc.dffFan[inc.dffIdx[sig]:inc.dffIdx[sig+1]] {
+		if !inc.dffPendSet[d] {
+			inc.dffPendSet[d] = true
+			inc.dffPending = append(inc.dffPending, d)
+		}
+	}
+}
+
+func (s *Sim) markDFFChanged(sig Sig) {
+	inc := s.inc
+	if !inc.dffChgSet[sig] {
+		inc.dffChgSet[sig] = true
+		inc.dffChanged = append(inc.dffChanged, sig)
+	}
+}
+
+// presentSource re-presents a source gate's output (DFF state, constant,
+// or externally driven input) with injection hooks applied. For DFF and
+// Input gates, state holds the raw (uninjected) value, so hook changes —
+// including DropLaneFaults disarming — are reversible.
+func (s *Sim) presentSource(sig Sig) {
+	g := &s.n.Gates[sig]
+	var v uint64
+	switch g.Kind {
+	case DFF, Input:
+		v = s.state[sig]
+	case Const0:
+		v = 0
+	case Const1:
+		v = ^uint64(0)
+	}
+	if h := s.hookIdx[sig]; h >= 0 {
+		v = s.hookedOut(h, v)
+	}
+	if v != s.val[sig] {
+		s.val[sig] = v
+		s.inc.events++
+		s.propagate(sig)
+	}
+}
+
+// computeComb evaluates one combinational gate with injection hooks,
+// mirroring the oblivious evaluator's per-gate switch exactly.
+func (s *Sim) computeComb(sig Sig) uint64 {
+	g := &s.n.Gates[sig]
+	h := s.hookIdx[sig]
+	val := s.val
+	var a, b, c uint64
+	switch g.Kind.NumInputs() {
+	case 1:
+		a = val[g.In[0]]
+		if h >= 0 {
+			a = s.hookedIn(h, 1, a)
+		}
+	case 2:
+		a, b = val[g.In[0]], val[g.In[1]]
+		if h >= 0 {
+			a = s.hookedIn(h, 1, a)
+			b = s.hookedIn(h, 2, b)
+		}
+	case 3:
+		a, b, c = val[g.In[0]], val[g.In[1]], val[g.In[2]]
+		if h >= 0 {
+			a = s.hookedIn(h, 1, a)
+			b = s.hookedIn(h, 2, b)
+			c = s.hookedIn(h, 3, c)
+		}
+	}
+	var out uint64
+	switch g.Kind {
+	case Buf:
+		out = a
+	case Not:
+		out = ^a
+	case And2:
+		out = a & b
+	case Or2:
+		out = a | b
+	case Nand2:
+		out = ^(a & b)
+	case Nor2:
+		out = ^(a | b)
+	case Xor2:
+		out = a ^ b
+	case Xnor2:
+		out = ^(a ^ b)
+	case Mux2:
+		out = a&^c | b&c
+	}
+	if h >= 0 {
+		out = s.hookedOut(h, out)
+	}
+	return out
+}
+
+// evalFull re-establishes the incremental invariant with one oblivious
+// sweep, discarding any pending queues.
+func (s *Sim) evalFull() {
+	inc := s.inc
+	s.evalOblivious()
+	inc.evals += uint64(len(s.order))
+	for lv := range inc.queue {
+		for _, sig := range inc.queue[lv] {
+			inc.inQueue[sig] = false
+		}
+		inc.queue[lv] = inc.queue[lv][:0]
+	}
+	for _, sig := range inc.dffPending {
+		inc.dffPendSet[sig] = false
+	}
+	inc.dffPending = inc.dffPending[:0]
+	for _, sig := range inc.dffChanged {
+		inc.dffChgSet[sig] = false
+	}
+	inc.dffChanged = inc.dffChanged[:0]
+	inc.allDirty = false
+	inc.latchAll = true
+}
+
+// evalEvent is the incremental Eval: prologue (hooked gates and changed
+// flip-flops), then one ascending sweep over the level queues.
+func (s *Sim) evalEvent() {
+	inc := s.inc
+	if inc.allDirty {
+		s.evalFull()
+		return
+	}
+	gates := s.n.Gates
+	// Fault-injection hooks keep their gates permanently dirty.
+	for _, sig := range s.hooked {
+		switch gates[sig].Kind {
+		case DFF, Const0, Const1, Input:
+			s.presentSource(sig)
+		default:
+			if !inc.inQueue[sig] {
+				inc.inQueue[sig] = true
+				lv := inc.level[sig]
+				inc.queue[lv] = append(inc.queue[lv], sig)
+			}
+		}
+	}
+	// Flip-flops whose latched state changed present their new output.
+	for _, sig := range inc.dffChanged {
+		inc.dffChgSet[sig] = false
+		s.presentSource(sig)
+	}
+	inc.dffChanged = inc.dffChanged[:0]
+	for lv := int32(1); lv <= inc.maxLevel; lv++ {
+		q := inc.queue[lv]
+		for i := 0; i < len(q); i++ {
+			sig := q[i]
+			inc.inQueue[sig] = false
+			out := s.computeComb(sig)
+			inc.evals++
+			if out != s.val[sig] {
+				s.val[sig] = out
+				inc.events++
+				s.propagate(sig)
+			}
+		}
+		inc.queue[lv] = q[:0]
+	}
+}
+
+// latchOne clocks a single flip-flop, applying D-input injection hooks.
+func (s *Sim) latchOne(sig Sig) {
+	d := s.val[s.n.Gates[sig].In[0]]
+	if h := s.hookIdx[sig]; h >= 0 {
+		d = s.hookedIn(h, 1, d)
+	}
+	if d != s.state[sig] {
+		s.state[sig] = d
+		s.markDFFChanged(sig)
+	}
+}
+
+// latchEvent clocks only the flip-flops whose D input saw an event (or
+// every flip-flop after a full sweep). Hooked flip-flops always latch: a
+// D-pin injection changes the latched value without any D-input event.
+func (s *Sim) latchEvent() {
+	inc := s.inc
+	if inc.latchAll {
+		inc.latchAll = false
+		for _, sig := range inc.dffPending {
+			inc.dffPendSet[sig] = false
+		}
+		inc.dffPending = inc.dffPending[:0]
+		for _, sig := range inc.dffs {
+			s.latchOne(sig)
+		}
+		return
+	}
+	for _, sig := range s.hooked {
+		if s.n.Gates[sig].Kind == DFF && !inc.dffPendSet[sig] {
+			s.latchOne(sig)
+		}
+	}
+	for _, sig := range inc.dffPending {
+		inc.dffPendSet[sig] = false
+		s.latchOne(sig)
+	}
+	inc.dffPending = inc.dffPending[:0]
+}
+
+// LoadState broadcasts a recorded flip-flop snapshot (bit i of bits is the
+// state of dffs[i]) into all 64 lanes, replacing the current state, and
+// invalidates derived signal values. Used to fast-forward a fault pass to
+// a golden checkpoint.
+func (s *Sim) LoadState(dffs []Sig, bits []uint64) {
+	for i, sig := range dffs {
+		var w uint64
+		if bits[i>>6]>>(uint(i)&63)&1 != 0 {
+			w = ^uint64(0)
+		}
+		s.state[sig] = w
+	}
+	s.invalidate()
+}
+
+// SetLaneState overwrites one lane's flip-flop state with a recorded
+// snapshot, leaving the other lanes untouched. In event-driven mode the
+// changed flip-flops are marked so the next Eval presents them.
+func (s *Sim) SetLaneState(lane int, dffs []Sig, bits []uint64) {
+	m := uint64(1) << uint(lane)
+	for i, sig := range dffs {
+		var b uint64
+		if bits[i>>6]>>(uint(i)&63)&1 != 0 {
+			b = m
+		}
+		old := s.state[sig]
+		nw := old&^m | b
+		if nw != old {
+			s.state[sig] = nw
+			if s.inc != nil {
+				s.markDFFChanged(sig)
+			}
+		}
+	}
+}
+
+// DropLaneFaults disarms every fault injection assigned to the given lane.
+// The hooks stay installed (and their gates stay permanently dirty, which
+// releases the injected values on the next Eval) but become inert for the
+// lane.
+func (s *Sim) DropLaneFaults(lane int) {
+	m := uint64(1) << uint(lane)
+	for _, g := range s.hooked {
+		h := s.hookIdx[g]
+		for j := range s.hooks[h] {
+			if s.hooks[h][j].mask&m != 0 {
+				s.hooks[h][j].mask = 0
+				s.hooks[h][j].stuck = 0
+			}
+		}
+	}
+}
+
+// StateBits collects the lane-0 state of the given flip-flops as a bitset
+// (bit i = dffs[i]); dst must hold (len(dffs)+63)/64 words.
+func (s *Sim) StateBits(dffs []Sig, dst []uint64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i, sig := range dffs {
+		dst[i>>6] |= (s.state[sig] & 1) << (uint(i) & 63)
+	}
+}
+
+// EvalStats reports the cumulative gate evaluations and value-change
+// events performed by the event-driven evaluator (zero in oblivious mode).
+func (s *Sim) EvalStats() (evals, events uint64) {
+	if s.inc == nil {
+		return 0, 0
+	}
+	return s.inc.evals, s.inc.events
+}

@@ -1,0 +1,238 @@
+package gate
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randSeqNetlist builds a random sequential netlist: nIn primary inputs,
+// nDFF flip-flops with feedback through the random combinational cloud,
+// and an output bus observing a random sample of signals.
+func randSeqNetlist(r *rand.Rand, nIn, nGates, nDFF int) *Netlist {
+	b := NewBuilder("rand")
+	pool := append([]Sig(nil), b.InputBus("in", nIn)...)
+	pool = append(pool, b.Const0(), b.Const1())
+	ffs := make([]Sig, nDFF)
+	for i := range ffs {
+		ffs[i] = b.DFFPlaceholder()
+		pool = append(pool, ffs[i])
+	}
+	pick := func() Sig { return pool[r.Intn(len(pool))] }
+	for i := 0; i < nGates; i++ {
+		var s Sig
+		switch r.Intn(9) {
+		case 0:
+			s = b.Buf(pick())
+		case 1:
+			s = b.Not(pick())
+		case 2:
+			s = b.And(pick(), pick())
+		case 3:
+			s = b.Or(pick(), pick())
+		case 4:
+			s = b.Nand(pick(), pick())
+		case 5:
+			s = b.Nor(pick(), pick())
+		case 6:
+			s = b.Xor(pick(), pick())
+		case 7:
+			s = b.Xnor(pick(), pick())
+		case 8:
+			s = b.Mux(pick(), pick(), pick())
+		}
+		pool = append(pool, s)
+	}
+	for _, ff := range ffs {
+		b.ConnectD(ff, pool[r.Intn(len(pool))])
+	}
+	outs := make([]Sig, 8)
+	for i := range outs {
+		outs[i] = pool[r.Intn(len(pool))]
+	}
+	b.OutputBus("out", outs)
+	return b.N
+}
+
+// randFaults draws distinct-lane faults at random sites with valid pins.
+func randFaults(r *rand.Rand, n *Netlist, count int) []LaneFault {
+	var fs []LaneFault
+	for lane := 0; lane < count; lane++ {
+		g := Sig(r.Intn(len(n.Gates)))
+		maxPin := n.Gates[g].Kind.NumInputs()
+		pin := int8(r.Intn(maxPin + 1)) // 0 = output, 1..maxPin = inputs
+		fs = append(fs, LaneFault{
+			Site: FaultSite{Gate: g, Pin: pin, Stuck: r.Intn(2) == 1},
+			Lane: lane,
+		})
+	}
+	return fs
+}
+
+func checkAllSignals(t *testing.T, tag string, ob, ev *Sim) {
+	t.Helper()
+	for i := range ob.n.Gates {
+		if ob.val[i] != ev.val[i] {
+			t.Fatalf("%s: signal %d (%s) oblivious=%#x event=%#x",
+				tag, i, ob.n.Gates[i].Kind, ob.val[i], ev.val[i])
+		}
+		if ob.state[i] != ev.state[i] {
+			t.Fatalf("%s: state %d (%s) oblivious=%#x event=%#x",
+				tag, i, ob.n.Gates[i].Kind, ob.state[i], ev.state[i])
+		}
+	}
+}
+
+// TestEventObliviousEquivalence drives random sequential netlists with
+// random inputs and injected faults, asserting every signal word matches
+// between the oblivious and event-driven evaluators cycle for cycle —
+// including across mid-run fault swaps.
+func TestEventObliviousEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		n := randSeqNetlist(r, 12, 400, 24)
+		ob, err := NewSim(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev, err := NewEventSim(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ev.EventDriven() || ob.EventDriven() {
+			t.Fatal("EventDriven flags wrong")
+		}
+		ob.Reset()
+		ev.Reset()
+		faults := randFaults(r, n, 32)
+		ob.SetFaults(faults)
+		ev.SetFaults(faults)
+		for cyc := 0; cyc < 200; cyc++ {
+			if cyc == 80 {
+				// Swap the fault set mid-run.
+				faults = randFaults(r, n, 16)
+				ob.SetFaults(faults)
+				ev.SetFaults(faults)
+			}
+			in := r.Uint64()
+			ob.SetBusUniform("in", in)
+			ev.SetBusUniform("in", in)
+			ob.Eval()
+			ev.Eval()
+			checkAllSignals(t, "after Eval", ob, ev)
+			// Hold inputs: a second Eval (machine.Step does this) must
+			// also agree.
+			ob.Eval()
+			ev.Eval()
+			checkAllSignals(t, "after 2nd Eval", ob, ev)
+			ob.Latch()
+			ev.Latch()
+		}
+		evals, events := ev.EvalStats()
+		if evals == 0 || events == 0 {
+			t.Errorf("seed %d: stats not collected (evals=%d events=%d)", seed, evals, events)
+		}
+	}
+}
+
+// TestEventPerLaneWords exercises SetBusWords (per-lane input values) under
+// the event engine.
+func TestEventPerLaneWords(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	n := randSeqNetlist(r, 8, 200, 10)
+	ob, _ := NewSim(n)
+	ev, _ := NewEventSim(n)
+	words := make([]uint64, 8)
+	for cyc := 0; cyc < 50; cyc++ {
+		for i := range words {
+			words[i] = r.Uint64()
+		}
+		ob.SetBusWords("in", words)
+		ev.SetBusWords("in", words)
+		ob.Step()
+		ev.Step()
+		checkAllSignals(t, "after Step", ob, ev)
+	}
+}
+
+// TestEventLoadState fast-forwards an event sim to a mid-run snapshot taken
+// from an oblivious sim and checks the two stay in lockstep afterwards.
+func TestEventLoadState(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	n := randSeqNetlist(r, 10, 300, 16)
+	dffs := n.DFFSignals()
+	if len(dffs) != 16 {
+		t.Fatalf("DFFSignals = %d, want 16", len(dffs))
+	}
+	ob, _ := NewSim(n)
+	ob.Reset()
+	inputs := make([]uint64, 120)
+	for i := range inputs {
+		inputs[i] = r.Uint64()
+	}
+	snap := make([]uint64, (len(dffs)+63)/64)
+	const ffAt = 60
+	for cyc := 0; cyc < ffAt; cyc++ {
+		ob.SetBusUniform("in", inputs[cyc])
+		ob.Step()
+	}
+	ob.StateBits(dffs, snap)
+
+	ev, _ := NewEventSim(n)
+	ev.Reset()
+	ev.LoadState(dffs, snap)
+	for cyc := ffAt; cyc < len(inputs); cyc++ {
+		ob.SetBusUniform("in", inputs[cyc])
+		ev.SetBusUniform("in", inputs[cyc])
+		ob.Eval()
+		ev.Eval()
+		if got, want := ev.BusLane("out", 0), ob.BusLane("out", 0); got != want {
+			t.Fatalf("cycle %d: out lane0 = %#x, want %#x", cyc, got, want)
+		}
+		ob.Latch()
+		ev.Latch()
+	}
+}
+
+// TestEventDropLaneConformance detects that after DropLaneFaults +
+// SetLaneState a faulty lane rejoins the fault-free trajectory exactly.
+func TestEventDropLaneConformance(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	n := randSeqNetlist(r, 10, 300, 16)
+	dffs := n.DFFSignals()
+
+	clean, _ := NewSim(n)
+	clean.Reset()
+	ev, _ := NewEventSim(n)
+	ev.Reset()
+	ev.SetFaults(randFaults(r, n, 40))
+
+	inputs := make([]uint64, 100)
+	for i := range inputs {
+		inputs[i] = r.Uint64()
+	}
+	snap := make([]uint64, (len(dffs)+63)/64)
+	const dropAt = 50
+	for cyc := 0; cyc < len(inputs); cyc++ {
+		clean.SetBusUniform("in", inputs[cyc])
+		ev.SetBusUniform("in", inputs[cyc])
+		clean.Eval()
+		ev.Eval()
+		if cyc > dropAt {
+			// All lanes were conformed to the fault-free machine.
+			for lane := 0; lane < 64; lane += 9 {
+				if got, want := ev.BusLane("out", lane), clean.BusLane("out", 0); got != want {
+					t.Fatalf("cycle %d lane %d: out=%#x, want fault-free %#x", cyc, lane, got, want)
+				}
+			}
+		}
+		clean.Latch()
+		ev.Latch()
+		if cyc == dropAt {
+			clean.StateBits(dffs, snap)
+			for lane := 0; lane < 64; lane++ {
+				ev.DropLaneFaults(lane)
+				ev.SetLaneState(lane, dffs, snap)
+			}
+		}
+	}
+}

@@ -150,6 +150,18 @@ func (n *Netlist) ObservedSignals() []Sig {
 	return sigs
 }
 
+// DFFSignals returns every flip-flop signal in creation order. This is the
+// canonical ordering for DFF state snapshots (see Sim.StateBits/LoadState).
+func (n *Netlist) DFFSignals() []Sig {
+	var sigs []Sig
+	for i := range n.Gates {
+		if n.Gates[i].Kind == DFF {
+			sigs = append(sigs, Sig(i))
+		}
+	}
+	return sigs
+}
+
 // GateCount reports the netlist area in NAND2 equivalents, per component and
 // in total. The per-component slice is indexed by CompID.
 func (n *Netlist) GateCount() (perComp []float64, total float64) {

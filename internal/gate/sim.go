@@ -48,11 +48,13 @@ type Sim struct {
 	order []Sig
 
 	val   []uint64 // current signal values
-	state []uint64 // DFF latched state, indexed by signal
+	state []uint64 // DFF latched state (and raw driven value for Input gates)
 
 	hookIdx []int32 // per signal: -1 or index into hooks
 	hooks   [][]laneInject
 	hooked  []Sig // signals that currently have hooks, for cheap clearing
+
+	inc *incState // non-nil: event-driven incremental evaluation (event.go)
 }
 
 // NewSim compiles a netlist into a simulator. The netlist must validate.
@@ -81,11 +83,19 @@ func NewSim(n *Netlist) (*Sim, error) {
 // Netlist returns the compiled netlist.
 func (s *Sim) Netlist() *Netlist { return s.n }
 
+// CombGates reports the number of combinational gates: the per-Eval gate
+// evaluation cost of the oblivious engine.
+func (s *Sim) CombGates() int { return len(s.order) }
+
 // Reset clears all flip-flop state and signal values.
 func (s *Sim) Reset() {
 	for i := range s.state {
 		s.state[i] = 0
 		s.val[i] = 0
+	}
+	if s.inc != nil {
+		s.inc.allDirty = true
+		s.inc.latchAll = true
 	}
 }
 
@@ -113,6 +123,7 @@ func (s *Sim) SetFaults(faults []LaneFault) {
 		h := s.hookIdx[g]
 		s.hooks[h] = append(s.hooks[h], inj)
 	}
+	s.invalidate()
 }
 
 // ClearFaults removes all installed faults.
@@ -122,6 +133,24 @@ func (s *Sim) ClearFaults() {
 	}
 	s.hooked = s.hooked[:0]
 	s.hooks = s.hooks[:0]
+	s.invalidate()
+}
+
+// driveInput stores the raw driven word of a primary input (in state, so
+// fault injections stay reversible), presents its hooked value, and in
+// event-driven mode schedules consumers on change.
+func (s *Sim) driveInput(sig Sig, w uint64) {
+	s.state[sig] = w
+	if h := s.hookIdx[sig]; h >= 0 {
+		w = s.hookedOut(h, w)
+	}
+	if w != s.val[sig] {
+		s.val[sig] = w
+		if s.inc != nil && !s.inc.allDirty {
+			s.inc.events++
+			s.propagate(sig)
+		}
+	}
 }
 
 // SetBusUniform drives an input bus with the same value in every lane.
@@ -129,11 +158,11 @@ func (s *Sim) ClearFaults() {
 func (s *Sim) SetBusUniform(name string, value uint64) {
 	sigs := s.n.InputBus(name)
 	for i, sig := range sigs {
+		var w uint64
 		if value>>uint(i)&1 != 0 {
-			s.val[sig] = ^uint64(0)
-		} else {
-			s.val[sig] = 0
+			w = ^uint64(0)
 		}
+		s.driveInput(sig, w)
 	}
 }
 
@@ -145,7 +174,7 @@ func (s *Sim) SetBusWords(name string, words []uint64) {
 		panic(fmt.Sprintf("gate: SetBusWords(%q): got %d words, bus width %d", name, len(words), len(sigs)))
 	}
 	for i, sig := range sigs {
-		s.val[sig] = words[i]
+		s.driveInput(sig, words[i])
 	}
 }
 
@@ -198,6 +227,15 @@ func (s *Sim) hookedOut(h int32, raw uint64) uint64 {
 // Eval evaluates combinational logic from the current primary inputs and
 // flip-flop state without latching. Primary outputs are valid afterwards.
 func (s *Sim) Eval() {
+	if s.inc != nil {
+		s.evalEvent()
+		return
+	}
+	s.evalOblivious()
+}
+
+// evalOblivious re-evaluates every gate in topological order.
+func (s *Sim) evalOblivious() {
 	gates := s.n.Gates
 	val := s.val
 
@@ -223,9 +261,11 @@ func (s *Sim) Eval() {
 			}
 			val[i] = v
 		case Input:
+			v := s.state[i] // raw driven value; see driveInput
 			if h := s.hookIdx[i]; h >= 0 {
-				val[i] = s.hookedOut(h, val[i])
+				v = s.hookedOut(h, v)
 			}
+			val[i] = v
 		}
 	}
 
@@ -285,6 +325,14 @@ func (s *Sim) Eval() {
 
 // Latch clocks every DFF, capturing its (possibly fault-injected) D input.
 func (s *Sim) Latch() {
+	if s.inc != nil {
+		s.latchEvent()
+		return
+	}
+	s.latchOblivious()
+}
+
+func (s *Sim) latchOblivious() {
 	gates := s.n.Gates
 	for i := range gates {
 		if gates[i].Kind != DFF {

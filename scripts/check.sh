@@ -1,0 +1,26 @@
+#!/bin/sh
+# check.sh — the repo's tier-1 verification gate plus a short race pass
+# of the concurrency-bearing packages. Run from the repository root:
+#
+#   ./scripts/check.sh          # build, vet, full tests, race pass
+#   ./scripts/check.sh -short   # same, with -short tests
+set -eu
+
+short=""
+if [ "${1:-}" = "-short" ]; then
+    short="-short"
+fi
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test $short ./..."
+go test $short ./...
+
+echo "== go test -race -short ./internal/gate ./internal/fault"
+go test -race -short ./internal/gate ./internal/fault
+
+echo "check: OK"
