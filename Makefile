@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench-faultsim
+.PHONY: build test check bench-faultsim benchguard
 
 build:
 	$(GO) build ./...
@@ -16,3 +16,7 @@ check:
 # The headline fault-grading benchmark; compare against BENCH_faultsim.json.
 bench-faultsim:
 	$(GO) test -bench BenchmarkTable5FaultCoverage -benchtime 1x -run '^$$' -timeout 3600s .
+
+# Fail if the headline benchmark regresses >15% vs the recorded baseline.
+benchguard:
+	./scripts/benchguard.sh

@@ -5,11 +5,15 @@
 // Usage:
 //
 //	report [-table all|1|2|3|4|5|techlib|baseline|cost] [-sample N] [-seed S] [-workers W]
-//	       [-engine event|oblivious] [-stats]
+//	       [-engine event|oblivious] [-lanes W] [-stats] [-cache DIR]
+//	       [-cpuprofile FILE] [-memprofile FILE]
 //
 // With -sample 0 (the default for -table 5 via -full) the fault simulations
 // run the complete collapsed fault universe, which takes a few minutes;
 // -sample trades accuracy for speed with a deterministic fault sample.
+// -lanes caps the lane words per fault pass (0 = adaptive up to 8 words =
+// 512 faulty machines); -cache persists synthesized netlists and golden
+// traces across runs; -cpuprofile/-memprofile write pprof profiles.
 package main
 
 import (
@@ -17,8 +21,11 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/bench"
+	"repro/internal/cache"
 	"repro/internal/fault"
 	"repro/internal/synth"
 )
@@ -32,7 +39,11 @@ func main() {
 	workers := flag.Int("workers", 0, "fault simulation goroutines (0 = GOMAXPROCS)")
 	rounds := flag.String("rounds", "16,64,256", "pseudorandom baseline round counts")
 	engine := flag.String("engine", "event", "fault-simulation engine: event or oblivious")
+	lanes := flag.Int("lanes", 0, "lane words per fault pass: 1, 2, 4 or 8 (0 = adaptive up to 8)")
 	stats := flag.Bool("stats", false, "print cumulative fault-simulation work statistics")
+	cacheDir := flag.String("cache", "", "directory for the netlist/golden artifact cache (empty = disabled)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	var eng fault.Engine
@@ -45,13 +56,47 @@ func main() {
 		log.Fatalf("unknown -engine %q (want event or oblivious)", *engine)
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
+
+	var disk *cache.Cache
+	if *cacheDir != "" {
+		var err error
+		disk, err = cache.Open(*cacheDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	var simStats fault.SimStats
-	opt := fault.Options{Sample: *sample, Seed: *seed, Workers: *workers, Engine: eng}
+	opt := fault.Options{Sample: *sample, Seed: *seed, Workers: *workers, Engine: eng, LaneWords: *lanes}
 	if *stats {
 		opt.CollectInto = &simStats
 	}
 
-	env, err := bench.DefaultEnv()
+	env, err := bench.NewEnvCached(synth.NativeLib{}, disk)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -73,7 +118,7 @@ func main() {
 	run("4", func() (string, error) { _, s, err := bench.Table4(env); return s, err })
 	run("5", func() (string, error) { _, s, err := bench.Table5(env, opt, true); return s, err })
 	run("techlib", func() (string, error) {
-		envB, err := bench.NewEnv(synth.NandLib{})
+		envB, err := bench.NewEnvCached(synth.NandLib{}, disk)
 		if err != nil {
 			return "", err
 		}

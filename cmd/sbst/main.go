@@ -6,25 +6,32 @@
 //
 //	sbst -phase A|B|C [-lib native-0.35um-A|nand2-0.35um-B]
 //	     [-emit] [-listing] [-faultsim] [-sample N] [-seed S]
-//	     [-workers W] [-engine event|oblivious] [-stats]
+//	     [-workers W] [-engine event|oblivious] [-lanes W] [-stats]
+//	     [-cache DIR] [-cpuprofile FILE] [-memprofile FILE]
 //
 // -emit prints the generated assembly source; -listing the assembled
 // image; -faultsim runs stuck-at fault simulation and prints the
 // per-component coverage report. -workers sets the simulation parallelism
 // (0 = GOMAXPROCS), -engine selects the differential event-driven engine
-// (default) or the oblivious reference engine, and -stats prints the
-// engine's work counters (gate evals/cycle, fast-forwarded cycles, lane
-// drops).
+// (default) or the oblivious reference engine, -lanes caps the lane words
+// per pass (1, 2, 4 or 8 = 64..512 faulty machines; 0 = adaptive up to 8),
+// and -stats prints the engine's work counters (gate evals/cycle,
+// fast-forwarded cycles, lane drops, pass-width histogram). -cache names a
+// directory where synthesized netlists and captured golden traces persist
+// across runs; -cpuprofile/-memprofile write pprof profiles.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime"
+	"runtime/pprof"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/fault"
-	"repro/internal/plasma"
 	"repro/internal/sim"
 	"repro/internal/synth"
 )
@@ -52,12 +59,49 @@ func main() {
 	seed := flag.Int64("seed", 1, "fault sampling seed")
 	workers := flag.Int("workers", 0, "fault simulation goroutines (0 = GOMAXPROCS)")
 	engine := flag.String("engine", "event", "fault-simulation engine: event or oblivious")
+	lanes := flag.Int("lanes", 0, "lane words per fault pass: 1, 2, 4 or 8 (0 = adaptive up to 8)")
 	stats := flag.Bool("stats", false, "print fault-simulation work statistics")
+	cacheDir := flag.String("cache", "", "directory for the netlist/golden artifact cache (empty = disabled)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	eng, err := parseEngine(*engine)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
+
+	var disk *cache.Cache
+	if *cacheDir != "" {
+		disk, err = cache.Open(*cacheDir)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	var maxPhase core.PhaseID
@@ -77,7 +121,7 @@ func main() {
 		log.Fatalf("unknown library %q", *libName)
 	}
 
-	cpu, err := plasma.Build(lib)
+	cpu, err := disk.BuildCPU(lib)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -120,14 +164,14 @@ func main() {
 	}
 
 	if *faultsim {
-		golden, err := plasma.CaptureGolden(cpu, st.Program, st.GateCycles())
+		golden, err := disk.CaptureGolden(cpu, st.Program, st.GateCycles())
 		if err != nil {
 			log.Fatal(err)
 		}
 		faults := fault.Universe(cpu.Netlist)
 		fmt.Printf("\nfault universe: %d collapsed / %d total stuck-at faults\n",
 			len(faults), fault.TotalEquiv(faults))
-		opt := fault.Options{Sample: *sample, Seed: *seed, Workers: *workers, Engine: eng}
+		opt := fault.Options{Sample: *sample, Seed: *seed, Workers: *workers, Engine: eng, LaneWords: *lanes}
 		res, err := fault.Simulate(cpu, golden, faults, opt)
 		if err != nil {
 			log.Fatal(err)

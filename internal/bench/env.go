@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"repro/internal/asm"
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/plasma"
@@ -23,6 +24,8 @@ type Env struct {
 	CPU   *plasma.CPU
 	Comps []core.Component
 
+	disk *cache.Cache // optional on-disk artifact cache (nil = in-memory only)
+
 	mu        sync.Mutex
 	faults    []fault.Fault
 	selfTests map[core.PhaseID]*core.SelfTest
@@ -30,8 +33,13 @@ type Env struct {
 }
 
 // NewEnv builds the CPU for a library and classifies its components.
-func NewEnv(lib synth.Library) (*Env, error) {
-	cpu, err := plasma.Build(lib)
+func NewEnv(lib synth.Library) (*Env, error) { return NewEnvCached(lib, nil) }
+
+// NewEnvCached is NewEnv backed by an on-disk artifact cache: synthesis
+// and golden capture read through (and populate) the cache. A nil cache
+// behaves exactly like NewEnv.
+func NewEnvCached(lib synth.Library, disk *cache.Cache) (*Env, error) {
+	cpu, err := disk.BuildCPU(lib)
 	if err != nil {
 		return nil, err
 	}
@@ -39,6 +47,7 @@ func NewEnv(lib synth.Library) (*Env, error) {
 		Lib:       lib,
 		CPU:       cpu,
 		Comps:     core.ClassifyNetlist(cpu.Netlist),
+		disk:      disk,
 		selfTests: make(map[core.PhaseID]*core.SelfTest),
 		goldens:   make(map[core.PhaseID]*plasma.Golden),
 	}, nil
@@ -81,7 +90,7 @@ func (e *Env) Golden(maxPhase core.PhaseID) (*plasma.Golden, error) {
 	if g, ok := e.goldens[maxPhase]; ok {
 		return g, nil
 	}
-	g, err := plasma.CaptureGolden(e.CPU, st.Program, st.GateCycles())
+	g, err := e.disk.CaptureGolden(e.CPU, st.Program, st.GateCycles())
 	if err != nil {
 		return nil, err
 	}
@@ -106,7 +115,7 @@ func (e *Env) FaultSimSelfTest(maxPhase core.PhaseID, opt fault.Options) (*fault
 // FaultSimProgram fault-simulates an arbitrary assembled program for the
 // given number of cycles.
 func (e *Env) FaultSimProgram(prog *asm.Program, cycles int, opt fault.Options) (*fault.Report, error) {
-	g, err := plasma.CaptureGolden(e.CPU, prog, cycles)
+	g, err := e.disk.CaptureGolden(e.CPU, prog, cycles)
 	if err != nil {
 		return nil, err
 	}

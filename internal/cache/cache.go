@@ -1,0 +1,256 @@
+// Package cache is an on-disk, content-addressed store for the two
+// expensive artifacts of the self-test flow: synthesized netlists and
+// captured golden traces. Netlists are stored under the SHA-256 of their
+// canonical text serialization (gate.WriteNetlist); golden traces are
+// keyed by the netlist hash plus the program image and cycle count, so a
+// cache entry can never be served for a different core or program. A nil
+// *Cache is valid and simply recomputes everything.
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/gob"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"repro/internal/asm"
+	"repro/internal/gate"
+	"repro/internal/plasma"
+	"repro/internal/synth"
+)
+
+// Cache is a directory of content-addressed artifacts. The zero value and
+// the nil pointer both behave as "no cache".
+type Cache struct {
+	dir string
+
+	mu     sync.Mutex
+	hashes map[*gate.Netlist]string // memoized netlist content hashes
+}
+
+// Open creates (if needed) and opens a cache directory.
+func Open(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	return &Cache{dir: dir, hashes: make(map[*gate.Netlist]string)}, nil
+}
+
+// NetlistHash returns the hex SHA-256 of the netlist's canonical text
+// serialization: the content address of the netlist.
+func NetlistHash(n *gate.Netlist) (string, error) {
+	h := sha256.New()
+	if err := gate.WriteNetlist(h, n); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+func (c *Cache) netlistHash(n *gate.Netlist) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if h, ok := c.hashes[n]; ok {
+		return h, nil
+	}
+	h, err := NetlistHash(n)
+	if err != nil {
+		return "", err
+	}
+	c.hashes[n] = h
+	return h, nil
+}
+
+// cpuAux is the gob sidecar that rebuilds a plasma.CPU around a cached
+// netlist: the content address of the netlist plus the debug/co-simulation
+// handles that plasma.Build assigns during synthesis.
+type cpuAux struct {
+	NetHash        string
+	PC, IR, Hi, Lo synth.Bus
+	MemCycle, Busy gate.Sig
+}
+
+// libFile maps a library name to a filesystem-safe index file name.
+func libFile(lib synth.Library) string {
+	name := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '.':
+			return r
+		}
+		return '_'
+	}, lib.Name())
+	return "cpu-" + name + ".gob"
+}
+
+// BuildCPU returns the synthesized CPU for a technology library, reading
+// the netlist and its synthesis handles from the cache when present and
+// populating the cache after a cold build. The cached netlist text is
+// re-hashed and re-validated on load, so a corrupted entry falls back to a
+// fresh build instead of producing a wrong core.
+func (c *Cache) BuildCPU(lib synth.Library) (*plasma.CPU, error) {
+	if c == nil {
+		return plasma.Build(lib)
+	}
+	if cpu := c.loadCPU(lib); cpu != nil {
+		return cpu, nil
+	}
+	cpu, err := plasma.Build(lib)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.storeCPU(lib, cpu); err != nil {
+		return nil, err
+	}
+	return cpu, nil
+}
+
+// loadCPU attempts a cache hit; any failure (missing entry, hash mismatch,
+// parse error) reads as a miss.
+func (c *Cache) loadCPU(lib synth.Library) *plasma.CPU {
+	f, err := os.Open(filepath.Join(c.dir, libFile(lib)))
+	if err != nil {
+		return nil
+	}
+	defer f.Close()
+	var aux cpuAux
+	if err := gob.NewDecoder(f).Decode(&aux); err != nil {
+		return nil
+	}
+	text, err := os.ReadFile(filepath.Join(c.dir, "netlist-"+aux.NetHash+".txt"))
+	if err != nil {
+		return nil
+	}
+	if sum := sha256.Sum256(text); hex.EncodeToString(sum[:]) != aux.NetHash {
+		return nil
+	}
+	n, err := gate.ReadNetlist(strings.NewReader(string(text)))
+	if err != nil {
+		return nil
+	}
+	c.mu.Lock()
+	c.hashes[n] = aux.NetHash
+	c.mu.Unlock()
+	return &plasma.CPU{
+		Netlist:  n,
+		Lib:      lib,
+		PC:       aux.PC,
+		IR:       aux.IR,
+		Hi:       aux.Hi,
+		Lo:       aux.Lo,
+		MemCycle: aux.MemCycle,
+		Busy:     aux.Busy,
+	}
+}
+
+func (c *Cache) storeCPU(lib synth.Library, cpu *plasma.CPU) error {
+	var sb strings.Builder
+	if err := gate.WriteNetlist(&sb, cpu.Netlist); err != nil {
+		return err
+	}
+	text := sb.String()
+	sum := sha256.Sum256([]byte(text))
+	hash := hex.EncodeToString(sum[:])
+	c.mu.Lock()
+	c.hashes[cpu.Netlist] = hash
+	c.mu.Unlock()
+	if err := writeAtomic(filepath.Join(c.dir, "netlist-"+hash+".txt"), func(f *os.File) error {
+		_, err := f.WriteString(text)
+		return err
+	}); err != nil {
+		return err
+	}
+	aux := cpuAux{
+		NetHash:  hash,
+		PC:       cpu.PC,
+		IR:       cpu.IR,
+		Hi:       cpu.Hi,
+		Lo:       cpu.Lo,
+		MemCycle: cpu.MemCycle,
+		Busy:     cpu.Busy,
+	}
+	return writeAtomic(filepath.Join(c.dir, libFile(lib)), func(f *os.File) error {
+		return gob.NewEncoder(f).Encode(&aux)
+	})
+}
+
+// goldenKey derives the content address of a golden trace from everything
+// that determines it: the netlist, the program image (origin + words), and
+// the cycle count.
+func (c *Cache) goldenKey(cpu *plasma.CPU, prog *asm.Program, cycles int) (string, error) {
+	netHash, err := c.netlistHash(cpu.Netlist)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	h.Write([]byte(netHash))
+	var buf [8]byte
+	binary.LittleEndian.PutUint32(buf[:4], prog.Origin)
+	h.Write(buf[:4])
+	binary.LittleEndian.PutUint64(buf[:], uint64(cycles))
+	h.Write(buf[:])
+	for _, w := range prog.Words {
+		binary.LittleEndian.PutUint32(buf[:4], w)
+		h.Write(buf[:4])
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// CaptureGolden is plasma.CaptureGolden behind the cache: a hit
+// deserializes the recorded trace, a miss captures it and stores it.
+func (c *Cache) CaptureGolden(cpu *plasma.CPU, prog *asm.Program, cycles int) (*plasma.Golden, error) {
+	if c == nil {
+		return plasma.CaptureGolden(cpu, prog, cycles)
+	}
+	key, err := c.goldenKey(cpu, prog, cycles)
+	if err != nil {
+		return nil, err
+	}
+	path := filepath.Join(c.dir, "golden-"+key+".gob")
+	if f, err := os.Open(path); err == nil {
+		var g plasma.Golden
+		err := gob.NewDecoder(f).Decode(&g)
+		f.Close()
+		if err == nil {
+			return &g, nil
+		}
+		// Corrupt entry: fall through to recapture and overwrite.
+	}
+	g, err := plasma.CaptureGolden(cpu, prog, cycles)
+	if err != nil {
+		return nil, err
+	}
+	if err := writeAtomic(path, func(f *os.File) error {
+		return gob.NewEncoder(f).Encode(g)
+	}); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// writeAtomic writes through a temp file + rename so concurrent processes
+// never observe a partially written cache entry.
+func writeAtomic(path string, fill func(*os.File) error) error {
+	f, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if err := fill(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}

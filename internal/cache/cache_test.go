@@ -1,0 +1,158 @@
+package cache
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/plasma"
+	"repro/internal/synth"
+)
+
+func buildProgram(t *testing.T) *asm.Program {
+	t.Helper()
+	src := `
+	ori $2, $0, 0x1234
+	ori $3, $0, 0x00ff
+	and $4, $2, $3
+	sw  $4, 0x100($0)
+halt:
+	beq $0, $0, halt
+	nop
+`
+	prog, err := asm.Assemble(src, 0)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return prog
+}
+
+func TestNilCacheDelegates(t *testing.T) {
+	var c *Cache
+	cpu, err := c.BuildCPU(synth.NativeLib{})
+	if err != nil {
+		t.Fatalf("BuildCPU: %v", err)
+	}
+	if _, err := c.CaptureGolden(cpu, buildProgram(t), 64); err != nil {
+		t.Fatalf("CaptureGolden: %v", err)
+	}
+}
+
+func TestCPURoundTrip(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := c.BuildCPU(synth.NativeLib{})
+	if err != nil {
+		t.Fatalf("cold BuildCPU: %v", err)
+	}
+	warm, err := c.BuildCPU(synth.NativeLib{})
+	if err != nil {
+		t.Fatalf("warm BuildCPU: %v", err)
+	}
+	if warm.Netlist == cold.Netlist {
+		t.Fatalf("warm build did not come from the cache")
+	}
+	hc, err := NetlistHash(cold.Netlist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw, err := NetlistHash(warm.Netlist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hc != hw {
+		t.Fatalf("cached netlist differs: %s vs %s", hc, hw)
+	}
+	if !reflect.DeepEqual(cold.PC, warm.PC) || !reflect.DeepEqual(cold.IR, warm.IR) ||
+		cold.MemCycle != warm.MemCycle || cold.Busy != warm.Busy {
+		t.Fatalf("cached CPU handles differ")
+	}
+	// The cached core must simulate identically.
+	prog := buildProgram(t)
+	gc, err := plasma.CaptureGolden(cold, prog, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw, err := plasma.CaptureGolden(warm, prog, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gc.Out, gw.Out) || !reflect.DeepEqual(gc.RData, gw.RData) {
+		t.Fatalf("cached CPU executes differently")
+	}
+}
+
+func TestGoldenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu, err := c.BuildCPU(synth.NativeLib{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := buildProgram(t)
+	cold, err := c.CaptureGolden(cpu, prog, 64)
+	if err != nil {
+		t.Fatalf("cold CaptureGolden: %v", err)
+	}
+	warm, err := c.CaptureGolden(cpu, prog, 64)
+	if err != nil {
+		t.Fatalf("warm CaptureGolden: %v", err)
+	}
+	if warm == cold {
+		t.Fatalf("warm capture did not come from the cache")
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatalf("cached golden differs from captured golden")
+	}
+
+	// A different program or cycle count must miss.
+	other, err := asm.Assemble("halt:\n\tbeq $0, $0, halt\n\tnop\n", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, _ := c.goldenKey(cpu, prog, 64)
+	k2, _ := c.goldenKey(cpu, other, 64)
+	k3, _ := c.goldenKey(cpu, prog, 65)
+	if k1 == k2 || k1 == k3 {
+		t.Fatalf("golden keys collide across distinct programs/cycles")
+	}
+}
+
+func TestCorruptEntryFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.BuildCPU(synth.NativeLib{}); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt every netlist entry; the next load must detect the hash
+	// mismatch and rebuild instead of serving the corrupt core.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), "netlist-") {
+			if err := os.WriteFile(filepath.Join(dir, e.Name()), []byte("netlist bogus\n"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	cpu, err := c.BuildCPU(synth.NativeLib{})
+	if err != nil {
+		t.Fatalf("rebuild after corruption: %v", err)
+	}
+	if cpu == nil || cpu.Netlist == nil {
+		t.Fatalf("nil CPU after corruption fallback")
+	}
+}

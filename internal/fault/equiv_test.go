@@ -1,11 +1,15 @@
 package fault
 
 import (
+	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
 
+	"repro/internal/baseline"
+	"repro/internal/core"
 	"repro/internal/gate"
+	"repro/internal/plasma"
 )
 
 // randomCombNetlist builds a random DAG of combinational cells over a few
@@ -153,6 +157,90 @@ func TestEquivalencePairsBehaveIdentically(t *testing.T) {
 			t.Errorf("pair %v: untestable in this circuit, test is vacuous", p.branch)
 		}
 	}
+}
+
+// checkWidthEquivalence simulates the same workload at every supported
+// lane width under both engines and asserts that DetectedAt and
+// SignatureGroups are bit-identical across all eight configurations. This
+// is the end-to-end soundness property of lane widening: each bit lane is
+// an independent machine, so neither the pass width nor the packing order
+// may influence any per-fault outcome.
+func checkWidthEquivalence(t *testing.T, cpu *plasma.CPU, g *plasma.Golden, faults []Fault, opt Options) {
+	t.Helper()
+	var ref *Result
+	var refName string
+	for _, eng := range []Engine{EngineOblivious, EngineEvent} {
+		for _, w := range []int{1, 2, 4, 8} {
+			opt.Engine = eng
+			opt.LaneWords = w
+			name := fmt.Sprintf("engine=%v lanes=%d", eng, w)
+			res, err := Simulate(cpu, g, faults, opt)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			var histSum int64
+			for i, c := range res.Stats.PassWidthHist {
+				histSum += c
+				if c > 0 && 1<<uint(i) > w {
+					t.Errorf("%s: pass ran wider (%d words) than the cap", name, 1<<uint(i))
+				}
+			}
+			if histSum != res.Stats.Passes {
+				t.Errorf("%s: width histogram sums to %d, want %d passes", name, histSum, res.Stats.Passes)
+			}
+			if ref == nil {
+				ref, refName = res, name
+				continue
+			}
+			if len(res.DetectedAt) != len(ref.DetectedAt) {
+				t.Fatalf("%s: %d results, %s has %d", name, len(res.DetectedAt), refName, len(ref.DetectedAt))
+			}
+			for i := range ref.DetectedAt {
+				if res.DetectedAt[i] != ref.DetectedAt[i] {
+					t.Fatalf("%s: fault %d (%v) DetectedAt=%d, %s says %d",
+						name, i, res.Faults[i].Site, res.DetectedAt[i], refName, ref.DetectedAt[i])
+				}
+				if res.SignatureGroups[i] != ref.SignatureGroups[i] {
+					t.Fatalf("%s: fault %d (%v) groups=%#x, %s says %#x",
+						name, i, res.Faults[i].Site, res.SignatureGroups[i], refName, ref.SignatureGroups[i])
+				}
+			}
+		}
+	}
+}
+
+// TestWidthEquivalencePhaseA asserts width equivalence on the real
+// workload: the directed Phase-A self-test program on the full core.
+func TestWidthEquivalencePhaseA(t *testing.T) {
+	if testing.Short() {
+		t.Skip("directed Phase-A width sweep is long; skipped with -short")
+	}
+	cpu := getCPU(t)
+	comps := core.ClassifyNetlist(cpu.Netlist)
+	st, err := core.GenerateSelfTest(comps, core.PhaseA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := plasma.CaptureGolden(cpu, st.Program, st.GateCycles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWidthEquivalence(t, cpu, g, Universe(cpu.Netlist), Options{Sample: 512, Seed: 9, Workers: 1})
+}
+
+// TestWidthEquivalenceRandomProgram asserts width equivalence on a seeded
+// pseudorandom self-test program.
+func TestWidthEquivalenceRandomProgram(t *testing.T) {
+	cpu := getCPU(t)
+	p, err := baseline.Generate(baseline.Config{Seeds: []uint32{0xC0FFEE11}, Rounds: 2, RespBase: 0x00100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := plasma.CaptureGolden(cpu, p.Program, p.GateCycles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWidthEquivalence(t, cpu, g, Universe(cpu.Netlist), Options{Sample: 256, Seed: 11})
 }
 
 func TestLatencyStats(t *testing.T) {

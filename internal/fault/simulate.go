@@ -33,6 +33,12 @@ type Options struct {
 	// Workers is the number of parallel simulation goroutines;
 	// 0 means GOMAXPROCS.
 	Workers int
+	// LaneWords caps the per-pass lane width in 64-lane words: 1, 2, 4 or
+	// 8 words carry 64..512 faulty machines per pass. 0 means the default
+	// of 8 (512 lanes). Passes are packed width-adaptively up to this cap:
+	// the bulk of the fault list packs at the cap, a small residue packs
+	// at the narrowest width that holds it.
+	LaneWords int
 	// Sample, when nonzero, simulates only a deterministic random sample of
 	// that many collapsed faults (statistical coverage estimation for fast
 	// benches); 0 simulates the full list.
@@ -96,21 +102,40 @@ func (r *Result) WeightedCoverage() float64 {
 	return 100 * float64(det) / float64(tot)
 }
 
-// passJob is one 64-lane pass: the original indices of its faults (into
-// Result.Faults) and the cycle the pass starts simulating at.
+// passJob is one fault-simulation pass: the original indices of its
+// faults (into Result.Faults), the cycle the pass starts simulating at,
+// and the pass's lane width in 64-lane words (64*width lanes).
 type passJob struct {
 	idxs  []int
 	start int32
+	width int
 }
+
+// widthLog2 maps a lane width in {1,2,4,8} to its histogram slot.
+func widthLog2(w int) int { return bits.TrailingZeros(uint(w)) }
+
+// widthSlots is the number of distinct lane widths (1, 2, 4, 8).
+const widthSlots = 4
+
+// DefaultLaneWords is the lane-width cap used when Options.LaneWords is 0:
+// the widest supported pass (8 words = 512 faulty machines).
+const DefaultLaneWords = gate.MaxLaneWords
 
 // Simulate fault-simulates the collapsed fault list against a recorded
 // golden execution of a self-test program on the CPU. Each pass carries up
-// to 64 faulty machines in the bit lanes of one logic simulation; a fault
-// is detected the first cycle any primary output (bus address, access kind,
-// write strobes, or strobed write data) differs from the golden value.
-// Detected machines are dropped; a pass ends early once all its lanes have
-// been detected.
+// to 64*Options.LaneWords faulty machines in the bit lanes of one logic
+// simulation; a fault is detected the first cycle any primary output (bus
+// address, access kind, write strobes, or strobed write data) differs from
+// the golden value. Detected machines are dropped; a pass ends early once
+// all its lanes have been detected.
 func Simulate(cpu *plasma.CPU, golden *plasma.Golden, faults []Fault, opt Options) (*Result, error) {
+	maxW := opt.LaneWords
+	if maxW == 0 {
+		maxW = DefaultLaneWords
+	}
+	if maxW != 1 && maxW != 2 && maxW != 4 && maxW != 8 {
+		return nil, fmt.Errorf("fault: LaneWords must be 0, 1, 2, 4 or 8; got %d", maxW)
+	}
 	faults = SampleFaults(faults, opt.Sample, opt.Seed)
 	res := &Result{
 		Faults:          faults,
@@ -122,7 +147,7 @@ func Simulate(cpu *plasma.CPU, golden *plasma.Golden, faults []Fault, opt Option
 		res.DetectedAt[i] = -1
 	}
 
-	jobs, skipped := packPasses(cpu.Netlist, golden, faults, opt.Engine)
+	jobs, skipped := packPasses(cpu.Netlist, golden, faults, opt.Engine, maxW)
 	res.Stats.SkippedFaults = skipped
 
 	workers := opt.Workers
@@ -152,28 +177,44 @@ func Simulate(cpu *plasma.CPU, golden *plasma.Golden, faults []Fault, opt Option
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			var s *gate.Sim
-			var err error
-			if opt.Engine == EngineOblivious {
-				s, err = gate.NewSim(cpu.Netlist)
-			} else {
-				s, err = gate.NewEventSim(cpu.Netlist)
-			}
-			if err != nil {
-				errs[w] = err
-				return
-			}
-			r := newPassRunner(cpu, s, golden)
+			// One simulator (and runner) per pass width actually seen;
+			// jobs of the same width reuse the same simulator.
+			var runners [widthSlots]*passRunner
 			for j := range queue {
+				lg := widthLog2(j.width)
+				r := runners[lg]
+				if r == nil {
+					var s *gate.Sim
+					var err error
+					if opt.Engine == EngineOblivious {
+						s, err = gate.NewSimWidth(cpu.Netlist, j.width)
+					} else {
+						s, err = gate.NewEventSimWidth(cpu.Netlist, j.width)
+					}
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					r = newPassRunner(cpu, s, golden)
+					runners[lg] = r
+				}
 				r.runPass(faults, j, res.DetectedAt, res.SignatureGroups)
 			}
-			if evals, events := s.EvalStats(); s.EventDriven() {
-				r.stats.GateEvals = int64(evals)
-				r.stats.Events = int64(events)
-			} else {
-				r.stats.GateEvals = r.stats.SimCycles * int64(s.CombGates())
+			var ws SimStats
+			for lg, r := range runners {
+				if r == nil {
+					continue
+				}
+				if evals, events := r.sim.EvalStats(); r.sim.EventDriven() {
+					r.stats.GateEvals = int64(evals)
+					r.stats.Events = int64(events)
+				} else {
+					r.stats.GateEvals = r.stats.SimCycles * int64(r.sim.CombGates())
+				}
+				r.stats.GateEvalsByWidth[lg] = r.stats.GateEvals
+				ws.Add(&r.stats)
 			}
-			stats[w] = r.stats
+			stats[w] = ws
 		}(w)
 	}
 	wg.Wait()
@@ -191,55 +232,100 @@ func Simulate(cpu *plasma.CPU, golden *plasma.Golden, faults []Fault, opt Option
 	return res, nil
 }
 
-// packPasses groups faults into 64-lane passes. The oblivious engine packs
-// in list order from cycle 0. The differential engine sorts faults by
-// activation cycle (secondarily by component, then index, for determinism
-// and shared live windows), skips faults that never activate — their site
-// never holds the activating value anywhere in the golden run, so they are
-// provably undetectable — and starts each pass at its earliest activation.
-func packPasses(n *gate.Netlist, golden *plasma.Golden, faults []Fault, engine Engine) ([]passJob, int64) {
+// packPasses groups faults into lane-parallel passes of up to 64*maxW
+// machines. The oblivious engine packs in list order from cycle 0. The
+// differential engine sorts faults by quantized activation window, then by
+// fanout-cone signature (faults whose divergence spreads through the same
+// region of the machine share a pass, keeping a wide pass's event activity
+// localized instead of touching the union of hundreds of unrelated cones),
+// then by component and index for determinism. Faults that never activate
+// — their site never holds the activating value anywhere in the golden run
+// — are provably undetectable and are skipped outright; each pass starts
+// at the earliest activation among its faults.
+//
+// Width is adaptive: full chunks pack at maxW, and the final residue packs
+// at the narrowest width that still holds it, so a small late-activating
+// remainder does not pay wide-word evaluation for idle lanes.
+func packPasses(n *gate.Netlist, golden *plasma.Golden, faults []Fault, engine Engine, maxW int) ([]passJob, int64) {
 	differential := engine != EngineOblivious && golden.HasActivation()
 	type actFault struct {
 		idx  int
 		act  int32
+		cone uint64
 		comp gate.CompID
 	}
 	order := make([]actFault, 0, len(faults))
 	var skipped int64
+	var cones []uint64
+	if differential {
+		cones = n.FanoutConeSigs()
+	}
 	for i, f := range faults {
 		var act int32
+		var cone uint64
 		if differential {
 			act = golden.ActivationCycle(n, f.Site)
 			if act < 0 {
 				skipped++
 				continue
 			}
+			cone = gate.ConeOf(cones, f.Site)
 		}
-		order = append(order, actFault{idx: i, act: act, comp: f.Comp})
+		order = append(order, actFault{idx: i, act: act, cone: cone, comp: f.Comp})
 	}
 	if differential {
+		// Quantize activation cycles into windows so cone grouping has
+		// room to work; a pass still fast-forwards to the true minimum
+		// activation of the faults it carries, so the quantization only
+		// bounds the fast-forward loss, never correctness.
+		quant := int32(golden.Cycles / 64)
+		if quant < 1 {
+			quant = 1
+		}
 		sort.Slice(order, func(a, b int) bool {
 			x, y := order[a], order[b]
-			if x.act != y.act {
-				return x.act < y.act
+			if xw, yw := x.act/quant, y.act/quant; xw != yw {
+				return xw < yw
+			}
+			if x.cone != y.cone {
+				return x.cone < y.cone
 			}
 			if x.comp != y.comp {
 				return x.comp < y.comp
+			}
+			if x.act != y.act {
+				return x.act < y.act
 			}
 			return x.idx < y.idx
 		})
 	}
 	var jobs []passJob
-	for lo := 0; lo < len(order); lo += 64 {
-		hi := lo + 64
+	for lo := 0; lo < len(order); {
+		rem := len(order) - lo
+		w := maxW
+		if rem < 64*maxW {
+			w = 1
+			for 64*w < rem && w < maxW {
+				w *= 2
+			}
+		}
+		hi := lo + 64*w
 		if hi > len(order) {
 			hi = len(order)
 		}
 		idxs := make([]int, hi-lo)
+		var start int32
+		if differential {
+			start = order[lo].act
+		}
 		for k := range idxs {
 			idxs[k] = order[lo+k].idx
+			if differential && order[lo+k].act < start {
+				start = order[lo+k].act
+			}
 		}
-		jobs = append(jobs, passJob{idxs: idxs, start: order[lo].act})
+		jobs = append(jobs, passJob{idxs: idxs, start: start, width: w})
+		lo = hi
 	}
 	return jobs, skipped
 }
@@ -272,8 +358,9 @@ func newPassRunner(cpu *plasma.CPU, s *gate.Sim, golden *plasma.Golden) *passRun
 
 var spread = [2]uint64{0, ^uint64(0)}
 
-// runPass simulates one group of up to 64 faults to completion, writing
-// each lane's outcome through the pass's original-index mapping. A pass
+// runPass simulates one group of up to 64*LaneWords faults to completion,
+// writing each lane's outcome through the pass's original-index mapping.
+// Lane L lives in bit L%64 of lane word L/64 of every signal. A pass
 // starting past cycle 0 is fast-forwarded by loading the golden flip-flop
 // checkpoint: before its earliest activation every faulty machine is
 // bit-identical to the golden machine, so nothing is lost. When checkpoints
@@ -282,12 +369,13 @@ var spread = [2]uint64{0, ^uint64(0)}
 // lanes are masked out of all future detection logic — which starves the
 // event queue of its activity.
 func (r *passRunner) runPass(faults []Fault, job passJob, detectedAt []int32, sigGroups []uint8) {
+	s := r.sim
+	w := s.LaneWords()
 	lf := make([]gate.LaneFault, len(job.idxs))
 	for lane, idx := range job.idxs {
 		lf[lane] = gate.LaneFault{Site: faults[idx].Site, Lane: lane}
 	}
 	g := r.golden
-	s := r.sim
 	s.Reset()
 	s.SetFaults(lf)
 	conform := g.HasActivation() && s.EventDriven()
@@ -296,98 +384,146 @@ func (r *passRunner) runPass(faults []Fault, job passJob, detectedAt []int32, si
 	}
 
 	r.stats.Passes++
+	r.stats.PassWidthHist[widthLog2(w)]++
 	r.stats.FastForwarded += int64(job.start)
 
-	active := ^uint64(0)
-	if len(job.idxs) < 64 {
-		active = 1<<uint(len(job.idxs)) - 1
+	// Per-lane-word bitmaps of live, detected and to-be-conformed lanes.
+	var active, detected, toConform [gate.MaxLaneWords]uint64
+	for k := 0; k < len(job.idxs)>>6; k++ {
+		active[k] = ^uint64(0)
 	}
-	var detected, toConform uint64
+	if rem := len(job.idxs) & 63; rem != 0 {
+		active[len(job.idxs)>>6] = 1<<uint(rem) - 1
+	}
+	anyConform := false
 
 	exit := func(t int) {
 		if t >= 0 && g.Cycles > 0 {
 			r.stats.ExitHist[t*10/g.Cycles]++
 		}
 	}
+	var addrDiff, daDiff, strobeDiff, wdataDiff, laneWrites [gate.MaxLaneWords]uint64
 	for t := int(job.start); t < g.Cycles; t++ {
 		r.stats.SimCycles++
 		s.SetBusUniform(plasma.PortRData, uint64(g.RData[t]))
 		s.Eval()
 
 		out := &g.Out[t]
-		var addrDiff, daDiff, strobeDiff, wdataDiff uint64
+		for k := 0; k < w; k++ {
+			addrDiff[k], daDiff[k], strobeDiff[k], wdataDiff[k], laneWrites[k] = 0, 0, 0, 0, 0
+		}
 		for i, sig := range r.addr {
-			addrDiff |= s.SigWord(sig) ^ spread[out.Addr>>uint(i)&1]
+			gv := spread[out.Addr>>uint(i)&1]
+			sw := s.SigWords(sig)
+			for k := 0; k < w; k++ {
+				addrDiff[k] |= sw[k] ^ gv
+			}
 		}
 		var da uint64
 		if out.DataAccess {
 			da = ^uint64(0)
 		}
-		daDiff = s.SigWord(r.daccess) ^ da
+		for k, sv := range s.SigWords(r.daccess) {
+			daDiff[k] = sv ^ da
+		}
 
-		var laneWrites uint64
 		for i, sig := range r.wstrobe {
-			w := s.SigWord(sig)
-			laneWrites |= w
-			strobeDiff |= w ^ spread[out.WStrobe>>uint(i)&1]
+			gv := spread[out.WStrobe>>uint(i)&1]
+			sw := s.SigWords(sig)
+			for k := 0; k < w; k++ {
+				laneWrites[k] |= sw[k]
+				strobeDiff[k] |= sw[k] ^ gv
+			}
 		}
 		// Write data is observable only on cycles where the golden machine
 		// or the faulty machine drives a write.
+		var anyWrites uint64
 		if out.WStrobe != 0 {
-			laneWrites = ^uint64(0)
-		}
-		if laneWrites != 0 {
-			var wd uint64
-			for i, sig := range r.wdata {
-				wd |= s.SigWord(sig) ^ spread[out.WData>>uint(i)&1]
+			for k := 0; k < w; k++ {
+				laneWrites[k] = ^uint64(0)
 			}
-			wdataDiff = wd & laneWrites
+			anyWrites = ^uint64(0)
+		} else {
+			for k := 0; k < w; k++ {
+				anyWrites |= laneWrites[k]
+			}
+		}
+		if anyWrites != 0 {
+			for i, sig := range r.wdata {
+				gv := spread[out.WData>>uint(i)&1]
+				sw := s.SigWords(sig)
+				for k := 0; k < w; k++ {
+					wdataDiff[k] |= sw[k] ^ gv
+				}
+			}
+			for k := 0; k < w; k++ {
+				wdataDiff[k] &= laneWrites[k]
+			}
 		}
 
-		diff := addrDiff | daDiff | strobeDiff | wdataDiff
-		if newly := diff & active &^ detected; newly != 0 {
+		var newly [gate.MaxLaneWords]uint64
+		var anyNew uint64
+		for k := 0; k < w; k++ {
+			d := (addrDiff[k] | daDiff[k] | strobeDiff[k] | wdataDiff[k]) & active[k] &^ detected[k]
+			newly[k] = d
+			anyNew |= d
+		}
+		if anyNew != 0 {
 			window := t * 10 / g.Cycles
-			for rem := newly; rem != 0; {
-				lane := bits.TrailingZeros64(rem)
-				detectedAt[job.idxs[lane]] = int32(t)
-				m := uint64(1) << uint(lane)
-				var groups uint8
-				if addrDiff&m != 0 {
-					groups |= SigAddr
+			dropped := 0
+			allDet := true
+			for k := 0; k < w; k++ {
+				for rem := newly[k]; rem != 0; {
+					bit := bits.TrailingZeros64(rem)
+					lane := k<<6 + bit
+					detectedAt[job.idxs[lane]] = int32(t)
+					m := uint64(1) << uint(bit)
+					var groups uint8
+					if addrDiff[k]&m != 0 {
+						groups |= SigAddr
+					}
+					if daDiff[k]&m != 0 {
+						groups |= SigDataAccess
+					}
+					if strobeDiff[k]&m != 0 {
+						groups |= SigStrobe
+					}
+					if wdataDiff[k]&m != 0 {
+						groups |= SigWData
+					}
+					sigGroups[job.idxs[lane]] = groups
+					rem &^= m
 				}
-				if daDiff&m != 0 {
-					groups |= SigDataAccess
+				dropped += bits.OnesCount64(newly[k])
+				detected[k] |= newly[k]
+				toConform[k] |= newly[k]
+				if detected[k] != active[k] {
+					allDet = false
 				}
-				if strobeDiff&m != 0 {
-					groups |= SigStrobe
-				}
-				if wdataDiff&m != 0 {
-					groups |= SigWData
-				}
-				sigGroups[job.idxs[lane]] = groups
-				rem &^= m
 			}
-			r.stats.LanesDropped += int64(bits.OnesCount64(newly))
-			r.stats.DroppedPerWindow[window] += int64(bits.OnesCount64(newly))
-			detected |= newly
-			if detected == active {
+			r.stats.LanesDropped += int64(dropped)
+			r.stats.DroppedPerWindow[window] += int64(dropped)
+			if allDet {
 				exit(t)
 				return
 			}
-			toConform |= newly
+			anyConform = true
 		}
 		s.Latch()
-		if conform && toConform != 0 {
+		if conform && anyConform {
 			// Conform detected lanes to the golden state entering cycle
 			// t+1. Must happen after Latch: Latch would overwrite the
 			// conformed bits with the lane's faulty D values.
-			for rem := toConform; rem != 0; {
-				lane := bits.TrailingZeros64(rem)
-				s.DropLaneFaults(lane)
-				s.SetLaneState(lane, g.DFFs, g.State[t+1])
-				rem &^= 1 << uint(lane)
+			for k := 0; k < w; k++ {
+				for rem := toConform[k]; rem != 0; {
+					bit := bits.TrailingZeros64(rem)
+					s.DropLaneFaults(k<<6 + bit)
+					s.SetLaneState(k<<6+bit, g.DFFs, g.State[t+1])
+					rem &^= 1 << uint(bit)
+				}
+				toConform[k] = 0
 			}
-			toConform = 0
+			anyConform = false
 		}
 	}
 	exit(g.Cycles - 1)

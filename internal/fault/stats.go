@@ -9,8 +9,16 @@ import (
 // work the engine actually performed, and where detections landed. All
 // counters are totals across every pass of the run.
 type SimStats struct {
-	// Passes is the number of 64-lane passes executed.
+	// Passes is the number of simulation passes executed (each carrying up
+	// to 64*LaneWords faulty machines).
 	Passes int64
+	// PassWidthHist histograms passes by lane width: slot i counts passes
+	// run at width 2^i words (1, 2, 4, 8).
+	PassWidthHist [4]int64
+	// GateEvalsByWidth splits GateEvals by the lane width of the pass that
+	// performed them, same slot mapping as PassWidthHist. One eval of a
+	// width-w pass computes 64*w faulty machines at once.
+	GateEvalsByWidth [4]int64
 	// SimCycles is the number of clock cycles actually simulated (after
 	// fast-forwarding and early pass exits).
 	SimCycles int64
@@ -42,6 +50,10 @@ type SimStats struct {
 // Add accumulates other into s.
 func (s *SimStats) Add(other *SimStats) {
 	s.Passes += other.Passes
+	for i := range s.PassWidthHist {
+		s.PassWidthHist[i] += other.PassWidthHist[i]
+		s.GateEvalsByWidth[i] += other.GateEvalsByWidth[i]
+	}
 	s.SimCycles += other.SimCycles
 	s.FastForwarded += other.FastForwarded
 	s.SkippedFaults += other.SkippedFaults
@@ -75,6 +87,10 @@ func histString(h *[10]int64) string {
 func (s *SimStats) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "passes            %d\n", s.Passes)
+	fmt.Fprintf(&b, "passes by width   1w:%d 2w:%d 4w:%d 8w:%d\n",
+		s.PassWidthHist[0], s.PassWidthHist[1], s.PassWidthHist[2], s.PassWidthHist[3])
+	fmt.Fprintf(&b, "evals by width    1w:%d 2w:%d 4w:%d 8w:%d\n",
+		s.GateEvalsByWidth[0], s.GateEvalsByWidth[1], s.GateEvalsByWidth[2], s.GateEvalsByWidth[3])
 	fmt.Fprintf(&b, "sim cycles        %d\n", s.SimCycles)
 	fmt.Fprintf(&b, "fast-forwarded    %d cycles\n", s.FastForwarded)
 	fmt.Fprintf(&b, "skipped faults    %d (never activated)\n", s.SkippedFaults)

@@ -1,0 +1,77 @@
+package fault
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/plasma"
+	"repro/internal/synth"
+)
+
+var benchSetup struct {
+	once   sync.Once
+	cpu    *plasma.CPU
+	golden *plasma.Golden
+	faults []Fault
+	err    error
+}
+
+// benchWorkload builds (once) the directed Phase-A workload the pass
+// runner sees in production: the real core, the real self-test program,
+// the collapsed fault universe.
+func benchWorkload(b *testing.B) (*plasma.CPU, *plasma.Golden, []Fault) {
+	b.Helper()
+	s := &benchSetup
+	s.once.Do(func() {
+		cpu, err := plasma.Build(synth.NativeLib{})
+		if err != nil {
+			s.err = err
+			return
+		}
+		st, err := core.GenerateSelfTest(core.ClassifyNetlist(cpu.Netlist), core.PhaseA)
+		if err != nil {
+			s.err = err
+			return
+		}
+		g, err := plasma.CaptureGolden(cpu, st.Program, st.GateCycles())
+		if err != nil {
+			s.err = err
+			return
+		}
+		s.cpu, s.golden, s.faults = cpu, g, Universe(cpu.Netlist)
+	})
+	if s.err != nil {
+		b.Fatal(s.err)
+	}
+	return s.cpu, s.golden, s.faults
+}
+
+// BenchmarkPassRunnerWidth sweeps the lane-width cap over the end-to-end
+// fault simulation of the Phase-A program: the speedup from w=1 to w=8 is
+// the amortization of per-pass fixed costs (reset, checkpoint
+// fast-forward, replay drive, golden comparison, event bookkeeping)
+// across 8x the faulty machines.
+func BenchmarkPassRunnerWidth(b *testing.B) {
+	cpu, golden, faults := benchWorkload(b)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("w=%d", w), func(b *testing.B) {
+			opt := Options{Sample: 2048, Seed: 1, Workers: 1, LaneWords: w}
+			var detected int
+			for i := 0; i < b.N; i++ {
+				res, err := Simulate(cpu, golden, faults, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				detected = 0
+				for j := range res.DetectedAt {
+					if res.DetectedAt[j] >= 0 {
+						detected++
+					}
+				}
+			}
+			b.ReportMetric(float64(detected), "detected")
+		})
+	}
+}

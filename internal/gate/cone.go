@@ -1,0 +1,62 @@
+package gate
+
+// FanoutConeSigs computes a compact transitive-fanout-cone signature for
+// every signal: a 64-bit bucket mask of the sequential/observation
+// frontier (flip-flops and observed primary outputs) reachable through
+// combinational logic from the signal. Frontier elements are hashed into
+// 64 buckets by their position in the netlist; gates created together
+// (same RT-level component) land in nearby buckets, so signals whose
+// faults disturb the same region of the machine get equal or similar
+// masks.
+//
+// Fault-simulation pass packing uses these signatures to co-locate faults
+// whose divergence activity stays inside a shared cone: a wide pass then
+// generates events in one region instead of the union of many unrelated
+// cones. The signature is an over-approximation hash — collisions only
+// cost packing quality, never correctness.
+func (n *Netlist) FanoutConeSigs() []uint64 {
+	ng := len(n.Gates)
+	cone := make([]uint64, ng)
+	if ng == 0 {
+		return cone
+	}
+	bucket := func(sig Sig) uint64 {
+		return 1 << (uint(sig) * 64 / uint(ng))
+	}
+	// Seed the frontier: observed outputs observe themselves; a DFF's D
+	// input reaches the DFF at the next clock edge.
+	for _, sig := range n.ObservedSignals() {
+		cone[sig] |= bucket(sig)
+	}
+	for i := range n.Gates {
+		if n.Gates[i].Kind == DFF {
+			cone[n.Gates[i].In[0]] |= bucket(Sig(i))
+		}
+	}
+	order, err := n.levelize()
+	if err != nil {
+		return cone // unreachable on validated netlists
+	}
+	// Reverse topological sweep: each gate's cone is final before its
+	// producers accumulate it (consumers appear later in topological
+	// order, so earlier in this sweep).
+	for i := len(order) - 1; i >= 0; i-- {
+		sig := order[i]
+		g := &n.Gates[sig]
+		c := cone[sig]
+		if c == 0 {
+			continue
+		}
+		for p := 0; p < g.Kind.NumInputs(); p++ {
+			cone[g.In[p]] |= c
+		}
+	}
+	return cone
+}
+
+// ConeOf maps a fault site to the cone signature of the signal whose value
+// the fault disturbs (the driven signal for both stem and pin faults: a
+// pin fault propagates through its gate before spreading).
+func ConeOf(cones []uint64, site FaultSite) uint64 {
+	return cones[site.Gate]
+}

@@ -18,10 +18,11 @@ package gate
 //     every cycle to keep stuck-at masking correct.
 //
 // The invariant maintained between Evals is word-level: every signal's
-// 64-lane word equals its gate function applied to its fan-in words (with
-// injection hooks applied). Any operation that breaks the invariant
-// wholesale (Reset, SetFaults, LoadState) marks the simulator fully dirty,
-// and the next Eval falls back to one oblivious sweep.
+// lane words (64*LaneWords lanes) equal its gate function applied to its
+// fan-in words (with injection hooks applied). Any operation that breaks
+// the invariant wholesale (Reset, SetFaults, LoadState) marks the
+// simulator fully dirty, and the next Eval falls back to one oblivious
+// sweep.
 
 // incState is the bookkeeping of the event-driven evaluator.
 type incState struct {
@@ -53,12 +54,15 @@ type incState struct {
 	events uint64 // signal value changes propagated
 }
 
-// NewEventSim compiles a netlist into a simulator that uses event-driven
-// incremental evaluation. It is bit-for-bit equivalent to NewSim's
-// oblivious evaluator (cross-checked in tests) and much faster on
+// NewEventSim compiles a netlist into a width-1 simulator that uses
+// event-driven incremental evaluation. It is bit-for-bit equivalent to
+// NewSim's oblivious evaluator (cross-checked in tests) and much faster on
 // low-activity workloads.
-func NewEventSim(n *Netlist) (*Sim, error) {
-	s, err := NewSim(n)
+func NewEventSim(n *Netlist) (*Sim, error) { return NewEventSimWidth(n, 1) }
+
+// NewEventSimWidth is NewEventSim at w lane words (64*w lanes) per signal.
+func NewEventSimWidth(n *Netlist, w int) (*Sim, error) {
+	s, err := NewSimWidth(n, w)
 	if err != nil {
 		return nil, err
 	}
@@ -172,77 +176,31 @@ func (s *Sim) markDFFChanged(sig Sig) {
 // including DropLaneFaults disarming — are reversible.
 func (s *Sim) presentSource(sig Sig) {
 	g := &s.n.Gates[sig]
-	var v uint64
+	w := s.w
+	o := int(sig) * w
+	v := s.tout[:w]
 	switch g.Kind {
 	case DFF, Input:
-		v = s.state[sig]
+		copy(v, s.state[o:o+w])
 	case Const0:
-		v = 0
+		for k := range v {
+			v[k] = 0
+		}
 	case Const1:
-		v = ^uint64(0)
+		for k := range v {
+			v[k] = ^uint64(0)
+		}
 	}
 	if h := s.hookIdx[sig]; h >= 0 {
-		v = s.hookedOut(h, v)
+		s.applyHooks(h, 0, v)
 	}
-	if v != s.val[sig] {
-		s.val[sig] = v
-		s.inc.events++
-		s.propagate(sig)
+	cur := s.val[o : o+w]
+	if wordsEqual(cur, v) {
+		return
 	}
-}
-
-// computeComb evaluates one combinational gate with injection hooks,
-// mirroring the oblivious evaluator's per-gate switch exactly.
-func (s *Sim) computeComb(sig Sig) uint64 {
-	g := &s.n.Gates[sig]
-	h := s.hookIdx[sig]
-	val := s.val
-	var a, b, c uint64
-	switch g.Kind.NumInputs() {
-	case 1:
-		a = val[g.In[0]]
-		if h >= 0 {
-			a = s.hookedIn(h, 1, a)
-		}
-	case 2:
-		a, b = val[g.In[0]], val[g.In[1]]
-		if h >= 0 {
-			a = s.hookedIn(h, 1, a)
-			b = s.hookedIn(h, 2, b)
-		}
-	case 3:
-		a, b, c = val[g.In[0]], val[g.In[1]], val[g.In[2]]
-		if h >= 0 {
-			a = s.hookedIn(h, 1, a)
-			b = s.hookedIn(h, 2, b)
-			c = s.hookedIn(h, 3, c)
-		}
-	}
-	var out uint64
-	switch g.Kind {
-	case Buf:
-		out = a
-	case Not:
-		out = ^a
-	case And2:
-		out = a & b
-	case Or2:
-		out = a | b
-	case Nand2:
-		out = ^(a & b)
-	case Nor2:
-		out = ^(a | b)
-	case Xor2:
-		out = a ^ b
-	case Xnor2:
-		out = ^(a ^ b)
-	case Mux2:
-		out = a&^c | b&c
-	}
-	if h >= 0 {
-		out = s.hookedOut(h, out)
-	}
-	return out
+	copy(cur, v)
+	s.inc.events++
+	s.propagate(sig)
 }
 
 // evalFull re-establishes the incremental invariant with one oblivious
@@ -297,15 +255,23 @@ func (s *Sim) evalEvent() {
 		s.presentSource(sig)
 	}
 	inc.dffChanged = inc.dffChanged[:0]
+	if s.w == 8 {
+		s.sweep8()
+		return
+	}
+	w := s.w
+	out := s.tout[:w]
 	for lv := int32(1); lv <= inc.maxLevel; lv++ {
 		q := inc.queue[lv]
 		for i := 0; i < len(q); i++ {
 			sig := q[i]
 			inc.inQueue[sig] = false
-			out := s.computeComb(sig)
+			s.computeInto(sig, out)
 			inc.evals++
-			if out != s.val[sig] {
-				s.val[sig] = out
+			o := int(sig) * w
+			cur := s.val[o : o+w]
+			if !wordsEqual(cur, out) {
+				copy(cur, out)
 				inc.events++
 				s.propagate(sig)
 			}
@@ -314,15 +280,27 @@ func (s *Sim) evalEvent() {
 	}
 }
 
-// latchOne clocks a single flip-flop, applying D-input injection hooks.
-func (s *Sim) latchOne(sig Sig) {
-	d := s.val[s.n.Gates[sig].In[0]]
-	if h := s.hookIdx[sig]; h >= 0 {
-		d = s.hookedIn(h, 1, d)
-	}
-	if d != s.state[sig] {
-		s.state[sig] = d
-		s.markDFFChanged(sig)
+// sweep8 is the level-queue sweep of evalEvent specialized to 8 lane
+// words: array compare/copy of the 64-byte lane vector instead of the
+// word-loop helpers.
+func (s *Sim) sweep8() {
+	inc := s.inc
+	out := (*[8]uint64)(s.tout[:8])
+	for lv := int32(1); lv <= inc.maxLevel; lv++ {
+		q := inc.queue[lv]
+		for i := 0; i < len(q); i++ {
+			sig := q[i]
+			inc.inQueue[sig] = false
+			s.computeInto(sig, s.tout[:8])
+			inc.evals++
+			cur := (*[8]uint64)(s.val[int(sig)*8:])
+			if *cur != *out {
+				*cur = *out
+				inc.events++
+				s.propagate(sig)
+			}
+		}
+		inc.queue[lv] = q[:0]
 	}
 }
 
@@ -355,16 +333,21 @@ func (s *Sim) latchEvent() {
 }
 
 // LoadState broadcasts a recorded flip-flop snapshot (bit i of bits is the
-// state of dffs[i]) into all 64 lanes, replacing the current state, and
-// invalidates derived signal values. Used to fast-forward a fault pass to
-// a golden checkpoint.
+// state of dffs[i]) into all lanes (every lane word), replacing the
+// current state, and invalidates derived signal values. Used to
+// fast-forward a fault pass to a golden checkpoint.
 func (s *Sim) LoadState(dffs []Sig, bits []uint64) {
+	w := s.w
 	for i, sig := range dffs {
-		var w uint64
+		var word uint64
 		if bits[i>>6]>>(uint(i)&63)&1 != 0 {
-			w = ^uint64(0)
+			word = ^uint64(0)
 		}
-		s.state[sig] = w
+		o := int(sig) * w
+		st := s.state[o : o+w]
+		for k := range st {
+			st[k] = word
+		}
 	}
 	s.invalidate()
 }
@@ -373,16 +356,19 @@ func (s *Sim) LoadState(dffs []Sig, bits []uint64) {
 // snapshot, leaving the other lanes untouched. In event-driven mode the
 // changed flip-flops are marked so the next Eval presents them.
 func (s *Sim) SetLaneState(lane int, dffs []Sig, bits []uint64) {
-	m := uint64(1) << uint(lane)
+	wi := lane >> 6
+	m := uint64(1) << uint(lane&63)
+	w := s.w
 	for i, sig := range dffs {
 		var b uint64
 		if bits[i>>6]>>(uint(i)&63)&1 != 0 {
 			b = m
 		}
-		old := s.state[sig]
+		p := int(sig)*w + wi
+		old := s.state[p]
 		nw := old&^m | b
 		if nw != old {
-			s.state[sig] = nw
+			s.state[p] = nw
 			if s.inc != nil {
 				s.markDFFChanged(sig)
 			}
@@ -395,11 +381,12 @@ func (s *Sim) SetLaneState(lane int, dffs []Sig, bits []uint64) {
 // releases the injected values on the next Eval) but become inert for the
 // lane.
 func (s *Sim) DropLaneFaults(lane int) {
-	m := uint64(1) << uint(lane)
+	wi := int32(lane >> 6)
+	m := uint64(1) << uint(lane&63)
 	for _, g := range s.hooked {
 		h := s.hookIdx[g]
 		for j := range s.hooks[h] {
-			if s.hooks[h][j].mask&m != 0 {
+			if s.hooks[h][j].word == wi && s.hooks[h][j].mask&m != 0 {
 				s.hooks[h][j].mask = 0
 				s.hooks[h][j].stuck = 0
 			}
@@ -413,8 +400,9 @@ func (s *Sim) StateBits(dffs []Sig, dst []uint64) {
 	for i := range dst {
 		dst[i] = 0
 	}
+	w := s.w
 	for i, sig := range dffs {
-		dst[i>>6] |= (s.state[sig] & 1) << (uint(i) & 63)
+		dst[i>>6] |= (s.state[int(sig)*w] & 1) << (uint(i) & 63)
 	}
 }
 

@@ -2,6 +2,10 @@ package gate
 
 import "fmt"
 
+// MaxLaneWords is the widest supported lane word: 8 uint64 words per
+// signal, i.e. up to 512 independent machines per simulation.
+const MaxLaneWords = 8
+
 // FaultSite identifies a single stuck-at fault location: a pin of a gate.
 // Pin 0 is the gate output (equivalently the stem of the driven signal);
 // pins 1..3 are the gate's input pins 0..2 (fanout-branch faults).
@@ -22,23 +26,28 @@ func (f FaultSite) String() string {
 	return fmt.Sprintf("g%d/in%d s-a-%d", f.Gate, f.Pin-1, v)
 }
 
-// LaneFault assigns a fault site to one of the 64 simulation lanes.
+// LaneFault assigns a fault site to one of the simulator's lanes
+// (64*LaneWords lanes; lane L lives in bit L%64 of lane word L/64).
 type LaneFault struct {
 	Site FaultSite
 	Lane int
 }
 
-// laneInject is the compiled per-gate injection record.
+// laneInject is the compiled per-gate injection record. The injection is
+// confined to a single bit of a single lane word, so faults in different
+// lanes never interact regardless of the simulator width.
 type laneInject struct {
 	pin   int8
+	word  int32  // which lane word of the signal carries this fault
 	mask  uint64 // 1 bit set: the lane carrying this fault
 	stuck uint64 // mask when stuck-at-1, 0 when stuck-at-0
 }
 
 // Sim is a cycle-accurate, bit-parallel simulator over a fixed netlist.
-// Each signal carries a 64-bit word: one independent machine per bit lane.
-// Lanes are used either for 64 test patterns at once (combinational
-// characterization) or 64 faulty machines at once (fault simulation).
+// Each signal carries W lane words of 64 bits (W in {1,2,4,8}): one
+// independent machine per bit lane, up to 512 machines at W=8. Lanes are
+// used either for test patterns (combinational characterization, W=1) or
+// faulty machines (fault simulation, any W).
 //
 // A Step evaluates all combinational logic from the current inputs and DFF
 // outputs, then latches every DFF. Faults registered via SetFaults are
@@ -46,19 +55,32 @@ type laneInject struct {
 type Sim struct {
 	n     *Netlist
 	order []Sig
+	w     int // lane words per signal
 
-	val   []uint64 // current signal values
+	val   []uint64 // current signal values, signal s at [s*w : s*w+w]
 	state []uint64 // DFF latched state (and raw driven value for Input gates)
 
 	hookIdx []int32 // per signal: -1 or index into hooks
 	hooks   [][]laneInject
 	hooked  []Sig // signals that currently have hooks, for cheap clearing
 
+	// Scratch lane words for hook application (hooked gates copy their
+	// pin values here before injecting) and event-mode output compare.
+	ta, tb, tc, tout [MaxLaneWords]uint64
+
 	inc *incState // non-nil: event-driven incremental evaluation (event.go)
 }
 
-// NewSim compiles a netlist into a simulator. The netlist must validate.
-func NewSim(n *Netlist) (*Sim, error) {
+// NewSim compiles a netlist into a width-1 (64-lane) simulator. The
+// netlist must validate.
+func NewSim(n *Netlist) (*Sim, error) { return NewSimWidth(n, 1) }
+
+// NewSimWidth compiles a netlist into a simulator carrying w lane words
+// (64*w lanes) per signal. w must be 1, 2, 4 or 8.
+func NewSimWidth(n *Netlist, w int) (*Sim, error) {
+	if w != 1 && w != 2 && w != 4 && w != 8 {
+		return nil, fmt.Errorf("gate: lane words must be 1, 2, 4 or 8; got %d", w)
+	}
 	if err := n.Validate(); err != nil {
 		return nil, err
 	}
@@ -69,8 +91,9 @@ func NewSim(n *Netlist) (*Sim, error) {
 	s := &Sim{
 		n:       n,
 		order:   order,
-		val:     make([]uint64, len(n.Gates)),
-		state:   make([]uint64, len(n.Gates)),
+		w:       w,
+		val:     make([]uint64, len(n.Gates)*w),
+		state:   make([]uint64, len(n.Gates)*w),
 		hookIdx: make([]int32, len(n.Gates)),
 		hooks:   make([][]laneInject, 0, 64),
 	}
@@ -82,6 +105,12 @@ func NewSim(n *Netlist) (*Sim, error) {
 
 // Netlist returns the compiled netlist.
 func (s *Sim) Netlist() *Netlist { return s.n }
+
+// LaneWords reports the number of 64-bit lane words per signal.
+func (s *Sim) LaneWords() int { return s.w }
+
+// Lanes reports the number of independent machine lanes (64 * LaneWords).
+func (s *Sim) Lanes() int { return 64 * s.w }
 
 // CombGates reports the number of combinational gates: the per-Eval gate
 // evaluation cost of the oblivious engine.
@@ -100,18 +129,22 @@ func (s *Sim) Reset() {
 }
 
 // SetFaults installs the given lane faults, replacing any previous set.
-// Lanes must be in [0, 64).
+// Lanes must be in [0, 64*LaneWords).
 func (s *Sim) SetFaults(faults []LaneFault) {
 	s.ClearFaults()
 	for _, lf := range faults {
-		if lf.Lane < 0 || lf.Lane > 63 {
-			panic(fmt.Sprintf("gate: lane %d out of range", lf.Lane))
+		if lf.Lane < 0 || lf.Lane >= 64*s.w {
+			panic(fmt.Sprintf("gate: lane %d out of range [0,%d)", lf.Lane, 64*s.w))
 		}
 		g := lf.Site.Gate
 		if g < 0 || int(g) >= len(s.n.Gates) {
 			panic(fmt.Sprintf("gate: fault site gate %d out of range", g))
 		}
-		inj := laneInject{pin: lf.Site.Pin, mask: 1 << uint(lf.Lane)}
+		inj := laneInject{
+			pin:  lf.Site.Pin,
+			word: int32(lf.Lane >> 6),
+			mask: 1 << uint(lf.Lane&63),
+		}
 		if lf.Site.Stuck {
 			inj.stuck = inj.mask
 		}
@@ -136,21 +169,43 @@ func (s *Sim) ClearFaults() {
 	s.invalidate()
 }
 
-// driveInput stores the raw driven word of a primary input (in state, so
-// fault injections stay reversible), presents its hooked value, and in
-// event-driven mode schedules consumers on change.
-func (s *Sim) driveInput(sig Sig, w uint64) {
-	s.state[sig] = w
-	if h := s.hookIdx[sig]; h >= 0 {
-		w = s.hookedOut(h, w)
+// driveInput stores the raw driven lane words of a primary input (in
+// state, so fault injections stay reversible), presents its hooked value,
+// and in event-driven mode schedules consumers on change. The same word
+// is broadcast into every lane word.
+func (s *Sim) driveInput(sig Sig, word uint64) {
+	w := s.w
+	o := int(sig) * w
+	st := s.state[o : o+w]
+	for k := range st {
+		st[k] = word
 	}
-	if w != s.val[sig] {
-		s.val[sig] = w
-		if s.inc != nil && !s.inc.allDirty {
-			s.inc.events++
-			s.propagate(sig)
+	v := st
+	if h := s.hookIdx[sig]; h >= 0 {
+		t := s.tout[:w]
+		copy(t, st)
+		s.applyHooks(h, 0, t)
+		v = t
+	}
+	cur := s.val[o : o+w]
+	if wordsEqual(cur, v) {
+		return
+	}
+	copy(cur, v)
+	if s.inc != nil && !s.inc.allDirty {
+		s.inc.events++
+		s.propagate(sig)
+	}
+}
+
+// wordsEqual compares two equal-length lane-word slices.
+func wordsEqual(a, b []uint64) bool {
+	for k := range a {
+		if a[k] != b[k] {
+			return false
 		}
 	}
+	return true
 }
 
 // SetBusUniform drives an input bus with the same value in every lane.
@@ -166,62 +221,230 @@ func (s *Sim) SetBusUniform(name string, value uint64) {
 	}
 }
 
-// SetBusWords drives an input bus with per-lane values: words[i] is the full
-// 64-lane word for bit i of the bus.
+// SetBusWords drives an input bus with per-lane values for the first 64
+// lanes: words[i] is lane word 0 for bit i of the bus. Lane words past the
+// first are cleared (only meaningful on width-1 simulators, where this
+// drives all lanes).
 func (s *Sim) SetBusWords(name string, words []uint64) {
 	sigs := s.n.InputBus(name)
 	if len(words) != len(sigs) {
 		panic(fmt.Sprintf("gate: SetBusWords(%q): got %d words, bus width %d", name, len(words), len(sigs)))
 	}
+	w := s.w
 	for i, sig := range sigs {
-		s.driveInput(sig, words[i])
+		o := int(sig) * w
+		st := s.state[o : o+w]
+		st[0] = words[i]
+		for k := 1; k < w; k++ {
+			st[k] = 0
+		}
+		v := st
+		if h := s.hookIdx[sig]; h >= 0 {
+			t := s.tout[:w]
+			copy(t, st)
+			s.applyHooks(h, 0, t)
+			v = t
+		}
+		cur := s.val[o : o+w]
+		if wordsEqual(cur, v) {
+			continue
+		}
+		copy(cur, v)
+		if s.inc != nil && !s.inc.allDirty {
+			s.inc.events++
+			s.propagate(sig)
+		}
 	}
 }
 
-// BusWords reads an output bus as per-bit lane words into dst, which must
-// have the bus width.
+// BusWords reads an output bus as per-bit lane-0 words into dst, which
+// must have the bus width.
 func (s *Sim) BusWords(name string, dst []uint64) {
 	sigs := s.n.OutputBus(name)
 	if len(dst) != len(sigs) {
 		panic(fmt.Sprintf("gate: BusWords(%q): got %d words, bus width %d", name, len(dst), len(sigs)))
 	}
 	for i, sig := range sigs {
-		dst[i] = s.val[sig]
+		dst[i] = s.val[int(sig)*s.w]
 	}
 }
 
-// BusLane extracts the value of an output bus in a single lane.
+// BusLane extracts the value of an output bus in a single lane
+// (lane in [0, 64*LaneWords)).
 func (s *Sim) BusLane(name string, lane int) uint64 {
 	sigs := s.n.OutputBus(name)
+	wi, bit := lane>>6, uint(lane&63)
 	var v uint64
 	for i, sig := range sigs {
-		v |= (s.val[sig] >> uint(lane) & 1) << uint(i)
+		v |= (s.val[int(sig)*s.w+wi] >> bit & 1) << uint(i)
 	}
 	return v
 }
 
-// SigWord returns the raw 64-lane word of a signal (for observation capture).
-func (s *Sim) SigWord(sig Sig) uint64 { return s.val[sig] }
+// SigWord returns lane word 0 of a signal (observation capture; the only
+// lane word on width-1 simulators).
+func (s *Sim) SigWord(sig Sig) uint64 { return s.val[int(sig)*s.w] }
 
-// inVal reads the value seen by pin (1-based input index) of a hooked gate,
-// applying any input-pin fault injections for that pin.
-func (s *Sim) hookedIn(h int32, pin int8, raw uint64) uint64 {
-	for _, inj := range s.hooks[h] {
-		if inj.pin == pin {
-			raw = raw&^inj.mask | inj.stuck
-		}
-	}
-	return raw
+// SigWords returns the signal's full lane-word slice (read-only view into
+// the simulator state; valid until the next mutation).
+func (s *Sim) SigWords(sig Sig) []uint64 {
+	o := int(sig) * s.w
+	return s.val[o : o+s.w]
 }
 
-// hookedOut applies output-pin fault injections of a hooked gate.
-func (s *Sim) hookedOut(h int32, raw uint64) uint64 {
+// applyHooks applies a hooked gate's fault injections for one pin (0 = the
+// gate output) to the lane words in v.
+func (s *Sim) applyHooks(h int32, pin int8, v []uint64) {
 	for _, inj := range s.hooks[h] {
-		if inj.pin == 0 {
-			raw = raw&^inj.mask | inj.stuck
+		if inj.pin == pin {
+			v[inj.word] = v[inj.word]&^inj.mask | inj.stuck
 		}
 	}
-	return raw
+}
+
+// computeInto evaluates one combinational gate (with injection hooks) into
+// dst, which must hold LaneWords words and may alias the signal's val
+// slice (the combinational graph is acyclic, so dst never aliases an
+// input).
+func (s *Sim) computeInto(sig Sig, dst []uint64) {
+	g := &s.n.Gates[sig]
+	h := s.hookIdx[sig]
+	w := s.w
+	if w == 8 && h < 0 {
+		// Hot path at the default width: fixed-size array kernels carry no
+		// bounds checks and unroll. Hooked gates take the generic path.
+		s.computeInto8(sig, (*[8]uint64)(dst))
+		return
+	}
+	val := s.val
+	var a, b, c []uint64
+	switch g.Kind.NumInputs() {
+	case 1:
+		o := int(g.In[0]) * w
+		a = val[o : o+w]
+	case 2:
+		o0, o1 := int(g.In[0])*w, int(g.In[1])*w
+		a, b = val[o0:o0+w], val[o1:o1+w]
+	case 3:
+		o0, o1, o2 := int(g.In[0])*w, int(g.In[1])*w, int(g.In[2])*w
+		a, b, c = val[o0:o0+w], val[o1:o1+w], val[o2:o2+w]
+	}
+	if h >= 0 {
+		if a != nil {
+			t := s.ta[:w]
+			copy(t, a)
+			s.applyHooks(h, 1, t)
+			a = t
+		}
+		if b != nil {
+			t := s.tb[:w]
+			copy(t, b)
+			s.applyHooks(h, 2, t)
+			b = t
+		}
+		if c != nil {
+			t := s.tc[:w]
+			copy(t, c)
+			s.applyHooks(h, 3, t)
+			c = t
+		}
+	}
+	switch g.Kind {
+	case Buf:
+		copy(dst, a)
+	case Not:
+		for k := range dst {
+			dst[k] = ^a[k]
+		}
+	case And2:
+		for k := range dst {
+			dst[k] = a[k] & b[k]
+		}
+	case Or2:
+		for k := range dst {
+			dst[k] = a[k] | b[k]
+		}
+	case Nand2:
+		for k := range dst {
+			dst[k] = ^(a[k] & b[k])
+		}
+	case Nor2:
+		for k := range dst {
+			dst[k] = ^(a[k] | b[k])
+		}
+	case Xor2:
+		for k := range dst {
+			dst[k] = a[k] ^ b[k]
+		}
+	case Xnor2:
+		for k := range dst {
+			dst[k] = ^(a[k] ^ b[k])
+		}
+	case Mux2:
+		for k := range dst {
+			dst[k] = a[k]&^c[k] | b[k]&c[k]
+		}
+	default:
+		panic(fmt.Sprintf("gate: unexpected kind %s in eval order", g.Kind))
+	}
+	if h >= 0 {
+		s.applyHooks(h, 0, dst)
+	}
+}
+
+// computeInto8 is computeInto specialized to 8 lane words and no injection
+// hooks: array-pointer operands let every word loop run bounds-check-free
+// with a fixed trip count.
+func (s *Sim) computeInto8(sig Sig, dst *[8]uint64) {
+	g := &s.n.Gates[sig]
+	val := s.val
+	a := (*[8]uint64)(val[int(g.In[0])*8:])
+	switch g.Kind {
+	case Buf:
+		*dst = *a
+	case Not:
+		for k := range dst {
+			dst[k] = ^a[k]
+		}
+	case And2:
+		b := (*[8]uint64)(val[int(g.In[1])*8:])
+		for k := range dst {
+			dst[k] = a[k] & b[k]
+		}
+	case Or2:
+		b := (*[8]uint64)(val[int(g.In[1])*8:])
+		for k := range dst {
+			dst[k] = a[k] | b[k]
+		}
+	case Nand2:
+		b := (*[8]uint64)(val[int(g.In[1])*8:])
+		for k := range dst {
+			dst[k] = ^(a[k] & b[k])
+		}
+	case Nor2:
+		b := (*[8]uint64)(val[int(g.In[1])*8:])
+		for k := range dst {
+			dst[k] = ^(a[k] | b[k])
+		}
+	case Xor2:
+		b := (*[8]uint64)(val[int(g.In[1])*8:])
+		for k := range dst {
+			dst[k] = a[k] ^ b[k]
+		}
+	case Xnor2:
+		b := (*[8]uint64)(val[int(g.In[1])*8:])
+		for k := range dst {
+			dst[k] = ^(a[k] ^ b[k])
+		}
+	case Mux2:
+		b := (*[8]uint64)(val[int(g.In[1])*8:])
+		c := (*[8]uint64)(val[int(g.In[2])*8:])
+		for k := range dst {
+			dst[k] = a[k]&^c[k] | b[k]&c[k]
+		}
+	default:
+		panic(fmt.Sprintf("gate: unexpected kind %s in eval order", g.Kind))
+	}
 }
 
 // Eval evaluates combinational logic from the current primary inputs and
@@ -238,88 +461,36 @@ func (s *Sim) Eval() {
 func (s *Sim) evalOblivious() {
 	gates := s.n.Gates
 	val := s.val
+	w := s.w
 
 	// Present DFF state (and constants) with output-fault injection.
 	for i := range gates {
-		switch gates[i].Kind {
-		case DFF:
-			v := s.state[i]
-			if h := s.hookIdx[i]; h >= 0 {
-				v = s.hookedOut(h, v)
-			}
-			val[i] = v
+		k := gates[i].Kind
+		if k != DFF && k != Const0 && k != Const1 && k != Input {
+			continue
+		}
+		o := i * w
+		dst := val[o : o+w]
+		switch k {
+		case DFF, Input:
+			copy(dst, s.state[o:o+w]) // raw latched/driven value; see driveInput
 		case Const0:
-			v := uint64(0)
-			if h := s.hookIdx[i]; h >= 0 {
-				v = s.hookedOut(h, v)
+			for j := range dst {
+				dst[j] = 0
 			}
-			val[i] = v
 		case Const1:
-			v := ^uint64(0)
-			if h := s.hookIdx[i]; h >= 0 {
-				v = s.hookedOut(h, v)
+			for j := range dst {
+				dst[j] = ^uint64(0)
 			}
-			val[i] = v
-		case Input:
-			v := s.state[i] // raw driven value; see driveInput
-			if h := s.hookIdx[i]; h >= 0 {
-				v = s.hookedOut(h, v)
-			}
-			val[i] = v
+		}
+		if h := s.hookIdx[i]; h >= 0 {
+			s.applyHooks(h, 0, dst)
 		}
 	}
 
 	for _, sig := range s.order {
-		g := &gates[sig]
-		h := s.hookIdx[sig]
-		var a, b, c uint64
-		switch g.Kind.NumInputs() {
-		case 1:
-			a = val[g.In[0]]
-			if h >= 0 {
-				a = s.hookedIn(h, 1, a)
-			}
-		case 2:
-			a, b = val[g.In[0]], val[g.In[1]]
-			if h >= 0 {
-				a = s.hookedIn(h, 1, a)
-				b = s.hookedIn(h, 2, b)
-			}
-		case 3:
-			a, b, c = val[g.In[0]], val[g.In[1]], val[g.In[2]]
-			if h >= 0 {
-				a = s.hookedIn(h, 1, a)
-				b = s.hookedIn(h, 2, b)
-				c = s.hookedIn(h, 3, c)
-			}
-		}
-		var out uint64
-		switch g.Kind {
-		case Buf:
-			out = a
-		case Not:
-			out = ^a
-		case And2:
-			out = a & b
-		case Or2:
-			out = a | b
-		case Nand2:
-			out = ^(a & b)
-		case Nor2:
-			out = ^(a | b)
-		case Xor2:
-			out = a ^ b
-		case Xnor2:
-			out = ^(a ^ b)
-		case Mux2:
-			out = a&^c | b&c
-		default:
-			panic(fmt.Sprintf("gate: unexpected kind %s in eval order", g.Kind))
-		}
-		if h >= 0 {
-			out = s.hookedOut(h, out)
-		}
-		val[sig] = out
+		o := int(sig) * w
+		s.computeInto(sig, val[o:o+w])
 	}
 }
 
@@ -329,20 +500,34 @@ func (s *Sim) Latch() {
 		s.latchEvent()
 		return
 	}
-	s.latchOblivious()
-}
-
-func (s *Sim) latchOblivious() {
 	gates := s.n.Gates
 	for i := range gates {
-		if gates[i].Kind != DFF {
-			continue
+		if gates[i].Kind == DFF {
+			s.latchOne(Sig(i))
 		}
-		d := s.val[gates[i].In[0]]
-		if h := s.hookIdx[i]; h >= 0 {
-			d = s.hookedIn(h, 1, d)
-		}
-		s.state[i] = d
+	}
+}
+
+// latchOne clocks a single flip-flop, applying D-input injection hooks.
+// In event-driven mode a changed flip-flop is marked for presentation.
+func (s *Sim) latchOne(sig Sig) {
+	w := s.w
+	od := int(s.n.Gates[sig].In[0]) * w
+	d := s.val[od : od+w]
+	if h := s.hookIdx[sig]; h >= 0 {
+		t := s.ta[:w]
+		copy(t, d)
+		s.applyHooks(h, 1, t)
+		d = t
+	}
+	o := int(sig) * w
+	st := s.state[o : o+w]
+	if wordsEqual(st, d) {
+		return
+	}
+	copy(st, d)
+	if s.inc != nil {
+		s.markDFFChanged(sig)
 	}
 }
 

@@ -1,0 +1,93 @@
+package gate
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// buildBenchNetlist synthesizes a deterministic sequential circuit for
+// width benchmarking: a ring of flip-flops with inverted XOR feedback
+// (guaranteed switching activity from the all-zero reset state) mixed
+// through a random combinational cloud, with a few observed outputs.
+func buildBenchNetlist(nRegs, nComb int) *Netlist {
+	b := NewBuilder("wbench")
+	rng := rand.New(rand.NewSource(42))
+	regs := make([]Sig, nRegs)
+	for i := range regs {
+		regs[i] = b.DFFPlaceholder()
+	}
+	sigs := append([]Sig(nil), regs...)
+	for i := 0; i < nComb; i++ {
+		a := sigs[rng.Intn(len(sigs))]
+		c := sigs[rng.Intn(len(sigs))]
+		switch rng.Intn(6) {
+		case 0:
+			sigs = append(sigs, b.Xor(a, c))
+		case 1:
+			sigs = append(sigs, b.And(a, c))
+		case 2:
+			sigs = append(sigs, b.Or(a, c))
+		case 3:
+			sigs = append(sigs, b.Not(a))
+		case 4:
+			sigs = append(sigs, b.Nand(a, c))
+		case 5:
+			sigs = append(sigs, b.Xnor(a, c))
+		}
+	}
+	for i, r := range regs {
+		d := b.Xor(regs[(i+1)%nRegs], sigs[len(sigs)-1-i%(nComb/2)])
+		b.ConnectD(r, b.Not(d))
+	}
+	b.OutputBus("out", []Sig(sigs[len(sigs)-8:]))
+	return b.N
+}
+
+// BenchmarkEventEvalWidth measures the event-driven evaluator's per-cycle
+// cost as the lane word widens, with one injected fault per lane (the
+// fault-simulation configuration). The interesting ratio is ns/cycle at
+// w=8 versus w=1: perfect amortization would hold it flat while carrying
+// 8x the machines; the machine-cycles/s metric shows the realized
+// per-machine throughput.
+func BenchmarkEventEvalWidth(b *testing.B) {
+	n := buildBenchNetlist(256, 4000)
+	sites := collectFaultSites(n)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("w=%d", w), func(b *testing.B) {
+			s, err := NewEventSimWidth(n, w)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(7))
+			lf := make([]LaneFault, 64*w)
+			for lane := range lf {
+				site := sites[rng.Intn(len(sites))]
+				lf[lane] = LaneFault{Site: site, Lane: lane}
+			}
+			s.Reset()
+			s.SetFaults(lf)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Step()
+			}
+			b.ReportMetric(float64(64*w)*float64(b.N)/b.Elapsed().Seconds(), "machine-cycles/s")
+		})
+	}
+}
+
+// collectFaultSites enumerates output stuck-at sites over the netlist's
+// combinational gates.
+func collectFaultSites(n *Netlist) []FaultSite {
+	var sites []FaultSite
+	for i := range n.Gates {
+		switch n.Gates[i].Kind {
+		case Const0, Const1, Input:
+			continue
+		}
+		sites = append(sites,
+			FaultSite{Gate: Sig(i), Pin: 0, Stuck: false},
+			FaultSite{Gate: Sig(i), Pin: 0, Stuck: true})
+	}
+	return sites
+}

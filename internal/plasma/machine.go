@@ -8,9 +8,12 @@ import (
 	"repro/internal/sim"
 )
 
-// Machine runs a gate-level CPU against a behavioral memory. All 64
-// simulation lanes carry the same (fault-free) machine; fault simulation
-// reuses the recorded golden trace instead (see internal/fault).
+// Machine runs a gate-level CPU against a behavioral memory. It simulates
+// at width 1 (one 64-bit lane word), every lane carrying the same
+// fault-free machine: golden capture needs exactly one machine, so the
+// wider multi-word lane configurations (gate.NewEventSimWidth) are left to
+// fault simulation, which replays the trace recorded here across up to 512
+// faulty machines per pass (see internal/fault).
 //
 // The per-cycle protocol exploits the structural invariant that the memory
 // bus outputs do not combinationally depend on read data:
@@ -167,7 +170,9 @@ func (m *Machine) Run(maxCycles uint64) bool {
 // Golden is the recorded fault-free execution of a program: the per-cycle
 // read-data stream and primary-output values, plus the activation metadata
 // that powers differential fault simulation. Fault simulation replays the
-// read data and compares outputs.
+// read data and compares outputs. All fields are exported plain data so a
+// trace round-trips through encoding/gob unchanged (internal/cache
+// persists captures keyed by netlist + program hash).
 type Golden struct {
 	// RData[t] is the word returned by memory at cycle t.
 	RData []uint32

@@ -1,0 +1,34 @@
+#!/bin/sh
+# benchguard.sh — regression guard for the headline fault-grading
+# benchmark. Runs BenchmarkTable5FaultCoverage once and fails if it comes
+# in more than 15% over the baseline_ns_per_op recorded in
+# BENCH_faultsim.json. Run from the repository root:
+#
+#   ./scripts/benchguard.sh
+#
+# Update the baseline in BENCH_faultsim.json when a change legitimately
+# shifts the benchmark (and record the history entry explaining why).
+set -eu
+
+baseline=$(grep -o '"baseline_ns_per_op": *[0-9]*' BENCH_faultsim.json | grep -o '[0-9]*$')
+if [ -z "$baseline" ]; then
+    echo "benchguard: no baseline_ns_per_op in BENCH_faultsim.json" >&2
+    exit 1
+fi
+
+out=$(go test -bench BenchmarkTable5FaultCoverage -benchtime 1x -run '^$' -timeout 3600s .)
+echo "$out"
+
+ns=$(echo "$out" | awk '/^BenchmarkTable5FaultCoverage/ {print $3; exit}')
+if [ -z "$ns" ]; then
+    echo "benchguard: benchmark produced no result" >&2
+    exit 1
+fi
+
+limit=$((baseline * 115 / 100))
+pct=$((ns * 100 / baseline))
+if [ "$ns" -gt "$limit" ]; then
+    echo "benchguard: FAIL — ${ns} ns/op is ${pct}% of the ${baseline} ns/op baseline (limit 115%)" >&2
+    exit 1
+fi
+echo "benchguard: OK — ${ns} ns/op is ${pct}% of the ${baseline} ns/op baseline"
