@@ -5,15 +5,17 @@
 // Usage:
 //
 //	report [-table all|1|2|3|4|5|techlib|baseline|cost] [-sample N] [-seed S] [-workers W]
-//	       [-engine event|oblivious] [-lanes W] [-stats] [-cache DIR]
-//	       [-cpuprofile FILE] [-memprofile FILE]
+//	       [-engine event|oblivious] [-lanes W] [-stats] [-checkpoint-k K]
+//	       [-cache DIR] [-cache-max-bytes N] [-cpuprofile FILE] [-memprofile FILE]
 //
 // With -sample 0 (the default for -table 5 via -full) the fault simulations
 // run the complete collapsed fault universe, which takes a few minutes;
 // -sample trades accuracy for speed with a deterministic fault sample.
-// -lanes caps the lane words per fault pass (0 = adaptive up to 8 words =
-// 512 faulty machines); -cache persists synthesized netlists and golden
-// traces across runs; -cpuprofile/-memprofile write pprof profiles.
+// -lanes caps the lane words per fault pass (0 = cost-model adaptive up to
+// 32 words = 2048 faulty machines); -checkpoint-k sets the golden-trace
+// checkpoint interval (0 = default); -cache persists synthesized netlists
+// and golden traces across runs, bounded by -cache-max-bytes (LRU, 0 =
+// unbounded); -cpuprofile/-memprofile write pprof profiles.
 package main
 
 import (
@@ -39,9 +41,11 @@ func main() {
 	workers := flag.Int("workers", 0, "fault simulation goroutines (0 = GOMAXPROCS)")
 	rounds := flag.String("rounds", "16,64,256", "pseudorandom baseline round counts")
 	engine := flag.String("engine", "event", "fault-simulation engine: event or oblivious")
-	lanes := flag.Int("lanes", 0, "lane words per fault pass: 1, 2, 4 or 8 (0 = adaptive up to 8)")
+	lanes := flag.Int("lanes", 0, "lane words per fault pass: a power of two up to 32 (0 = cost-model adaptive)")
 	stats := flag.Bool("stats", false, "print cumulative fault-simulation work statistics")
+	checkpointK := flag.Int("checkpoint-k", 0, "golden-trace checkpoint interval in cycles (0 = default)")
 	cacheDir := flag.String("cache", "", "directory for the netlist/golden artifact cache (empty = disabled)")
+	cacheMax := flag.Int64("cache-max-bytes", 0, "cache size bound with LRU eviction (0 = unbounded)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -88,6 +92,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		disk.SetMaxBytes(*cacheMax)
 	}
 
 	var simStats fault.SimStats
@@ -100,6 +105,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	env.CheckpointK = *checkpointK
 
 	run := func(name string, f func() (string, error)) {
 		if *table != "all" && *table != name {

@@ -7,18 +7,24 @@
 //	sbst -phase A|B|C [-lib native-0.35um-A|nand2-0.35um-B]
 //	     [-emit] [-listing] [-faultsim] [-sample N] [-seed S]
 //	     [-workers W] [-engine event|oblivious] [-lanes W] [-stats]
-//	     [-cache DIR] [-cpuprofile FILE] [-memprofile FILE]
+//	     [-checkpoint-k K] [-cache DIR] [-cache-max-bytes N]
+//	     [-cpuprofile FILE] [-memprofile FILE]
 //
 // -emit prints the generated assembly source; -listing the assembled
 // image; -faultsim runs stuck-at fault simulation and prints the
 // per-component coverage report. -workers sets the simulation parallelism
 // (0 = GOMAXPROCS), -engine selects the differential event-driven engine
 // (default) or the oblivious reference engine, -lanes caps the lane words
-// per pass (1, 2, 4 or 8 = 64..512 faulty machines; 0 = adaptive up to 8),
-// and -stats prints the engine's work counters (gate evals/cycle,
-// fast-forwarded cycles, lane drops, pass-width histogram). -cache names a
+// per pass (a power of two up to 32 = 64..2048 faulty machines; 0 =
+// cost-model adaptive up to 32), and -stats prints the engine's work
+// counters (gate evals/cycle, fast-forwarded and replayed cycles, lane
+// drops, pass-width histogram, golden-trace compression). -checkpoint-k
+// sets the golden-trace checkpoint interval (full flip-flop snapshots
+// every K cycles, sparse deltas between; 0 = default). -cache names a
 // directory where synthesized netlists and captured golden traces persist
-// across runs; -cpuprofile/-memprofile write pprof profiles.
+// across runs, and -cache-max-bytes bounds its size (LRU eviction after
+// each store; 0 = unbounded). -cpuprofile/-memprofile write pprof
+// profiles.
 package main
 
 import (
@@ -32,6 +38,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/plasma"
 	"repro/internal/sim"
 	"repro/internal/synth"
 )
@@ -59,9 +66,11 @@ func main() {
 	seed := flag.Int64("seed", 1, "fault sampling seed")
 	workers := flag.Int("workers", 0, "fault simulation goroutines (0 = GOMAXPROCS)")
 	engine := flag.String("engine", "event", "fault-simulation engine: event or oblivious")
-	lanes := flag.Int("lanes", 0, "lane words per fault pass: 1, 2, 4 or 8 (0 = adaptive up to 8)")
+	lanes := flag.Int("lanes", 0, "lane words per fault pass: a power of two up to 32 (0 = cost-model adaptive)")
 	stats := flag.Bool("stats", false, "print fault-simulation work statistics")
+	checkpointK := flag.Int("checkpoint-k", 0, "golden-trace checkpoint interval in cycles (0 = default)")
 	cacheDir := flag.String("cache", "", "directory for the netlist/golden artifact cache (empty = disabled)")
+	cacheMax := flag.Int64("cache-max-bytes", 0, "cache size bound with LRU eviction (0 = unbounded)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -102,6 +111,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		disk.SetMaxBytes(*cacheMax)
 	}
 
 	var maxPhase core.PhaseID
@@ -164,7 +174,11 @@ func main() {
 	}
 
 	if *faultsim {
-		golden, err := disk.CaptureGolden(cpu, st.Program, st.GateCycles())
+		k := *checkpointK
+		if k <= 0 {
+			k = plasma.DefaultCheckpointK
+		}
+		golden, err := disk.CaptureGoldenK(cpu, st.Program, st.GateCycles(), k)
 		if err != nil {
 			log.Fatal(err)
 		}

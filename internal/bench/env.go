@@ -26,6 +26,13 @@ type Env struct {
 
 	disk *cache.Cache // optional on-disk artifact cache (nil = in-memory only)
 
+	// CheckpointK is the golden-trace checkpoint interval used for every
+	// capture in this environment; 0 means plasma.DefaultCheckpointK. Set
+	// it before the first Golden/FaultSim call — traces captured at
+	// different intervals never alias in the cache, but the in-memory
+	// golden memo is keyed by phase only.
+	CheckpointK int
+
 	mu        sync.Mutex
 	faults    []fault.Fault
 	selfTests map[core.PhaseID]*core.SelfTest
@@ -90,12 +97,19 @@ func (e *Env) Golden(maxPhase core.PhaseID) (*plasma.Golden, error) {
 	if g, ok := e.goldens[maxPhase]; ok {
 		return g, nil
 	}
-	g, err := e.disk.CaptureGolden(e.CPU, st.Program, st.GateCycles())
+	g, err := e.disk.CaptureGoldenK(e.CPU, st.Program, st.GateCycles(), e.checkpointK())
 	if err != nil {
 		return nil, err
 	}
 	e.goldens[maxPhase] = g
 	return g, nil
+}
+
+func (e *Env) checkpointK() int {
+	if e.CheckpointK > 0 {
+		return e.CheckpointK
+	}
+	return plasma.DefaultCheckpointK
 }
 
 // FaultSimSelfTest fault-simulates the self-test program up to maxPhase
@@ -115,7 +129,7 @@ func (e *Env) FaultSimSelfTest(maxPhase core.PhaseID, opt fault.Options) (*fault
 // FaultSimProgram fault-simulates an arbitrary assembled program for the
 // given number of cycles.
 func (e *Env) FaultSimProgram(prog *asm.Program, cycles int, opt fault.Options) (*fault.Report, error) {
-	g, err := e.disk.CaptureGolden(e.CPU, prog, cycles)
+	g, err := e.disk.CaptureGoldenK(e.CPU, prog, cycles, e.checkpointK())
 	if err != nil {
 		return nil, err
 	}

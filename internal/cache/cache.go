@@ -29,8 +29,9 @@ import (
 type Cache struct {
 	dir string
 
-	mu     sync.Mutex
-	hashes map[*gate.Netlist]string // memoized netlist content hashes
+	mu       sync.Mutex
+	hashes   map[*gate.Netlist]string // memoized netlist content hashes
+	maxBytes int64                    // LRU size bound; 0 disables GC
 }
 
 // Open creates (if needed) and opens a cache directory.
@@ -177,20 +178,32 @@ func (c *Cache) storeCPU(lib synth.Library, cpu *plasma.CPU) error {
 	})
 }
 
+// goldenFormat is the golden-artifact format version, hashed into every
+// golden key. Bumping it orphans all previously cached goldens (the GC
+// reaps them) instead of letting gob decode an old layout into the new
+// struct with silently missing fields. Version 2 is the sparse
+// delta-encoded checkpoint format.
+const goldenFormat = 2
+
 // goldenKey derives the content address of a golden trace from everything
-// that determines it: the netlist, the program image (origin + words), and
-// the cycle count.
-func (c *Cache) goldenKey(cpu *plasma.CPU, prog *asm.Program, cycles int) (string, error) {
+// that determines it: the artifact format version, the netlist, the
+// program image (origin + words), the cycle count, and the checkpoint
+// interval.
+func (c *Cache) goldenKey(cpu *plasma.CPU, prog *asm.Program, cycles, k int) (string, error) {
 	netHash, err := c.netlistHash(cpu.Netlist)
 	if err != nil {
 		return "", err
 	}
 	h := sha256.New()
-	h.Write([]byte(netHash))
 	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], goldenFormat)
+	h.Write(buf[:])
+	h.Write([]byte(netHash))
 	binary.LittleEndian.PutUint32(buf[:4], prog.Origin)
 	h.Write(buf[:4])
 	binary.LittleEndian.PutUint64(buf[:], uint64(cycles))
+	h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], uint64(k))
 	h.Write(buf[:])
 	for _, w := range prog.Words {
 		binary.LittleEndian.PutUint32(buf[:4], w)
@@ -199,13 +212,20 @@ func (c *Cache) goldenKey(cpu *plasma.CPU, prog *asm.Program, cycles int) (strin
 	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
-// CaptureGolden is plasma.CaptureGolden behind the cache: a hit
-// deserializes the recorded trace, a miss captures it and stores it.
+// CaptureGolden is CaptureGoldenK at the default checkpoint interval.
 func (c *Cache) CaptureGolden(cpu *plasma.CPU, prog *asm.Program, cycles int) (*plasma.Golden, error) {
+	return c.CaptureGoldenK(cpu, prog, cycles, plasma.DefaultCheckpointK)
+}
+
+// CaptureGoldenK is plasma.CaptureGoldenK behind the cache: a hit
+// deserializes the recorded trace, a miss captures it and stores it. The
+// checkpoint interval is part of the artifact key, so traces captured at
+// different intervals never alias.
+func (c *Cache) CaptureGoldenK(cpu *plasma.CPU, prog *asm.Program, cycles, k int) (*plasma.Golden, error) {
 	if c == nil {
-		return plasma.CaptureGolden(cpu, prog, cycles)
+		return plasma.CaptureGoldenK(cpu, prog, cycles, k)
 	}
-	key, err := c.goldenKey(cpu, prog, cycles)
+	key, err := c.goldenKey(cpu, prog, cycles, k)
 	if err != nil {
 		return nil, err
 	}
@@ -214,12 +234,13 @@ func (c *Cache) CaptureGolden(cpu *plasma.CPU, prog *asm.Program, cycles int) (*
 		var g plasma.Golden
 		err := gob.NewDecoder(f).Decode(&g)
 		f.Close()
-		if err == nil {
+		if err == nil && g.CheckpointK == k {
+			c.touch(path)
 			return &g, nil
 		}
 		// Corrupt entry: fall through to recapture and overwrite.
 	}
-	g, err := plasma.CaptureGolden(cpu, prog, cycles)
+	g, err := plasma.CaptureGoldenK(cpu, prog, cycles, k)
 	if err != nil {
 		return nil, err
 	}
@@ -228,6 +249,7 @@ func (c *Cache) CaptureGolden(cpu *plasma.CPU, prog *asm.Program, cycles int) (*
 	}); err != nil {
 		return nil, err
 	}
+	c.maybeGC()
 	return g, nil
 }
 

@@ -113,16 +113,135 @@ func TestGoldenRoundTrip(t *testing.T) {
 		t.Fatalf("cached golden differs from captured golden")
 	}
 
-	// A different program or cycle count must miss.
+	// A different program, cycle count, or checkpoint interval must miss.
 	other, err := asm.Assemble("halt:\n\tbeq $0, $0, halt\n\tnop\n", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	k1, _ := c.goldenKey(cpu, prog, 64)
-	k2, _ := c.goldenKey(cpu, other, 64)
-	k3, _ := c.goldenKey(cpu, prog, 65)
-	if k1 == k2 || k1 == k3 {
-		t.Fatalf("golden keys collide across distinct programs/cycles")
+	k1, _ := c.goldenKey(cpu, prog, 64, plasma.DefaultCheckpointK)
+	k2, _ := c.goldenKey(cpu, other, 64, plasma.DefaultCheckpointK)
+	k3, _ := c.goldenKey(cpu, prog, 65, plasma.DefaultCheckpointK)
+	k4, _ := c.goldenKey(cpu, prog, 64, 1)
+	if k1 == k2 || k1 == k3 || k1 == k4 {
+		t.Fatalf("golden keys collide across distinct programs/cycles/intervals")
+	}
+}
+
+func TestGoldenKIsKeyedAndValidated(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu, err := c.BuildCPU(synth.NativeLib{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := buildProgram(t)
+	g16, err := c.CaptureGoldenK(cpu, prog, 64, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g4, err := c.CaptureGoldenK(cpu, prog, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g16.CheckpointK != 16 || g4.CheckpointK != 4 {
+		t.Fatalf("cache served a golden with the wrong checkpoint interval: %d, %d",
+			g16.CheckpointK, g4.CheckpointK)
+	}
+	if !reflect.DeepEqual(g16.Out, g4.Out) {
+		t.Fatalf("bus trace differs across checkpoint intervals")
+	}
+}
+
+func TestGCEvictsLRU(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu, err := c.BuildCPU(synth.NativeLib{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := buildProgram(t)
+	// Populate golden entries at several checkpoint intervals, touching
+	// k=1 last so it is the most recently used.
+	for _, k := range []int{2, 4, 8, 1} {
+		if _, err := c.CaptureGoldenK(cpu, prog, 64, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.CaptureGoldenK(cpu, prog, 64, 1); err != nil { // refresh LRU stamp
+		t.Fatal(err)
+	}
+	reclaimed, err := c.GC(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reclaimed == 0 {
+		t.Fatalf("GC(0) reclaimed nothing from a populated cache")
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("GC(0) left %d entries behind", len(ents))
+	}
+	// A bounded sweep must keep the most recently used entries.
+	for _, k := range []int{2, 4, 8, 1} {
+		if _, err := c.CaptureGoldenK(cpu, prog, 64, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	key1, err := c.goldenKey(cpu, prog, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path1 := filepath.Join(dir, "golden-"+key1+".gob")
+	info, err := os.Stat(path1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.touch(path1)
+	if _, err := c.GC(info.Size()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path1); err != nil {
+		t.Fatalf("GC evicted the most recently used entry: %v", err)
+	}
+}
+
+func TestSetMaxBytesSweepsAfterStore(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu, err := c.BuildCPU(synth.NativeLib{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetMaxBytes(1) // below any single golden entry
+	prog := buildProgram(t)
+	if _, err := c.CaptureGoldenK(cpu, prog, 64, 2); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, e := range ents {
+		info, err := e.Info()
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += info.Size()
+	}
+	if total > 1 {
+		t.Fatalf("cache holds %d bytes after store with a 1-byte bound", total)
 	}
 }
 

@@ -1,0 +1,103 @@
+package cache
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Size-bounded garbage collection. The content-addressed store otherwise
+// grows without bound: every distinct (netlist, program, cycles, k) tuple
+// leaves a golden artifact behind, and format-version bumps orphan whole
+// generations of entries. SetMaxBytes arms an LRU sweep — by access time,
+// where access is approximated by the file modification time, refreshed on
+// every cache hit (touch) — that runs after each store and deletes the
+// least recently used entries until the directory is back under budget.
+
+// SetMaxBytes bounds the total size of the cache directory: after every
+// store, least-recently-used entries are deleted until the total is at or
+// under maxBytes. 0 (the default) disables collection. Entries of every
+// kind are eligible — deleting a netlist or CPU index entry is safe
+// because a miss just rebuilds it.
+func (c *Cache) SetMaxBytes(maxBytes int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.maxBytes = maxBytes
+	c.mu.Unlock()
+}
+
+// touch refreshes an entry's LRU position on a cache hit. Best-effort: a
+// failure (e.g. a concurrent GC already deleted the file) costs at most an
+// early eviction.
+func (c *Cache) touch(path string) {
+	now := time.Now()
+	_ = os.Chtimes(path, now, now)
+}
+
+// maybeGC runs a collection sweep if a size bound is armed.
+func (c *Cache) maybeGC() {
+	c.mu.Lock()
+	max := c.maxBytes
+	c.mu.Unlock()
+	if max <= 0 {
+		return
+	}
+	_, _ = c.GC(max)
+}
+
+// GC deletes least-recently-used cache entries until the directory's total
+// size is at or under maxBytes, returning the number of bytes reclaimed.
+// In-flight temp files (writeAtomic) are never touched.
+func (c *Cache) GC(maxBytes int64) (int64, error) {
+	if c == nil {
+		return 0, nil
+	}
+	ents, err := os.ReadDir(c.dir)
+	if err != nil {
+		return 0, err
+	}
+	type entry struct {
+		path  string
+		size  int64
+		mtime time.Time
+	}
+	var entries []entry
+	var total int64
+	for _, e := range ents {
+		if e.IsDir() || strings.HasPrefix(e.Name(), ".tmp-") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue // raced with a concurrent delete
+		}
+		entries = append(entries, entry{
+			path:  filepath.Join(c.dir, e.Name()),
+			size:  info.Size(),
+			mtime: info.ModTime(),
+		})
+		total += info.Size()
+	}
+	if total <= maxBytes {
+		return 0, nil
+	}
+	sort.Slice(entries, func(a, b int) bool {
+		return entries[a].mtime.Before(entries[b].mtime)
+	})
+	var reclaimed int64
+	for _, e := range entries {
+		if total <= maxBytes {
+			break
+		}
+		if err := os.Remove(e.path); err != nil {
+			continue
+		}
+		total -= e.size
+		reclaimed += e.size
+	}
+	return reclaimed, nil
+}

@@ -6,11 +6,33 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/asm"
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/gate"
 	"repro/internal/plasma"
 )
+
+// equivTestProgram keeps registers, memory and branches busy for the whole
+// capture window so fault activations spread across many cycles — the
+// boundary-alignment tests need activations in every residue class mod k.
+const equivTestProgram = `
+	li $t0, 0x1000
+	li $t1, 0x5ea1
+	li $s0, 12
+lp:	sw $t1, 0($t0)
+	lw $t2, 0($t0)
+	addu $t1, $t1, $t2
+	xor $t3, $t1, $t2
+	nor $t4, $t3, $t1
+	sw $t4, 4($t0)
+	addiu $t0, $t0, 8
+	addiu $s0, $s0, -1
+	bne $s0, $zero, lp
+	nop
+h:	j h
+	nop
+`
 
 // randomCombNetlist builds a random DAG of combinational cells over a few
 // inputs, used to cross-check collapsing against exhaustive simulation.
@@ -159,50 +181,78 @@ func TestEquivalencePairsBehaveIdentically(t *testing.T) {
 	}
 }
 
+// namedGolden pairs a golden trace with a label for failure messages,
+// used to sweep checkpoint intervals through the equivalence harness.
+type namedGolden struct {
+	name string
+	g    *plasma.Golden
+}
+
+// captureGoldenKSweep captures the same program at k=1 (dense), the
+// default interval and k=64, so equivalence checks cover the sparse
+// reconstruction path at several boundary spacings.
+func captureGoldenKSweep(t *testing.T, cpu *plasma.CPU, prog *asm.Program, cycles int) []namedGolden {
+	t.Helper()
+	var gs []namedGolden
+	for _, k := range []int{1, plasma.DefaultCheckpointK, 64} {
+		g, err := plasma.CaptureGoldenK(cpu, prog, cycles, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gs = append(gs, namedGolden{fmt.Sprintf("k=%d", k), g})
+	}
+	return gs
+}
+
 // checkWidthEquivalence simulates the same workload at every supported
-// lane width under both engines and asserts that DetectedAt and
-// SignatureGroups are bit-identical across all eight configurations. This
-// is the end-to-end soundness property of lane widening: each bit lane is
-// an independent machine, so neither the pass width nor the packing order
+// lane width under both engines, for every supplied golden trace, and
+// asserts that DetectedAt and SignatureGroups are bit-identical across
+// every configuration. This is the end-to-end soundness property of lane
+// widening and sparse checkpointing: each bit lane is an independent
+// machine and each golden encodes the same fault-free execution, so
+// neither the pass width, the packing order nor the checkpoint interval
 // may influence any per-fault outcome.
-func checkWidthEquivalence(t *testing.T, cpu *plasma.CPU, g *plasma.Golden, faults []Fault, opt Options) {
+func checkWidthEquivalence(t *testing.T, cpu *plasma.CPU, goldens []namedGolden, faults []Fault, opt Options) {
 	t.Helper()
 	var ref *Result
 	var refName string
-	for _, eng := range []Engine{EngineOblivious, EngineEvent} {
-		for _, w := range []int{1, 2, 4, 8} {
-			opt.Engine = eng
-			opt.LaneWords = w
-			name := fmt.Sprintf("engine=%v lanes=%d", eng, w)
-			res, err := Simulate(cpu, g, faults, opt)
-			if err != nil {
-				t.Fatalf("%s: %v", name, err)
-			}
-			var histSum int64
-			for i, c := range res.Stats.PassWidthHist {
-				histSum += c
-				if c > 0 && 1<<uint(i) > w {
-					t.Errorf("%s: pass ran wider (%d words) than the cap", name, 1<<uint(i))
+	for _, ng := range goldens {
+		for _, eng := range []Engine{EngineOblivious, EngineEvent} {
+			for _, w := range []int{1, 2, 4, 8, 16, 32} {
+				g := ng.g
+				opt.Engine = eng
+				opt.LaneWords = w
+				name := fmt.Sprintf("%s engine=%v lanes=%d", ng.name, eng, w)
+				res, err := Simulate(cpu, g, faults, opt)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
 				}
-			}
-			if histSum != res.Stats.Passes {
-				t.Errorf("%s: width histogram sums to %d, want %d passes", name, histSum, res.Stats.Passes)
-			}
-			if ref == nil {
-				ref, refName = res, name
-				continue
-			}
-			if len(res.DetectedAt) != len(ref.DetectedAt) {
-				t.Fatalf("%s: %d results, %s has %d", name, len(res.DetectedAt), refName, len(ref.DetectedAt))
-			}
-			for i := range ref.DetectedAt {
-				if res.DetectedAt[i] != ref.DetectedAt[i] {
-					t.Fatalf("%s: fault %d (%v) DetectedAt=%d, %s says %d",
-						name, i, res.Faults[i].Site, res.DetectedAt[i], refName, ref.DetectedAt[i])
+				var histSum int64
+				for i, c := range res.Stats.PassWidthHist {
+					histSum += c
+					if c > 0 && 1<<uint(i) > w {
+						t.Errorf("%s: pass ran wider (%d words) than the cap", name, 1<<uint(i))
+					}
 				}
-				if res.SignatureGroups[i] != ref.SignatureGroups[i] {
-					t.Fatalf("%s: fault %d (%v) groups=%#x, %s says %#x",
-						name, i, res.Faults[i].Site, res.SignatureGroups[i], refName, ref.SignatureGroups[i])
+				if histSum != res.Stats.Passes {
+					t.Errorf("%s: width histogram sums to %d, want %d passes", name, histSum, res.Stats.Passes)
+				}
+				if ref == nil {
+					ref, refName = res, name
+					continue
+				}
+				if len(res.DetectedAt) != len(ref.DetectedAt) {
+					t.Fatalf("%s: %d results, %s has %d", name, len(res.DetectedAt), refName, len(ref.DetectedAt))
+				}
+				for i := range ref.DetectedAt {
+					if res.DetectedAt[i] != ref.DetectedAt[i] {
+						t.Fatalf("%s: fault %d (%v) DetectedAt=%d, %s says %d",
+							name, i, res.Faults[i].Site, res.DetectedAt[i], refName, ref.DetectedAt[i])
+					}
+					if res.SignatureGroups[i] != ref.SignatureGroups[i] {
+						t.Fatalf("%s: fault %d (%v) groups=%#x, %s says %#x",
+							name, i, res.Faults[i].Site, res.SignatureGroups[i], refName, ref.SignatureGroups[i])
+					}
 				}
 			}
 		}
@@ -221,11 +271,8 @@ func TestWidthEquivalencePhaseA(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	g, err := plasma.CaptureGolden(cpu, st.Program, st.GateCycles())
-	if err != nil {
-		t.Fatal(err)
-	}
-	checkWidthEquivalence(t, cpu, g, Universe(cpu.Netlist), Options{Sample: 512, Seed: 9, Workers: 1})
+	goldens := captureGoldenKSweep(t, cpu, st.Program, st.GateCycles())
+	checkWidthEquivalence(t, cpu, goldens, Universe(cpu.Netlist), Options{Sample: 512, Seed: 9, Workers: 1})
 }
 
 // TestWidthEquivalenceRandomProgram asserts width equivalence on a seeded
@@ -236,11 +283,122 @@ func TestWidthEquivalenceRandomProgram(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	g, err := plasma.CaptureGolden(cpu, p.Program, p.GateCycles())
+	goldens := captureGoldenKSweep(t, cpu, p.Program, p.GateCycles())
+	checkWidthEquivalence(t, cpu, goldens, Universe(cpu.Netlist), Options{Sample: 256, Seed: 11})
+}
+
+// TestCheckpointBoundaryActivations targets the fast-forward edge cases:
+// faults whose earliest activation falls exactly ON a checkpoint boundary
+// (zero golden cycles replayed before injection) and exactly ONE CYCLE
+// BEFORE a boundary (the maximum k-1 cycles replayed). Both populations
+// must produce bit-identical results against a dense k=1 capture. A small
+// interval keeps boundaries frequent so both populations are non-empty.
+func TestCheckpointBoundaryActivations(t *testing.T) {
+	const cycles, k = 160, 4
+	cpu := getCPU(t)
+	prog, err := asm.Assemble(equivTestProgram, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	checkWidthEquivalence(t, cpu, g, Universe(cpu.Netlist), Options{Sample: 256, Seed: 11})
+	dense, err := plasma.CaptureGoldenK(cpu, prog, cycles, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := plasma.CaptureGoldenK(cpu, prog, cycles, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var onBoundary, beforeBoundary []Fault
+	for _, f := range Universe(cpu.Netlist) {
+		act := sparse.ActivationCycle(cpu.Netlist, f.Site)
+		switch {
+		case act < 0:
+			continue
+		case act%k == 0:
+			onBoundary = append(onBoundary, f)
+		case act%k == k-1:
+			beforeBoundary = append(beforeBoundary, f)
+		}
+	}
+	if len(onBoundary) == 0 || len(beforeBoundary) == 0 {
+		t.Fatalf("degenerate activation split: %d on-boundary, %d before-boundary",
+			len(onBoundary), len(beforeBoundary))
+	}
+	// Bound the runtime: a few hundred of each population is plenty.
+	if len(onBoundary) > 300 {
+		onBoundary = onBoundary[:300]
+	}
+	if len(beforeBoundary) > 300 {
+		beforeBoundary = beforeBoundary[:300]
+	}
+	for _, tc := range []struct {
+		name   string
+		faults []Fault
+	}{
+		{"activation-on-boundary", onBoundary},
+		{"activation-before-boundary", beforeBoundary},
+	} {
+		for _, eng := range []Engine{EngineOblivious, EngineEvent} {
+			opt := Options{Engine: eng, Workers: 1}
+			want, err := Simulate(cpu, dense, tc.faults, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Simulate(cpu, sparse, tc.faults, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range tc.faults {
+				if got.DetectedAt[i] != want.DetectedAt[i] || got.SignatureGroups[i] != want.SignatureGroups[i] {
+					t.Fatalf("%s engine=%v fault %v: k=%d gives DetectedAt=%d groups=%#x, k=1 gives %d/%#x",
+						tc.name, eng, tc.faults[i].Site, k,
+						got.DetectedAt[i], got.SignatureGroups[i],
+						want.DetectedAt[i], want.SignatureGroups[i])
+				}
+			}
+		}
+	}
+}
+
+// TestCheckpointLongerThanProgram runs fault simulation against a golden
+// whose checkpoint interval exceeds the program length: only the reset
+// snapshot exists, so every pass fast-forwards to cycle 0 and replays its
+// full prefix. Results must match the dense capture exactly.
+func TestCheckpointLongerThanProgram(t *testing.T) {
+	const cycles = 120
+	cpu := getCPU(t)
+	prog, err := asm.Assemble(equivTestProgram, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := plasma.CaptureGoldenK(cpu, prog, cycles, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := plasma.CaptureGoldenK(cpu, prog, cycles, cycles+17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := Universe(cpu.Netlist)
+	for _, eng := range []Engine{EngineOblivious, EngineEvent} {
+		opt := Options{Engine: eng, Sample: 256, Seed: 3}
+		want, err := Simulate(cpu, dense, faults, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Simulate(cpu, sparse, faults, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.DetectedAt {
+			if got.DetectedAt[i] != want.DetectedAt[i] || got.SignatureGroups[i] != want.SignatureGroups[i] {
+				t.Fatalf("engine=%v fault %v: k>cycles gives DetectedAt=%d groups=%#x, k=1 gives %d/%#x",
+					eng, want.Faults[i].Site,
+					got.DetectedAt[i], got.SignatureGroups[i],
+					want.DetectedAt[i], want.SignatureGroups[i])
+			}
+		}
+	}
 }
 
 func TestLatencyStats(t *testing.T) {

@@ -33,11 +33,13 @@ type Options struct {
 	// Workers is the number of parallel simulation goroutines;
 	// 0 means GOMAXPROCS.
 	Workers int
-	// LaneWords caps the per-pass lane width in 64-lane words: 1, 2, 4 or
-	// 8 words carry 64..512 faulty machines per pass. 0 means the default
-	// of 8 (512 lanes). Passes are packed width-adaptively up to this cap:
-	// the bulk of the fault list packs at the cap, a small residue packs
-	// at the narrowest width that holds it.
+	// LaneWords caps the per-pass lane width in 64-lane words: a power of
+	// two from 1 to 32 words carries 64..2048 faulty machines per pass. 0
+	// means the default of 32 (2048 lanes). Passes are packed
+	// width-adaptively up to this cap by a cost model (see chooseWidth):
+	// each pass takes the width minimizing estimated grading cost per
+	// fault, trading per-cycle fixed-cost amortization against
+	// cone-overlap event activity and idle late-activating lanes.
 	LaneWords int
 	// Sample, when nonzero, simulates only a deterministic random sample of
 	// that many collapsed faults (statistical coverage estimation for fast
@@ -111,14 +113,15 @@ type passJob struct {
 	width int
 }
 
-// widthLog2 maps a lane width in {1,2,4,8} to its histogram slot.
+// widthLog2 maps a lane width in {1,...,MaxLaneWords} to its histogram
+// slot.
 func widthLog2(w int) int { return bits.TrailingZeros(uint(w)) }
 
-// widthSlots is the number of distinct lane widths (1, 2, 4, 8).
-const widthSlots = 4
+// widthSlots is the number of distinct lane widths (1, 2, 4, 8, 16, 32).
+const widthSlots = 6
 
 // DefaultLaneWords is the lane-width cap used when Options.LaneWords is 0:
-// the widest supported pass (8 words = 512 faulty machines).
+// the widest supported pass (32 words = 2048 faulty machines).
 const DefaultLaneWords = gate.MaxLaneWords
 
 // Simulate fault-simulates the collapsed fault list against a recorded
@@ -133,8 +136,8 @@ func Simulate(cpu *plasma.CPU, golden *plasma.Golden, faults []Fault, opt Option
 	if maxW == 0 {
 		maxW = DefaultLaneWords
 	}
-	if maxW != 1 && maxW != 2 && maxW != 4 && maxW != 8 {
-		return nil, fmt.Errorf("fault: LaneWords must be 0, 1, 2, 4 or 8; got %d", maxW)
+	if maxW < 1 || maxW > gate.MaxLaneWords || maxW&(maxW-1) != 0 {
+		return nil, fmt.Errorf("fault: LaneWords must be 0 or a power of two in [1,%d]; got %d", gate.MaxLaneWords, maxW)
 	}
 	faults = SampleFaults(faults, opt.Sample, opt.Seed)
 	res := &Result{
@@ -149,6 +152,8 @@ func Simulate(cpu *plasma.CPU, golden *plasma.Golden, faults []Fault, opt Option
 
 	jobs, skipped := packPasses(cpu.Netlist, golden, faults, opt.Engine, maxW)
 	res.Stats.SkippedFaults = skipped
+	res.Stats.GoldenDenseBytes = golden.DenseStateBytes()
+	res.Stats.GoldenStoredBytes = golden.StoredStateBytes()
 
 	workers := opt.Workers
 	if workers <= 0 {
@@ -233,7 +238,8 @@ func Simulate(cpu *plasma.CPU, golden *plasma.Golden, faults []Fault, opt Option
 }
 
 // packPasses groups faults into lane-parallel passes of up to 64*maxW
-// machines. The oblivious engine packs in list order from cycle 0. The
+// machines. The oblivious engine packs in list order from cycle 0, full
+// chunks at the cap and the residue at the narrowest width holding it. The
 // differential engine sorts faults by quantized activation window, then by
 // fanout-cone signature (faults whose divergence spreads through the same
 // region of the machine share a pass, keeping a wide pass's event activity
@@ -243,17 +249,11 @@ func Simulate(cpu *plasma.CPU, golden *plasma.Golden, faults []Fault, opt Option
 // — are provably undetectable and are skipped outright; each pass starts
 // at the earliest activation among its faults.
 //
-// Width is adaptive: full chunks pack at maxW, and the final residue packs
-// at the narrowest width that still holds it, so a small late-activating
-// remainder does not pay wide-word evaluation for idle lanes.
+// Width is chosen per pass by the cost model in chooseWidth: the width
+// minimizing estimated grading cost per fault over the chunk, from
+// measured per-width constants and the chunk's cone-signature overlap.
 func packPasses(n *gate.Netlist, golden *plasma.Golden, faults []Fault, engine Engine, maxW int) ([]passJob, int64) {
 	differential := engine != EngineOblivious && golden.HasActivation()
-	type actFault struct {
-		idx  int
-		act  int32
-		cone uint64
-		comp gate.CompID
-	}
 	order := make([]actFault, 0, len(faults))
 	var skipped int64
 	var cones []uint64
@@ -301,28 +301,24 @@ func packPasses(n *gate.Netlist, golden *plasma.Golden, faults []Fault, engine E
 	}
 	var jobs []passJob
 	for lo := 0; lo < len(order); {
-		rem := len(order) - lo
-		w := maxW
-		if rem < 64*maxW {
-			w = 1
-			for 64*w < rem && w < maxW {
-				w *= 2
-			}
-		}
-		hi := lo + 64*w
-		if hi > len(order) {
-			hi = len(order)
-		}
-		idxs := make([]int, hi-lo)
+		var w, hi int
 		var start int32
 		if differential {
-			start = order[lo].act
+			w, hi, start = chooseWidth(order, lo, maxW, golden)
+		} else {
+			rem := len(order) - lo
+			w = maxW
+			if rem < 64*maxW {
+				w = 1
+				for 64*w < rem && w < maxW {
+					w *= 2
+				}
+			}
+			hi = min(lo+64*w, len(order))
 		}
+		idxs := make([]int, hi-lo)
 		for k := range idxs {
 			idxs[k] = order[lo+k].idx
-			if differential && order[lo+k].act < start {
-				start = order[lo+k].act
-			}
 		}
 		jobs = append(jobs, passJob{idxs: idxs, start: start, width: w})
 		lo = hi
@@ -341,6 +337,11 @@ type passRunner struct {
 	wdata   []gate.Sig
 	wstrobe []gate.Sig
 	daccess gate.Sig
+
+	// gstate is the rolling golden flip-flop state entering the cycle the
+	// pass is about to simulate, advanced each cycle by the golden trace's
+	// sparse delta stream; detected lanes are conformed back to it.
+	gstate []uint64
 }
 
 func newPassRunner(cpu *plasma.CPU, s *gate.Sim, golden *plasma.Golden) *passRunner {
@@ -362,9 +363,13 @@ var spread = [2]uint64{0, ^uint64(0)}
 // writing each lane's outcome through the pass's original-index mapping.
 // Lane L lives in bit L%64 of lane word L/64 of every signal. A pass
 // starting past cycle 0 is fast-forwarded by loading the golden flip-flop
-// checkpoint: before its earliest activation every faulty machine is
-// bit-identical to the golden machine, so nothing is lost. When checkpoints
-// are available, each detected lane is conformed back to the golden
+// snapshot at the nearest checkpoint boundary at or before its earliest
+// activation, then replaying the (at most CheckpointK-1) golden cycles up
+// to it on the already-warm event simulator: before its earliest
+// activation every faulty machine is bit-identical to the golden machine,
+// so nothing is lost at the boundary and the replayed cycles generate only
+// the golden machine's own switching activity. When checkpoints are
+// available, each detected lane is conformed back to the golden
 // trajectory (state overwrite + fault disarm) — sound because detected
 // lanes are masked out of all future detection logic — which starves the
 // event queue of its activity.
@@ -379,13 +384,24 @@ func (r *passRunner) runPass(faults []Fault, job passJob, detectedAt []int32, si
 	s.Reset()
 	s.SetFaults(lf)
 	conform := g.HasActivation() && s.EventDriven()
+	ff := int32(0)
 	if job.start > 0 {
-		s.LoadState(g.DFFs, g.State[job.start])
+		ff = g.CheckpointFloor(job.start)
+		if ff > 0 {
+			s.LoadState(g.DFFs, g.Snapshot(ff))
+		}
+	}
+	if conform {
+		if r.gstate == nil {
+			r.gstate = make([]uint64, g.StateWords())
+		}
+		copy(r.gstate, g.Snapshot(ff))
 	}
 
 	r.stats.Passes++
 	r.stats.PassWidthHist[widthLog2(w)]++
-	r.stats.FastForwarded += int64(job.start)
+	r.stats.FastForwarded += int64(ff)
+	r.stats.ReplayedCycles += int64(job.start - ff)
 
 	// Per-lane-word bitmaps of live, detected and to-be-conformed lanes.
 	var active, detected, toConform [gate.MaxLaneWords]uint64
@@ -403,7 +419,7 @@ func (r *passRunner) runPass(faults []Fault, job passJob, detectedAt []int32, si
 		}
 	}
 	var addrDiff, daDiff, strobeDiff, wdataDiff, laneWrites [gate.MaxLaneWords]uint64
-	for t := int(job.start); t < g.Cycles; t++ {
+	for t := int(ff); t < g.Cycles; t++ {
 		r.stats.SimCycles++
 		s.SetBusUniform(plasma.PortRData, uint64(g.RData[t]))
 		s.Eval()
@@ -510,20 +526,24 @@ func (r *passRunner) runPass(faults []Fault, job passJob, detectedAt []int32, si
 			anyConform = true
 		}
 		s.Latch()
-		if conform && anyConform {
-			// Conform detected lanes to the golden state entering cycle
-			// t+1. Must happen after Latch: Latch would overwrite the
-			// conformed bits with the lane's faulty D values.
-			for k := 0; k < w; k++ {
-				for rem := toConform[k]; rem != 0; {
-					bit := bits.TrailingZeros64(rem)
-					s.DropLaneFaults(k<<6 + bit)
-					s.SetLaneState(k<<6+bit, g.DFFs, g.State[t+1])
-					rem &^= 1 << uint(bit)
+		if conform {
+			// Advance the rolling golden state to the state entering cycle
+			// t+1, then conform detected lanes to it. Must happen after
+			// Latch: Latch would overwrite the conformed bits with the
+			// lane's faulty D values.
+			g.AdvanceState(r.gstate, int32(t))
+			if anyConform {
+				for k := 0; k < w; k++ {
+					for rem := toConform[k]; rem != 0; {
+						bit := bits.TrailingZeros64(rem)
+						s.DropLaneFaults(k<<6 + bit)
+						s.SetLaneState(k<<6+bit, g.DFFs, r.gstate)
+						rem &^= 1 << uint(bit)
+					}
+					toConform[k] = 0
 				}
-				toConform[k] = 0
+				anyConform = false
 			}
-			anyConform = false
 		}
 	}
 	exit(g.Cycles - 1)

@@ -13,18 +13,23 @@ type SimStats struct {
 	// to 64*LaneWords faulty machines).
 	Passes int64
 	// PassWidthHist histograms passes by lane width: slot i counts passes
-	// run at width 2^i words (1, 2, 4, 8).
-	PassWidthHist [4]int64
+	// run at width 2^i words (1, 2, 4, 8, 16, 32).
+	PassWidthHist [widthSlots]int64
 	// GateEvalsByWidth splits GateEvals by the lane width of the pass that
 	// performed them, same slot mapping as PassWidthHist. One eval of a
 	// width-w pass computes 64*w faulty machines at once.
-	GateEvalsByWidth [4]int64
+	GateEvalsByWidth [widthSlots]int64
 	// SimCycles is the number of clock cycles actually simulated (after
 	// fast-forwarding and early pass exits).
 	SimCycles int64
 	// FastForwarded is the number of cycles skipped by jumping passes to
-	// the golden checkpoint before their earliest fault activation.
+	// the golden checkpoint boundary before their earliest fault
+	// activation.
 	FastForwarded int64
+	// ReplayedCycles is the number of golden cycles simulated between a
+	// pass's checkpoint boundary and its earliest fault activation: the
+	// price of sparse checkpoints, bounded by CheckpointK-1 per pass.
+	ReplayedCycles int64
 	// SkippedFaults counts faults never simulated because their site never
 	// holds the activating value anywhere in the golden run (provably
 	// undetectable by this program).
@@ -45,6 +50,12 @@ type SimStats struct {
 	// ExitHist histograms pass end cycles (early exit on full detection or
 	// run-out) by golden-run decile.
 	ExitHist [10]int64
+	// GoldenDenseBytes is the size the golden flip-flop trace would occupy
+	// in the dense one-snapshot-per-cycle format; GoldenStoredBytes is the
+	// size the sparse delta-encoded trace actually occupies (in memory and
+	// in the artifact cache). Their ratio is the compression factor.
+	GoldenDenseBytes  int64
+	GoldenStoredBytes int64
 }
 
 // Add accumulates other into s.
@@ -56,6 +67,7 @@ func (s *SimStats) Add(other *SimStats) {
 	}
 	s.SimCycles += other.SimCycles
 	s.FastForwarded += other.FastForwarded
+	s.ReplayedCycles += other.ReplayedCycles
 	s.SkippedFaults += other.SkippedFaults
 	s.GateEvals += other.GateEvals
 	s.Events += other.Events
@@ -64,6 +76,8 @@ func (s *SimStats) Add(other *SimStats) {
 		s.DroppedPerWindow[i] += other.DroppedPerWindow[i]
 		s.ExitHist[i] += other.ExitHist[i]
 	}
+	s.GoldenDenseBytes += other.GoldenDenseBytes
+	s.GoldenStoredBytes += other.GoldenStoredBytes
 }
 
 // EvalsPerCycle reports the mean combinational gate evaluations per
@@ -75,6 +89,15 @@ func (s *SimStats) EvalsPerCycle() float64 {
 	return float64(s.GateEvals) / float64(s.SimCycles)
 }
 
+// GoldenCompression reports the golden-trace compression factor
+// (dense-equivalent bytes over stored bytes).
+func (s *SimStats) GoldenCompression() float64 {
+	if s.GoldenStoredBytes == 0 {
+		return 0
+	}
+	return float64(s.GoldenDenseBytes) / float64(s.GoldenStoredBytes)
+}
+
 func histString(h *[10]int64) string {
 	parts := make([]string, len(h))
 	for i, v := range h {
@@ -83,21 +106,30 @@ func histString(h *[10]int64) string {
 	return "[" + strings.Join(parts, " ") + "]"
 }
 
+func widthHistString(h *[widthSlots]int64) string {
+	parts := make([]string, 0, len(h))
+	for i, v := range h {
+		parts = append(parts, fmt.Sprintf("%dw:%d", 1<<uint(i), v))
+	}
+	return strings.Join(parts, " ")
+}
+
 // String renders the stats as a compact multi-line report.
 func (s *SimStats) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "passes            %d\n", s.Passes)
-	fmt.Fprintf(&b, "passes by width   1w:%d 2w:%d 4w:%d 8w:%d\n",
-		s.PassWidthHist[0], s.PassWidthHist[1], s.PassWidthHist[2], s.PassWidthHist[3])
-	fmt.Fprintf(&b, "evals by width    1w:%d 2w:%d 4w:%d 8w:%d\n",
-		s.GateEvalsByWidth[0], s.GateEvalsByWidth[1], s.GateEvalsByWidth[2], s.GateEvalsByWidth[3])
+	fmt.Fprintf(&b, "passes by width   %s\n", widthHistString(&s.PassWidthHist))
+	fmt.Fprintf(&b, "evals by width    %s\n", widthHistString(&s.GateEvalsByWidth))
 	fmt.Fprintf(&b, "sim cycles        %d\n", s.SimCycles)
 	fmt.Fprintf(&b, "fast-forwarded    %d cycles\n", s.FastForwarded)
+	fmt.Fprintf(&b, "replayed          %d cycles (checkpoint boundary to first activation)\n", s.ReplayedCycles)
 	fmt.Fprintf(&b, "skipped faults    %d (never activated)\n", s.SkippedFaults)
 	fmt.Fprintf(&b, "gate evals        %d (%.1f/cycle)\n", s.GateEvals, s.EvalsPerCycle())
 	fmt.Fprintf(&b, "events            %d\n", s.Events)
 	fmt.Fprintf(&b, "lanes dropped     %d\n", s.LanesDropped)
 	fmt.Fprintf(&b, "drops by decile   %s\n", histString(&s.DroppedPerWindow))
-	fmt.Fprintf(&b, "pass exit decile  %s", histString(&s.ExitHist))
+	fmt.Fprintf(&b, "pass exit decile  %s\n", histString(&s.ExitHist))
+	fmt.Fprintf(&b, "golden trace      %d B stored, %d B dense-equivalent (%.1fx smaller)",
+		s.GoldenStoredBytes, s.GoldenDenseBytes, s.GoldenCompression())
 	return b.String()
 }

@@ -1,0 +1,114 @@
+package fault
+
+import (
+	"math/bits"
+
+	"repro/internal/gate"
+	"repro/internal/plasma"
+)
+
+// Cost-model lane-width selection for differential pass packing.
+//
+// The old policy was a heuristic: every full chunk of the activation-sorted
+// fault order packed at the width cap, and the final residue packed at the
+// narrowest width that held it. That was right when the cap was 8 words,
+// because per-pass fixed costs dwarfed the marginal word cost; at a 32-word
+// cap (2048 machines/pass) the trade is no longer one-sided. A wider pass
+// amortizes the per-cycle fixed overhead (level-queue sweep, read-data
+// drive, golden compare, latch bookkeeping) over more machines, but it
+//
+//   - simulates the union of its faults' fanout cones — event activity per
+//     cycle grows with the number of distinct cone regions disturbed, and
+//     every dirty gate is re-evaluated over w words; and
+//   - starts at the earliest activation among more faults, so the late
+//     activators in the chunk are dragged through cycles where their lanes
+//     sit idle.
+//
+// chooseWidth therefore estimates the grading cost of the candidate pass at
+// every width and takes the cheapest per fault carried.
+
+// actFault is one activatable fault of the activation-sorted packing order.
+type actFault struct {
+	idx  int    // index into the caller's fault list
+	act  int32  // first cycle the fault can diverge from the golden machine
+	cone uint64 // fanout-cone signature bucket mask (gate.FanoutConeSigs)
+	comp gate.CompID
+}
+
+// Per-cycle pass cost model, in arbitrary units (only the ratios matter):
+//
+//	cost/cycle = costFixed + w*wordScale(w)*(costWordBase + costWordCone*cones)
+//
+// where w is the lane width in words and cones is the popcount of the OR of
+// the pass's cone signatures (1..64 distinct fanout-cone buckets). The
+// constants were fit on the reference machine from the end-to-end
+// BenchmarkPassRunnerWidth sweep (full-universe sample, cones saturated):
+// per-pass time divided by pass count gives ~0.12s fixed + ~0.026s/word,
+// i.e. a fixed:word ratio of about 4.5:1 at full cone activity. The word
+// term is dominated by the wide sweep/compare work of golden switching
+// activity (every queued gate re-evaluates over w words), so it shrinks
+// with cone overlap; the fixed term is reset, fast-forward, replay drive
+// and per-cycle bookkeeping.
+const (
+	costFixed    = 120.0
+	costWordBase = 9.0
+	costWordCone = 0.27
+)
+
+// wordScale is the measured cache-pressure penalty on the per-word cost at
+// wide lane words: the working set per signal is w*8 bytes, and past 8
+// words the level-queue sweep starts missing L1/L2. From the same sweep,
+// per-word cost rises ~25% at w>=16 relative to w<=8.
+func wordScale(w int) float64 {
+	if w >= 16 {
+		return 1.25
+	}
+	return 1.0
+}
+
+// chooseWidth picks the lane width for the next pass of the
+// activation-sorted order starting at lo. It returns the chosen width, the
+// end of the taken range, and the earliest activation cycle in it. The
+// estimated pass cost is the simulated span (golden cycles from the
+// checkpoint boundary below the earliest activation to the end of the run)
+// times the modeled per-cycle cost; dividing by the number of faults
+// carried makes widths with idle lanes pay for them.
+func chooseWidth(order []actFault, lo, maxW int, golden *plasma.Golden) (w, hi int, start int32) {
+	rem := len(order) - lo
+	bestW, bestHi := 1, lo+min(64, rem)
+	bestStart := minAct(order[lo:bestHi])
+	bestCost := passCost(golden, bestStart, order[lo:bestHi], 1)
+	for cw := 2; cw <= maxW; cw *= 2 {
+		chi := lo + min(64*cw, rem)
+		cstart := minAct(order[lo:chi])
+		if c := passCost(golden, cstart, order[lo:chi], cw); c <= bestCost {
+			bestW, bestHi, bestStart, bestCost = cw, chi, cstart, c
+		}
+		if chi == len(order) {
+			break // wider candidates would carry the same faults for more cost
+		}
+	}
+	return bestW, bestHi, bestStart
+}
+
+// passCost estimates the per-fault grading cost of one pass of width w
+// carrying the given faults from their earliest activation.
+func passCost(golden *plasma.Golden, start int32, faults []actFault, w int) float64 {
+	var cones uint64
+	for i := range faults {
+		cones |= faults[i].cone
+	}
+	span := golden.Cycles - int(golden.CheckpointFloor(start))
+	perCycle := costFixed + float64(w)*wordScale(w)*(costWordBase+costWordCone*float64(bits.OnesCount64(cones)))
+	return float64(span) * perCycle / float64(len(faults))
+}
+
+func minAct(faults []actFault) int32 {
+	start := faults[0].act
+	for i := 1; i < len(faults); i++ {
+		if faults[i].act < start {
+			start = faults[i].act
+		}
+	}
+	return start
+}

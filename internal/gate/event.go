@@ -12,10 +12,12 @@ package gate
 //     so one ascending sweep over the level queues reaches a fixed point;
 //   - flip-flops latch only when a D input saw an event, and present their
 //     new output only when the latched state actually changed;
-//   - gates with fault-injection hooks are kept permanently dirty: a hook
-//     changes the gate's function without any input event (installation,
-//     and per-lane disarming via DropLaneFaults), so they are re-evaluated
-//     every cycle to keep stuck-at masking correct.
+//   - gates with fault-injection hooks re-evaluate when their hook set
+//     changes (installation via the full sweep, per-lane disarming via
+//     DropLaneFaults): a hook changes the gate's function without any
+//     input event, but once the injected value is established in val it is
+//     sticky, so between hook mutations hooked gates are re-evaluated only
+//     on ordinary input events like any other gate.
 //
 // The invariant maintained between Evals is word-level: every signal's
 // lane words (64*LaneWords lanes) equal its gate function applied to its
@@ -47,8 +49,9 @@ type incState struct {
 	dffChanged []Sig // DFFs whose latched state changed since the last Eval
 	dffChgSet  []bool
 
-	allDirty bool // next Eval must be a full oblivious sweep
-	latchAll bool // next Latch must scan every flip-flop
+	allDirty   bool // next Eval must be a full oblivious sweep
+	latchAll   bool // next Latch must scan every flip-flop
+	hooksDirty bool // a hook set changed: next Eval revisits hooked gates
 
 	evals  uint64 // gate evaluations performed
 	events uint64 // signal value changes propagated
@@ -199,6 +202,7 @@ func (s *Sim) presentSource(sig Sig) {
 		return
 	}
 	copy(cur, v)
+	s.uni[sig] = allEqual(v)
 	s.inc.events++
 	s.propagate(sig)
 }
@@ -209,6 +213,12 @@ func (s *Sim) evalFull() {
 	inc := s.inc
 	s.evalOblivious()
 	inc.evals += uint64(len(s.order))
+	// Re-establish the uniformity index from the freshly computed words.
+	w := s.w
+	for sig := range s.uni {
+		o := sig * w
+		s.uni[sig] = allEqual(s.val[o : o+w])
+	}
 	for lv := range inc.queue {
 		for _, sig := range inc.queue[lv] {
 			inc.inQueue[sig] = false
@@ -236,16 +246,20 @@ func (s *Sim) evalEvent() {
 		return
 	}
 	gates := s.n.Gates
-	// Fault-injection hooks keep their gates permanently dirty.
-	for _, sig := range s.hooked {
-		switch gates[sig].Kind {
-		case DFF, Const0, Const1, Input:
-			s.presentSource(sig)
-		default:
-			if !inc.inQueue[sig] {
-				inc.inQueue[sig] = true
-				lv := inc.level[sig]
-				inc.queue[lv] = append(inc.queue[lv], sig)
+	// Gates whose hook set changed since the last Eval re-present (sources)
+	// or re-queue (combinational) once, releasing or installing injections.
+	if inc.hooksDirty {
+		inc.hooksDirty = false
+		for _, sig := range s.hooked {
+			switch gates[sig].Kind {
+			case DFF, Const0, Const1, Input:
+				s.presentSource(sig)
+			default:
+				if !inc.inQueue[sig] {
+					inc.inQueue[sig] = true
+					lv := inc.level[sig]
+					inc.queue[lv] = append(inc.queue[lv], sig)
+				}
 			}
 		}
 	}
@@ -255,8 +269,15 @@ func (s *Sim) evalEvent() {
 		s.presentSource(sig)
 	}
 	inc.dffChanged = inc.dffChanged[:0]
-	if s.w == 8 {
+	switch s.w {
+	case 8:
 		s.sweep8()
+		return
+	case 16:
+		s.sweep16()
+		return
+	case 32:
+		s.sweep32()
 		return
 	}
 	w := s.w
@@ -280,21 +301,75 @@ func (s *Sim) evalEvent() {
 	}
 }
 
+// uniformInputs reports whether every input of a combinational gate is
+// lane-uniform.
+func uniformInputs(uni []bool, g *Gate) bool {
+	switch g.Kind.NumInputs() {
+	case 1:
+		return uni[g.In[0]]
+	case 2:
+		return uni[g.In[0]] && uni[g.In[1]]
+	}
+	return uni[g.In[0]] && uni[g.In[1]] && uni[g.In[2]]
+}
+
 // sweep8 is the level-queue sweep of evalEvent specialized to 8 lane
-// words: array compare/copy of the 64-byte lane vector instead of the
-// word-loop helpers.
+// words: direct kernel dispatch and an XOR-fold change test (an array
+// equality compare at these sizes compiles to a memequal call, whose
+// overhead dominates the handful of fully unrolled XOR/OR ops). Unhooked
+// gates whose inputs are all lane-uniform take a scalar fast path: one
+// word evaluated, broadcast on change.
 func (s *Sim) sweep8() {
 	inc := s.inc
+	gates := s.n.Gates
+	uni := s.uni
+	val := s.val
 	out := (*[8]uint64)(s.tout[:8])
 	for lv := int32(1); lv <= inc.maxLevel; lv++ {
 		q := inc.queue[lv]
 		for i := 0; i < len(q); i++ {
 			sig := q[i]
 			inc.inQueue[sig] = false
-			s.computeInto(sig, s.tout[:8])
 			inc.evals++
-			cur := (*[8]uint64)(s.val[int(sig)*8:])
-			if *cur != *out {
+			g := &gates[sig]
+			if s.hookIdx[sig] < 0 && uniformInputs(uni, g) {
+				var a, b, c uint64
+				switch g.Kind.NumInputs() {
+				case 3:
+					c = val[int(g.In[2])*8]
+					fallthrough
+				case 2:
+					b = val[int(g.In[1])*8]
+					fallthrough
+				case 1:
+					a = val[int(g.In[0])*8]
+				}
+				r := evalWord(g.Kind, a, b, c)
+				cur := (*[8]uint64)(val[int(sig)*8:])
+				if uni[sig] && cur[0] == r {
+					continue
+				}
+				for k := range cur {
+					cur[k] = r
+				}
+				uni[sig] = true
+				inc.events++
+				s.propagate(sig)
+				continue
+			}
+			s.computeInto8(sig, out)
+			if h := s.hookIdx[sig]; h >= 0 {
+				s.patchHooks(sig, h, s.tout[:8])
+			}
+			cur := (*[8]uint64)(val[int(sig)*8:])
+			u := out[0]
+			var diff, nun uint64
+			for k := range cur {
+				diff |= cur[k] ^ out[k]
+				nun |= out[k] ^ u
+			}
+			uni[sig] = nun == 0
+			if diff != 0 {
 				*cur = *out
 				inc.events++
 				s.propagate(sig)
@@ -377,20 +452,25 @@ func (s *Sim) SetLaneState(lane int, dffs []Sig, bits []uint64) {
 }
 
 // DropLaneFaults disarms every fault injection assigned to the given lane.
-// The hooks stay installed (and their gates stay permanently dirty, which
-// releases the injected values on the next Eval) but become inert for the
-// lane.
+// The hooks stay installed but become inert for the lane; the hook
+// mutation marks hooked gates for one re-evaluation on the next Eval,
+// which releases the injected values.
 func (s *Sim) DropLaneFaults(lane int) {
 	wi := int32(lane >> 6)
 	m := uint64(1) << uint(lane&63)
+	changed := false
 	for _, g := range s.hooked {
 		h := s.hookIdx[g]
 		for j := range s.hooks[h] {
 			if s.hooks[h][j].word == wi && s.hooks[h][j].mask&m != 0 {
 				s.hooks[h][j].mask = 0
 				s.hooks[h][j].stuck = 0
+				changed = true
 			}
 		}
+	}
+	if changed && s.inc != nil {
+		s.inc.hooksDirty = true
 	}
 }
 

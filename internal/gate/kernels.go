@@ -1,0 +1,242 @@
+package gate
+
+import "fmt"
+
+// Wide-width array kernels. computeInto8 (sim.go) established the pattern:
+// converting the operand slices to fixed-size array pointers lets every
+// word loop run bounds-check-free with a fixed trip count the compiler
+// unrolls and vectorizes. Go has no const-generic arrays, so the 16- and
+// 32-word kernels (and their event-sweep drivers) are spelled out here; the
+// switch bodies must mirror computeInto8 exactly.
+
+// computeInto16 is computeInto specialized to 16 lane words and no
+// injection hooks.
+func (s *Sim) computeInto16(sig Sig, dst *[16]uint64) {
+	g := &s.n.Gates[sig]
+	val := s.val
+	a := (*[16]uint64)(val[int(g.In[0])*16:])
+	switch g.Kind {
+	case Buf:
+		*dst = *a
+	case Not:
+		for k := range dst {
+			dst[k] = ^a[k]
+		}
+	case And2:
+		b := (*[16]uint64)(val[int(g.In[1])*16:])
+		for k := range dst {
+			dst[k] = a[k] & b[k]
+		}
+	case Or2:
+		b := (*[16]uint64)(val[int(g.In[1])*16:])
+		for k := range dst {
+			dst[k] = a[k] | b[k]
+		}
+	case Nand2:
+		b := (*[16]uint64)(val[int(g.In[1])*16:])
+		for k := range dst {
+			dst[k] = ^(a[k] & b[k])
+		}
+	case Nor2:
+		b := (*[16]uint64)(val[int(g.In[1])*16:])
+		for k := range dst {
+			dst[k] = ^(a[k] | b[k])
+		}
+	case Xor2:
+		b := (*[16]uint64)(val[int(g.In[1])*16:])
+		for k := range dst {
+			dst[k] = a[k] ^ b[k]
+		}
+	case Xnor2:
+		b := (*[16]uint64)(val[int(g.In[1])*16:])
+		for k := range dst {
+			dst[k] = ^(a[k] ^ b[k])
+		}
+	case Mux2:
+		b := (*[16]uint64)(val[int(g.In[1])*16:])
+		c := (*[16]uint64)(val[int(g.In[2])*16:])
+		for k := range dst {
+			dst[k] = a[k]&^c[k] | b[k]&c[k]
+		}
+	default:
+		panic(fmt.Sprintf("gate: unexpected kind %s in eval order", g.Kind))
+	}
+}
+
+// computeInto32 is computeInto specialized to 32 lane words and no
+// injection hooks.
+func (s *Sim) computeInto32(sig Sig, dst *[32]uint64) {
+	g := &s.n.Gates[sig]
+	val := s.val
+	a := (*[32]uint64)(val[int(g.In[0])*32:])
+	switch g.Kind {
+	case Buf:
+		*dst = *a
+	case Not:
+		for k := range dst {
+			dst[k] = ^a[k]
+		}
+	case And2:
+		b := (*[32]uint64)(val[int(g.In[1])*32:])
+		for k := range dst {
+			dst[k] = a[k] & b[k]
+		}
+	case Or2:
+		b := (*[32]uint64)(val[int(g.In[1])*32:])
+		for k := range dst {
+			dst[k] = a[k] | b[k]
+		}
+	case Nand2:
+		b := (*[32]uint64)(val[int(g.In[1])*32:])
+		for k := range dst {
+			dst[k] = ^(a[k] & b[k])
+		}
+	case Nor2:
+		b := (*[32]uint64)(val[int(g.In[1])*32:])
+		for k := range dst {
+			dst[k] = ^(a[k] | b[k])
+		}
+	case Xor2:
+		b := (*[32]uint64)(val[int(g.In[1])*32:])
+		for k := range dst {
+			dst[k] = a[k] ^ b[k]
+		}
+	case Xnor2:
+		b := (*[32]uint64)(val[int(g.In[1])*32:])
+		for k := range dst {
+			dst[k] = ^(a[k] ^ b[k])
+		}
+	case Mux2:
+		b := (*[32]uint64)(val[int(g.In[1])*32:])
+		c := (*[32]uint64)(val[int(g.In[2])*32:])
+		for k := range dst {
+			dst[k] = a[k]&^c[k] | b[k]&c[k]
+		}
+	default:
+		panic(fmt.Sprintf("gate: unexpected kind %s in eval order", g.Kind))
+	}
+}
+
+// sweep16 is the level-queue sweep of evalEvent specialized to 16 lane
+// words (see sweep8 in event.go).
+func (s *Sim) sweep16() {
+	inc := s.inc
+	gates := s.n.Gates
+	uni := s.uni
+	val := s.val
+	out := (*[16]uint64)(s.tout[:16])
+	for lv := int32(1); lv <= inc.maxLevel; lv++ {
+		q := inc.queue[lv]
+		for i := 0; i < len(q); i++ {
+			sig := q[i]
+			inc.inQueue[sig] = false
+			inc.evals++
+			g := &gates[sig]
+			if s.hookIdx[sig] < 0 && uniformInputs(uni, g) {
+				var a, b, c uint64
+				switch g.Kind.NumInputs() {
+				case 3:
+					c = val[int(g.In[2])*16]
+					fallthrough
+				case 2:
+					b = val[int(g.In[1])*16]
+					fallthrough
+				case 1:
+					a = val[int(g.In[0])*16]
+				}
+				r := evalWord(g.Kind, a, b, c)
+				cur := (*[16]uint64)(val[int(sig)*16:])
+				if uni[sig] && cur[0] == r {
+					continue
+				}
+				for k := range cur {
+					cur[k] = r
+				}
+				uni[sig] = true
+				inc.events++
+				s.propagate(sig)
+				continue
+			}
+			s.computeInto16(sig, out)
+			if h := s.hookIdx[sig]; h >= 0 {
+				s.patchHooks(sig, h, s.tout[:16])
+			}
+			cur := (*[16]uint64)(val[int(sig)*16:])
+			u := out[0]
+			var diff, nun uint64
+			for k := range cur {
+				diff |= cur[k] ^ out[k]
+				nun |= out[k] ^ u
+			}
+			uni[sig] = nun == 0
+			if diff != 0 {
+				*cur = *out
+				inc.events++
+				s.propagate(sig)
+			}
+		}
+		inc.queue[lv] = q[:0]
+	}
+}
+
+// sweep32 is the level-queue sweep of evalEvent specialized to 32 lane
+// words (see sweep8 in event.go).
+func (s *Sim) sweep32() {
+	inc := s.inc
+	gates := s.n.Gates
+	uni := s.uni
+	val := s.val
+	out := (*[32]uint64)(s.tout[:32])
+	for lv := int32(1); lv <= inc.maxLevel; lv++ {
+		q := inc.queue[lv]
+		for i := 0; i < len(q); i++ {
+			sig := q[i]
+			inc.inQueue[sig] = false
+			inc.evals++
+			g := &gates[sig]
+			if s.hookIdx[sig] < 0 && uniformInputs(uni, g) {
+				var a, b, c uint64
+				switch g.Kind.NumInputs() {
+				case 3:
+					c = val[int(g.In[2])*32]
+					fallthrough
+				case 2:
+					b = val[int(g.In[1])*32]
+					fallthrough
+				case 1:
+					a = val[int(g.In[0])*32]
+				}
+				r := evalWord(g.Kind, a, b, c)
+				cur := (*[32]uint64)(val[int(sig)*32:])
+				if uni[sig] && cur[0] == r {
+					continue
+				}
+				for k := range cur {
+					cur[k] = r
+				}
+				uni[sig] = true
+				inc.events++
+				s.propagate(sig)
+				continue
+			}
+			s.computeInto32(sig, out)
+			if h := s.hookIdx[sig]; h >= 0 {
+				s.patchHooks(sig, h, s.tout[:32])
+			}
+			cur := (*[32]uint64)(val[int(sig)*32:])
+			u := out[0]
+			var diff, nun uint64
+			for k := range cur {
+				diff |= cur[k] ^ out[k]
+				nun |= out[k] ^ u
+			}
+			uni[sig] = nun == 0
+			if diff != 0 {
+				*cur = *out
+				inc.events++
+				s.propagate(sig)
+			}
+		}
+		inc.queue[lv] = q[:0]
+	}
+}

@@ -2,9 +2,9 @@ package gate
 
 import "fmt"
 
-// MaxLaneWords is the widest supported lane word: 8 uint64 words per
-// signal, i.e. up to 512 independent machines per simulation.
-const MaxLaneWords = 8
+// MaxLaneWords is the widest supported lane word: 32 uint64 words per
+// signal, i.e. up to 2048 independent machines per simulation.
+const MaxLaneWords = 32
 
 // FaultSite identifies a single stuck-at fault location: a pin of a gate.
 // Pin 0 is the gate output (equivalently the stem of the driven signal);
@@ -64,9 +64,19 @@ type Sim struct {
 	hooks   [][]laneInject
 	hooked  []Sig // signals that currently have hooks, for cheap clearing
 
-	// Scratch lane words for hook application (hooked gates copy their
-	// pin values here before injecting) and event-mode output compare.
-	ta, tb, tc, tout [MaxLaneWords]uint64
+	// uni marks signals whose lane words are all equal (every machine
+	// agrees). In a fault pass most switching activity is the golden
+	// machine's own, identical in every lane, so the event sweeps evaluate
+	// all-uniform-input gates over a single scalar word and broadcast on
+	// change instead of running the full-width kernels. Advisory and
+	// conservative: val always holds the true words; uni is set only on
+	// writes that are provably uniform (and by the equality fold of the
+	// full path, so uniformity recovers after divergent lanes conform).
+	uni []bool
+
+	// Scratch lane words: ta for D-pin hook application in latchOne, tout
+	// for source presentation and event-mode output compare.
+	ta, tout [MaxLaneWords]uint64
 
 	inc *incState // non-nil: event-driven incremental evaluation (event.go)
 }
@@ -76,10 +86,10 @@ type Sim struct {
 func NewSim(n *Netlist) (*Sim, error) { return NewSimWidth(n, 1) }
 
 // NewSimWidth compiles a netlist into a simulator carrying w lane words
-// (64*w lanes) per signal. w must be 1, 2, 4 or 8.
+// (64*w lanes) per signal. w must be a power of two in [1, MaxLaneWords].
 func NewSimWidth(n *Netlist, w int) (*Sim, error) {
-	if w != 1 && w != 2 && w != 4 && w != 8 {
-		return nil, fmt.Errorf("gate: lane words must be 1, 2, 4 or 8; got %d", w)
+	if w < 1 || w > MaxLaneWords || w&(w-1) != 0 {
+		return nil, fmt.Errorf("gate: lane words must be a power of two in [1,%d]; got %d", MaxLaneWords, w)
 	}
 	if err := n.Validate(); err != nil {
 		return nil, err
@@ -96,6 +106,7 @@ func NewSimWidth(n *Netlist, w int) (*Sim, error) {
 		state:   make([]uint64, len(n.Gates)*w),
 		hookIdx: make([]int32, len(n.Gates)),
 		hooks:   make([][]laneInject, 0, 64),
+		uni:     make([]bool, len(n.Gates)),
 	}
 	for i := range s.hookIdx {
 		s.hookIdx[i] = -1
@@ -192,6 +203,7 @@ func (s *Sim) driveInput(sig Sig, word uint64) {
 		return
 	}
 	copy(cur, v)
+	s.uni[sig] = allEqual(v)
 	if s.inc != nil && !s.inc.allDirty {
 		s.inc.events++
 		s.propagate(sig)
@@ -202,6 +214,17 @@ func (s *Sim) driveInput(sig Sig, word uint64) {
 func wordsEqual(a, b []uint64) bool {
 	for k := range a {
 		if a[k] != b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// allEqual reports whether every lane word of a signal value agrees.
+func allEqual(v []uint64) bool {
+	u := v[0]
+	for _, x := range v[1:] {
+		if x != u {
 			return false
 		}
 	}
@@ -250,6 +273,7 @@ func (s *Sim) SetBusWords(name string, words []uint64) {
 			continue
 		}
 		copy(cur, v)
+		s.uni[sig] = allEqual(v)
 		if s.inc != nil && !s.inc.allDirty {
 			s.inc.events++
 			s.propagate(sig)
@@ -307,15 +331,106 @@ func (s *Sim) applyHooks(h int32, pin int8, v []uint64) {
 // slice (the combinational graph is acyclic, so dst never aliases an
 // input).
 func (s *Sim) computeInto(sig Sig, dst []uint64) {
-	g := &s.n.Gates[sig]
-	h := s.hookIdx[sig]
-	w := s.w
-	if w == 8 && h < 0 {
-		// Hot path at the default width: fixed-size array kernels carry no
-		// bounds checks and unroll. Hooked gates take the generic path.
+	// Hot path at the wide widths: fixed-size array kernels carry no
+	// bounds checks and unroll. Hooked gates (the permanently dirty fault
+	// sites, re-evaluated every cycle in event mode) take the same kernels;
+	// an injection is confined to one bit of one lane word, so patchHooks
+	// repairs just the affected words afterwards instead of copying whole
+	// operands through the scratch buffers.
+	switch s.w {
+	case 8:
 		s.computeInto8(sig, (*[8]uint64)(dst))
-		return
+	case 16:
+		s.computeInto16(sig, (*[16]uint64)(dst))
+	case 32:
+		s.computeInto32(sig, (*[32]uint64)(dst))
+	default:
+		s.computeIntoGeneric(sig, dst)
 	}
+	if h := s.hookIdx[sig]; h >= 0 {
+		s.patchHooks(sig, h, dst)
+	}
+}
+
+// patchHooks repairs the injected words of a hooked gate's freshly
+// computed output. Each input-pin injection's word is recomputed from its
+// scalar pin values with every input injection for that word applied;
+// output (pin 0) injections are then masked into dst directly.
+func (s *Sim) patchHooks(sig Sig, h int32, dst []uint64) {
+	g := &s.n.Gates[sig]
+	w := s.w
+	val := s.val
+	hooks := s.hooks[h]
+	for i := range hooks {
+		inj := &hooks[i]
+		if inj.pin == 0 {
+			continue
+		}
+		k := int(inj.word)
+		var a, b, c uint64
+		switch g.Kind.NumInputs() {
+		case 3:
+			c = val[int(g.In[2])*w+k]
+			fallthrough
+		case 2:
+			b = val[int(g.In[1])*w+k]
+			fallthrough
+		case 1:
+			a = val[int(g.In[0])*w+k]
+		}
+		for j := range hooks {
+			nj := &hooks[j]
+			if nj.word != inj.word {
+				continue
+			}
+			switch nj.pin {
+			case 1:
+				a = a&^nj.mask | nj.stuck
+			case 2:
+				b = b&^nj.mask | nj.stuck
+			case 3:
+				c = c&^nj.mask | nj.stuck
+			}
+		}
+		dst[k] = evalWord(g.Kind, a, b, c)
+	}
+	for i := range hooks {
+		inj := &hooks[i]
+		if inj.pin == 0 {
+			dst[inj.word] = dst[inj.word]&^inj.mask | inj.stuck
+		}
+	}
+}
+
+// evalWord evaluates one combinational gate over a single lane word.
+func evalWord(kind Kind, a, b, c uint64) uint64 {
+	switch kind {
+	case Buf:
+		return a
+	case Not:
+		return ^a
+	case And2:
+		return a & b
+	case Or2:
+		return a | b
+	case Nand2:
+		return ^(a & b)
+	case Nor2:
+		return ^(a | b)
+	case Xor2:
+		return a ^ b
+	case Xnor2:
+		return ^(a ^ b)
+	case Mux2:
+		return a&^c | b&c
+	}
+	panic(fmt.Sprintf("gate: unexpected kind %s in eval order", kind))
+}
+
+// computeIntoGeneric is the any-width fallback evaluation.
+func (s *Sim) computeIntoGeneric(sig Sig, dst []uint64) {
+	g := &s.n.Gates[sig]
+	w := s.w
 	val := s.val
 	var a, b, c []uint64
 	switch g.Kind.NumInputs() {
@@ -328,26 +443,6 @@ func (s *Sim) computeInto(sig Sig, dst []uint64) {
 	case 3:
 		o0, o1, o2 := int(g.In[0])*w, int(g.In[1])*w, int(g.In[2])*w
 		a, b, c = val[o0:o0+w], val[o1:o1+w], val[o2:o2+w]
-	}
-	if h >= 0 {
-		if a != nil {
-			t := s.ta[:w]
-			copy(t, a)
-			s.applyHooks(h, 1, t)
-			a = t
-		}
-		if b != nil {
-			t := s.tb[:w]
-			copy(t, b)
-			s.applyHooks(h, 2, t)
-			b = t
-		}
-		if c != nil {
-			t := s.tc[:w]
-			copy(t, c)
-			s.applyHooks(h, 3, t)
-			c = t
-		}
 	}
 	switch g.Kind {
 	case Buf:
@@ -386,9 +481,6 @@ func (s *Sim) computeInto(sig Sig, dst []uint64) {
 		}
 	default:
 		panic(fmt.Sprintf("gate: unexpected kind %s in eval order", g.Kind))
-	}
-	if h >= 0 {
-		s.applyHooks(h, 0, dst)
 	}
 }
 

@@ -53,7 +53,7 @@ func buildBenchNetlist(nRegs, nComb int) *Netlist {
 func BenchmarkEventEvalWidth(b *testing.B) {
 	n := buildBenchNetlist(256, 4000)
 	sites := collectFaultSites(n)
-	for _, w := range []int{1, 2, 4, 8} {
+	for _, w := range []int{1, 2, 4, 8, 16, 32} {
 		b.Run(fmt.Sprintf("w=%d", w), func(b *testing.B) {
 			s, err := NewEventSimWidth(n, w)
 			if err != nil {

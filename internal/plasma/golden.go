@@ -1,0 +1,227 @@
+package plasma
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/gate"
+	"repro/internal/sim"
+)
+
+// DefaultCheckpointK is the checkpoint interval used when a caller does not
+// choose one: full flip-flop snapshots every 32 cycles, XOR-deltas between
+// them. Fault-simulation passes fast-forward to the nearest boundary at or
+// before their earliest activation and replay at most K-1 golden cycles on
+// the already-warm event simulator, so larger K trades a little replay for
+// a proportionally smaller golden trace.
+const DefaultCheckpointK = 32
+
+// Golden is the recorded fault-free execution of a program: the per-cycle
+// read-data stream and primary-output values, plus the activation metadata
+// that powers differential fault simulation. Fault simulation replays the
+// read data and compares outputs. All fields are exported plain data so a
+// trace round-trips through encoding/gob unchanged (internal/cache
+// persists captures keyed by netlist + program hash + checkpoint interval).
+//
+// Flip-flop state is stored sparsely: a full snapshot of every DFF at each
+// CheckpointK-cycle boundary, and per-cycle XOR-deltas (only the changed
+// 64-bit words) between boundaries. The dense equivalent — one full
+// snapshot per cycle, the format before the delta encoding — is
+// reconstructible exactly: state entering cycle t is the snapshot at the
+// nearest boundary <= t with the deltas of the intervening cycles applied.
+type Golden struct {
+	// RData[t] is the word returned by memory at cycle t.
+	RData []uint32
+	// Out[t] is the sampled primary-output state at cycle t.
+	Out []BusState
+	// Cycles is len(RData).
+	Cycles int
+
+	// DFFs is the canonical flip-flop ordering for state snapshots.
+	DFFs []gate.Sig
+
+	// CheckpointK is the snapshot interval: Snaps holds a full state row
+	// (bit i = DFFs[i], StateWords() words) for every cycle that is a
+	// multiple of CheckpointK in [0, Cycles], concatenated in order.
+	CheckpointK int
+	Snaps       []uint64
+	// The delta stream: the state entering cycle t+1 is the state entering
+	// cycle t with DeltaXor[j] XORed into word DeltaPos[j] for j in
+	// [DeltaIdx[t], DeltaIdx[t+1]). Words that did not change carry no
+	// entry, which is what shrinks the trace: a CPU cycle touches a few
+	// words of flip-flop state, not all of them.
+	DeltaIdx []uint32
+	DeltaPos []uint16
+	DeltaXor []uint64
+
+	// First0[s] / First1[s] record the first cycle at which signal s held
+	// value 0 / 1 on the fault-observation timeline (the post-read-data
+	// Eval, which is exactly what a fault-simulation pass observes each
+	// cycle), or -1 if it never did. A stuck-at-v fault first diverges
+	// from the fault-free machine at the first cycle its site holds 1-v,
+	// so these bound every fault's activation cycle.
+	First0, First1 []int32
+}
+
+// HasActivation reports whether activation metadata was recorded.
+func (g *Golden) HasActivation() bool { return g.First0 != nil }
+
+// ActivationCycle returns the first cycle at which the given fault site
+// diverges from the fault-free machine, or -1 if it never activates (the
+// fault is undetectable by this program and need not be simulated).
+func (g *Golden) ActivationCycle(n *gate.Netlist, site gate.FaultSite) int32 {
+	sig := site.Gate
+	if site.Pin > 0 {
+		sig = n.Gates[site.Gate].In[site.Pin-1]
+	}
+	if site.Stuck {
+		return g.First0[sig] // s-a-1 activates when the fault-free value is 0
+	}
+	return g.First1[sig]
+}
+
+// StateWords is the length of one full flip-flop snapshot in 64-bit words.
+func (g *Golden) StateWords() int { return (len(g.DFFs) + 63) / 64 }
+
+// CheckpointFloor returns the greatest checkpoint boundary at or before
+// cycle t: the cycle a fault-simulation pass fast-forwards to before
+// replaying at most CheckpointK-1 golden cycles up to t.
+func (g *Golden) CheckpointFloor(t int32) int32 {
+	k := int32(g.CheckpointK)
+	return t - t%k
+}
+
+// Snapshot returns the full state row for a checkpoint boundary cycle
+// (which must be a multiple of CheckpointK in [0, Cycles]).
+func (g *Golden) Snapshot(cycle int32) []uint64 {
+	if cycle%int32(g.CheckpointK) != 0 {
+		panic(fmt.Sprintf("plasma: cycle %d is not a checkpoint boundary (k=%d)", cycle, g.CheckpointK))
+	}
+	w := g.StateWords()
+	i := int(cycle) / g.CheckpointK
+	return g.Snaps[i*w : (i+1)*w]
+}
+
+// StateAt reconstructs the flip-flop state entering cycle t (bit i =
+// DFFs[i]) into dst, which must hold StateWords() words: the nearest
+// boundary snapshot plus at most CheckpointK-1 cycle deltas.
+func (g *Golden) StateAt(t int32, dst []uint64) {
+	b := g.CheckpointFloor(t)
+	copy(dst, g.Snapshot(b))
+	for c := b; c < t; c++ {
+		g.AdvanceState(dst, c)
+	}
+}
+
+// AdvanceState applies cycle t's delta to a state buffer, advancing it
+// from the state entering cycle t to the state entering cycle t+1. Fault
+// simulation keeps one rolling buffer per pass this way, paying only for
+// the words that actually changed.
+func (g *Golden) AdvanceState(dst []uint64, t int32) {
+	for j := g.DeltaIdx[t]; j < g.DeltaIdx[t+1]; j++ {
+		dst[g.DeltaPos[j]] ^= g.DeltaXor[j]
+	}
+}
+
+// DenseStateBytes is the size the flip-flop trace would occupy in the
+// dense one-snapshot-per-cycle format the sparse encoding replaced.
+func (g *Golden) DenseStateBytes() int64 {
+	return int64(g.Cycles+1) * int64(g.StateWords()) * 8
+}
+
+// StoredStateBytes is the size the sparse flip-flop trace actually
+// occupies (snapshots, delta index and delta payload).
+func (g *Golden) StoredStateBytes() int64 {
+	return int64(len(g.Snaps))*8 + int64(len(g.DeltaIdx))*4 +
+		int64(len(g.DeltaPos))*2 + int64(len(g.DeltaXor))*8
+}
+
+// CaptureGolden runs a program image from reset for cycles clock cycles
+// and records the golden read-data and output streams, the sparse
+// checkpointed flip-flop trace at the default interval, and each signal's
+// first cycle at 0 and at 1.
+func CaptureGolden(cpu *CPU, prog *asm.Program, cycles int) (*Golden, error) {
+	return CaptureGoldenK(cpu, prog, cycles, DefaultCheckpointK)
+}
+
+// CaptureGoldenK is CaptureGolden with an explicit checkpoint interval k
+// (k >= 1; k = 1 stores a full snapshot every cycle, the dense format).
+func CaptureGoldenK(cpu *CPU, prog *asm.Program, cycles int, k int) (*Golden, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("plasma: checkpoint interval must be >= 1; got %d", k)
+	}
+	mem := sim.NewMemory()
+	mem.LoadProgram(prog)
+	m, err := NewMachine(cpu, mem)
+	if err != nil {
+		return nil, err
+	}
+	n := cpu.Netlist
+	dffs := n.DFFSignals()
+	words := (len(dffs) + 63) / 64
+	if words > 1<<16 {
+		return nil, fmt.Errorf("plasma: %d flip-flops exceed the delta encoding's word index range", len(dffs))
+	}
+	g := &Golden{
+		RData:       make([]uint32, cycles),
+		Out:         make([]BusState, cycles),
+		Cycles:      cycles,
+		DFFs:        dffs,
+		CheckpointK: k,
+		Snaps:       make([]uint64, 0, (cycles/k+1)*words),
+		DeltaIdx:    make([]uint32, cycles+1),
+		First0:      make([]int32, len(n.Gates)),
+		First1:      make([]int32, len(n.Gates)),
+	}
+	prev := make([]uint64, words)
+	cur := make([]uint64, words)
+	m.Sim.StateBits(dffs, prev)
+	g.Snaps = append(g.Snaps, prev...) // reset-state snapshot at cycle 0
+	// pending lists the signals still missing a First0 or First1 entry; it
+	// shrinks rapidly since most signals toggle within a few cycles.
+	pending := make([]gate.Sig, len(n.Gates))
+	for i := range pending {
+		pending[i] = gate.Sig(i)
+		g.First0[i], g.First1[i] = -1, -1
+	}
+	for t := 0; t < cycles; t++ {
+		m.Sim.Eval()
+		bs := m.sampleBus()
+		rdata := m.service(bs)
+		m.Sim.SetBusUniform(PortRData, uint64(rdata))
+		m.Sim.Eval()
+		keep := pending[:0]
+		for _, sig := range pending {
+			if m.Sim.SigWord(sig)&1 != 0 {
+				if g.First1[sig] < 0 {
+					g.First1[sig] = int32(t)
+				}
+			} else if g.First0[sig] < 0 {
+				g.First0[sig] = int32(t)
+			}
+			if g.First0[sig] < 0 || g.First1[sig] < 0 {
+				keep = append(keep, sig)
+			}
+		}
+		pending = keep
+		m.Sim.Latch()
+		m.Cycle++
+		g.RData[t] = rdata
+		g.Out[t] = bs
+		// cur is the state entering cycle t+1; record its delta against the
+		// state entering t, and a full snapshot on k-boundaries.
+		m.Sim.StateBits(dffs, cur)
+		for w := 0; w < words; w++ {
+			if x := cur[w] ^ prev[w]; x != 0 {
+				g.DeltaPos = append(g.DeltaPos, uint16(w))
+				g.DeltaXor = append(g.DeltaXor, x)
+			}
+		}
+		g.DeltaIdx[t+1] = uint32(len(g.DeltaXor))
+		if (t+1)%k == 0 {
+			g.Snaps = append(g.Snaps, cur...)
+		}
+		prev, cur = cur, prev
+	}
+	return g, nil
+}

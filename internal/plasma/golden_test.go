@@ -1,0 +1,127 @@
+package plasma
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/synth"
+)
+
+// goldenTestProgram exercises enough register, memory and control-flow
+// traffic that the flip-flop state keeps changing for the whole capture
+// window, so the delta stream is non-trivial at every cycle.
+const goldenTestProgram = `
+	li $t0, 0x1000
+	li $t1, 0xa5a5
+	li $s0, 6
+lp:	sw $t1, 0($t0)
+	lw $t2, 0($t0)
+	addu $t1, $t1, $t2
+	xor $t3, $t1, $t2
+	sw $t3, 4($t0)
+	addiu $t0, $t0, 8
+	addiu $s0, $s0, -1
+	bne $s0, $zero, lp
+	nop
+h:	j h
+	nop
+`
+
+func captureK(t *testing.T, cycles, k int) *Golden {
+	t.Helper()
+	prog, err := asm.Assemble(goldenTestProgram, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu := buildCPU(t, synth.NativeLib{})
+	g, err := CaptureGoldenK(cpu, prog, cycles, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestSparseCheckpointReconstruction is the soundness property of the
+// delta encoding: for any checkpoint interval, StateAt must reconstruct
+// exactly the state a dense (k=1) capture records, at every cycle. The
+// interval sweep covers k=1 itself (every cycle a boundary, no replay),
+// the default, a larger power of two, a non-divisor of the cycle count,
+// and an interval longer than the whole program (only the reset snapshot
+// exists; every cycle reconstructs by replay from cycle 0).
+func TestSparseCheckpointReconstruction(t *testing.T) {
+	const cycles = 90
+	dense := captureK(t, cycles, 1)
+	words := dense.StateWords()
+	for _, k := range []int{1, DefaultCheckpointK, 64, 7, cycles + 1000} {
+		g := captureK(t, cycles, k)
+		if g.CheckpointK != k {
+			t.Fatalf("k=%d: CheckpointK = %d", k, g.CheckpointK)
+		}
+		// The streams the fault simulator replays must not depend on k.
+		for tt := 0; tt < cycles; tt++ {
+			if g.RData[tt] != dense.RData[tt] || g.Out[tt] != dense.Out[tt] {
+				t.Fatalf("k=%d: RData/Out diverge at cycle %d", k, tt)
+			}
+		}
+		// Random access: StateAt(t) == dense snapshot at t.
+		got := make([]uint64, words)
+		for tt := int32(0); tt <= int32(cycles); tt++ {
+			g.StateAt(tt, got)
+			want := dense.Snapshot(tt)
+			for w := range got {
+				if got[w] != want[w] {
+					t.Fatalf("k=%d: StateAt(%d) word %d = %#x, dense has %#x",
+						k, tt, w, got[w], want[w])
+				}
+			}
+		}
+		// Rolling access, the per-pass conform path: one buffer advanced
+		// delta by delta across every boundary must track the dense trace.
+		roll := make([]uint64, words)
+		g.StateAt(0, roll)
+		for tt := int32(0); tt < int32(cycles); tt++ {
+			g.AdvanceState(roll, tt)
+			want := dense.Snapshot(tt + 1)
+			for w := range roll {
+				if roll[w] != want[w] {
+					t.Fatalf("k=%d: rolling state at cycle %d word %d = %#x, dense has %#x",
+						k, tt+1, w, roll[w], want[w])
+				}
+			}
+		}
+	}
+}
+
+// TestSparseCheckpointCompression checks the size accounting: the sparse
+// trace must be strictly smaller than the dense format it replaced at the
+// default interval, and the two size methods must agree with the actual
+// slice lengths.
+func TestSparseCheckpointCompression(t *testing.T) {
+	const cycles = 256
+	g := captureK(t, cycles, DefaultCheckpointK)
+	if got := g.DenseStateBytes(); got != int64(cycles+1)*int64(g.StateWords())*8 {
+		t.Fatalf("DenseStateBytes = %d", got)
+	}
+	want := int64(len(g.Snaps))*8 + int64(len(g.DeltaIdx))*4 +
+		int64(len(g.DeltaPos))*2 + int64(len(g.DeltaXor))*8
+	if got := g.StoredStateBytes(); got != want {
+		t.Fatalf("StoredStateBytes = %d, want %d", got, want)
+	}
+	if g.StoredStateBytes() >= g.DenseStateBytes() {
+		t.Fatalf("sparse trace (%d bytes) not smaller than dense (%d bytes)",
+			g.StoredStateBytes(), g.DenseStateBytes())
+	}
+}
+
+func TestCaptureGoldenKRejectsBadInterval(t *testing.T) {
+	prog, err := asm.Assemble("h: j h\nnop\n", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu := buildCPU(t, synth.NativeLib{})
+	for _, k := range []int{0, -1} {
+		if _, err := CaptureGoldenK(cpu, prog, 8, k); err == nil {
+			t.Errorf("CaptureGoldenK(k=%d) accepted an invalid interval", k)
+		}
+	}
+}

@@ -167,115 +167,6 @@ func (m *Machine) Run(maxCycles uint64) bool {
 	return false
 }
 
-// Golden is the recorded fault-free execution of a program: the per-cycle
-// read-data stream and primary-output values, plus the activation metadata
-// that powers differential fault simulation. Fault simulation replays the
-// read data and compares outputs. All fields are exported plain data so a
-// trace round-trips through encoding/gob unchanged (internal/cache
-// persists captures keyed by netlist + program hash).
-type Golden struct {
-	// RData[t] is the word returned by memory at cycle t.
-	RData []uint32
-	// Out[t] is the sampled primary-output state at cycle t.
-	Out []BusState
-	// Cycles is len(RData).
-	Cycles int
-
-	// DFFs is the canonical flip-flop ordering for State snapshots.
-	DFFs []gate.Sig
-	// State[t] is the flip-flop state (bit i = DFFs[i]) entering cycle t,
-	// for t in [0, Cycles]. State[0] is the reset state; State[Cycles] is
-	// the final state. All rows share one backing array.
-	State [][]uint64
-	// First0[s] / First1[s] record the first cycle at which signal s held
-	// value 0 / 1 on the fault-observation timeline (the post-read-data
-	// Eval, which is exactly what a fault-simulation pass observes each
-	// cycle), or -1 if it never did. A stuck-at-v fault first diverges
-	// from the fault-free machine at the first cycle its site holds 1-v,
-	// so these bound every fault's activation cycle.
-	First0, First1 []int32
-}
-
-// HasActivation reports whether activation metadata was recorded.
-func (g *Golden) HasActivation() bool { return g.First0 != nil }
-
-// ActivationCycle returns the first cycle at which the given fault site
-// diverges from the fault-free machine, or -1 if it never activates (the
-// fault is undetectable by this program and need not be simulated).
-func (g *Golden) ActivationCycle(n *gate.Netlist, site gate.FaultSite) int32 {
-	sig := site.Gate
-	if site.Pin > 0 {
-		sig = n.Gates[site.Gate].In[site.Pin-1]
-	}
-	if site.Stuck {
-		return g.First0[sig] // s-a-1 activates when the fault-free value is 0
-	}
-	return g.First1[sig]
-}
-
-// CaptureGolden runs a program image from reset for cycles clock cycles and
-// records the golden read-data and output streams, per-cycle flip-flop
-// snapshots, and each signal's first cycle at 0 and at 1.
-func CaptureGolden(cpu *CPU, prog *asm.Program, cycles int) (*Golden, error) {
-	mem := sim.NewMemory()
-	mem.LoadProgram(prog)
-	m, err := NewMachine(cpu, mem)
-	if err != nil {
-		return nil, err
-	}
-	n := cpu.Netlist
-	dffs := n.DFFSignals()
-	words := (len(dffs) + 63) / 64
-	backing := make([]uint64, (cycles+1)*words)
-	g := &Golden{
-		RData:  make([]uint32, cycles),
-		Out:    make([]BusState, cycles),
-		Cycles: cycles,
-		DFFs:   dffs,
-		State:  make([][]uint64, cycles+1),
-		First0: make([]int32, len(n.Gates)),
-		First1: make([]int32, len(n.Gates)),
-	}
-	for i := range g.State {
-		g.State[i] = backing[i*words : (i+1)*words]
-	}
-	// pending lists the signals still missing a First0 or First1 entry; it
-	// shrinks rapidly since most signals toggle within a few cycles.
-	pending := make([]gate.Sig, len(n.Gates))
-	for i := range pending {
-		pending[i] = gate.Sig(i)
-		g.First0[i], g.First1[i] = -1, -1
-	}
-	for t := 0; t < cycles; t++ {
-		m.Sim.StateBits(dffs, g.State[t])
-		m.Sim.Eval()
-		bs := m.sampleBus()
-		rdata := m.service(bs)
-		m.Sim.SetBusUniform(PortRData, uint64(rdata))
-		m.Sim.Eval()
-		keep := pending[:0]
-		for _, sig := range pending {
-			if m.Sim.SigWord(sig)&1 != 0 {
-				if g.First1[sig] < 0 {
-					g.First1[sig] = int32(t)
-				}
-			} else if g.First0[sig] < 0 {
-				g.First0[sig] = int32(t)
-			}
-			if g.First0[sig] < 0 || g.First1[sig] < 0 {
-				keep = append(keep, sig)
-			}
-		}
-		pending = keep
-		m.Sim.Latch()
-		m.Cycle++
-		g.RData[t] = rdata
-		g.Out[t] = bs
-	}
-	m.Sim.StateBits(dffs, g.State[cycles])
-	return g, nil
-}
-
 // RunProgram is a convenience: run prog on a fresh machine until halt or
 // maxCycles, returning the machine for state inspection.
 func RunProgram(cpu *CPU, prog *asm.Program, maxCycles uint64, trace bool) (*Machine, bool, error) {

@@ -1,12 +1,13 @@
 #!/bin/sh
 # benchguard.sh — regression guard for the headline fault-grading
 # benchmark. Runs BenchmarkTable5FaultCoverage once and fails if it comes
-# in more than 15% over the baseline_ns_per_op recorded in
-# BENCH_faultsim.json. Run from the repository root:
+# in more than 15% over the baseline_ns_per_op, or allocates more than
+# 15% over the baseline_bytes_per_op, recorded in BENCH_faultsim.json.
+# Run from the repository root:
 #
 #   ./scripts/benchguard.sh
 #
-# Update the baseline in BENCH_faultsim.json when a change legitimately
+# Update the baselines in BENCH_faultsim.json when a change legitimately
 # shifts the benchmark (and record the history entry explaining why).
 set -eu
 
@@ -15,8 +16,13 @@ if [ -z "$baseline" ]; then
     echo "benchguard: no baseline_ns_per_op in BENCH_faultsim.json" >&2
     exit 1
 fi
+bytebase=$(grep -o '"baseline_bytes_per_op": *[0-9]*' BENCH_faultsim.json | grep -o '[0-9]*$')
+if [ -z "$bytebase" ]; then
+    echo "benchguard: no baseline_bytes_per_op in BENCH_faultsim.json" >&2
+    exit 1
+fi
 
-out=$(go test -bench BenchmarkTable5FaultCoverage -benchtime 1x -run '^$' -timeout 3600s .)
+out=$(go test -bench BenchmarkTable5FaultCoverage -benchtime 1x -benchmem -run '^$' -timeout 3600s .)
 echo "$out"
 
 ns=$(echo "$out" | awk '/^BenchmarkTable5FaultCoverage/ {print $3; exit}')
@@ -24,11 +30,30 @@ if [ -z "$ns" ]; then
     echo "benchguard: benchmark produced no result" >&2
     exit 1
 fi
+bytes=$(echo "$out" | awk '/^BenchmarkTable5FaultCoverage/ {for (i = 4; i < NF; i++) if ($(i+1) == "B/op") {print $i; exit}}')
+if [ -z "$bytes" ]; then
+    echo "benchguard: benchmark reported no B/op (is -benchmem set?)" >&2
+    exit 1
+fi
+
+fail=0
 
 limit=$((baseline * 115 / 100))
 pct=$((ns * 100 / baseline))
 if [ "$ns" -gt "$limit" ]; then
     echo "benchguard: FAIL — ${ns} ns/op is ${pct}% of the ${baseline} ns/op baseline (limit 115%)" >&2
-    exit 1
+    fail=1
+else
+    echo "benchguard: OK — ${ns} ns/op is ${pct}% of the ${baseline} ns/op baseline"
 fi
-echo "benchguard: OK — ${ns} ns/op is ${pct}% of the ${baseline} ns/op baseline"
+
+blimit=$((bytebase * 115 / 100))
+bpct=$((bytes * 100 / bytebase))
+if [ "$bytes" -gt "$blimit" ]; then
+    echo "benchguard: FAIL — ${bytes} B/op is ${bpct}% of the ${bytebase} B/op baseline (limit 115%)" >&2
+    fail=1
+else
+    echo "benchguard: OK — ${bytes} B/op is ${bpct}% of the ${bytebase} B/op baseline"
+fi
+
+exit $fail
