@@ -9,14 +9,26 @@
 package repro
 
 import (
+	"os"
 	"sync"
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/plasma"
+	"repro/internal/shard"
 	"repro/internal/synth"
 )
+
+// TestMain lets this test binary double as a shard-grading worker: the
+// coordinator benchmarks below re-execute it with the worker environment
+// marker set, and ServeIfWorker takes over before any test runs.
+func TestMain(m *testing.M) {
+	shard.ServeIfWorker()
+	os.Exit(m.Run())
+}
 
 var (
 	onceA sync.Once
@@ -25,17 +37,17 @@ var (
 	envB  *bench.Env
 )
 
-func benchEnv(b *testing.B) *bench.Env {
-	b.Helper()
+func benchEnv(tb testing.TB) *bench.Env {
+	tb.Helper()
 	onceA.Do(func() {
 		var err error
 		envA, err = bench.DefaultEnv()
 		if err != nil {
-			b.Fatal(err)
+			tb.Fatal(err)
 		}
 	})
 	if envA == nil {
-		b.Fatal("environment failed to build")
+		tb.Fatal("environment failed to build")
 	}
 	return envA
 }
@@ -136,6 +148,91 @@ func BenchmarkTable5FaultCoverage(b *testing.B) {
 
 func fcOf(r *fault.Report) float64 {
 	return 100 * float64(r.Overall.DetW) / float64(r.Overall.TotalW)
+}
+
+// TestTable5ShardedEquivalence is the sharding acceptance criterion on
+// the real workload: grading the Table 5 Phase A program across 4 worker
+// subprocesses must reproduce the unsharded run's coverage, DetectedAt
+// and SignatureGroups bit for bit.
+func TestTable5ShardedEquivalence(t *testing.T) {
+	e := benchEnv(t)
+	g, err := e.Golden(core.PhaseA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := benchOpt
+	if testing.Short() {
+		opt.Sample = 512
+	}
+	want, err := fault.Simulate(e.CPU, g, e.Faults(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := shard.Grade(e.CPU, g, e.Faults(), shard.Options{
+		Shards: 4,
+		Sample: opt.Sample,
+		Seed:   opt.Seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Fallbacks != 0 {
+		t.Fatalf("sharded run fell back in-process: %+v", stats)
+	}
+	if got.Cycles != want.Cycles || len(got.Faults) != len(want.Faults) {
+		t.Fatalf("shape mismatch: %d faults/%d cycles vs %d/%d",
+			len(got.Faults), got.Cycles, len(want.Faults), want.Cycles)
+	}
+	for i := range want.Faults {
+		if got.DetectedAt[i] != want.DetectedAt[i] || got.SignatureGroups[i] != want.SignatureGroups[i] {
+			t.Fatalf("fault %d: sharded (%d, %d) vs unsharded (%d, %d)",
+				i, got.DetectedAt[i], got.SignatureGroups[i], want.DetectedAt[i], want.SignatureGroups[i])
+		}
+	}
+	if got.Coverage() != want.Coverage() || got.WeightedCoverage() != want.WeightedCoverage() {
+		t.Fatalf("coverage %v/%v, want %v/%v",
+			got.Coverage(), got.WeightedCoverage(), want.Coverage(), want.WeightedCoverage())
+	}
+}
+
+// BenchmarkTable5FaultCoverageSharded is BenchmarkTable5FaultCoverage with
+// every grading call fanned out across 4 worker subprocesses of this test
+// binary (see TestMain) through the internal/shard coordinator. The
+// artifact cache is shared across iterations, so after the first shipment
+// workers load the netlist and golden trace from disk. Results are
+// bit-identical to the unsharded bench; the wall-clock ratio against
+// BenchmarkTable5FaultCoverage measures the sharding overhead or speedup
+// on this machine's core count.
+func BenchmarkTable5FaultCoverageSharded(b *testing.B) {
+	e := benchEnv(b)
+	disk, err := cache.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.Grader = func(cpu *plasma.CPU, golden *plasma.Golden, faults []fault.Fault, opt fault.Options) (*fault.Result, error) {
+		res, _, err := shard.Grade(cpu, golden, faults, shard.Options{
+			Shards:    4,
+			Engine:    opt.Engine,
+			LaneWords: opt.LaneWords,
+			Workers:   opt.Workers,
+			Sample:    opt.Sample,
+			Seed:      opt.Seed,
+			Cache:     disk,
+		})
+		return res, err
+	}
+	defer func() { e.Grader = nil }()
+	b.ResetTimer()
+	var d *bench.Table5Data
+	for i := 0; i < b.N; i++ {
+		var err error
+		d, _, err = bench.Table5(e, benchOpt, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(fcOf(d.PhaseA), "phaseA-FC%")
+	b.ReportMetric(fcOf(d.PhaseAB), "phaseAB-FC%")
 }
 
 // BenchmarkTechLibIndependence regenerates the Section 4 technology-

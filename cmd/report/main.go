@@ -6,6 +6,7 @@
 //
 //	report [-table all|1|2|3|4|5|techlib|baseline|cost] [-sample N] [-seed S] [-workers W]
 //	       [-engine event|oblivious] [-lanes W] [-stats] [-checkpoint-k K]
+//	       [-shards N] [-shard-timeout D]
 //	       [-cache DIR] [-cache-max-bytes N] [-cpuprofile FILE] [-memprofile FILE]
 //
 // With -sample 0 (the default for -table 5 via -full) the fault simulations
@@ -16,6 +17,14 @@
 // checkpoint interval (0 = default); -cache persists synthesized netlists
 // and golden traces across runs, bounded by -cache-max-bytes (LRU, 0 =
 // unbounded); -cpuprofile/-memprofile write pprof profiles.
+//
+// -shards N > 1 routes every fault simulation through the sharded
+// multi-process coordinator (internal/shard): each grading call fans out
+// across N worker processes of this binary and merges to a result
+// bit-identical to the in-process path. -shard-timeout bounds one worker
+// attempt's wall clock (0 = the coordinator's default), and -stats folds
+// the shard counters (launches, retries, bytes shipped, per-shard wall
+// clock) into the cumulative statistics block.
 package main
 
 import (
@@ -29,10 +38,13 @@ import (
 	"repro/internal/bench"
 	"repro/internal/cache"
 	"repro/internal/fault"
+	"repro/internal/plasma"
+	"repro/internal/shard"
 	"repro/internal/synth"
 )
 
 func main() {
+	shard.ServeIfWorker()
 	log.SetFlags(0)
 	log.SetPrefix("report: ")
 	table := flag.String("table", "all", "which table to regenerate: all, 1, 2, 3, 4, 5, techlib, baseline, cost, ablation, atpg, latency, periodic, arch, compaction")
@@ -43,6 +55,8 @@ func main() {
 	engine := flag.String("engine", "event", "fault-simulation engine: event or oblivious")
 	lanes := flag.Int("lanes", 0, "lane words per fault pass: a power of two up to 32 (0 = cost-model adaptive)")
 	stats := flag.Bool("stats", false, "print cumulative fault-simulation work statistics")
+	shards := flag.Int("shards", 1, "fault-grading worker processes per simulation (1 = in-process)")
+	shardTimeout := flag.Duration("shard-timeout", 0, "per-shard-worker wall-clock budget (0 = default)")
 	checkpointK := flag.Int("checkpoint-k", 0, "golden-trace checkpoint interval in cycles (0 = default)")
 	cacheDir := flag.String("cache", "", "directory for the netlist/golden artifact cache (empty = disabled)")
 	cacheMax := flag.Int64("cache-max-bytes", 0, "cache size bound with LRU eviction (0 = unbounded)")
@@ -101,11 +115,38 @@ func main() {
 		opt.CollectInto = &simStats
 	}
 
+	// With -shards > 1, every fault simulation in the harness goes through
+	// the sharded coordinator instead of in-process fault.Simulate. The
+	// shard stats merged into Result.Stats flow into -stats via CollectInto.
+	var grader func(cpu *plasma.CPU, golden *plasma.Golden, faults []fault.Fault, opt fault.Options) (*fault.Result, error)
+	if *shards > 1 {
+		grader = func(cpu *plasma.CPU, golden *plasma.Golden, faults []fault.Fault, opt fault.Options) (*fault.Result, error) {
+			res, _, err := shard.Grade(cpu, golden, faults, shard.Options{
+				Shards:    *shards,
+				Timeout:   *shardTimeout,
+				Engine:    opt.Engine,
+				LaneWords: opt.LaneWords,
+				Workers:   opt.Workers,
+				Sample:    opt.Sample,
+				Seed:      opt.Seed,
+				Cache:     disk,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if opt.CollectInto != nil {
+				opt.CollectInto.Add(&res.Stats)
+			}
+			return res, nil
+		}
+	}
+
 	env, err := bench.NewEnvCached(synth.NativeLib{}, disk)
 	if err != nil {
 		log.Fatal(err)
 	}
 	env.CheckpointK = *checkpointK
+	env.Grader = grader
 
 	run := func(name string, f func() (string, error)) {
 		if *table != "all" && *table != name {
@@ -128,6 +169,7 @@ func main() {
 		if err != nil {
 			return "", err
 		}
+		envB.Grader = grader
 		_, s, err := bench.TechLibIndependence([]*bench.Env{env, envB}, opt)
 		return s, err
 	})

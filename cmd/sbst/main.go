@@ -7,6 +7,7 @@
 //	sbst -phase A|B|C [-lib native-0.35um-A|nand2-0.35um-B]
 //	     [-emit] [-listing] [-faultsim] [-sample N] [-seed S]
 //	     [-workers W] [-engine event|oblivious] [-lanes W] [-stats]
+//	     [-shards N] [-shard-timeout D] [-shard-worker]
 //	     [-checkpoint-k K] [-cache DIR] [-cache-max-bytes N]
 //	     [-cpuprofile FILE] [-memprofile FILE]
 //
@@ -25,6 +26,15 @@
 // across runs, and -cache-max-bytes bounds its size (LRU eviction after
 // each store; 0 = unbounded). -cpuprofile/-memprofile write pprof
 // profiles.
+//
+// -shards N > 1 grades the fault universe across N worker processes of
+// this same binary (bit-identical to -shards 1; see internal/shard):
+// each failed worker is retried once, -shard-timeout bounds a worker
+// attempt's wall clock, and the netlist + golden trace are shipped once
+// through the artifact cache (-cache when set, else a temporary
+// directory). -shard-worker runs this process as a one-shot protocol
+// worker on stdin/stdout (the coordinator normally triggers the same
+// mode via the SBST_SHARD_WORKER environment variable).
 package main
 
 import (
@@ -39,6 +49,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/plasma"
+	"repro/internal/shard"
 	"repro/internal/sim"
 	"repro/internal/synth"
 )
@@ -54,6 +65,7 @@ func parseEngine(name string) (fault.Engine, error) {
 }
 
 func main() {
+	shard.ServeIfWorker()
 	log.SetFlags(0)
 	log.SetPrefix("sbst: ")
 	phase := flag.String("phase", "A", "deepest test phase to include: A, B or C")
@@ -68,12 +80,22 @@ func main() {
 	engine := flag.String("engine", "event", "fault-simulation engine: event or oblivious")
 	lanes := flag.Int("lanes", 0, "lane words per fault pass: a power of two up to 32 (0 = cost-model adaptive)")
 	stats := flag.Bool("stats", false, "print fault-simulation work statistics")
+	shards := flag.Int("shards", 1, "fault-grading worker processes (1 = in-process)")
+	shardTimeout := flag.Duration("shard-timeout", 0, "per-shard-worker wall-clock budget (0 = default)")
+	shardWorker := flag.Bool("shard-worker", false, "serve one shard-grading request on stdin/stdout and exit")
 	checkpointK := flag.Int("checkpoint-k", 0, "golden-trace checkpoint interval in cycles (0 = default)")
 	cacheDir := flag.String("cache", "", "directory for the netlist/golden artifact cache (empty = disabled)")
 	cacheMax := flag.Int64("cache-max-bytes", 0, "cache size bound with LRU eviction (0 = unbounded)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *shardWorker {
+		if err := shard.RunWorker(os.Stdin, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	eng, err := parseEngine(*engine)
 	if err != nil {
@@ -185,14 +207,32 @@ func main() {
 		faults := fault.Universe(cpu.Netlist)
 		fmt.Printf("\nfault universe: %d collapsed / %d total stuck-at faults\n",
 			len(faults), fault.TotalEquiv(faults))
-		opt := fault.Options{Sample: *sample, Seed: *seed, Workers: *workers, Engine: eng, LaneWords: *lanes}
-		res, err := fault.Simulate(cpu, golden, faults, opt)
+		var res *fault.Result
+		var shardStats *shard.Stats
+		if *shards > 1 {
+			res, shardStats, err = shard.Grade(cpu, golden, faults, shard.Options{
+				Shards:    *shards,
+				Timeout:   *shardTimeout,
+				Engine:    eng,
+				LaneWords: *lanes,
+				Workers:   *workers,
+				Sample:    *sample,
+				Seed:      *seed,
+				Cache:     disk,
+			})
+		} else {
+			opt := fault.Options{Sample: *sample, Seed: *seed, Workers: *workers, Engine: eng, LaneWords: *lanes}
+			res, err = fault.Simulate(cpu, golden, faults, opt)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("\nfault coverage:\n%s", fault.NewReport(cpu.Netlist, res).String())
 		if *stats {
 			fmt.Printf("\nsimulation statistics (engine=%s):\n%s\n", *engine, res.Stats.String())
+			if shardStats != nil {
+				fmt.Printf("\nsharding statistics (%d shards requested):\n%s\n", *shards, shardStats.String())
+			}
 		}
 
 		lat := fault.NewLatencyStats(res)

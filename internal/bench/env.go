@@ -33,6 +33,13 @@ type Env struct {
 	// golden memo is keyed by phase only.
 	CheckpointK int
 
+	// Grader, when non-nil, replaces fault.Simulate for every fault
+	// simulation in this environment — the hook the sharded coordinator
+	// (internal/shard) plugs into so each table's grading fans out across
+	// worker processes. It must honor opt's sampling and engine fields
+	// and produce a result bit-identical to fault.Simulate.
+	Grader func(cpu *plasma.CPU, golden *plasma.Golden, faults []fault.Fault, opt fault.Options) (*fault.Result, error)
+
 	mu        sync.Mutex
 	faults    []fault.Fault
 	selfTests map[core.PhaseID]*core.SelfTest
@@ -112,6 +119,24 @@ func (e *Env) checkpointK() int {
 	return plasma.DefaultCheckpointK
 }
 
+// Simulate runs one fault simulation through the Grader hook (default:
+// in-process fault.Simulate).
+func (e *Env) Simulate(g *plasma.Golden, faults []fault.Fault, opt fault.Options) (*fault.Result, error) {
+	if e.Grader != nil {
+		return e.Grader(e.CPU, g, faults, opt)
+	}
+	return fault.Simulate(e.CPU, g, faults, opt)
+}
+
+// grade is Simulate over the full universe, aggregated per component.
+func (e *Env) grade(g *plasma.Golden, opt fault.Options) (*fault.Report, error) {
+	res, err := e.Simulate(g, e.Faults(), opt)
+	if err != nil {
+		return nil, err
+	}
+	return fault.NewReport(e.CPU.Netlist, res), nil
+}
+
 // FaultSimSelfTest fault-simulates the self-test program up to maxPhase
 // and aggregates per-component coverage.
 func (e *Env) FaultSimSelfTest(maxPhase core.PhaseID, opt fault.Options) (*fault.Report, error) {
@@ -119,11 +144,7 @@ func (e *Env) FaultSimSelfTest(maxPhase core.PhaseID, opt fault.Options) (*fault
 	if err != nil {
 		return nil, err
 	}
-	res, err := fault.Simulate(e.CPU, g, e.Faults(), opt)
-	if err != nil {
-		return nil, err
-	}
-	return fault.NewReport(e.CPU.Netlist, res), nil
+	return e.grade(g, opt)
 }
 
 // FaultSimProgram fault-simulates an arbitrary assembled program for the
@@ -133,11 +154,7 @@ func (e *Env) FaultSimProgram(prog *asm.Program, cycles int, opt fault.Options) 
 	if err != nil {
 		return nil, err
 	}
-	res, err := fault.Simulate(e.CPU, g, e.Faults(), opt)
-	if err != nil {
-		return nil, err
-	}
-	return fault.NewReport(e.CPU.Netlist, res), nil
+	return e.grade(g, opt)
 }
 
 // DefaultEnv builds the library-A environment used by most experiments.

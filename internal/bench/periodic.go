@@ -71,7 +71,7 @@ func PeriodicComposition(e *Env, opt fault.Options) ([]PeriodicRow, string, erro
 				escapes = append(escapes, faults[i])
 			}
 		}
-		res, err := fault.Simulate(e.CPU, g, escapes, opt)
+		res, err := e.Simulate(g, escapes, opt)
 		if err != nil {
 			return nil, "", err
 		}

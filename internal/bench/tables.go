@@ -242,7 +242,7 @@ func DetectionLatency(e *Env, opt fault.Options) (*fault.LatencyStats, string, e
 	if err != nil {
 		return nil, "", err
 	}
-	res, err := fault.Simulate(e.CPU, g, e.Faults(), opt)
+	res, err := e.Simulate(g, e.Faults(), opt)
 	if err != nil {
 		return nil, "", err
 	}

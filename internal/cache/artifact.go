@@ -1,0 +1,198 @@
+package cache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/gate"
+	"repro/internal/plasma"
+	"repro/internal/synth"
+)
+
+// Artifact shipping for sharded grading (internal/shard): a coordinator
+// Puts the synthesized CPU and the captured golden trace into a cache
+// directory shared with its worker processes, then hands the workers only
+// the content-address keys. Both Put operations are idempotent — an
+// artifact already present costs zero bytes to "ship" again — which is
+// what makes the netlist+golden transfer a once-per-universe cost instead
+// of a per-shard one. Gets re-hash what they read, so a corrupted or
+// truncated artifact is an error, never a silently wrong simulation.
+
+// cpuShip is the gob sidecar of a shipped CPU: the content address of its
+// netlist plus the synthesis handles plasma.Build assigns (the same shape
+// as the library-keyed cpuAux, with the library carried by name so the
+// receiving process can rebind it).
+type cpuShip struct {
+	NetHash        string
+	LibName        string
+	PC, IR, Hi, Lo synth.Bus
+	MemCycle, Busy gate.Sig
+}
+
+// Dir returns the cache's directory path ("" for a nil cache) so the
+// directory can be handed to a worker process.
+func (c *Cache) Dir() string {
+	if c == nil {
+		return ""
+	}
+	return c.dir
+}
+
+// PutCPU stores a CPU as a content-addressed artifact and returns its key
+// and the bytes newly written (0 when every piece was already present).
+func (c *Cache) PutCPU(cpu *plasma.CPU) (key string, shipped int64, err error) {
+	if c == nil {
+		return "", 0, fmt.Errorf("cache: PutCPU needs an open cache")
+	}
+	var sb strings.Builder
+	if err := gate.WriteNetlist(&sb, cpu.Netlist); err != nil {
+		return "", 0, err
+	}
+	text := sb.String()
+	sum := sha256.Sum256([]byte(text))
+	hash := hex.EncodeToString(sum[:])
+	c.mu.Lock()
+	c.hashes[cpu.Netlist] = hash
+	c.mu.Unlock()
+	n, err := c.writeIfAbsent(filepath.Join(c.dir, "netlist-"+hash+".txt"), []byte(text))
+	if err != nil {
+		return "", 0, err
+	}
+	shipped += n
+	aux := cpuShip{
+		NetHash:  hash,
+		PC:       cpu.PC,
+		IR:       cpu.IR,
+		Hi:       cpu.Hi,
+		Lo:       cpu.Lo,
+		MemCycle: cpu.MemCycle,
+		Busy:     cpu.Busy,
+	}
+	if cpu.Lib != nil {
+		aux.LibName = cpu.Lib.Name()
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&aux); err != nil {
+		return "", 0, err
+	}
+	n, err = c.writeIfAbsent(filepath.Join(c.dir, "cpuship-"+hash+".gob"), buf.Bytes())
+	if err != nil {
+		return "", 0, err
+	}
+	shipped += n
+	c.maybeGC()
+	return hash, shipped, nil
+}
+
+// GetCPU loads a CPU previously stored with PutCPU. The netlist text is
+// re-hashed against the key, so a corrupted entry is an error.
+func (c *Cache) GetCPU(key string) (*plasma.CPU, error) {
+	if c == nil {
+		return nil, fmt.Errorf("cache: GetCPU needs an open cache")
+	}
+	auxPath := filepath.Join(c.dir, "cpuship-"+key+".gob")
+	f, err := os.Open(auxPath)
+	if err != nil {
+		return nil, fmt.Errorf("cache: cpu artifact %s: %w", key, err)
+	}
+	defer f.Close()
+	var aux cpuShip
+	if err := gob.NewDecoder(f).Decode(&aux); err != nil {
+		return nil, fmt.Errorf("cache: cpu artifact %s: %w", key, err)
+	}
+	if aux.NetHash != key {
+		return nil, fmt.Errorf("cache: cpu artifact %s names netlist %s", key, aux.NetHash)
+	}
+	text, err := os.ReadFile(filepath.Join(c.dir, "netlist-"+key+".txt"))
+	if err != nil {
+		return nil, fmt.Errorf("cache: cpu artifact %s: %w", key, err)
+	}
+	if sum := sha256.Sum256(text); hex.EncodeToString(sum[:]) != key {
+		return nil, fmt.Errorf("cache: netlist %s fails its content hash", key)
+	}
+	n, err := gate.ReadNetlist(strings.NewReader(string(text)))
+	if err != nil {
+		return nil, fmt.Errorf("cache: netlist %s: %w", key, err)
+	}
+	c.mu.Lock()
+	c.hashes[n] = key
+	c.mu.Unlock()
+	c.touch(auxPath)
+	return &plasma.CPU{
+		Netlist:  n,
+		Lib:      synth.LibraryByName(aux.LibName),
+		PC:       aux.PC,
+		IR:       aux.IR,
+		Hi:       aux.Hi,
+		Lo:       aux.Lo,
+		MemCycle: aux.MemCycle,
+		Busy:     aux.Busy,
+	}, nil
+}
+
+// PutGolden stores a golden trace as a content-addressed artifact (key =
+// SHA-256 of its gob encoding) and returns the key and the bytes newly
+// written (0 when already present).
+func (c *Cache) PutGolden(g *plasma.Golden) (key string, shipped int64, err error) {
+	if c == nil {
+		return "", 0, fmt.Errorf("cache: PutGolden needs an open cache")
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(g); err != nil {
+		return "", 0, err
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	key = hex.EncodeToString(sum[:])
+	shipped, err = c.writeIfAbsent(filepath.Join(c.dir, "goldenship-"+key+".gob"), buf.Bytes())
+	if err != nil {
+		return "", 0, err
+	}
+	c.maybeGC()
+	return key, shipped, nil
+}
+
+// GetGoldenArtifact loads a golden trace stored with PutGolden, verifying
+// the content hash before decoding.
+func (c *Cache) GetGoldenArtifact(key string) (*plasma.Golden, error) {
+	if c == nil {
+		return nil, fmt.Errorf("cache: GetGoldenArtifact needs an open cache")
+	}
+	path := filepath.Join(c.dir, "goldenship-"+key+".gob")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("cache: golden artifact %s: %w", key, err)
+	}
+	if sum := sha256.Sum256(data); hex.EncodeToString(sum[:]) != key {
+		return nil, fmt.Errorf("cache: golden artifact %s fails its content hash", key)
+	}
+	var g plasma.Golden
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&g); err != nil {
+		return nil, fmt.Errorf("cache: golden artifact %s: %w", key, err)
+	}
+	c.touch(path)
+	return &g, nil
+}
+
+// writeIfAbsent writes content at path unless it already exists, returning
+// the bytes written (0 on a hit). Content-addressed names make "exists"
+// equivalent to "correct", and concurrent writers racing on the same name
+// are harmless because writeAtomic renames complete files into place.
+func (c *Cache) writeIfAbsent(path string, content []byte) (int64, error) {
+	if _, err := os.Stat(path); err == nil {
+		c.touch(path)
+		return 0, nil
+	}
+	if err := writeAtomic(path, func(f *os.File) error {
+		_, err := f.Write(content)
+		return err
+	}); err != nil {
+		return 0, err
+	}
+	return int64(len(content)), nil
+}

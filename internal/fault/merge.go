@@ -1,0 +1,148 @@
+package fault
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+)
+
+// This file is the merge layer: combining several fault-simulation
+// Results over the same fault list into one. Two schedules exist:
+//
+//   - MergeDetections models *sequential* runs (periodic self-test
+//     fragments executed one after another): detection cycles of run i
+//     are offset by the total length of runs 0..i-1.
+//   - MergeShards models *concurrent* runs of the same golden execution
+//     (the sharded grading coordinator, internal/shard): every run
+//     replays the same cycles, so detection cycles union without offset
+//     and the merged result is bit-identical to an unsharded run.
+//
+// Both validate that all inputs grade the same fault universe and report
+// the universe hashes of the disagreeing inputs on mismatch, so a bad
+// merge (a worker that graded a different netlist, a stale cache entry)
+// is diagnosable rather than a bare index error.
+
+// UniverseHash returns the hex SHA-256 of a fault list's identity — every
+// site, component and equivalence count, in order. Two fault lists merge
+// only if their hashes match; merge errors embed the hashes so the
+// disagreeing side can be identified across process boundaries.
+func UniverseHash(faults []Fault) string {
+	h := sha256.New()
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[:8], uint64(len(faults)))
+	h.Write(buf[:8])
+	for _, f := range faults {
+		binary.LittleEndian.PutUint32(buf[:4], uint32(f.Site.Gate))
+		buf[4] = byte(f.Site.Pin)
+		buf[5] = 0
+		if f.Site.Stuck {
+			buf[5] = 1
+		}
+		binary.LittleEndian.PutUint16(buf[6:8], uint16(f.Comp))
+		binary.LittleEndian.PutUint64(buf[8:16], uint64(f.Equiv))
+		h.Write(buf[:16])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// checkSameUniverse verifies that run ri grades the same fault list as
+// run 0. The error names the first disagreeing fault and carries both
+// universe hashes.
+func checkSameUniverse(base, r *Result, ri int) error {
+	if len(r.Faults) != len(base.Faults) {
+		return fmt.Errorf("fault: merge universe mismatch: run %d has %d faults (universe %s), run 0 has %d (universe %s)",
+			ri, len(r.Faults), UniverseHash(r.Faults), len(base.Faults), UniverseHash(base.Faults))
+	}
+	for i := range r.Faults {
+		if r.Faults[i].Site != base.Faults[i].Site {
+			return fmt.Errorf("fault: merge universe mismatch: run %d fault %d is %s, run 0 has %s (universes %s vs %s)",
+				ri, i, r.Faults[i].Site, base.Faults[i].Site, UniverseHash(r.Faults), UniverseHash(base.Faults))
+		}
+	}
+	return nil
+}
+
+// MergeDetections unions detections of several runs over the same fault
+// list (e.g. periodic self-test fragments executed separately): a fault
+// counts as detected if any run observed it; the recorded cycle and
+// signature groups are the earliest-detecting run's, the cycle offset by
+// that run's start in the overall schedule.
+func MergeDetections(results ...*Result) (*Result, error) {
+	if len(results) == 0 {
+		return nil, fmt.Errorf("fault: nothing to merge")
+	}
+	base := results[0]
+	merged := &Result{
+		Faults:          base.Faults,
+		DetectedAt:      append([]int32(nil), base.DetectedAt...),
+		SignatureGroups: make([]uint8, len(base.Faults)),
+		Cycles:          0,
+	}
+	copy(merged.SignatureGroups, base.SignatureGroups)
+	offset := int32(0)
+	for ri, r := range results {
+		if err := checkSameUniverse(base, r, ri); err != nil {
+			return nil, err
+		}
+		if ri > 0 {
+			for i, c := range r.DetectedAt {
+				if c >= 0 && merged.DetectedAt[i] < 0 {
+					merged.DetectedAt[i] = offset + c
+					if i < len(r.SignatureGroups) {
+						merged.SignatureGroups[i] = r.SignatureGroups[i]
+					}
+				}
+			}
+		}
+		merged.Cycles += r.Cycles
+		offset += int32(r.Cycles)
+		merged.Stats.Add(&r.Stats)
+	}
+	return merged, nil
+}
+
+// MergeShards unions detections of several runs of the *same* golden
+// execution, each grading a subset of the shared fault list (lanes the
+// run did not grade stay -1): the sharded grading merge. All runs must
+// have the same cycle count; each fault takes the earliest detection
+// cycle observed by any run, with that run's signature groups. Because
+// per-fault outcomes are independent of pass packing, merging any
+// partition of a run's faults reproduces the unsharded result bit for
+// bit; the operation is commutative, associative and idempotent (ties on
+// the detection cycle keep the earlier argument, which for runs of one
+// golden execution carries identical signature groups).
+func MergeShards(results ...*Result) (*Result, error) {
+	if len(results) == 0 {
+		return nil, fmt.Errorf("fault: nothing to merge")
+	}
+	base := results[0]
+	merged := &Result{
+		Faults:          base.Faults,
+		DetectedAt:      append([]int32(nil), base.DetectedAt...),
+		SignatureGroups: make([]uint8, len(base.Faults)),
+		Cycles:          base.Cycles,
+	}
+	copy(merged.SignatureGroups, base.SignatureGroups)
+	merged.Stats.Add(&base.Stats)
+	for ri, r := range results[1:] {
+		if err := checkSameUniverse(base, r, ri+1); err != nil {
+			return nil, err
+		}
+		if r.Cycles != base.Cycles {
+			return nil, fmt.Errorf("fault: merge cycle mismatch: run %d replayed %d cycles, run 0 replayed %d (universe %s)",
+				ri+1, r.Cycles, base.Cycles, UniverseHash(base.Faults))
+		}
+		for i, c := range r.DetectedAt {
+			if c >= 0 && (merged.DetectedAt[i] < 0 || c < merged.DetectedAt[i]) {
+				merged.DetectedAt[i] = c
+				merged.SignatureGroups[i] = 0
+				if i < len(r.SignatureGroups) {
+					merged.SignatureGroups[i] = r.SignatureGroups[i]
+				}
+			}
+		}
+		merged.Stats.Add(&r.Stats)
+	}
+	return merged, nil
+}

@@ -1,0 +1,185 @@
+package fault
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/plasma"
+)
+
+// mergeFixture is a seeded sampled grading of the Phase A self-test
+// program, simulated once per test binary; the merge property tests
+// slice and recombine its outcomes.
+var mergeFixture *Result
+
+func mergeRun(t *testing.T) *Result {
+	t.Helper()
+	if mergeFixture == nil {
+		cpu := getCPU(t)
+		st, err := core.GenerateSelfTest(core.ClassifyNetlist(cpu.Netlist), core.PhaseA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := plasma.CaptureGolden(cpu, st.Program, st.GateCycles())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Simulate(cpu, g, Universe(cpu.Netlist), Options{Sample: 512, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mergeFixture = res
+	}
+	return mergeFixture
+}
+
+// sliceResult builds the Result a shard grading exactly the faults with
+// assign[i] == shard would report: everyone else's lanes stay ungraded.
+func sliceResult(full *Result, assign []int, shard int) *Result {
+	r := &Result{
+		Faults:          full.Faults,
+		DetectedAt:      make([]int32, len(full.Faults)),
+		SignatureGroups: make([]uint8, len(full.Faults)),
+		Cycles:          full.Cycles,
+	}
+	for i := range r.DetectedAt {
+		r.DetectedAt[i] = -1
+		if assign[i] == shard {
+			r.DetectedAt[i] = full.DetectedAt[i]
+			r.SignatureGroups[i] = full.SignatureGroups[i]
+		}
+	}
+	return r
+}
+
+func sameOutcome(t *testing.T, got, want *Result, what string) {
+	t.Helper()
+	if got.Cycles != want.Cycles {
+		t.Fatalf("%s: cycles %d, want %d", what, got.Cycles, want.Cycles)
+	}
+	for i := range want.DetectedAt {
+		if got.DetectedAt[i] != want.DetectedAt[i] {
+			t.Fatalf("%s: fault %d detected at %d, want %d", what, i, got.DetectedAt[i], want.DetectedAt[i])
+		}
+		if got.DetectedAt[i] >= 0 && got.SignatureGroups[i] != want.SignatureGroups[i] {
+			t.Fatalf("%s: fault %d signature group %d, want %d", what, i, got.SignatureGroups[i], want.SignatureGroups[i])
+		}
+	}
+}
+
+// TestMergeShardsProperties drives MergeShards through randomized 2-8 way
+// splits of one real simulation and asserts the sharding algebra: any
+// split merges back to the unsharded outcomes bit for bit, in any argument
+// order (commutativity), under any grouping (associativity), and repeated
+// merging changes nothing (idempotence).
+func TestMergeShardsProperties(t *testing.T) {
+	full := mergeRun(t)
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		k := 2 + rng.Intn(7)
+		assign := make([]int, len(full.Faults))
+		for i := range assign {
+			assign[i] = rng.Intn(k)
+		}
+		parts := make([]*Result, k)
+		for s := 0; s < k; s++ {
+			parts[s] = sliceResult(full, assign, s)
+		}
+
+		merged, err := MergeShards(parts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameOutcome(t, merged, full, "split/merge")
+
+		// Commutativity: a shuffled argument order merges identically.
+		shuffled := append([]*Result(nil), parts...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		commuted, err := MergeShards(shuffled...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameOutcome(t, commuted, merged, "commuted")
+
+		// Associativity: pairwise left fold == merging a suffix first.
+		left := parts[0]
+		for _, p := range parts[1:] {
+			if left, err = MergeShards(left, p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		suffix, err := MergeShards(parts[1:]...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		right, err := MergeShards(parts[0], suffix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameOutcome(t, left, merged, "left fold")
+		sameOutcome(t, right, merged, "right fold")
+
+		// Idempotence: re-merging the merged result with itself or any of
+		// its inputs changes nothing.
+		twice, err := MergeShards(merged, merged)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameOutcome(t, twice, merged, "self-merge")
+		again, err := MergeShards(merged, parts[rng.Intn(k)])
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameOutcome(t, again, merged, "re-merge input")
+	}
+}
+
+// TestMergeReportsDisagreeingUniverses is the regression test for the
+// merge-layer diagnostics: mixing results over different fault universes
+// must fail with an error carrying both universe hashes (so the bad side
+// of a cross-process merge is identifiable), for both merge schedules.
+func TestMergeReportsDisagreeingUniverses(t *testing.T) {
+	full := mergeRun(t)
+	other := &Result{
+		Faults:          append([]Fault(nil), full.Faults...),
+		DetectedAt:      append([]int32(nil), full.DetectedAt...),
+		SignatureGroups: append([]uint8(nil), full.SignatureGroups...),
+		Cycles:          full.Cycles,
+	}
+	other.Faults[3].Site.Stuck = !other.Faults[3].Site.Stuck
+
+	hFull, hOther := UniverseHash(full.Faults), UniverseHash(other.Faults)
+	if hFull == hOther {
+		t.Fatal("universe hash ignores the fault site")
+	}
+	for name, merge := range map[string]func(...*Result) (*Result, error){
+		"MergeShards":     MergeShards,
+		"MergeDetections": MergeDetections,
+	} {
+		_, err := merge(full, other)
+		if err == nil {
+			t.Fatalf("%s accepted disagreeing universes", name)
+		}
+		if !strings.Contains(err.Error(), hFull) || !strings.Contains(err.Error(), hOther) {
+			t.Errorf("%s error %q misses a universe hash (%s, %s)", name, err, hFull, hOther)
+		}
+	}
+
+	// Shorter universe: same contract.
+	short := &Result{Faults: full.Faults[:5], DetectedAt: full.DetectedAt[:5],
+		SignatureGroups: full.SignatureGroups[:5], Cycles: full.Cycles}
+	_, err := MergeShards(full, short)
+	if err == nil || !strings.Contains(err.Error(), UniverseHash(short.Faults)) {
+		t.Errorf("length mismatch error %v misses the universe hash", err)
+	}
+
+	// MergeShards additionally rejects runs of different golden lengths.
+	skew := sliceResult(full, make([]int, len(full.Faults)), 0)
+	skew.Cycles++
+	_, err = MergeShards(full, skew)
+	if err == nil || !strings.Contains(err.Error(), "cycle mismatch") || !strings.Contains(err.Error(), hFull) {
+		t.Errorf("cycle mismatch error %v misses the diagnosis", err)
+	}
+}

@@ -104,13 +104,44 @@ func (r *Result) WeightedCoverage() float64 {
 	return 100 * float64(det) / float64(tot)
 }
 
-// passJob is one fault-simulation pass: the original indices of its
-// faults (into Result.Faults), the cycle the pass starts simulating at,
-// and the pass's lane width in 64-lane words (64*width lanes).
-type passJob struct {
-	idxs  []int
-	start int32
-	width int
+// PassGroup is one planned fault-simulation pass: the indices (into the
+// planner's fault list) of the faults it carries, the cycle the pass
+// starts simulating at, the pass's lane width in 64-lane words (64*Width
+// lanes), and the cost model's estimate of the pass's absolute grading
+// cost. Cost is in the arbitrary units of the width policy's per-cycle
+// model — meaningless alone, comparable across groups of one plan — which
+// is what the sharding coordinator balances shards by.
+type PassGroup struct {
+	Idxs  []int
+	Start int32
+	Width int
+	Cost  float64
+}
+
+// PlanPasses exposes the deterministic pass packing Simulate uses: the
+// same faults, golden trace, engine and lane-width cap always yield the
+// same groups, in the same order. Never-activated faults (skipped, the
+// second return) appear in no group — their site never holds the
+// activating value anywhere in the golden run, so they are provably
+// undetectable by this program and Simulate would not grade them either.
+func PlanPasses(n *gate.Netlist, golden *plasma.Golden, faults []Fault, engine Engine, laneWords int) ([]PassGroup, int64, error) {
+	maxW, err := normLaneWords(laneWords)
+	if err != nil {
+		return nil, 0, err
+	}
+	jobs, skipped := packPasses(n, golden, faults, engine, maxW)
+	return jobs, skipped, nil
+}
+
+// normLaneWords applies the LaneWords default and validates the cap.
+func normLaneWords(laneWords int) (int, error) {
+	if laneWords == 0 {
+		return DefaultLaneWords, nil
+	}
+	if laneWords < 1 || laneWords > gate.MaxLaneWords || laneWords&(laneWords-1) != 0 {
+		return 0, fmt.Errorf("fault: LaneWords must be 0 or a power of two in [1,%d]; got %d", gate.MaxLaneWords, laneWords)
+	}
+	return laneWords, nil
 }
 
 // widthLog2 maps a lane width in {1,...,MaxLaneWords} to its histogram
@@ -132,12 +163,9 @@ const DefaultLaneWords = gate.MaxLaneWords
 // the golden value. Detected machines are dropped; a pass ends early once
 // all its lanes have been detected.
 func Simulate(cpu *plasma.CPU, golden *plasma.Golden, faults []Fault, opt Options) (*Result, error) {
-	maxW := opt.LaneWords
-	if maxW == 0 {
-		maxW = DefaultLaneWords
-	}
-	if maxW < 1 || maxW > gate.MaxLaneWords || maxW&(maxW-1) != 0 {
-		return nil, fmt.Errorf("fault: LaneWords must be 0 or a power of two in [1,%d]; got %d", gate.MaxLaneWords, maxW)
+	maxW, err := normLaneWords(opt.LaneWords)
+	if err != nil {
+		return nil, err
 	}
 	faults = SampleFaults(faults, opt.Sample, opt.Seed)
 	res := &Result{
@@ -169,7 +197,7 @@ func Simulate(cpu *plasma.CPU, golden *plasma.Golden, faults []Fault, opt Option
 		return res, nil
 	}
 
-	queue := make(chan passJob, len(jobs))
+	queue := make(chan PassGroup, len(jobs))
 	for _, j := range jobs {
 		queue <- j
 	}
@@ -186,15 +214,15 @@ func Simulate(cpu *plasma.CPU, golden *plasma.Golden, faults []Fault, opt Option
 			// jobs of the same width reuse the same simulator.
 			var runners [widthSlots]*passRunner
 			for j := range queue {
-				lg := widthLog2(j.width)
+				lg := widthLog2(j.Width)
 				r := runners[lg]
 				if r == nil {
 					var s *gate.Sim
 					var err error
 					if opt.Engine == EngineOblivious {
-						s, err = gate.NewSimWidth(cpu.Netlist, j.width)
+						s, err = gate.NewSimWidth(cpu.Netlist, j.Width)
 					} else {
-						s, err = gate.NewEventSimWidth(cpu.Netlist, j.width)
+						s, err = gate.NewEventSimWidth(cpu.Netlist, j.Width)
 					}
 					if err != nil {
 						errs[w] = err
@@ -252,7 +280,7 @@ func Simulate(cpu *plasma.CPU, golden *plasma.Golden, faults []Fault, opt Option
 // Width is chosen per pass by the cost model in chooseWidth: the width
 // minimizing estimated grading cost per fault over the chunk, from
 // measured per-width constants and the chunk's cone-signature overlap.
-func packPasses(n *gate.Netlist, golden *plasma.Golden, faults []Fault, engine Engine, maxW int) ([]passJob, int64) {
+func packPasses(n *gate.Netlist, golden *plasma.Golden, faults []Fault, engine Engine, maxW int) ([]PassGroup, int64) {
 	differential := engine != EngineOblivious && golden.HasActivation()
 	order := make([]actFault, 0, len(faults))
 	var skipped int64
@@ -299,7 +327,7 @@ func packPasses(n *gate.Netlist, golden *plasma.Golden, faults []Fault, engine E
 			return x.idx < y.idx
 		})
 	}
-	var jobs []passJob
+	var jobs []PassGroup
 	for lo := 0; lo < len(order); {
 		var w, hi int
 		var start int32
@@ -320,7 +348,8 @@ func packPasses(n *gate.Netlist, golden *plasma.Golden, faults []Fault, engine E
 		for k := range idxs {
 			idxs[k] = order[lo+k].idx
 		}
-		jobs = append(jobs, passJob{idxs: idxs, start: start, width: w})
+		cost := passCost(golden, start, order[lo:hi], w) * float64(hi-lo)
+		jobs = append(jobs, PassGroup{Idxs: idxs, Start: start, Width: w, Cost: cost})
 		lo = hi
 	}
 	return jobs, skipped
@@ -373,11 +402,11 @@ var spread = [2]uint64{0, ^uint64(0)}
 // trajectory (state overwrite + fault disarm) — sound because detected
 // lanes are masked out of all future detection logic — which starves the
 // event queue of its activity.
-func (r *passRunner) runPass(faults []Fault, job passJob, detectedAt []int32, sigGroups []uint8) {
+func (r *passRunner) runPass(faults []Fault, job PassGroup, detectedAt []int32, sigGroups []uint8) {
 	s := r.sim
 	w := s.LaneWords()
-	lf := make([]gate.LaneFault, len(job.idxs))
-	for lane, idx := range job.idxs {
+	lf := make([]gate.LaneFault, len(job.Idxs))
+	for lane, idx := range job.Idxs {
 		lf[lane] = gate.LaneFault{Site: faults[idx].Site, Lane: lane}
 	}
 	g := r.golden
@@ -385,8 +414,8 @@ func (r *passRunner) runPass(faults []Fault, job passJob, detectedAt []int32, si
 	s.SetFaults(lf)
 	conform := g.HasActivation() && s.EventDriven()
 	ff := int32(0)
-	if job.start > 0 {
-		ff = g.CheckpointFloor(job.start)
+	if job.Start > 0 {
+		ff = g.CheckpointFloor(job.Start)
 		if ff > 0 {
 			s.LoadState(g.DFFs, g.Snapshot(ff))
 		}
@@ -401,15 +430,15 @@ func (r *passRunner) runPass(faults []Fault, job passJob, detectedAt []int32, si
 	r.stats.Passes++
 	r.stats.PassWidthHist[widthLog2(w)]++
 	r.stats.FastForwarded += int64(ff)
-	r.stats.ReplayedCycles += int64(job.start - ff)
+	r.stats.ReplayedCycles += int64(job.Start - ff)
 
 	// Per-lane-word bitmaps of live, detected and to-be-conformed lanes.
 	var active, detected, toConform [gate.MaxLaneWords]uint64
-	for k := 0; k < len(job.idxs)>>6; k++ {
+	for k := 0; k < len(job.Idxs)>>6; k++ {
 		active[k] = ^uint64(0)
 	}
-	if rem := len(job.idxs) & 63; rem != 0 {
-		active[len(job.idxs)>>6] = 1<<uint(rem) - 1
+	if rem := len(job.Idxs) & 63; rem != 0 {
+		active[len(job.Idxs)>>6] = 1<<uint(rem) - 1
 	}
 	anyConform := false
 
@@ -492,7 +521,7 @@ func (r *passRunner) runPass(faults []Fault, job passJob, detectedAt []int32, si
 				for rem := newly[k]; rem != 0; {
 					bit := bits.TrailingZeros64(rem)
 					lane := k<<6 + bit
-					detectedAt[job.idxs[lane]] = int32(t)
+					detectedAt[job.Idxs[lane]] = int32(t)
 					m := uint64(1) << uint(bit)
 					var groups uint8
 					if addrDiff[k]&m != 0 {
@@ -507,7 +536,7 @@ func (r *passRunner) runPass(faults []Fault, job passJob, detectedAt []int32, si
 					if wdataDiff[k]&m != 0 {
 						groups |= SigWData
 					}
-					sigGroups[job.idxs[lane]] = groups
+					sigGroups[job.Idxs[lane]] = groups
 					rem &^= m
 				}
 				dropped += bits.OnesCount64(newly[k])
@@ -564,46 +593,3 @@ func SampleFaults(faults []Fault, n int, seed int64) []Fault {
 	return sampled
 }
 
-// MergeDetections unions detections of several runs over the same fault
-// list (e.g. periodic self-test fragments executed separately): a fault
-// counts as detected if any run observed it; the recorded cycle and
-// signature groups are the earliest-detecting run's, the cycle offset by
-// that run's start in the overall schedule.
-func MergeDetections(results ...*Result) (*Result, error) {
-	if len(results) == 0 {
-		return nil, fmt.Errorf("fault: nothing to merge")
-	}
-	base := results[0]
-	merged := &Result{
-		Faults:          base.Faults,
-		DetectedAt:      append([]int32(nil), base.DetectedAt...),
-		SignatureGroups: make([]uint8, len(base.Faults)),
-		Cycles:          0,
-	}
-	copy(merged.SignatureGroups, base.SignatureGroups)
-	offset := int32(0)
-	for ri, r := range results {
-		if len(r.Faults) != len(base.Faults) {
-			return nil, fmt.Errorf("fault: run %d has %d faults, run 0 has %d", ri, len(r.Faults), len(base.Faults))
-		}
-		for i := range r.Faults {
-			if r.Faults[i].Site != base.Faults[i].Site {
-				return nil, fmt.Errorf("fault: run %d fault %d differs from run 0", ri, i)
-			}
-		}
-		if ri > 0 {
-			for i, c := range r.DetectedAt {
-				if c >= 0 && merged.DetectedAt[i] < 0 {
-					merged.DetectedAt[i] = offset + c
-					if i < len(r.SignatureGroups) {
-						merged.SignatureGroups[i] = r.SignatureGroups[i]
-					}
-				}
-			}
-		}
-		merged.Cycles += r.Cycles
-		offset += int32(r.Cycles)
-		merged.Stats.Add(&r.Stats)
-	}
-	return merged, nil
-}

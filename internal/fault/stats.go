@@ -50,6 +50,23 @@ type SimStats struct {
 	// ExitHist histograms pass end cycles (early exit on full detection or
 	// run-out) by golden-run decile.
 	ExitHist [10]int64
+	// Sharded-grading counters, populated by the internal/shard
+	// coordinator (zero for in-process runs). ShardsLaunched counts worker
+	// processes spawned, including retries; ShardsRetried counts shards
+	// whose first attempt failed and were retried; ShardsFailed counts
+	// failed worker attempts (crash, timeout, bad frame); ShardsFallback
+	// counts shards graded in-process after spawning failed.
+	ShardsLaunched int64
+	ShardsRetried  int64
+	ShardsFailed   int64
+	ShardsFallback int64
+	// ShardBytesShipped is the artifact bytes written to ship the netlist
+	// and golden trace to workers (0 when already present in the cache).
+	ShardBytesShipped int64
+	// ShardWallNs sums per-shard wall-clock nanoseconds (the cost a
+	// serial machine would pay); the coordinator's own wall-clock is the
+	// slowest shard, reported separately by shard.Stats.
+	ShardWallNs int64
 	// GoldenDenseBytes is the size the golden flip-flop trace would occupy
 	// in the dense one-snapshot-per-cycle format; GoldenStoredBytes is the
 	// size the sparse delta-encoded trace actually occupies (in memory and
@@ -76,6 +93,12 @@ func (s *SimStats) Add(other *SimStats) {
 		s.DroppedPerWindow[i] += other.DroppedPerWindow[i]
 		s.ExitHist[i] += other.ExitHist[i]
 	}
+	s.ShardsLaunched += other.ShardsLaunched
+	s.ShardsRetried += other.ShardsRetried
+	s.ShardsFailed += other.ShardsFailed
+	s.ShardsFallback += other.ShardsFallback
+	s.ShardBytesShipped += other.ShardBytesShipped
+	s.ShardWallNs += other.ShardWallNs
 	s.GoldenDenseBytes += other.GoldenDenseBytes
 	s.GoldenStoredBytes += other.GoldenStoredBytes
 }
@@ -131,5 +154,11 @@ func (s *SimStats) String() string {
 	fmt.Fprintf(&b, "pass exit decile  %s\n", histString(&s.ExitHist))
 	fmt.Fprintf(&b, "golden trace      %d B stored, %d B dense-equivalent (%.1fx smaller)",
 		s.GoldenStoredBytes, s.GoldenDenseBytes, s.GoldenCompression())
+	if s.ShardsLaunched > 0 || s.ShardsFallback > 0 {
+		fmt.Fprintf(&b, "\nshard workers     %d launched, %d retried, %d failed, %d in-process fallbacks",
+			s.ShardsLaunched, s.ShardsRetried, s.ShardsFailed, s.ShardsFallback)
+		fmt.Fprintf(&b, "\nshard shipping    %d B artifacts written", s.ShardBytesShipped)
+		fmt.Fprintf(&b, "\nshard wall-clock  %.3fs summed across shards", float64(s.ShardWallNs)/1e9)
+	}
 	return b.String()
 }

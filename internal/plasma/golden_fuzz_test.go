@@ -1,0 +1,96 @@
+package plasma
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gate"
+)
+
+// synthGolden builds a Golden with a random flip-flop trace in the sparse
+// checkpoint/delta encoding — exactly as CaptureGoldenK would store it —
+// and returns the dense per-cycle reference states it encodes. nbits, k
+// and cycles come from the fuzzer; the word-flip density varies so some
+// traces are near-static (long empty delta runs) and some churn every
+// word (snapshot-heavy).
+func synthGolden(seed int64, nbits, k, cycles int) (*Golden, [][]uint64) {
+	rng := rand.New(rand.NewSource(seed))
+	g := &Golden{
+		Cycles:      cycles,
+		DFFs:        make([]gate.Sig, nbits),
+		CheckpointK: k,
+		DeltaIdx:    make([]uint32, cycles+1),
+	}
+	words := g.StateWords()
+	dense := make([][]uint64, cycles+1)
+	dense[0] = make([]uint64, words)
+	for w := range dense[0] {
+		dense[0][w] = rng.Uint64()
+	}
+	g.Snaps = append(g.Snaps, dense[0]...)
+	density := rng.Float64()
+	for t := 0; t < cycles; t++ {
+		next := append([]uint64(nil), dense[t]...)
+		for w := range next {
+			if rng.Float64() < density {
+				next[w] ^= rng.Uint64()
+			}
+		}
+		for w := range next {
+			if x := next[w] ^ dense[t][w]; x != 0 {
+				g.DeltaPos = append(g.DeltaPos, uint16(w))
+				g.DeltaXor = append(g.DeltaXor, x)
+			}
+		}
+		g.DeltaIdx[t+1] = uint32(len(g.DeltaXor))
+		if (t+1)%k == 0 {
+			g.Snaps = append(g.Snaps, next...)
+		}
+		dense[t+1] = next
+	}
+	return g, dense
+}
+
+// FuzzStateReconstruction checks the sparse golden trace against its dense
+// reference: for every query cycle, StateAt must reproduce the exact state
+// the dense one-snapshot-per-cycle format would have stored, and a rolling
+// buffer advanced cycle by cycle with AdvanceState must track it too. This
+// pins the two reconstruction paths fault simulation relies on (fast-
+// forward to a checkpoint, then replay) for arbitrary checkpoint
+// intervals, trace lengths and state widths.
+func FuzzStateReconstruction(f *testing.F) {
+	f.Add(int64(1), uint16(70), uint8(32), uint8(100)) // the CPU-like shape
+	f.Add(int64(2), uint16(1), uint8(1), uint8(1))     // k=1: dense storage
+	f.Add(int64(3), uint16(64), uint8(255), uint8(10)) // k > cycles: one snapshot
+	f.Add(int64(4), uint16(200), uint8(7), uint8(200)) // k not a divisor of cycles
+	f.Fuzz(func(t *testing.T, seed int64, nbitsRaw uint16, kRaw, cyclesRaw uint8) {
+		nbits := 1 + int(nbitsRaw)%256
+		k := 1 + int(kRaw)
+		cycles := 1 + int(cyclesRaw)
+		g, dense := synthGolden(seed, nbits, k, cycles)
+
+		buf := make([]uint64, g.StateWords())
+		for qt := 0; qt <= cycles; qt++ {
+			g.StateAt(int32(qt), buf)
+			for w := range buf {
+				if buf[w] != dense[qt][w] {
+					t.Fatalf("StateAt(%d) word %d = %#x, want %#x (nbits=%d k=%d cycles=%d)",
+						qt, w, buf[w], dense[qt][w], nbits, k, cycles)
+				}
+			}
+		}
+
+		// The rolling-buffer path: start at any checkpoint floor and advance
+		// one delta at a time, as a fault-simulation pass does.
+		start := int(g.CheckpointFloor(int32(cycles)))
+		g.StateAt(int32(start), buf)
+		for ct := start; ct < cycles; ct++ {
+			g.AdvanceState(buf, int32(ct))
+			for w := range buf {
+				if buf[w] != dense[ct+1][w] {
+					t.Fatalf("AdvanceState to %d word %d = %#x, want %#x", ct+1, w, buf[w], dense[ct+1][w])
+				}
+			}
+		}
+	})
+}

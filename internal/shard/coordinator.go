@@ -1,0 +1,336 @@
+package shard
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/fault"
+	"repro/internal/plasma"
+)
+
+// DefaultTimeout is the per-worker-attempt wall-clock budget when
+// Options.Timeout is zero.
+const DefaultTimeout = 15 * time.Minute
+
+// Options tunes a sharded grading run.
+type Options struct {
+	// Shards is the number of worker shards; 0 or 1 grades in-process
+	// (the single-process fallback, no workers spawned).
+	Shards int
+	// Timeout bounds each worker attempt's wall clock; an attempt past it
+	// is killed and counts as failed (0 = DefaultTimeout).
+	Timeout time.Duration
+	// Engine, LaneWords and Workers pass through to each worker's
+	// fault.Simulate (Workers = per-worker goroutines, 0 = GOMAXPROCS).
+	Engine    fault.Engine
+	LaneWords int
+	Workers   int
+	// Sample and Seed apply fault.SampleFaults before partitioning, with
+	// the same semantics as fault.Options.
+	Sample int
+	Seed   int64
+	// Cache is the artifact channel to the workers. nil uses a private
+	// temporary directory, removed when Grade returns; a persistent cache
+	// makes re-shipping free across runs.
+	Cache *cache.Cache
+	// Spawn starts each worker attempt; nil means SelfSpawner(). A
+	// spawner that fails outright (binary unlaunchable) downgrades that
+	// shard to an in-process fallback instead of failing the run.
+	Spawn Spawner
+}
+
+// Stats describes a sharded run from the coordinator's side.
+type Stats struct {
+	// Shards is the number of non-empty shards graded.
+	Shards int
+	// Launched counts worker processes started (retries included);
+	// Retried counts shards that needed their one retry; Failed counts
+	// failed attempts; Fallbacks counts shards graded in-process after a
+	// spawner failure.
+	Launched, Retried, Failed, Fallbacks int
+	// BytesShipped is the artifact bytes newly written to ship the
+	// netlist and golden trace (0 when the cache already held them).
+	BytesShipped int64
+	// Wall[i] is shard i's wall clock (the final, successful attempt;
+	// in-process fallbacks included).
+	Wall []time.Duration
+}
+
+// String renders the coordinator stats as a compact multi-line report.
+func (s *Stats) String() string {
+	out := fmt.Sprintf("shards            %d\nworkers launched  %d (%d retried, %d failed attempts, %d in-process fallbacks)\nartifacts shipped %d B",
+		s.Shards, s.Launched, s.Retried, s.Failed, s.Fallbacks, s.BytesShipped)
+	var max, sum time.Duration
+	for _, w := range s.Wall {
+		sum += w
+		if w > max {
+			max = w
+		}
+	}
+	out += fmt.Sprintf("\nshard wall-clock  %.3fs max, %.3fs summed", max.Seconds(), sum.Seconds())
+	for i, w := range s.Wall {
+		out += fmt.Sprintf("\n  shard %-2d        %.3fs", i, w.Seconds())
+	}
+	return out
+}
+
+// Grade fault-simulates a fault list against a golden execution across
+// opt.Shards worker processes and merges the per-shard detections with
+// fault.MergeShards. The merged DetectedAt, SignatureGroups and coverage
+// are bit-identical to an unsharded fault.Simulate of the same options
+// (asserted by the package's equivalence tests): per-fault outcomes do
+// not depend on pass packing, and the partition only regroups passes.
+//
+// Robustness: each failed worker attempt (crash, nonzero exit, timeout,
+// truncated or corrupt frame, worker-side error) is retried exactly once
+// with a fresh process; a second failure fails the whole run with both
+// attempts' errors — a partial merge is never returned. A spawner that
+// cannot start a process at all downgrades that shard to an in-process
+// simulation, and Shards <= 1 grades everything in-process without
+// spawning.
+func Grade(cpu *plasma.CPU, golden *plasma.Golden, faults []fault.Fault, opt Options) (*fault.Result, *Stats, error) {
+	simOpt := fault.Options{
+		Workers:   opt.Workers,
+		LaneWords: opt.LaneWords,
+		Engine:    opt.Engine,
+	}
+	if opt.Shards <= 1 {
+		simOpt.Sample, simOpt.Seed = opt.Sample, opt.Seed
+		res, err := fault.Simulate(cpu, golden, faults, simOpt)
+		return res, &Stats{Shards: 1, Wall: make([]time.Duration, 1)}, err
+	}
+	faults = fault.SampleFaults(faults, opt.Sample, opt.Seed)
+
+	c := opt.Cache
+	if c == nil {
+		dir, err := os.MkdirTemp("", "sbst-shard-")
+		if err != nil {
+			return nil, nil, fmt.Errorf("shard: %w", err)
+		}
+		defer os.RemoveAll(dir)
+		if c, err = cache.Open(dir); err != nil {
+			return nil, nil, err
+		}
+	}
+	cpuKey, cpuBytes, err := c.PutCPU(cpu)
+	if err != nil {
+		return nil, nil, err
+	}
+	goldenKey, goldenBytes, err := c.PutGolden(golden)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	parts, skipped, err := Partition(cpu.Netlist, golden, faults, opt.Engine, opt.LaneWords, opt.Shards)
+	if err != nil {
+		return nil, nil, err
+	}
+	var shards [][]int
+	for _, p := range parts {
+		if len(p) > 0 {
+			shards = append(shards, p)
+		}
+	}
+
+	spawn := opt.Spawn
+	if spawn == nil {
+		spawn = SelfSpawner()
+	}
+	timeout := opt.Timeout
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+
+	stats := &Stats{
+		Shards:       len(shards),
+		BytesShipped: cpuBytes + goldenBytes,
+		Wall:         make([]time.Duration, len(shards)),
+	}
+	runs := make([]*fault.Result, len(shards))
+	errs := make([]error, len(shards))
+	var mu sync.Mutex // guards the attempt counters in stats
+	var wg sync.WaitGroup
+	for i, idxs := range shards {
+		wg.Add(1)
+		go func(i int, idxs []int) {
+			defer wg.Done()
+			start := time.Now()
+			runs[i], errs[i] = gradeShard(cpu, golden, faults, idxs, i, &shardConfig{
+				opt: opt, spawn: spawn, timeout: timeout,
+				cacheDir: c.Dir(), cpuKey: cpuKey, goldenKey: goldenKey,
+				stats: stats, mu: &mu,
+			})
+			stats.Wall[i] = time.Since(start)
+		}(i, idxs)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, stats, fmt.Errorf("shard %d of %d: %w", i, len(shards), err)
+		}
+	}
+
+	merged, err := fault.MergeShards(runs...)
+	if err != nil {
+		return nil, stats, err
+	}
+	// Per-shard stats sum cleanly except the whole-run quantities each
+	// worker reported for itself: golden-trace sizes describe the one
+	// shipped trace, and the partition (not the workers) skipped the
+	// never-activated faults.
+	merged.Stats.GoldenDenseBytes = golden.DenseStateBytes()
+	merged.Stats.GoldenStoredBytes = golden.StoredStateBytes()
+	merged.Stats.SkippedFaults += skipped
+	merged.Stats.ShardsLaunched = int64(stats.Launched)
+	merged.Stats.ShardsRetried = int64(stats.Retried)
+	merged.Stats.ShardsFailed = int64(stats.Failed)
+	merged.Stats.ShardsFallback = int64(stats.Fallbacks)
+	merged.Stats.ShardBytesShipped = stats.BytesShipped
+	for _, w := range stats.Wall {
+		merged.Stats.ShardWallNs += w.Nanoseconds()
+	}
+	return merged, stats, nil
+}
+
+// shardConfig bundles the per-run constants gradeShard needs.
+type shardConfig struct {
+	opt       Options
+	spawn     Spawner
+	timeout   time.Duration
+	cacheDir  string
+	cpuKey    string
+	goldenKey string
+	stats     *Stats
+	mu        *sync.Mutex
+}
+
+// gradeShard grades one shard: a worker attempt, one retry on failure, an
+// in-process fallback when spawning is impossible. The returned Result is
+// scattered to full fault-list length so the shard results merge with
+// fault.MergeShards.
+func gradeShard(cpu *plasma.CPU, golden *plasma.Golden, faults []fault.Fault, idxs []int, shardID int, cfg *shardConfig) (*fault.Result, error) {
+	sub := make([]fault.Fault, len(idxs))
+	for k, idx := range idxs {
+		sub[k] = faults[idx]
+	}
+	req := &Request{
+		Shard:        shardID,
+		CacheDir:     cfg.cacheDir,
+		CPUKey:       cfg.cpuKey,
+		GoldenKey:    cfg.goldenKey,
+		Faults:       sub,
+		UniverseHash: fault.UniverseHash(sub),
+		Engine:       cfg.opt.Engine,
+		LaneWords:    cfg.opt.LaneWords,
+		Workers:      cfg.opt.Workers,
+	}
+	count := func(field *int) {
+		cfg.mu.Lock()
+		*field++
+		cfg.mu.Unlock()
+	}
+	fallback := func() (*fault.Result, error) {
+		count(&cfg.stats.Fallbacks)
+		res, err := fault.Simulate(cpu, golden, sub, fault.Options{
+			Workers:   cfg.opt.Workers,
+			LaneWords: cfg.opt.LaneWords,
+			Engine:    cfg.opt.Engine,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return scatter(faults, idxs, golden.Cycles, res.DetectedAt, res.SignatureGroups, res.Stats), nil
+	}
+
+	var firstErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		w, err := cfg.spawn()
+		if err != nil {
+			// The worker binary cannot be launched at all; retrying the
+			// same spawner would fail the same way, so grade in-process.
+			return fallback()
+		}
+		count(&cfg.stats.Launched)
+		resp, err := runAttempt(w, req, cfg.timeout)
+		if err == nil {
+			return scatter(faults, idxs, golden.Cycles, resp.DetectedAt, resp.SignatureGroups, resp.Stats), nil
+		}
+		count(&cfg.stats.Failed)
+		if attempt == 0 {
+			firstErr = err
+			count(&cfg.stats.Retried)
+			continue
+		}
+		return nil, fmt.Errorf("worker failed twice: attempt 1: %v; attempt 2 (retry): %v", firstErr, err)
+	}
+	panic("unreachable")
+}
+
+// runAttempt drives one worker through the protocol under a deadline and
+// validates the response against the request.
+func runAttempt(w Worker, req *Request, timeout time.Duration) (*Response, error) {
+	defer w.Kill()
+	var timedOut atomic.Bool
+	timer := time.AfterFunc(timeout, func() {
+		timedOut.Store(true)
+		w.Kill()
+	})
+	defer timer.Stop()
+	fail := func(err error) (*Response, error) {
+		if timedOut.Load() {
+			return nil, fmt.Errorf("timed out after %v: %w", timeout, err)
+		}
+		return nil, err
+	}
+	if err := writeFrame(w, req); err != nil {
+		return fail(err)
+	}
+	if err := w.CloseWrite(); err != nil {
+		return fail(err)
+	}
+	var resp Response
+	if err := readFrame(w, &resp); err != nil {
+		return fail(err)
+	}
+	if err := w.Wait(); err != nil {
+		return fail(fmt.Errorf("worker exit: %w", err))
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("worker error: %s", resp.Err)
+	}
+	if resp.Shard != req.Shard {
+		return nil, fmt.Errorf("response for shard %d, want %d", resp.Shard, req.Shard)
+	}
+	if resp.UniverseHash != req.UniverseHash {
+		return nil, fmt.Errorf("response universe %s, want %s", resp.UniverseHash, req.UniverseHash)
+	}
+	if len(resp.DetectedAt) != len(req.Faults) || len(resp.SignatureGroups) != len(req.Faults) {
+		return nil, fmt.Errorf("response carries %d detections and %d signatures for %d faults",
+			len(resp.DetectedAt), len(resp.SignatureGroups), len(req.Faults))
+	}
+	return &resp, nil
+}
+
+// scatter expands a shard's subset-aligned outcomes to a full-fault-list
+// Result (ungraded lanes stay undetected) for fault.MergeShards.
+func scatter(faults []fault.Fault, idxs []int, cycles int, detectedAt []int32, sigGroups []uint8, stats fault.SimStats) *fault.Result {
+	r := &fault.Result{
+		Faults:          faults,
+		DetectedAt:      make([]int32, len(faults)),
+		SignatureGroups: make([]uint8, len(faults)),
+		Cycles:          cycles,
+		Stats:           stats,
+	}
+	for i := range r.DetectedAt {
+		r.DetectedAt[i] = -1
+	}
+	for k, idx := range idxs {
+		r.DetectedAt[idx] = detectedAt[k]
+		r.SignatureGroups[idx] = sigGroups[k]
+	}
+	return r
+}

@@ -1,0 +1,52 @@
+package shard
+
+import (
+	"sort"
+
+	"repro/internal/fault"
+	"repro/internal/gate"
+	"repro/internal/plasma"
+)
+
+// Partition deterministically splits a fault list into at most n index
+// groups for sharded grading. It reuses the cone-aware, activation-sorted
+// pass packing of internal/fault — shards receive whole passes, so the
+// cache-friendly grouping (faults of one pass share fanout-cone regions
+// and activation windows) survives the split — and balances the shards by
+// the width policy's per-pass cost estimate (longest-processing-time
+// greedy: passes in descending cost order, each to the currently
+// lightest shard, ties to the lowest shard index).
+//
+// Never-activated faults appear in no group: they are provably
+// undetectable by this golden run, and an unsharded Simulate would skip
+// them identically (their count is the second return, for stats). Groups
+// can come back empty when there are fewer passes than shards.
+func Partition(n *gate.Netlist, golden *plasma.Golden, faults []fault.Fault, engine fault.Engine, laneWords, shards int) ([][]int, int64, error) {
+	groups, skipped, err := fault.PlanPasses(n, golden, faults, engine, laneWords)
+	if err != nil {
+		return nil, 0, err
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	order := make([]int, len(groups))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return groups[order[a]].Cost > groups[order[b]].Cost
+	})
+	out := make([][]int, shards)
+	load := make([]float64, shards)
+	for _, gi := range order {
+		best := 0
+		for s := 1; s < shards; s++ {
+			if load[s] < load[best] {
+				best = s
+			}
+		}
+		out[best] = append(out[best], groups[gi].Idxs...)
+		load[best] += groups[gi].Cost
+	}
+	return out, skipped, nil
+}

@@ -1,0 +1,116 @@
+// Package shard scales fault grading across worker processes: a
+// coordinator partitions the fault universe into deterministic,
+// cache-friendly shards (reusing the cone-aware pass packing of
+// internal/fault), ships the synthesized netlist and the sparse golden
+// trace once through the content-addressed artifact cache, spawns worker
+// processes of the same binary, and unions the per-shard detections with
+// fault.MergeShards into a result bit-identical to an unsharded run.
+//
+// The wire protocol is deliberately small: the coordinator writes one
+// Request frame to a worker's stdin, the worker writes one Response frame
+// to its stdout and exits. Frames are length-prefixed, CRC-guarded gob; a
+// truncated or corrupted frame is detected at the coordinator and treated
+// like a crashed worker (one retry, then a hard error — never a silently
+// partial merge).
+package shard
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/fault"
+)
+
+// Request is the coordinator-to-worker job description. Heavy artifacts
+// (netlist, golden trace) travel by content-address through the shared
+// cache directory; only the shard's own fault subset rides in the frame.
+type Request struct {
+	// Shard is the shard's index in the coordinator's partition, echoed
+	// back in the Response.
+	Shard int
+	// CacheDir is the artifact cache directory shared with the
+	// coordinator; CPUKey and GoldenKey address the shipped CPU
+	// (cache.PutCPU) and golden trace (cache.PutGolden) in it.
+	CacheDir  string
+	CPUKey    string
+	GoldenKey string
+	// Faults is the shard's fault subset, in the coordinator's shard-local
+	// order; UniverseHash is fault.UniverseHash over it, echoed back so a
+	// mismatched merge is diagnosable end to end.
+	Faults       []fault.Fault
+	UniverseHash string
+	// Engine, LaneWords and Workers configure the worker's in-process
+	// fault.Simulate run.
+	Engine    fault.Engine
+	LaneWords int
+	Workers   int
+}
+
+// Response is the worker-to-coordinator result frame: the per-fault
+// outcomes aligned to Request.Faults, or a worker-side error.
+type Response struct {
+	Shard int
+	// Err, when non-empty, reports a worker-side failure (bad artifact,
+	// simulation error); the coordinator treats it like a crash.
+	Err string
+	// UniverseHash echoes the request's hash after the worker recomputed
+	// it over the faults it actually graded.
+	UniverseHash    string
+	Cycles          int
+	DetectedAt      []int32
+	SignatureGroups []uint8
+	Stats           fault.SimStats
+}
+
+// maxFrameBytes bounds a frame's declared payload length so a corrupted
+// header cannot demand an absurd allocation.
+const maxFrameBytes = 1 << 30
+
+// writeFrame writes one length-prefixed, CRC-guarded gob frame.
+func writeFrame(w io.Writer, v any) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return fmt.Errorf("shard: encode frame: %w", err)
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(buf.Len()))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(buf.Bytes()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("shard: write frame header: %w", err)
+	}
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		return fmt.Errorf("shard: write frame payload: %w", err)
+	}
+	return nil
+}
+
+// readFrame reads one frame into v. Truncation (stream ends mid-frame)
+// and corruption (CRC mismatch) are distinct, explicit errors.
+func readFrame(r io.Reader, v any) error {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return fmt.Errorf("shard: truncated frame header: %w", err)
+		}
+		return fmt.Errorf("shard: read frame header: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n > maxFrameBytes {
+		return fmt.Errorf("shard: frame of %d bytes exceeds the %d-byte limit", n, maxFrameBytes)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return fmt.Errorf("shard: truncated frame: got fewer than the declared %d bytes: %w", n, err)
+	}
+	if crc := crc32.ChecksumIEEE(payload); crc != binary.LittleEndian.Uint32(hdr[4:]) {
+		return fmt.Errorf("shard: frame CRC mismatch")
+	}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(v); err != nil {
+		return fmt.Errorf("shard: decode frame: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,465 @@
+package shard
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/asm"
+	"repro/internal/cache"
+	"repro/internal/fault"
+	"repro/internal/gate"
+	"repro/internal/plasma"
+	"repro/internal/synth"
+)
+
+// TestMain makes this test binary a valid shard worker for SelfSpawner:
+// when the coordinator re-executes it with the worker marker set,
+// ServeIfWorker serves the request and exits before any test runs.
+func TestMain(m *testing.M) {
+	ServeIfWorker()
+	os.Exit(m.Run())
+}
+
+var testCPU *plasma.CPU
+
+func getCPU(t *testing.T) *plasma.CPU {
+	t.Helper()
+	if testCPU == nil {
+		c, err := plasma.Build(synth.NativeLib{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		testCPU = c
+	}
+	return testCPU
+}
+
+const testProgram = `
+	li $t0, 0x1000
+	li $t1, 0xa5a5
+	sw $t1, 0($t0)
+	lw $t2, 0($t0)
+	addu $t3, $t2, $t1
+	sw $t3, 4($t0)
+	xor $t4, $t2, $t1
+	sw $t4, 8($t0)
+`
+
+func captureTestGolden(t *testing.T, cycles int) *plasma.Golden {
+	t.Helper()
+	prog, err := asm.Assemble(testProgram+"\nh__: j h__\nnop\n", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := plasma.CaptureGolden(getCPU(t), prog, cycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func testSample(t *testing.T) int {
+	if testing.Short() {
+		return 256
+	}
+	return 2048
+}
+
+// requireSameResult asserts two results carry bit-identical outcomes.
+func requireSameResult(t *testing.T, got, want *fault.Result) {
+	t.Helper()
+	if got.Cycles != want.Cycles {
+		t.Fatalf("cycles = %d, want %d", got.Cycles, want.Cycles)
+	}
+	if len(got.Faults) != len(want.Faults) {
+		t.Fatalf("fault count = %d, want %d", len(got.Faults), len(want.Faults))
+	}
+	for i := range want.Faults {
+		if got.Faults[i].Site != want.Faults[i].Site {
+			t.Fatalf("fault %d is %v, want %v", i, got.Faults[i].Site, want.Faults[i].Site)
+		}
+		if got.DetectedAt[i] != want.DetectedAt[i] {
+			t.Fatalf("fault %d detected at %d, want %d", i, got.DetectedAt[i], want.DetectedAt[i])
+		}
+		if got.SignatureGroups[i] != want.SignatureGroups[i] {
+			t.Fatalf("fault %d signature group %d, want %d", i, got.SignatureGroups[i], want.SignatureGroups[i])
+		}
+	}
+	if got.Coverage() != want.Coverage() {
+		t.Fatalf("coverage %v, want %v", got.Coverage(), want.Coverage())
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	req := &Request{
+		Shard:        3,
+		CacheDir:     "/tmp/x",
+		CPUKey:       "cpu-abc",
+		GoldenKey:    "golden-def",
+		Faults:       []fault.Fault{{Site: gate.FaultSite{Gate: 7, Pin: 1, Stuck: true}, Comp: 2, Equiv: 4}},
+		UniverseHash: "deadbeef",
+		Engine:       fault.EngineOblivious,
+		LaneWords:    8,
+		Workers:      2,
+	}
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, req); err != nil {
+		t.Fatal(err)
+	}
+	frame := append([]byte(nil), buf.Bytes()...)
+	var got Request
+	if err := readFrame(&buf, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Shard != req.Shard || got.UniverseHash != req.UniverseHash ||
+		len(got.Faults) != 1 || got.Faults[0] != req.Faults[0] ||
+		got.Engine != req.Engine || got.LaneWords != req.LaneWords || got.Workers != req.Workers {
+		t.Fatalf("round trip mangled the request: %+v vs %+v", got, req)
+	}
+
+	// A stream that ends mid-header and one that ends mid-payload are both
+	// explicit truncation errors, not bare EOFs or decode garbage.
+	for _, cut := range []int{4, len(frame) - 3} {
+		var r Request
+		err := readFrame(bytes.NewReader(frame[:cut]), &r)
+		if err == nil || !strings.Contains(err.Error(), "truncated") {
+			t.Errorf("cut at %d: err = %v, want truncation", cut, err)
+		}
+	}
+
+	// A flipped payload bit fails the CRC before gob ever sees it.
+	corrupt := append([]byte(nil), frame...)
+	corrupt[len(corrupt)-1] ^= 0x40
+	var r Request
+	if err := readFrame(bytes.NewReader(corrupt), &r); err == nil || !strings.Contains(err.Error(), "CRC") {
+		t.Errorf("corrupted payload: err = %v, want CRC mismatch", err)
+	}
+
+	// An absurd declared length is rejected without allocating it.
+	huge := append([]byte(nil), frame...)
+	huge[0], huge[1], huge[2], huge[3] = 0xff, 0xff, 0xff, 0xff
+	if err := readFrame(bytes.NewReader(huge), &r); err == nil || !strings.Contains(err.Error(), "limit") {
+		t.Errorf("oversized frame: err = %v, want limit error", err)
+	}
+}
+
+func TestPartitionDeterministicAndComplete(t *testing.T) {
+	cpu := getCPU(t)
+	g := captureTestGolden(t, 60)
+	faults := fault.SampleFaults(fault.Universe(cpu.Netlist), testSample(t), 1)
+
+	for _, shards := range []int{1, 2, 3, 7} {
+		first, skipped, err := Partition(cpu.Netlist, g, faults, fault.EngineEvent, 0, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(first) != shards {
+			t.Fatalf("%d shards requested, %d groups returned", shards, len(first))
+		}
+		seen := make(map[int]int)
+		total := 0
+		for _, grp := range first {
+			for _, idx := range grp {
+				if idx < 0 || idx >= len(faults) {
+					t.Fatalf("index %d out of range", idx)
+				}
+				seen[idx]++
+				total++
+			}
+		}
+		for idx, n := range seen {
+			if n != 1 {
+				t.Fatalf("fault %d assigned to %d shards", idx, n)
+			}
+		}
+		if int64(total)+skipped != int64(len(faults)) {
+			t.Fatalf("%d assigned + %d skipped != %d faults", total, skipped, len(faults))
+		}
+		// The partition is a pure function of its inputs.
+		second, _, err := Partition(cpu.Netlist, g, faults, fault.EngineEvent, 0, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := range first {
+			if len(first[s]) != len(second[s]) {
+				t.Fatalf("shard %d changed size between runs", s)
+			}
+			for k := range first[s] {
+				if first[s][k] != second[s][k] {
+					t.Fatalf("shard %d index %d changed between runs", s, k)
+				}
+			}
+		}
+	}
+}
+
+// TestGradeEquivalentToSimulate is the core acceptance property: a sharded
+// run is bit-identical to the unsharded fault.Simulate of the same options,
+// for several shard counts.
+func TestGradeEquivalentToSimulate(t *testing.T) {
+	cpu := getCPU(t)
+	g := captureTestGolden(t, 80)
+	all := fault.Universe(cpu.Netlist)
+	opt := fault.Options{Sample: testSample(t), Seed: 7}
+	want, err := fault.Simulate(cpu, g, all, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{2, 3, 4, 5} {
+		got, stats, err := Grade(cpu, g, all, Options{
+			Shards: shards,
+			Sample: opt.Sample,
+			Seed:   opt.Seed,
+			Spawn:  InProcSpawner(),
+		})
+		if err != nil {
+			t.Fatalf("%d shards: %v", shards, err)
+		}
+		requireSameResult(t, got, want)
+		if stats.Shards < 1 || stats.Shards > shards {
+			t.Fatalf("%d shards requested, stats says %d graded", shards, stats.Shards)
+		}
+		if stats.Launched < stats.Shards {
+			t.Fatalf("launched %d workers for %d shards", stats.Launched, stats.Shards)
+		}
+		if stats.Failed != 0 || stats.Retried != 0 || stats.Fallbacks != 0 {
+			t.Fatalf("healthy run reported failures: %+v", stats)
+		}
+		if got.Stats.ShardsLaunched != int64(stats.Launched) {
+			t.Fatalf("SimStats counter %d != coordinator counter %d", got.Stats.ShardsLaunched, stats.Launched)
+		}
+	}
+}
+
+// TestGradeSubprocess exercises the real process boundary: the default
+// SelfSpawner re-executes this test binary (see TestMain) as the worker.
+func TestGradeSubprocess(t *testing.T) {
+	cpu := getCPU(t)
+	g := captureTestGolden(t, 60)
+	all := fault.Universe(cpu.Netlist)
+	opt := fault.Options{Sample: 256, Seed: 3}
+	want, err := fault.Simulate(cpu, g, all, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := Grade(cpu, g, all, Options{Shards: 2, Sample: opt.Sample, Seed: opt.Seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResult(t, got, want)
+	if stats.Fallbacks != 0 {
+		t.Fatalf("subprocess run fell back in-process: %+v", stats)
+	}
+	if stats.BytesShipped <= 0 {
+		t.Fatalf("no artifact bytes shipped into a fresh cache: %+v", stats)
+	}
+}
+
+func TestGradeShipsArtifactsOnce(t *testing.T) {
+	cpu := getCPU(t)
+	g := captureTestGolden(t, 60)
+	all := fault.Universe(cpu.Netlist)
+	disk, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Shards: 2, Sample: 128, Seed: 1, Cache: disk, Spawn: InProcSpawner()}
+	_, first, err := Grade(cpu, g, all, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.BytesShipped <= 0 {
+		t.Fatalf("first run shipped %d bytes, want > 0", first.BytesShipped)
+	}
+	_, second, err := Grade(cpu, g, all, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.BytesShipped != 0 {
+		t.Fatalf("second run re-shipped %d bytes into a warm cache", second.BytesShipped)
+	}
+}
+
+// fakeWorker misbehaves on demand: it swallows the request and serves out
+// as its response stream (nil = hang until killed), then reports waitErr.
+type fakeWorker struct {
+	out     io.Reader
+	waitErr error
+
+	killed   chan struct{}
+	killOnce sync.Once
+}
+
+func newFakeWorker(out io.Reader, waitErr error) *fakeWorker {
+	return &fakeWorker{out: out, waitErr: waitErr, killed: make(chan struct{})}
+}
+
+func (w *fakeWorker) Write(p []byte) (int, error) { return len(p), nil }
+func (w *fakeWorker) Read(p []byte) (int, error) {
+	if w.out == nil {
+		<-w.killed
+		return 0, fmt.Errorf("worker killed")
+	}
+	return w.out.Read(p)
+}
+func (w *fakeWorker) CloseWrite() error { return nil }
+func (w *fakeWorker) Wait() error       { return w.waitErr }
+func (w *fakeWorker) Kill()             { w.killOnce.Do(func() { close(w.killed) }) }
+
+// failFirstSpawner hands out bad exactly once — to whichever shard spawns
+// first — and real in-process workers afterwards.
+func failFirstSpawner(bad Worker) Spawner {
+	good := InProcSpawner()
+	var mu sync.Mutex
+	used := false
+	return func() (Worker, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if !used {
+			used = true
+			return bad, nil
+		}
+		return good()
+	}
+}
+
+// validResponseFrame encodes a well-formed (if empty) Response frame, for
+// workers that speak the protocol but then exit nonzero.
+func validResponseFrame(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, &Response{}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// gradeInjected runs a 2-shard grading where the first spawned worker is
+// bad, and asserts the coordinator retried exactly once and converged to
+// the unsharded result.
+func gradeInjected(t *testing.T, bad Worker, timeout time.Duration) {
+	t.Helper()
+	cpu := getCPU(t)
+	g := captureTestGolden(t, 60)
+	all := fault.Universe(cpu.Netlist)
+	opt := fault.Options{Sample: 128, Seed: 5}
+	want, err := fault.Simulate(cpu, g, all, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := Grade(cpu, g, all, Options{
+		Shards:  2,
+		Sample:  opt.Sample,
+		Seed:    opt.Seed,
+		Timeout: timeout,
+		Spawn:   failFirstSpawner(bad),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResult(t, got, want)
+	if stats.Failed != 1 || stats.Retried != 1 {
+		t.Fatalf("want exactly one failed attempt and one retry, got %+v", stats)
+	}
+	if stats.Launched != stats.Shards+1 {
+		t.Fatalf("launched %d workers for %d shards + 1 retry", stats.Launched, stats.Shards)
+	}
+	if stats.Fallbacks != 0 {
+		t.Fatalf("retry path took the spawner-failure fallback: %+v", stats)
+	}
+	if got.Stats.ShardsRetried != 1 || got.Stats.ShardsFailed != 1 {
+		t.Fatalf("SimStats shard counters: %+v", got.Stats)
+	}
+}
+
+func TestWorkerExitsNonzero(t *testing.T) {
+	// The worker answers correctly but exits nonzero: its result cannot be
+	// trusted, so the attempt fails and the retry converges.
+	bad := newFakeWorker(bytes.NewReader(validResponseFrame(t)), errors.New("exit status 1"))
+	gradeInjected(t, bad, 0)
+}
+
+func TestWorkerHangsPastTimeout(t *testing.T) {
+	// The worker never responds; the 100ms budget kills it and the retry
+	// converges.
+	gradeInjected(t, newFakeWorker(nil, nil), 100*time.Millisecond)
+}
+
+func TestWorkerEmitsTruncatedFrame(t *testing.T) {
+	frame := validResponseFrame(t)
+	bad := newFakeWorker(bytes.NewReader(frame[:len(frame)-3]), nil)
+	gradeInjected(t, bad, 0)
+}
+
+// TestWorkerFailsTwice asserts the never-silently-partial guarantee: when
+// a shard's attempt and its one retry both fail, Grade returns an error
+// naming both attempts and no result at all.
+func TestWorkerFailsTwice(t *testing.T) {
+	cpu := getCPU(t)
+	g := captureTestGolden(t, 60)
+	all := fault.Universe(cpu.Netlist)
+	hang := func() (Worker, error) { return newFakeWorker(nil, nil), nil }
+	res, stats, err := Grade(cpu, g, all, Options{
+		Shards:  2,
+		Sample:  128,
+		Seed:    5,
+		Timeout: 50 * time.Millisecond,
+		Spawn:   hang,
+	})
+	if err == nil {
+		t.Fatal("want an error, got success")
+	}
+	if res != nil {
+		t.Fatal("failed run returned a (partial) result")
+	}
+	if !strings.Contains(err.Error(), "worker failed twice") {
+		t.Fatalf("err = %v, want both attempts reported", err)
+	}
+	if !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("err = %v, want the timeout surfaced", err)
+	}
+	if stats.Retried == 0 || stats.Failed < 2 {
+		t.Fatalf("stats don't show the retry: %+v", stats)
+	}
+}
+
+// TestSpawnFailureFallsBack asserts graceful degradation: a spawner that
+// cannot start processes at all downgrades every shard to an in-process
+// simulation, still bit-identical to the unsharded run.
+func TestSpawnFailureFallsBack(t *testing.T) {
+	cpu := getCPU(t)
+	g := captureTestGolden(t, 60)
+	all := fault.Universe(cpu.Netlist)
+	opt := fault.Options{Sample: 128, Seed: 5}
+	want, err := fault.Simulate(cpu, g, all, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken := func() (Worker, error) { return nil, errors.New("no such binary") }
+	got, stats, err := Grade(cpu, g, all, Options{
+		Shards: 3,
+		Sample: opt.Sample,
+		Seed:   opt.Seed,
+		Spawn:  broken,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResult(t, got, want)
+	if stats.Fallbacks != stats.Shards {
+		t.Fatalf("want every shard to fall back, got %+v", stats)
+	}
+	if stats.Launched != 0 {
+		t.Fatalf("launched %d workers through a broken spawner", stats.Launched)
+	}
+	if got.Stats.ShardsFallback != int64(stats.Shards) {
+		t.Fatalf("SimStats fallback counter: %+v", got.Stats)
+	}
+}

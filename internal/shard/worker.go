@@ -1,0 +1,83 @@
+package shard
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/cache"
+	"repro/internal/fault"
+)
+
+// EnvVar is the environment marker that flips a binary embedding this
+// package into one-shot worker mode; see ServeIfWorker. The coordinator's
+// default spawner re-executes the current binary with it set.
+const EnvVar = "SBST_SHARD_WORKER"
+
+// ServeIfWorker turns the current process into a one-shot shard worker
+// when the SBST_SHARD_WORKER environment variable is set: it serves a
+// single Request from stdin, writes the Response to stdout, and exits
+// without returning. Call it first thing in main (and in TestMain for
+// test binaries that shard), before flag parsing, so any binary the
+// coordinator re-executes speaks the protocol regardless of its own CLI.
+func ServeIfWorker() {
+	if os.Getenv(EnvVar) == "" {
+		return
+	}
+	if err := RunWorker(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "shard worker:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// RunWorker serves exactly one shard-grading request: decode a Request
+// frame from r, grade the shard, write a Response frame to w. Worker-side
+// grading problems (missing artifact, hash mismatch) travel back in
+// Response.Err; the returned error covers only protocol/IO failure, where
+// no response could be delivered at all.
+func RunWorker(r io.Reader, w io.Writer) error {
+	var req Request
+	if err := readFrame(r, &req); err != nil {
+		return err
+	}
+	return writeFrame(w, grade(&req))
+}
+
+// grade runs one shard's fault simulation from a request.
+func grade(req *Request) *Response {
+	fail := func(format string, args ...any) *Response {
+		return &Response{Shard: req.Shard, Err: fmt.Sprintf(format, args...)}
+	}
+	if h := fault.UniverseHash(req.Faults); h != req.UniverseHash {
+		return fail("shard %d fault subset hashes to %s, request says %s", req.Shard, h, req.UniverseHash)
+	}
+	c, err := cache.Open(req.CacheDir)
+	if err != nil {
+		return fail("shard %d: %v", req.Shard, err)
+	}
+	cpu, err := c.GetCPU(req.CPUKey)
+	if err != nil {
+		return fail("shard %d: %v", req.Shard, err)
+	}
+	golden, err := c.GetGoldenArtifact(req.GoldenKey)
+	if err != nil {
+		return fail("shard %d: %v", req.Shard, err)
+	}
+	res, err := fault.Simulate(cpu, golden, req.Faults, fault.Options{
+		Workers:   req.Workers,
+		Engine:    req.Engine,
+		LaneWords: req.LaneWords,
+	})
+	if err != nil {
+		return fail("shard %d: %v", req.Shard, err)
+	}
+	return &Response{
+		Shard:           req.Shard,
+		UniverseHash:    req.UniverseHash,
+		Cycles:          res.Cycles,
+		DetectedAt:      res.DetectedAt,
+		SignatureGroups: res.SignatureGroups,
+		Stats:           res.Stats,
+	}
+}

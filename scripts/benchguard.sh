@@ -1,59 +1,79 @@
 #!/bin/sh
 # benchguard.sh — regression guard for the headline fault-grading
-# benchmark. Runs BenchmarkTable5FaultCoverage once and fails if it comes
-# in more than 15% over the baseline_ns_per_op, or allocates more than
-# 15% over the baseline_bytes_per_op, recorded in BENCH_faultsim.json.
-# Run from the repository root:
+# benchmarks. Runs BenchmarkTable5FaultCoverage and its 4-worker sharded
+# variant BenchmarkTable5FaultCoverageSharded once each and fails if
+# either comes in more than 15% over its baseline_ns_per_op, or allocates
+# more than 15% over its baseline_bytes_per_op, recorded in
+# BENCH_faultsim.json. Run from the repository root:
 #
 #   ./scripts/benchguard.sh
 #
 # Update the baselines in BENCH_faultsim.json when a change legitimately
-# shifts the benchmark (and record the history entry explaining why).
+# shifts a benchmark (and record the history entry explaining why).
 set -eu
 
-baseline=$(grep -o '"baseline_ns_per_op": *[0-9]*' BENCH_faultsim.json | grep -o '[0-9]*$')
-if [ -z "$baseline" ]; then
-    echo "benchguard: no baseline_ns_per_op in BENCH_faultsim.json" >&2
-    exit 1
-fi
-bytebase=$(grep -o '"baseline_bytes_per_op": *[0-9]*' BENCH_faultsim.json | grep -o '[0-9]*$')
-if [ -z "$bytebase" ]; then
-    echo "benchguard: no baseline_bytes_per_op in BENCH_faultsim.json" >&2
-    exit 1
-fi
+json_int() {
+    grep -o "\"$1\": *[0-9]*" BENCH_faultsim.json | grep -o '[0-9]*$'
+}
 
-out=$(go test -bench BenchmarkTable5FaultCoverage -benchtime 1x -benchmem -run '^$' -timeout 3600s .)
+baseline=$(json_int baseline_ns_per_op)
+bytebase=$(json_int baseline_bytes_per_op)
+sharded_baseline=$(json_int sharded_baseline_ns_per_op)
+sharded_bytebase=$(json_int sharded_baseline_bytes_per_op)
+for v in "$baseline" "$bytebase" "$sharded_baseline" "$sharded_bytebase"; do
+    if [ -z "$v" ]; then
+        echo "benchguard: missing a baseline in BENCH_faultsim.json" >&2
+        exit 1
+    fi
+done
+
+out=$(go test -bench 'BenchmarkTable5FaultCoverage$|BenchmarkTable5FaultCoverageSharded$' \
+    -benchtime 1x -benchmem -run '^$' -timeout 3600s .)
 echo "$out"
-
-ns=$(echo "$out" | awk '/^BenchmarkTable5FaultCoverage/ {print $3; exit}')
-if [ -z "$ns" ]; then
-    echo "benchguard: benchmark produced no result" >&2
-    exit 1
-fi
-bytes=$(echo "$out" | awk '/^BenchmarkTable5FaultCoverage/ {for (i = 4; i < NF; i++) if ($(i+1) == "B/op") {print $i; exit}}')
-if [ -z "$bytes" ]; then
-    echo "benchguard: benchmark reported no B/op (is -benchmem set?)" >&2
-    exit 1
-fi
 
 fail=0
 
-limit=$((baseline * 115 / 100))
-pct=$((ns * 100 / baseline))
-if [ "$ns" -gt "$limit" ]; then
-    echo "benchguard: FAIL — ${ns} ns/op is ${pct}% of the ${baseline} ns/op baseline (limit 115%)" >&2
-    fail=1
-else
-    echo "benchguard: OK — ${ns} ns/op is ${pct}% of the ${baseline} ns/op baseline"
-fi
+# guard NAME NS BYTES NS_BASELINE BYTES_BASELINE
+guard() {
+    name=$1 ns=$2 bytes=$3 nsbase=$4 bbase=$5
+    if [ -z "$ns" ] || [ -z "$bytes" ]; then
+        echo "benchguard: $name produced no result (is -benchmem set?)" >&2
+        fail=1
+        return
+    fi
+    limit=$((nsbase * 115 / 100))
+    pct=$((ns * 100 / nsbase))
+    if [ "$ns" -gt "$limit" ]; then
+        echo "benchguard: FAIL — $name ${ns} ns/op is ${pct}% of the ${nsbase} ns/op baseline (limit 115%)" >&2
+        fail=1
+    else
+        echo "benchguard: OK — $name ${ns} ns/op is ${pct}% of the ${nsbase} ns/op baseline"
+    fi
+    blimit=$((bbase * 115 / 100))
+    bpct=$((bytes * 100 / bbase))
+    if [ "$bytes" -gt "$blimit" ]; then
+        echo "benchguard: FAIL — $name ${bytes} B/op is ${bpct}% of the ${bbase} B/op baseline (limit 115%)" >&2
+        fail=1
+    else
+        echo "benchguard: OK — $name ${bytes} B/op is ${bpct}% of the ${bbase} B/op baseline"
+    fi
+}
 
-blimit=$((bytebase * 115 / 100))
-bpct=$((bytes * 100 / bytebase))
-if [ "$bytes" -gt "$blimit" ]; then
-    echo "benchguard: FAIL — ${bytes} B/op is ${bpct}% of the ${bytebase} B/op baseline (limit 115%)" >&2
-    fail=1
-else
-    echo "benchguard: OK — ${bytes} B/op is ${bpct}% of the ${bytebase} B/op baseline"
-fi
+# Benchmark rows print as NAME or NAME-GOMAXPROCS; match both, exactly.
+bench_ns() {
+    echo "$out" | awk -v name="$1" '$1 == name || index($1, name "-") == 1 {print $3; exit}'
+}
+bench_bytes() {
+    echo "$out" | awk -v name="$1" '$1 == name || index($1, name "-") == 1 {for (i = 4; i < NF; i++) if ($(i+1) == "B/op") {print $i; exit}}'
+}
+
+guard BenchmarkTable5FaultCoverage \
+    "$(bench_ns BenchmarkTable5FaultCoverage)" \
+    "$(bench_bytes BenchmarkTable5FaultCoverage)" \
+    "$baseline" "$bytebase"
+guard BenchmarkTable5FaultCoverageSharded \
+    "$(bench_ns BenchmarkTable5FaultCoverageSharded)" \
+    "$(bench_bytes BenchmarkTable5FaultCoverageSharded)" \
+    "$sharded_baseline" "$sharded_bytebase"
 
 exit $fail

@@ -20,7 +20,7 @@ go vet ./...
 echo "== go test $short ./..."
 go test $short ./...
 
-echo "== go test -race -short ./internal/gate ./internal/fault"
-go test -race -short ./internal/gate ./internal/fault
+echo "== go test -race -short ./internal/gate ./internal/fault ./internal/shard"
+go test -race -short ./internal/gate ./internal/fault ./internal/shard
 
 echo "check: OK"
