@@ -1,9 +1,14 @@
 GO ?= go
 
-.PHONY: build test check bench-faultsim benchguard
+.PHONY: build generate test check bench-faultsim benchguard
 
 build:
 	$(GO) build ./...
+
+# Regenerate the gate-evaluation kernel family (Go + AVX2 asm) from
+# internal/gate/gen. check.sh fails when the committed output is stale.
+generate:
+	$(GO) generate ./internal/gate
 
 test:
 	$(GO) test ./...

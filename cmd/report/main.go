@@ -24,7 +24,8 @@
 // bit-identical to the in-process path. -shard-timeout bounds one worker
 // attempt's wall clock (0 = the coordinator's default), and -stats folds
 // the shard counters (launches, retries, bytes shipped, per-shard wall
-// clock) into the cumulative statistics block.
+// clock) and the gate-kernel dispatch counters (SIMD vs generic runs,
+// batched gates, fast-path hits) into the cumulative statistics block.
 package main
 
 import (
@@ -38,6 +39,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/cache"
 	"repro/internal/fault"
+	"repro/internal/gate"
 	"repro/internal/plasma"
 	"repro/internal/shard"
 	"repro/internal/synth"
@@ -209,6 +211,7 @@ func main() {
 	}
 
 	if *stats {
-		fmt.Printf("==== fault-simulation statistics (engine=%s) ====\n%s\n", *engine, simStats.String())
+		fmt.Printf("==== fault-simulation statistics (engine=%s, simd=%s) ====\n%s\n",
+			*engine, gate.SIMDKernelName(), simStats.String())
 	}
 }

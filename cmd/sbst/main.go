@@ -19,7 +19,8 @@
 // per pass (a power of two up to 32 = 64..2048 faulty machines; 0 =
 // cost-model adaptive up to 32), and -stats prints the engine's work
 // counters (gate evals/cycle, fast-forwarded and replayed cycles, lane
-// drops, pass-width histogram, golden-trace compression). -checkpoint-k
+// drops, pass-width histogram, SIMD/generic kernel dispatch, bus-trace
+// and golden-trace compression). -checkpoint-k
 // sets the golden-trace checkpoint interval (full flip-flop snapshots
 // every K cycles, sparse deltas between; 0 = default). -cache names a
 // directory where synthesized netlists and captured golden traces persist
@@ -48,6 +49,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/gate"
 	"repro/internal/plasma"
 	"repro/internal/shard"
 	"repro/internal/sim"
@@ -229,7 +231,8 @@ func main() {
 		}
 		fmt.Printf("\nfault coverage:\n%s", fault.NewReport(cpu.Netlist, res).String())
 		if *stats {
-			fmt.Printf("\nsimulation statistics (engine=%s):\n%s\n", *engine, res.Stats.String())
+			fmt.Printf("\nsimulation statistics (engine=%s, simd=%s):\n%s\n",
+				*engine, gate.SIMDKernelName(), res.Stats.String())
 			if shardStats != nil {
 				fmt.Printf("\nsharding statistics (%d shards requested):\n%s\n", *shards, shardStats.String())
 			}

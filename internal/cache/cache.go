@@ -182,8 +182,9 @@ func (c *Cache) storeCPU(lib synth.Library, cpu *plasma.CPU) error {
 // golden key. Bumping it orphans all previously cached goldens (the GC
 // reaps them) instead of letting gob decode an old layout into the new
 // struct with silently missing fields. Version 2 is the sparse
-// delta-encoded checkpoint format.
-const goldenFormat = 2
+// delta-encoded checkpoint format; version 3 run-length encodes the
+// read-data and primary-output trace streams.
+const goldenFormat = 3
 
 // goldenKey derives the content address of a golden trace from everything
 // that determines it: the artifact format version, the netlist, the

@@ -82,7 +82,8 @@ func TestCPURoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(gc.Out, gw.Out) || !reflect.DeepEqual(gc.RData, gw.RData) {
+	if !reflect.DeepEqual(gc.OutAddr, gw.OutAddr) || !reflect.DeepEqual(gc.OutWData, gw.OutWData) ||
+		!reflect.DeepEqual(gc.OutCtl, gw.OutCtl) || !reflect.DeepEqual(gc.RData, gw.RData) {
 		t.Fatalf("cached CPU executes differently")
 	}
 }
@@ -149,7 +150,7 @@ func TestGoldenKIsKeyedAndValidated(t *testing.T) {
 		t.Fatalf("cache served a golden with the wrong checkpoint interval: %d, %d",
 			g16.CheckpointK, g4.CheckpointK)
 	}
-	if !reflect.DeepEqual(g16.Out, g4.Out) {
+	if !reflect.DeepEqual(g16.OutAddr, g4.OutAddr) || !reflect.DeepEqual(g16.OutCtl, g4.OutCtl) {
 		t.Fatalf("bus trace differs across checkpoint intervals")
 	}
 }

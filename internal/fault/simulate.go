@@ -182,6 +182,8 @@ func Simulate(cpu *plasma.CPU, golden *plasma.Golden, faults []Fault, opt Option
 	res.Stats.SkippedFaults = skipped
 	res.Stats.GoldenDenseBytes = golden.DenseStateBytes()
 	res.Stats.GoldenStoredBytes = golden.StoredStateBytes()
+	res.Stats.TraceDenseBytes = golden.DenseTraceBytes()
+	res.Stats.TraceStoredBytes = golden.StoredTraceBytes()
 
 	workers := opt.Workers
 	if workers <= 0 {
@@ -245,6 +247,12 @@ func Simulate(cpu *plasma.CPU, golden *plasma.Golden, faults []Fault, opt Option
 					r.stats.GateEvals = r.stats.SimCycles * int64(r.sim.CombGates())
 				}
 				r.stats.GateEvalsByWidth[lg] = r.stats.GateEvals
+				ks := r.sim.KernelStats()
+				r.stats.SIMDKernelRuns = int64(ks.SIMDRuns)
+				r.stats.GenericKernelRuns = int64(ks.GenericRuns)
+				r.stats.BatchedGateEvals = int64(ks.BatchedGates)
+				r.stats.UniformFastPathHits = int64(ks.UniformHits)
+				r.stats.ScalarKernelEvals = int64(ks.ScalarEvals)
 				ws.Add(&r.stats)
 			}
 			stats[w] = ws
@@ -450,10 +458,10 @@ func (r *passRunner) runPass(faults []Fault, job PassGroup, detectedAt []int32, 
 	var addrDiff, daDiff, strobeDiff, wdataDiff, laneWrites [gate.MaxLaneWords]uint64
 	for t := int(ff); t < g.Cycles; t++ {
 		r.stats.SimCycles++
-		s.SetBusUniform(plasma.PortRData, uint64(g.RData[t]))
+		s.SetBusUniform(plasma.PortRData, uint64(g.RDataAt(t)))
 		s.Eval()
 
-		out := &g.Out[t]
+		out := g.OutAt(t)
 		for k := 0; k < w; k++ {
 			addrDiff[k], daDiff[k], strobeDiff[k], wdataDiff[k], laneWrites[k] = 0, 0, 0, 0, 0
 		}

@@ -67,6 +67,21 @@ type SimStats struct {
 	// serial machine would pay); the coordinator's own wall-clock is the
 	// slowest shard, reported separately by shard.Stats.
 	ShardWallNs int64
+	// Kernel dispatch counters from the gate evaluators (summed over every
+	// simulator of the run): batch runs dispatched to the SIMD assembly
+	// kernels vs the generic Go run kernels, gates evaluated through those
+	// batched runs, scalar uniform fast-path evaluations, and full-width
+	// hooked-gate evaluations (fault-injection sites).
+	SIMDKernelRuns      int64
+	GenericKernelRuns   int64
+	BatchedGateEvals    int64
+	UniformFastPathHits int64
+	ScalarKernelEvals   int64
+	// TraceDenseBytes is the size the golden read-data and primary-output
+	// streams would occupy as dense per-cycle arrays; TraceStoredBytes is
+	// the size the run-length encoded streams actually occupy.
+	TraceDenseBytes  int64
+	TraceStoredBytes int64
 	// GoldenDenseBytes is the size the golden flip-flop trace would occupy
 	// in the dense one-snapshot-per-cycle format; GoldenStoredBytes is the
 	// size the sparse delta-encoded trace actually occupies (in memory and
@@ -99,8 +114,24 @@ func (s *SimStats) Add(other *SimStats) {
 	s.ShardsFallback += other.ShardsFallback
 	s.ShardBytesShipped += other.ShardBytesShipped
 	s.ShardWallNs += other.ShardWallNs
+	s.SIMDKernelRuns += other.SIMDKernelRuns
+	s.GenericKernelRuns += other.GenericKernelRuns
+	s.BatchedGateEvals += other.BatchedGateEvals
+	s.UniformFastPathHits += other.UniformFastPathHits
+	s.ScalarKernelEvals += other.ScalarKernelEvals
+	s.TraceDenseBytes += other.TraceDenseBytes
+	s.TraceStoredBytes += other.TraceStoredBytes
 	s.GoldenDenseBytes += other.GoldenDenseBytes
 	s.GoldenStoredBytes += other.GoldenStoredBytes
+}
+
+// TraceCompression reports the golden bus-trace compression factor
+// (dense-equivalent bytes over stored bytes).
+func (s *SimStats) TraceCompression() float64 {
+	if s.TraceStoredBytes == 0 {
+		return 0
+	}
+	return float64(s.TraceDenseBytes) / float64(s.TraceStoredBytes)
 }
 
 // EvalsPerCycle reports the mean combinational gate evaluations per
@@ -152,6 +183,12 @@ func (s *SimStats) String() string {
 	fmt.Fprintf(&b, "lanes dropped     %d\n", s.LanesDropped)
 	fmt.Fprintf(&b, "drops by decile   %s\n", histString(&s.DroppedPerWindow))
 	fmt.Fprintf(&b, "pass exit decile  %s\n", histString(&s.ExitHist))
+	fmt.Fprintf(&b, "kernel runs       %d simd, %d generic (%d gates batched)\n",
+		s.SIMDKernelRuns, s.GenericKernelRuns, s.BatchedGateEvals)
+	fmt.Fprintf(&b, "kernel fast paths %d uniform, %d hooked full-width\n",
+		s.UniformFastPathHits, s.ScalarKernelEvals)
+	fmt.Fprintf(&b, "bus trace         %d B stored, %d B dense-equivalent (%.1fx smaller)\n",
+		s.TraceStoredBytes, s.TraceDenseBytes, s.TraceCompression())
 	fmt.Fprintf(&b, "golden trace      %d B stored, %d B dense-equivalent (%.1fx smaller)",
 		s.GoldenStoredBytes, s.GoldenDenseBytes, s.GoldenCompression())
 	if s.ShardsLaunched > 0 || s.ShardsFallback > 0 {

@@ -55,11 +55,28 @@ const (
 	costWordCone = 0.27
 )
 
-// wordScale is the measured cache-pressure penalty on the per-word cost at
-// wide lane words: the working set per signal is w*8 bytes, and past 8
-// words the level-queue sweep starts missing L1/L2. From the same sweep,
-// per-word cost rises ~25% at w>=16 relative to w<=8.
+// wordScale adjusts the per-word cost for the lane width's evaluation
+// path. Without assembly kernels it is the measured cache-pressure
+// penalty at wide lane words: the working set per signal is w*8 bytes,
+// and past 8 words the level-queue sweep starts missing L1/L2 (~25%
+// per-word at w>=16). With the AVX2 batch kernels (w >= 8 only — the
+// narrower widths have no kernels) the sweep re-fit inverts the picture:
+// per-word cost lands ~22% below the scalar baseline at w=8/16 and ~10%
+// below at w=32, where cache pressure claws most of the kernel win back.
+// Fit from BenchmarkPassRunnerWidth (Sample=2048, Workers=1): solving
+// T(w) = passes(w)*(fixed + w*scale*word) against the measured sweep
+// 5.06/3.09/2.25/1.37/1.08/1.13 s at w=1..32 gives word-cost scales
+// 1.0/1.0/1.0/0.78/0.76/0.90.
 func wordScale(w int) float64 {
+	if gate.SIMDEnabled() {
+		switch {
+		case w >= 32:
+			return 0.90
+		case w >= 8:
+			return 0.78
+		}
+		return 1.0
+	}
 	if w >= 16 {
 		return 1.25
 	}

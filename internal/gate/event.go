@@ -28,7 +28,12 @@ package gate
 
 // incState is the bookkeeping of the event-driven evaluator.
 type incState struct {
-	level    []int32 // per signal: combinational level (sources at 0)
+	// qstate holds each signal's combinational level (sources at 0),
+	// negated while the signal waits in its level queue. Folding the
+	// queued flag into the level array means the enqueue test touches one
+	// random cache line per fanout consumer instead of two — propagate is
+	// the hottest loop of the event engine once the kernels are batched.
+	qstate   []int32
 	maxLevel int32
 
 	// CSR fan-out of each signal, split into combinational consumers
@@ -41,8 +46,16 @@ type incState struct {
 
 	dffs []Sig // every flip-flop signal, for full latches
 
-	queue   [][]Sig // per-level pending combinational gates
-	inQueue []bool
+	// Pending combinational gates, segmented by level: level lv's queue
+	// occupies qbuf[qoff[lv] : qpos[lv]], qpos being the running write
+	// position (reset to qoff after the level drains). Each segment is
+	// sized to the level's gate population (qstate deduplicates, so it
+	// cannot overflow). One flat preallocated buffer keeps an enqueue to
+	// a single indexed store — the slice-append variant dominated sweep
+	// profiles once the kernels went SIMD.
+	qbuf []Sig
+	qoff []int32
+	qpos []int32
 
 	dffPending []Sig // DFFs whose D input saw an event since the last Latch
 	dffPendSet []bool
@@ -79,8 +92,7 @@ func (s *Sim) EventDriven() bool { return s.inc != nil }
 func newIncState(n *Netlist, order []Sig) *incState {
 	ng := len(n.Gates)
 	inc := &incState{
-		level:      make([]int32, ng),
-		inQueue:    make([]bool, ng),
+		qstate:     make([]int32, ng),
 		dffPendSet: make([]bool, ng),
 		dffChgSet:  make([]bool, ng),
 		allDirty:   true,
@@ -90,11 +102,11 @@ func newIncState(n *Netlist, order []Sig) *incState {
 		g := &n.Gates[sig]
 		lv := int32(0)
 		for p := 0; p < g.Kind.NumInputs(); p++ {
-			if l := inc.level[g.In[p]] + 1; l > lv {
+			if l := inc.qstate[g.In[p]] + 1; l > lv {
 				lv = l
 			}
 		}
-		inc.level[sig] = lv
+		inc.qstate[sig] = lv
 		if lv > inc.maxLevel {
 			inc.maxLevel = lv
 		}
@@ -135,8 +147,29 @@ func newIncState(n *Netlist, order []Sig) *incState {
 			combPos[in]++
 		}
 	}
-	inc.queue = make([][]Sig, inc.maxLevel+1)
+	lvlCnt := make([]int32, inc.maxLevel+1)
+	for _, sig := range order {
+		lvlCnt[inc.qstate[sig]]++
+	}
+	inc.qoff = make([]int32, inc.maxLevel+2)
+	for lv := int32(0); lv <= inc.maxLevel; lv++ {
+		inc.qoff[lv+1] = inc.qoff[lv] + lvlCnt[lv]
+	}
+	inc.qbuf = make([]Sig, len(order))
+	inc.qpos = append([]int32(nil), inc.qoff[:inc.maxLevel+1]...)
 	return inc
+}
+
+// enqueue schedules one combinational gate into its level's queue
+// segment unless already pending (qstate negative). Dequeue restores the
+// positive level (the sweep knows it from its loop variable).
+func (inc *incState) enqueue(sig Sig) {
+	if lv := inc.qstate[sig]; lv >= 0 {
+		inc.qstate[sig] = -lv
+		p := inc.qpos[lv]
+		inc.qbuf[p] = sig
+		inc.qpos[lv] = p + 1
+	}
 }
 
 // invalidate marks the whole simulator dirty; the next Eval performs one
@@ -151,11 +184,7 @@ func (s *Sim) invalidate() {
 func (s *Sim) propagate(sig Sig) {
 	inc := s.inc
 	for _, c := range inc.combFan[inc.combIdx[sig]:inc.combIdx[sig+1]] {
-		if !inc.inQueue[c] {
-			inc.inQueue[c] = true
-			lv := inc.level[c]
-			inc.queue[lv] = append(inc.queue[lv], c)
-		}
+		inc.enqueue(c)
 	}
 	for _, d := range inc.dffFan[inc.dffIdx[sig]:inc.dffIdx[sig+1]] {
 		if !inc.dffPendSet[d] {
@@ -213,17 +242,23 @@ func (s *Sim) evalFull() {
 	inc := s.inc
 	s.evalOblivious()
 	inc.evals += uint64(len(s.order))
-	// Re-establish the uniformity index from the freshly computed words.
-	w := s.w
-	for sig := range s.uni {
-		o := sig * w
-		s.uni[sig] = allEqual(s.val[o : o+w])
-	}
-	for lv := range inc.queue {
-		for _, sig := range inc.queue[lv] {
-			inc.inQueue[sig] = false
+	if s.w < 8 {
+		// Re-establish the uniformity index from the freshly computed
+		// words. At the SIMD widths the batched oblivious sweep already
+		// maintained it (sources in presentAllSources, batched gates from
+		// the kernel flags, hooked gates after patching).
+		w := s.w
+		for sig := range s.uni {
+			o := sig * w
+			s.uni[sig] = allEqual(s.val[o : o+w])
 		}
-		inc.queue[lv] = inc.queue[lv][:0]
+	}
+	for lv := int32(1); lv <= inc.maxLevel; lv++ {
+		lo := inc.qoff[lv]
+		for _, sig := range inc.qbuf[lo:inc.qpos[lv]] {
+			inc.qstate[sig] = lv
+		}
+		inc.qpos[lv] = lo
 	}
 	for _, sig := range inc.dffPending {
 		inc.dffPendSet[sig] = false
@@ -255,11 +290,7 @@ func (s *Sim) evalEvent() {
 			case DFF, Const0, Const1, Input:
 				s.presentSource(sig)
 			default:
-				if !inc.inQueue[sig] {
-					inc.inQueue[sig] = true
-					lv := inc.level[sig]
-					inc.queue[lv] = append(inc.queue[lv], sig)
-				}
+				inc.enqueue(sig)
 			}
 		}
 	}
@@ -283,10 +314,14 @@ func (s *Sim) evalEvent() {
 	w := s.w
 	out := s.tout[:w]
 	for lv := int32(1); lv <= inc.maxLevel; lv++ {
-		q := inc.queue[lv]
-		for i := 0; i < len(q); i++ {
-			sig := q[i]
-			inc.inQueue[sig] = false
+		lo, hi := inc.qoff[lv], inc.qpos[lv]
+		if lo == hi {
+			continue
+		}
+		// Same-level gates never schedule each other (levels strictly
+		// increase along fanout), so the segment is complete on entry.
+		for _, sig := range inc.qbuf[lo:hi] {
+			inc.qstate[sig] = lv
 			s.computeInto(sig, out)
 			inc.evals++
 			o := int(sig) * w
@@ -297,7 +332,7 @@ func (s *Sim) evalEvent() {
 				s.propagate(sig)
 			}
 		}
-		inc.queue[lv] = q[:0]
+		inc.qpos[lv] = lo
 	}
 }
 
@@ -311,72 +346,6 @@ func uniformInputs(uni []bool, g *Gate) bool {
 		return uni[g.In[0]] && uni[g.In[1]]
 	}
 	return uni[g.In[0]] && uni[g.In[1]] && uni[g.In[2]]
-}
-
-// sweep8 is the level-queue sweep of evalEvent specialized to 8 lane
-// words: direct kernel dispatch and an XOR-fold change test (an array
-// equality compare at these sizes compiles to a memequal call, whose
-// overhead dominates the handful of fully unrolled XOR/OR ops). Unhooked
-// gates whose inputs are all lane-uniform take a scalar fast path: one
-// word evaluated, broadcast on change.
-func (s *Sim) sweep8() {
-	inc := s.inc
-	gates := s.n.Gates
-	uni := s.uni
-	val := s.val
-	out := (*[8]uint64)(s.tout[:8])
-	for lv := int32(1); lv <= inc.maxLevel; lv++ {
-		q := inc.queue[lv]
-		for i := 0; i < len(q); i++ {
-			sig := q[i]
-			inc.inQueue[sig] = false
-			inc.evals++
-			g := &gates[sig]
-			if s.hookIdx[sig] < 0 && uniformInputs(uni, g) {
-				var a, b, c uint64
-				switch g.Kind.NumInputs() {
-				case 3:
-					c = val[int(g.In[2])*8]
-					fallthrough
-				case 2:
-					b = val[int(g.In[1])*8]
-					fallthrough
-				case 1:
-					a = val[int(g.In[0])*8]
-				}
-				r := evalWord(g.Kind, a, b, c)
-				cur := (*[8]uint64)(val[int(sig)*8:])
-				if uni[sig] && cur[0] == r {
-					continue
-				}
-				for k := range cur {
-					cur[k] = r
-				}
-				uni[sig] = true
-				inc.events++
-				s.propagate(sig)
-				continue
-			}
-			s.computeInto8(sig, out)
-			if h := s.hookIdx[sig]; h >= 0 {
-				s.patchHooks(sig, h, s.tout[:8])
-			}
-			cur := (*[8]uint64)(val[int(sig)*8:])
-			u := out[0]
-			var diff, nun uint64
-			for k := range cur {
-				diff |= cur[k] ^ out[k]
-				nun |= out[k] ^ u
-			}
-			uni[sig] = nun == 0
-			if diff != 0 {
-				*cur = *out
-				inc.events++
-				s.propagate(sig)
-			}
-		}
-		inc.queue[lv] = q[:0]
-	}
 }
 
 // latchEvent clocks only the flip-flops whose D input saw an event (or

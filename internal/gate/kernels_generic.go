@@ -1,0 +1,16 @@
+//go:build !amd64 || purego
+
+package gate
+
+// Portable fallback: no assembly batch kernels. Every run dispatches to
+// the generated Go run kernels (kernels_generated.go).
+
+func simdAvailable() bool { return false }
+
+func simdBatch(w int, kind Kind, val []uint64, gates []runGate, flags []uint8) bool {
+	return false
+}
+
+func simdComputeRaw(wi int, kind Kind, dst, a, b, c *uint64) bool {
+	return false
+}

@@ -1,6 +1,9 @@
 package gate
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // MaxLaneWords is the widest supported lane word: 32 uint64 words per
 // signal, i.e. up to 2048 independent machines per simulation.
@@ -79,6 +82,15 @@ type Sim struct {
 	ta, tout [MaxLaneWords]uint64
 
 	inc *incState // non-nil: event-driven incremental evaluation (event.go)
+
+	// Batched run evaluation at the SIMD widths (batch.go): simd is the
+	// construction-time capture of SIMDEnabled, batch the per-kind pending
+	// runs of the current sweep level, obl the lazily built oblivious
+	// level plan, kstats the dispatch counters.
+	simd   bool
+	batch  [numKinds]batchList
+	obl    *oblPlan
+	kstats KernelStats
 }
 
 // NewSim compiles a netlist into a width-1 (64-lane) simulator. The
@@ -90,6 +102,10 @@ func NewSim(n *Netlist) (*Sim, error) { return NewSimWidth(n, 1) }
 func NewSimWidth(n *Netlist, w int) (*Sim, error) {
 	if w < 1 || w > MaxLaneWords || w&(w-1) != 0 {
 		return nil, fmt.Errorf("gate: lane words must be a power of two in [1,%d]; got %d", MaxLaneWords, w)
+	}
+	if int64(len(n.Gates))*int64(w) > math.MaxInt32 {
+		// runGate addresses lane words with int32 offsets (batch.go).
+		return nil, fmt.Errorf("gate: netlist too large for %d lane words (%d gates)", w, len(n.Gates))
 	}
 	if err := n.Validate(); err != nil {
 		return nil, err
@@ -107,6 +123,7 @@ func NewSimWidth(n *Netlist, w int) (*Sim, error) {
 		hookIdx: make([]int32, len(n.Gates)),
 		hooks:   make([][]laneInject, 0, 64),
 		uni:     make([]bool, len(n.Gates)),
+		simd:    SIMDEnabled(),
 	}
 	for i := range s.hookIdx {
 		s.hookIdx[i] = -1
@@ -484,61 +501,6 @@ func (s *Sim) computeIntoGeneric(sig Sig, dst []uint64) {
 	}
 }
 
-// computeInto8 is computeInto specialized to 8 lane words and no injection
-// hooks: array-pointer operands let every word loop run bounds-check-free
-// with a fixed trip count.
-func (s *Sim) computeInto8(sig Sig, dst *[8]uint64) {
-	g := &s.n.Gates[sig]
-	val := s.val
-	a := (*[8]uint64)(val[int(g.In[0])*8:])
-	switch g.Kind {
-	case Buf:
-		*dst = *a
-	case Not:
-		for k := range dst {
-			dst[k] = ^a[k]
-		}
-	case And2:
-		b := (*[8]uint64)(val[int(g.In[1])*8:])
-		for k := range dst {
-			dst[k] = a[k] & b[k]
-		}
-	case Or2:
-		b := (*[8]uint64)(val[int(g.In[1])*8:])
-		for k := range dst {
-			dst[k] = a[k] | b[k]
-		}
-	case Nand2:
-		b := (*[8]uint64)(val[int(g.In[1])*8:])
-		for k := range dst {
-			dst[k] = ^(a[k] & b[k])
-		}
-	case Nor2:
-		b := (*[8]uint64)(val[int(g.In[1])*8:])
-		for k := range dst {
-			dst[k] = ^(a[k] | b[k])
-		}
-	case Xor2:
-		b := (*[8]uint64)(val[int(g.In[1])*8:])
-		for k := range dst {
-			dst[k] = a[k] ^ b[k]
-		}
-	case Xnor2:
-		b := (*[8]uint64)(val[int(g.In[1])*8:])
-		for k := range dst {
-			dst[k] = ^(a[k] ^ b[k])
-		}
-	case Mux2:
-		b := (*[8]uint64)(val[int(g.In[1])*8:])
-		c := (*[8]uint64)(val[int(g.In[2])*8:])
-		for k := range dst {
-			dst[k] = a[k]&^c[k] | b[k]&c[k]
-		}
-	default:
-		panic(fmt.Sprintf("gate: unexpected kind %s in eval order", g.Kind))
-	}
-}
-
 // Eval evaluates combinational logic from the current primary inputs and
 // flip-flop state without latching. Primary outputs are valid afterwards.
 func (s *Sim) Eval() {
@@ -549,13 +511,29 @@ func (s *Sim) Eval() {
 	s.evalOblivious()
 }
 
-// evalOblivious re-evaluates every gate in topological order.
+// evalOblivious re-evaluates every gate in topological order. At the
+// SIMD widths the combinational levels run as contiguous same-kind
+// batches (batch.go); narrower sims take the per-gate loop.
 func (s *Sim) evalOblivious() {
+	s.presentAllSources()
+	if s.w >= 8 {
+		s.evalLevelsBatched()
+		return
+	}
+	val := s.val
+	w := s.w
+	for _, sig := range s.order {
+		o := int(sig) * w
+		s.computeInto(sig, val[o:o+w])
+	}
+}
+
+// presentAllSources presents DFF state, constants, and driven inputs with
+// output-fault injection, maintaining the uniformity index.
+func (s *Sim) presentAllSources() {
 	gates := s.n.Gates
 	val := s.val
 	w := s.w
-
-	// Present DFF state (and constants) with output-fault injection.
 	for i := range gates {
 		k := gates[i].Kind
 		if k != DFF && k != Const0 && k != Const1 && k != Input {
@@ -578,11 +556,7 @@ func (s *Sim) evalOblivious() {
 		if h := s.hookIdx[i]; h >= 0 {
 			s.applyHooks(h, 0, dst)
 		}
-	}
-
-	for _, sig := range s.order {
-		o := int(sig) * w
-		s.computeInto(sig, val[o:o+w])
+		s.uni[i] = allEqual(dst)
 	}
 }
 

@@ -1,0 +1,57 @@
+//go:build !purego
+
+package gate
+
+// Runtime CPU-feature detection for the AVX2 batch kernels. The module
+// is dependency-free, so the CPUID/XGETBV probes are done directly
+// (cpuid_amd64.s) instead of via golang.org/x/sys/cpu: AVX needs
+// OSXSAVE + the AVX bit in CPUID.1:ECX and OS-enabled XMM/YMM state in
+// XCR0; AVX2 is CPUID.7.0:EBX bit 5.
+
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv() (eax, edx uint32)
+
+var hasAVX2 = detectAVX2()
+
+func detectAVX2() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	const osxsave, avx = 1 << 27, 1 << 28
+	_, _, c, _ := cpuid(1, 0)
+	if c&osxsave == 0 || c&avx == 0 {
+		return false
+	}
+	if x, _ := xgetbv(); x&6 != 6 { // XMM and YMM state OS-enabled
+		return false
+	}
+	_, b, _, _ := cpuid(7, 0)
+	return b&(1<<5) != 0
+}
+
+func simdAvailable() bool { return hasAVX2 }
+
+// simdBatch dispatches one same-kind run to its AVX2 kernel. It reports
+// false when no kernel covers the width/kind (the caller then runs the
+// Go kernel); the caller has already checked that SIMD is enabled.
+func simdBatch(w int, kind Kind, val []uint64, gates []runGate, flags []uint8) bool {
+	k := avx2Kernels[widthIdx(w)][kind]
+	if k == nil || len(gates) == 0 {
+		return false
+	}
+	k(&val[0], &gates[0], &flags[0], len(gates))
+	return true
+}
+
+// simdComputeRaw dispatches one gate's raw recompute to its AVX2
+// raw-compute kernel. wi is the widthIdx row; it reports false when no
+// kernel covers the kind (the caller then runs computeInto).
+func simdComputeRaw(wi int, kind Kind, dst, a, b, c *uint64) bool {
+	k := avx2Comp[wi][kind]
+	if k == nil {
+		return false
+	}
+	k(dst, a, b, c)
+	return true
+}

@@ -30,11 +30,16 @@ const DefaultCheckpointK = 32
 // reconstructible exactly: state entering cycle t is the snapshot at the
 // nearest boundary <= t with the deltas of the intervening cycles applied.
 type Golden struct {
-	// RData[t] is the word returned by memory at cycle t.
-	RData []uint32
-	// Out[t] is the sampled primary-output state at cycle t.
-	Out []BusState
-	// Cycles is len(RData).
+	// RData is the run-length encoded stream of words returned by memory,
+	// one per cycle; RDataAt(t) reads cycle t.
+	RData U32Stream
+	// The sampled primary-output state, run-length encoded per field (the
+	// strobe and data-access flags pack into OutCtl); OutAt(t) reconstructs
+	// cycle t's BusState.
+	OutAddr  U32Stream
+	OutWData U32Stream
+	OutCtl   U32Stream
+	// Cycles is the recorded cycle count.
 	Cycles int
 
 	// DFFs is the canonical flip-flop ordering for state snapshots.
@@ -61,6 +66,41 @@ type Golden struct {
 	// from the fault-free machine at the first cycle its site holds 1-v,
 	// so these bound every fault's activation cycle.
 	First0, First1 []int32
+}
+
+// RDataAt returns the memory read data of cycle t.
+func (g *Golden) RDataAt(t int) uint32 { return g.RData.At(t) }
+
+// outCtl packs the narrow BusState fields into one stream value.
+func outCtl(bs BusState) uint32 {
+	c := uint32(bs.WStrobe)
+	if bs.DataAccess {
+		c |= 1 << 4
+	}
+	return c
+}
+
+// OutAt reconstructs the sampled primary-output state of cycle t.
+func (g *Golden) OutAt(t int) BusState {
+	c := g.OutCtl.At(t)
+	return BusState{
+		Addr:       g.OutAddr.At(t),
+		WData:      g.OutWData.At(t),
+		WStrobe:    uint8(c & 0xF),
+		DataAccess: c>>4 != 0,
+	}
+}
+
+// DenseTraceBytes is the size the read-data and output streams would
+// occupy in the dense one-entry-per-cycle format the run-length encoding
+// replaced (4 bytes of read data and 10 of packed BusState per cycle).
+func (g *Golden) DenseTraceBytes() int64 { return int64(g.Cycles) * (4 + 10) }
+
+// StoredTraceBytes is the size the encoded read-data and output streams
+// actually occupy.
+func (g *Golden) StoredTraceBytes() int64 {
+	return g.RData.StoredBytes() + g.OutAddr.StoredBytes() +
+		g.OutWData.StoredBytes() + g.OutCtl.StoredBytes()
 }
 
 // HasActivation reports whether activation metadata was recorded.
@@ -163,8 +203,6 @@ func CaptureGoldenK(cpu *CPU, prog *asm.Program, cycles int, k int) (*Golden, er
 		return nil, fmt.Errorf("plasma: %d flip-flops exceed the delta encoding's word index range", len(dffs))
 	}
 	g := &Golden{
-		RData:       make([]uint32, cycles),
-		Out:         make([]BusState, cycles),
 		Cycles:      cycles,
 		DFFs:        dffs,
 		CheckpointK: k,
@@ -173,6 +211,12 @@ func CaptureGoldenK(cpu *CPU, prog *asm.Program, cycles int, k int) (*Golden, er
 		First0:      make([]int32, len(n.Gates)),
 		First1:      make([]int32, len(n.Gates)),
 	}
+	// Dense capture buffers; run-length encoded into the trace streams
+	// once the run completes.
+	rdataDense := make([]uint32, cycles)
+	addrDense := make([]uint32, cycles)
+	wdataDense := make([]uint32, cycles)
+	ctlDense := make([]uint32, cycles)
 	prev := make([]uint64, words)
 	cur := make([]uint64, words)
 	m.Sim.StateBits(dffs, prev)
@@ -206,8 +250,10 @@ func CaptureGoldenK(cpu *CPU, prog *asm.Program, cycles int, k int) (*Golden, er
 		pending = keep
 		m.Sim.Latch()
 		m.Cycle++
-		g.RData[t] = rdata
-		g.Out[t] = bs
+		rdataDense[t] = rdata
+		addrDense[t] = bs.Addr
+		wdataDense[t] = bs.WData
+		ctlDense[t] = outCtl(bs)
 		// cur is the state entering cycle t+1; record its delta against the
 		// state entering t, and a full snapshot on k-boundaries.
 		m.Sim.StateBits(dffs, cur)
@@ -223,5 +269,9 @@ func CaptureGoldenK(cpu *CPU, prog *asm.Program, cycles int, k int) (*Golden, er
 		}
 		prev, cur = cur, prev
 	}
+	g.RData = EncodeU32(rdataDense)
+	g.OutAddr = EncodeU32(addrDense)
+	g.OutWData = EncodeU32(wdataDense)
+	g.OutCtl = EncodeU32(ctlDense)
 	return g, nil
 }

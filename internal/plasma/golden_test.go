@@ -59,7 +59,7 @@ func TestSparseCheckpointReconstruction(t *testing.T) {
 		}
 		// The streams the fault simulator replays must not depend on k.
 		for tt := 0; tt < cycles; tt++ {
-			if g.RData[tt] != dense.RData[tt] || g.Out[tt] != dense.Out[tt] {
+			if g.RDataAt(tt) != dense.RDataAt(tt) || g.OutAt(tt) != dense.OutAt(tt) {
 				t.Fatalf("k=%d: RData/Out diverge at cycle %d", k, tt)
 			}
 		}

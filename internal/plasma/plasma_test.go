@@ -387,13 +387,13 @@ func TestGoldenCaptureMatchesMachine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if g.Cycles != 30 || len(g.Out) != 30 {
+	if g.Cycles != 30 || g.RData.Len() != 30 || g.OutCtl.Len() != 30 {
 		t.Fatalf("golden sizing wrong: %d", g.Cycles)
 	}
 	// Find the store in the golden output stream.
 	found := false
-	for _, o := range g.Out {
-		if o.WStrobe == 0xF && o.Addr == 0x1000 && o.WData == 0xA5 {
+	for tt := 0; tt < g.Cycles; tt++ {
+		if o := g.OutAt(tt); o.WStrobe == 0xF && o.Addr == 0x1000 && o.WData == 0xA5 {
 			found = true
 		}
 	}

@@ -1,0 +1,69 @@
+package plasma
+
+import "math/bits"
+
+// U32Stream is a run-length encoded sequence of uint32 values with O(1)
+// random access. One entry in Vals per run of equal consecutive values;
+// Bits marks the cycle each run starts at, and Rank holds a per-64-cycle
+// popcount prefix so At can index the right run without scanning. The
+// golden per-cycle bus streams are highly repetitive (write strobes and
+// data-access flags hold for long stretches, addresses and read data
+// repeat across stalls), so the run list is much shorter than the dense
+// array; in the worst case of no repeats the overhead over dense is the
+// bitmap plus rank prefix, about 5%. All fields are exported plain data
+// so a stream round-trips through encoding/gob unchanged.
+type U32Stream struct {
+	N    int      // logical length of the sequence
+	Vals []uint32 // one value per run, in sequence order
+	Bits []uint64 // bit t set iff a new run starts at index t
+	Rank []int32  // Rank[b] = runs starting in blocks before b
+}
+
+// EncodeU32 run-length encodes xs.
+func EncodeU32(xs []uint32) U32Stream {
+	s := U32Stream{
+		N:    len(xs),
+		Bits: make([]uint64, (len(xs)+63)/64),
+		Rank: make([]int32, (len(xs)+63)/64),
+	}
+	for t, x := range xs {
+		if t == 0 || x != xs[t-1] {
+			s.Bits[t>>6] |= 1 << uint(t&63)
+			s.Vals = append(s.Vals, x)
+		}
+	}
+	runs := int32(0)
+	for b, w := range s.Bits {
+		s.Rank[b] = runs
+		runs += int32(bits.OnesCount64(w))
+	}
+	return s
+}
+
+// Len is the logical length of the sequence.
+func (s *U32Stream) Len() int { return s.N }
+
+// At returns element t of the sequence.
+func (s *U32Stream) At(t int) uint32 {
+	b := t >> 6
+	m := s.Bits[b] & (^uint64(0) >> uint(63-t&63))
+	return s.Vals[int(s.Rank[b])+bits.OnesCount64(m)-1]
+}
+
+// Decode expands the stream back to its dense form.
+func (s *U32Stream) Decode() []uint32 {
+	out := make([]uint32, s.N)
+	run := -1
+	for t := range out {
+		if s.Bits[t>>6]&(1<<uint(t&63)) != 0 {
+			run++
+		}
+		out[t] = s.Vals[run]
+	}
+	return out
+}
+
+// StoredBytes is the encoded size of the stream payload.
+func (s *U32Stream) StoredBytes() int64 {
+	return int64(len(s.Vals))*4 + int64(len(s.Bits))*8 + int64(len(s.Rank))*4
+}

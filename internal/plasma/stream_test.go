@@ -1,0 +1,84 @@
+package plasma
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// streamCases generates dense sequences with the shapes the golden
+// capture produces: long runs, alternating short runs, no repeats, and
+// boundary lengths around the 64-entry bitmap blocks.
+func streamCases(r *rand.Rand) [][]uint32 {
+	cases := [][]uint32{
+		{},
+		{7},
+		{3, 3, 3, 3},
+		{1, 2, 3, 4, 5},
+	}
+	for _, n := range []int{63, 64, 65, 128, 1000} {
+		runny := make([]uint32, n)
+		v := uint32(0)
+		for i := range runny {
+			if r.Intn(10) == 0 {
+				v = r.Uint32()
+			}
+			runny[i] = v
+		}
+		dense := make([]uint32, n)
+		for i := range dense {
+			dense[i] = r.Uint32()
+		}
+		cases = append(cases, runny, dense)
+	}
+	return cases
+}
+
+// TestU32StreamRoundTrip asserts bit-exact reconstruction: every element
+// via At, the whole sequence via Decode, and identity through a gob
+// round trip (the cache persistence path).
+func TestU32StreamRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for ci, xs := range streamCases(r) {
+		s := EncodeU32(xs)
+		if s.Len() != len(xs) {
+			t.Fatalf("case %d: Len = %d, want %d", ci, s.Len(), len(xs))
+		}
+		for i, x := range xs {
+			if got := s.At(i); got != x {
+				t.Fatalf("case %d: At(%d) = %d, want %d", ci, i, got, x)
+			}
+		}
+		if dec := s.Decode(); len(xs) > 0 && !reflect.DeepEqual(dec, xs) {
+			t.Fatalf("case %d: Decode mismatch", ci)
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&s); err != nil {
+			t.Fatal(err)
+		}
+		var back U32Stream
+		if err := gob.NewDecoder(&buf).Decode(&back); err != nil {
+			t.Fatal(err)
+		}
+		for i, x := range xs {
+			if got := back.At(i); got != x {
+				t.Fatalf("case %d: after gob, At(%d) = %d, want %d", ci, i, got, x)
+			}
+		}
+	}
+}
+
+// TestU32StreamStoredBytes checks the accounting and that runny data
+// actually compresses below the dense footprint.
+func TestU32StreamStoredBytes(t *testing.T) {
+	xs := make([]uint32, 4096) // one run
+	s := EncodeU32(xs)
+	if want := int64(len(s.Vals))*4 + int64(len(s.Bits))*8 + int64(len(s.Rank))*4; s.StoredBytes() != want {
+		t.Fatalf("StoredBytes = %d, want %d", s.StoredBytes(), want)
+	}
+	if dense := int64(len(xs)) * 4; s.StoredBytes() >= dense {
+		t.Fatalf("single-run stream did not compress: stored %d >= dense %d", s.StoredBytes(), dense)
+	}
+}

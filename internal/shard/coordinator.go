@@ -184,6 +184,8 @@ func Grade(cpu *plasma.CPU, golden *plasma.Golden, faults []fault.Fault, opt Opt
 	// never-activated faults.
 	merged.Stats.GoldenDenseBytes = golden.DenseStateBytes()
 	merged.Stats.GoldenStoredBytes = golden.StoredStateBytes()
+	merged.Stats.TraceDenseBytes = golden.DenseTraceBytes()
+	merged.Stats.TraceStoredBytes = golden.StoredTraceBytes()
 	merged.Stats.SkippedFaults += skipped
 	merged.Stats.ShardsLaunched = int64(stats.Launched)
 	merged.Stats.ShardsRetried = int64(stats.Retried)

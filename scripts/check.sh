@@ -11,6 +11,16 @@ if [ "${1:-}" = "-short" ]; then
     short="-short"
 fi
 
+echo "== go generate ./internal/gate (generated kernels must match the generator)"
+go generate ./internal/gate
+git diff --exit-code -- \
+    internal/gate/kernels_generated.go \
+    internal/gate/kernels_amd64.go \
+    internal/gate/kernels_amd64.s || {
+    echo "check: generated kernel files are stale; rerun 'make generate' and commit the output" >&2
+    exit 1
+}
+
 echo "== go build ./..."
 go build ./...
 
@@ -22,5 +32,11 @@ go test $short ./...
 
 echo "== go test -race -short ./internal/gate ./internal/fault ./internal/shard"
 go test -race -short ./internal/gate ./internal/fault ./internal/shard
+
+echo "== go test -tags purego $short ./internal/gate ./internal/fault (generic kernels)"
+go test -tags purego $short ./internal/gate ./internal/fault
+
+echo "== GOARCH=arm64 go build ./... (cross-arch smoke)"
+GOARCH=arm64 go build ./...
 
 echo "check: OK"
