@@ -86,7 +86,7 @@ func (c *Cache) PutCPU(cpu *plasma.CPU) (key string, shipped int64, err error) {
 		return "", 0, err
 	}
 	shipped += n
-	c.maybeGC()
+	c.maybeGC(shipped)
 	return hash, shipped, nil
 }
 
@@ -153,7 +153,7 @@ func (c *Cache) PutGolden(g *plasma.Golden) (key string, shipped int64, err erro
 	if err != nil {
 		return "", 0, err
 	}
-	c.maybeGC()
+	c.maybeGC(shipped)
 	return key, shipped, nil
 }
 

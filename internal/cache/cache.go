@@ -32,6 +32,7 @@ type Cache struct {
 	mu       sync.Mutex
 	hashes   map[*gate.Netlist]string // memoized netlist content hashes
 	maxBytes int64                    // LRU size bound; 0 disables GC
+	putBytes int64                    // bytes stored since the last GC sweep
 }
 
 // Open creates (if needed) and opens a cache directory.
@@ -250,7 +251,11 @@ func (c *Cache) CaptureGoldenK(cpu *plasma.CPU, prog *asm.Program, cycles, k int
 	}); err != nil {
 		return nil, err
 	}
-	c.maybeGC()
+	var wrote int64
+	if info, err := os.Stat(path); err == nil {
+		wrote = info.Size()
+	}
+	c.maybeGC(wrote)
 	return g, nil
 }
 

@@ -1,6 +1,8 @@
 package cache
 
 import (
+	"errors"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
@@ -16,11 +18,11 @@ import (
 // every cache hit (touch) — that runs after each store and deletes the
 // least recently used entries until the directory is back under budget.
 
-// SetMaxBytes bounds the total size of the cache directory: after every
-// store, least-recently-used entries are deleted until the total is at or
-// under maxBytes. 0 (the default) disables collection. Entries of every
-// kind are eligible — deleting a netlist or CPU index entry is safe
-// because a miss just rebuilds it.
+// SetMaxBytes bounds the total size of the cache directory: stores
+// trigger amortized sweeps (see maybeGC) that delete least-recently-used
+// entries until the total is at or under maxBytes. 0 (the default)
+// disables collection. Entries of every kind are eligible — deleting a
+// netlist or CPU index entry is safe because a miss just rebuilds it.
 func (c *Cache) SetMaxBytes(maxBytes int64) {
 	if c == nil {
 		return
@@ -38,16 +40,34 @@ func (c *Cache) touch(path string) {
 	_ = os.Chtimes(path, now, now)
 }
 
-// maybeGC runs a collection sweep if a size bound is armed.
-func (c *Cache) maybeGC() {
+// gcSweepFraction amortizes sweeps: a sweep walks the whole directory
+// (ReadDir + a stat per entry), so running one after every store makes a
+// burst of N small Puts cost N directory walks. Instead maybeGC only
+// sweeps once the bytes stored since the last sweep reach
+// maxBytes/gcSweepFraction — the cache can overshoot its bound by at most
+// that fraction between sweeps.
+const gcSweepFraction = 8
+
+// maybeGC records wrote bytes stored and runs a collection sweep if a
+// size bound is armed and enough has been written since the last sweep to
+// justify one.
+func (c *Cache) maybeGC(wrote int64) {
 	c.mu.Lock()
 	max := c.maxBytes
-	c.mu.Unlock()
-	if max <= 0 {
-		return
+	c.putBytes += wrote
+	sweep := max > 0 && c.putBytes >= max/gcSweepFraction
+	if sweep {
+		c.putBytes = 0
 	}
-	_, _ = c.GC(max)
+	c.mu.Unlock()
+	if sweep {
+		_, _ = c.GC(max)
+	}
 }
+
+// osRemove is swapped out by tests to exercise the GC's handling of
+// entries that vanish between the directory scan and the delete.
+var osRemove = os.Remove
 
 // GC deletes least-recently-used cache entries until the directory's total
 // size is at or under maxBytes, returning the number of bytes reclaimed.
@@ -93,9 +113,13 @@ func (c *Cache) GC(maxBytes int64) (int64, error) {
 		if total <= maxBytes {
 			break
 		}
-		if err := os.Remove(e.path); err != nil {
+		if err := osRemove(e.path); err != nil && !errors.Is(err, fs.ErrNotExist) {
 			continue
 		}
+		// An entry already gone (removed by a concurrent GC or an external
+		// cleaner) still no longer occupies its bytes; treating ENOENT as a
+		// failure would push the sweep on to evict live entries it should
+		// have kept.
 		total -= e.size
 		reclaimed += e.size
 	}

@@ -1,0 +1,107 @@
+package cache
+
+import (
+	"bytes"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// plantEntry writes a fake cache entry of the given size directly into the
+// cache directory with a controlled mtime, so GC tests can build an exact
+// LRU order without capturing real artifacts.
+func plantEntry(t *testing.T, dir, name string, size int, age time.Duration) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, bytes.Repeat([]byte{0xAB}, size), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	when := time.Now().Add(-age)
+	if err := os.Chtimes(path, when, when); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// The sweep must be amortized: small stores accumulate toward the
+// maxBytes/gcSweepFraction threshold instead of paying a full directory
+// walk each, even while the directory is over budget.
+func TestMaybeGCAmortized(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetMaxBytes(100_000) // sweep threshold: 100_000/8 = 12_500 bytes stored
+	old := plantEntry(t, dir, "golden-old.gob", 60_000, time.Hour)
+	newer := plantEntry(t, dir, "golden-new.gob", 60_000, time.Minute)
+
+	// 120KB on disk exceeds the bound, but only 50 bytes have been stored
+	// since the last sweep: no sweep yet.
+	c.maybeGC(50)
+	if _, err := os.Stat(old); err != nil {
+		t.Fatalf("sweep ran below the amortization threshold: %v", err)
+	}
+
+	// Crossing the threshold triggers the sweep, which evicts the LRU
+	// entry and keeps the fresher one.
+	c.maybeGC(20_000)
+	if _, err := os.Stat(old); !os.IsNotExist(err) {
+		t.Fatalf("LRU entry survived a triggered sweep (stat err: %v)", err)
+	}
+	if _, err := os.Stat(newer); err != nil {
+		t.Fatalf("sweep evicted the most recently used entry: %v", err)
+	}
+
+	// The accumulator must reset after a sweep: another small store stays
+	// below the threshold again.
+	victim := plantEntry(t, dir, "golden-victim.gob", 60_000, time.Hour)
+	c.maybeGC(50)
+	if _, err := os.Stat(victim); err != nil {
+		t.Fatalf("accumulator not reset after sweep: %v", err)
+	}
+}
+
+// An entry that vanishes between the GC's directory scan and its delete
+// (concurrent GC, external cleaner) is already reclaimed: treating the
+// ENOENT as a failed delete would make the sweep evict live entries it
+// should have kept.
+func TestGCRemoveENOENTNotOverEvicting(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := plantEntry(t, dir, "golden-a.gob", 10_000, time.Hour)
+	mid := plantEntry(t, dir, "golden-b.gob", 10_000, 30*time.Minute)
+	newer := plantEntry(t, dir, "golden-c.gob", 10_000, time.Minute)
+
+	// The oldest entry disappears just before the GC removes it.
+	defer func() { osRemove = os.Remove }()
+	osRemove = func(path string) error {
+		if path == old {
+			if err := os.Remove(path); err != nil {
+				return err
+			}
+			return fs.ErrNotExist
+		}
+		return os.Remove(path)
+	}
+
+	// Bound of 20KB over 30KB: exactly one eviction (the oldest) suffices.
+	reclaimed, err := c.GC(20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reclaimed != 10_000 {
+		t.Fatalf("reclaimed %d bytes, want 10000 (the vanished entry counts)", reclaimed)
+	}
+	if _, err := os.Stat(mid); err != nil {
+		t.Fatalf("GC over-evicted after an ENOENT delete: %v", err)
+	}
+	if _, err := os.Stat(newer); err != nil {
+		t.Fatalf("GC over-evicted after an ENOENT delete: %v", err)
+	}
+}

@@ -1,0 +1,212 @@
+package fault
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/plasma"
+)
+
+// Replay-fusion regression suite. The fused scheduler (the default) runs
+// whole checkpoint windows of passes on one warm simulator instead of
+// cold-starting every pass; NoFusion selects the original per-pass path.
+// Everything observable except the replay accounting must be
+// bit-identical between the two.
+
+// fusionTestGolden captures the equivalence-test program at one
+// checkpoint interval.
+func fusionTestGolden(t *testing.T, cpu *plasma.CPU, cycles, k int) *plasma.Golden {
+	t.Helper()
+	prog, err := asm.Assemble(equivTestProgram, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := plasma.CaptureGoldenK(cpu, prog, cycles, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestFusionEquivalence asserts the fused scheduler is bit-identical to
+// the unfused reference: same detections, same signature groups, and
+// therefore the same fault dictionary, across checkpoint intervals, lane
+// widths and both engines. (The oblivious engine never fuses — both runs
+// take the same path there — but it pins the cross-engine reference.)
+func TestFusionEquivalence(t *testing.T) {
+	cpu := getCPU(t)
+	faults := Universe(cpu.Netlist)
+	for _, k := range []int{1, 32, 64} {
+		g := fusionTestGolden(t, cpu, 240, k)
+		for _, eng := range []Engine{EngineEvent, EngineOblivious} {
+			for _, w := range []int{1, 8, 32} {
+				opt := Options{Sample: 192, Seed: 7, Engine: eng, LaneWords: w}
+				fused, err := Simulate(cpu, g, faults, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				opt.NoFusion = true
+				plain, err := Simulate(cpu, g, faults, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				name := fmt.Sprintf("k=%d engine=%v lanes=%d", k, eng, w)
+				for i := range plain.DetectedAt {
+					if fused.DetectedAt[i] != plain.DetectedAt[i] {
+						t.Fatalf("%s: fault %d (%v) fused DetectedAt=%d, unfused %d",
+							name, i, plain.Faults[i].Site, fused.DetectedAt[i], plain.DetectedAt[i])
+					}
+					if fused.SignatureGroups[i] != plain.SignatureGroups[i] {
+						t.Fatalf("%s: fault %d (%v) fused groups=%#x, unfused %#x",
+							name, i, plain.Faults[i].Site, fused.SignatureGroups[i], plain.SignatureGroups[i])
+					}
+				}
+				fd, pd := BuildDictionary(fused), BuildDictionary(plain)
+				for i := range pd.Signatures {
+					if fd.Signatures[i] != pd.Signatures[i] {
+						t.Fatalf("%s: dictionary entry %d differs: fused %+v, unfused %+v",
+							name, i, fd.Signatures[i], pd.Signatures[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFusionStatsExact pins the accounting contract of fusion: the same
+// passes run at the same widths from the same checkpoint boundaries, and
+// the golden cycles the unfused path replays per pass are exactly the
+// cycles fusion saves. The fault list is restricted to faults activating
+// strictly inside a window (act % k != 0, act > 0) so every pass has a
+// nonzero boundary-to-activation span and the saved-cycles equality is
+// exercised on nonzero numbers.
+func TestFusionStatsExact(t *testing.T) {
+	const cycles, k = 240, 16
+	cpu := getCPU(t)
+	g := fusionTestGolden(t, cpu, cycles, k)
+	var faults []Fault
+	for _, f := range Universe(cpu.Netlist) {
+		if act := g.ActivationCycle(cpu.Netlist, f.Site); act > 0 && act%k != 0 {
+			faults = append(faults, f)
+		}
+	}
+	if len(faults) < 128 {
+		t.Fatalf("only %d mid-window-activating faults; the fixture no longer exercises replay", len(faults))
+	}
+	opt := Options{Engine: EngineEvent, LaneWords: 1, Workers: 1, Sample: 256, Seed: 3}
+	fused, err := Simulate(cpu, g, faults, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.NoFusion = true
+	plain, err := Simulate(cpu, g, faults, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, ps := fused.Stats, plain.Stats
+
+	// Identical plan: same passes at the same widths.
+	if fs.Passes != ps.Passes || fs.PassWidthHist != ps.PassWidthHist {
+		t.Fatalf("plans diverge: fused %d passes %v, unfused %d passes %v",
+			fs.Passes, fs.PassWidthHist, ps.Passes, ps.PassWidthHist)
+	}
+	// FastForwarded keeps its meaning (cycles skipped to the checkpoint
+	// boundary) in both modes and must be invariant under fusion.
+	if fs.FastForwarded != ps.FastForwarded {
+		t.Fatalf("FastForwarded: fused %d, unfused %d", fs.FastForwarded, ps.FastForwarded)
+	}
+	// Fusion eliminates simulated replay entirely; the unfused reference
+	// must still pay it, and what it pays is exactly what fusion saves.
+	if fs.ReplayedCycles != 0 {
+		t.Fatalf("fused run replayed %d cycles, want 0", fs.ReplayedCycles)
+	}
+	if ps.ReplayedCycles <= 0 {
+		t.Fatalf("unfused run replayed %d cycles; fixture must make replay nonzero", ps.ReplayedCycles)
+	}
+	if fs.ReplaySavedCycles != ps.ReplayedCycles {
+		t.Fatalf("ReplaySavedCycles = %d, want the unfused ReplayedCycles %d",
+			fs.ReplaySavedCycles, ps.ReplayedCycles)
+	}
+	// The fused run must actually have fused (multiple 64-lane passes land
+	// in one window here) and warm-restored.
+	if fs.FusedWindows < 1 {
+		t.Fatalf("FusedWindows = %d, want >= 1", fs.FusedWindows)
+	}
+	if fs.HookDiffs < 1 {
+		t.Fatalf("HookDiffs = %d, want >= 1", fs.HookDiffs)
+	}
+	// The unfused reference never touches the fusion counters.
+	if ps.FusedWindows != 0 || ps.ReplaySavedCycles != 0 || ps.HookDiffs != 0 {
+		t.Fatalf("unfused run reports fusion work: %+v", ps)
+	}
+}
+
+// TestPlanPassesEmptyUniverse is the regression for planning a universe
+// with nothing in it: no faults means no passes, not an index panic in
+// the width policy.
+func TestPlanPassesEmptyUniverse(t *testing.T) {
+	cpu := getCPU(t)
+	g := fusionTestGolden(t, cpu, 64, 16)
+	for _, eng := range []Engine{EngineEvent, EngineOblivious} {
+		jobs, skipped, err := PlanPasses(cpu.Netlist, g, nil, eng, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(jobs) != 0 || skipped != 0 {
+			t.Fatalf("engine %v: empty universe planned %d passes, %d skipped", eng, len(jobs), skipped)
+		}
+	}
+	res, err := Simulate(cpu, g, nil, Options{Engine: EngineEvent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.DetectedAt) != 0 || res.Stats.Passes != 0 {
+		t.Fatalf("empty simulation ran %d passes over %d faults", res.Stats.Passes, len(res.DetectedAt))
+	}
+}
+
+// TestPlanPassesAllUndetectable is the regression for a universe whose
+// every fault is provably undetectable (never activates in the golden
+// run): the plan must come back empty with everything counted skipped,
+// and Simulate must grade it without dividing by an empty pass.
+func TestPlanPassesAllUndetectable(t *testing.T) {
+	cpu := getCPU(t)
+	// A short run leaves plenty of signals constant; the polarity matching
+	// a constant signal's held value never activates.
+	g := fusionTestGolden(t, cpu, 24, 8)
+	var dead []Fault
+	for _, f := range Universe(cpu.Netlist) {
+		if g.ActivationCycle(cpu.Netlist, f.Site) < 0 {
+			dead = append(dead, f)
+			if len(dead) == 200 {
+				break
+			}
+		}
+	}
+	if len(dead) == 0 {
+		t.Skip("no never-activating faults in this golden run")
+	}
+	jobs, skipped, err := PlanPasses(cpu.Netlist, g, dead, EngineEvent, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 0 {
+		t.Fatalf("planned %d passes for an all-undetectable universe", len(jobs))
+	}
+	if skipped != int64(len(dead)) {
+		t.Fatalf("skipped %d of %d undetectable faults", skipped, len(dead))
+	}
+	res, err := Simulate(cpu, g, dead, Options{Engine: EngineEvent, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range res.DetectedAt {
+		if d != -1 {
+			t.Fatalf("undetectable fault %d (%v) graded detected at %d", i, dead[i].Site, d)
+		}
+	}
+	if res.Stats.Passes != 0 {
+		t.Fatalf("ran %d passes for an all-undetectable universe", res.Stats.Passes)
+	}
+}

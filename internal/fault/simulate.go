@@ -49,6 +49,14 @@ type Options struct {
 	Seed int64
 	// Engine selects the simulation algorithm (default EngineEvent).
 	Engine Engine
+	// NoFusion disables checkpoint-window replay fusion. By default the
+	// differential engine groups consecutive passes whose start cycles
+	// share a checkpoint window, reconstructs each pass's golden start
+	// state by batched XOR-delta application (no simulated replay), and
+	// warm-restarts the simulator between passes by diffing hook sets and
+	// flip-flop state instead of Reset+LoadState+full re-sweep. The unfused
+	// path is bit-identical (asserted in tests) and kept as the reference.
+	NoFusion bool
 	// CollectInto, when non-nil, accumulates the run's SimStats (also
 	// available per run as Result.Stats) — useful for totals across
 	// multi-run benches.
@@ -129,6 +137,9 @@ func PlanPasses(n *gate.Netlist, golden *plasma.Golden, faults []Fault, engine E
 	if err != nil {
 		return nil, 0, err
 	}
+	if len(faults) == 0 {
+		return nil, 0, nil
+	}
 	jobs, skipped := packPasses(n, golden, faults, engine, maxW)
 	return jobs, skipped, nil
 }
@@ -185,12 +196,30 @@ func Simulate(cpu *plasma.CPU, golden *plasma.Golden, faults []Fault, opt Option
 	res.Stats.TraceDenseBytes = golden.DenseTraceBytes()
 	res.Stats.TraceStoredBytes = golden.StoredTraceBytes()
 
+	// Replay fusion: the differential engine dispatches whole checkpoint
+	// windows (maximal runs of consecutive planned passes whose start
+	// cycles share a CheckpointFloor) instead of single passes, so one
+	// worker grades a window's passes back to back on a warm simulator off
+	// one rolling golden-state reconstruction. The oblivious engine packs
+	// everything at cycle 0 and replays nothing, so it keeps the unfused
+	// reference path.
+	fused := opt.Engine != EngineOblivious && golden.HasActivation() && !opt.NoFusion
+	var windows [][]PassGroup
+	if fused {
+		windows = groupWindows(jobs, golden)
+	} else {
+		windows = make([][]PassGroup, len(jobs))
+		for i := range jobs {
+			windows[i] = jobs[i : i+1]
+		}
+	}
+
 	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(jobs) {
-		workers = len(jobs)
+	if workers > len(windows) {
+		workers = len(windows)
 	}
 	if len(jobs) == 0 {
 		if opt.CollectInto != nil {
@@ -199,9 +228,9 @@ func Simulate(cpu *plasma.CPU, golden *plasma.Golden, faults []Fault, opt Option
 		return res, nil
 	}
 
-	queue := make(chan PassGroup, len(jobs))
-	for _, j := range jobs {
-		queue <- j
+	queue := make(chan []PassGroup, len(windows))
+	for _, win := range windows {
+		queue <- win
 	}
 	close(queue)
 
@@ -215,27 +244,40 @@ func Simulate(cpu *plasma.CPU, golden *plasma.Golden, faults []Fault, opt Option
 			// One simulator (and runner) per pass width actually seen;
 			// jobs of the same width reuse the same simulator.
 			var runners [widthSlots]*passRunner
-			for j := range queue {
-				lg := widthLog2(j.Width)
-				r := runners[lg]
-				if r == nil {
-					var s *gate.Sim
-					var err error
-					if opt.Engine == EngineOblivious {
-						s, err = gate.NewSimWidth(cpu.Netlist, j.Width)
-					} else {
-						s, err = gate.NewEventSimWidth(cpu.Netlist, j.Width)
-					}
-					if err != nil {
-						errs[w] = err
-						return
-					}
-					r = newPassRunner(cpu, s, golden)
-					runners[lg] = r
-				}
-				r.runPass(faults, j, res.DetectedAt, res.SignatureGroups)
-			}
 			var ws SimStats
+			var cur *stateCursor
+			if fused {
+				cur = &stateCursor{g: golden, buf: make([]uint64, golden.StateWords())}
+			}
+			for win := range queue {
+				if fused && len(win) > 1 {
+					ws.FusedWindows++
+				}
+				for _, j := range win {
+					lg := widthLog2(j.Width)
+					r := runners[lg]
+					if r == nil {
+						var s *gate.Sim
+						var err error
+						if opt.Engine == EngineOblivious {
+							s, err = gate.NewSimWidth(cpu.Netlist, j.Width)
+						} else {
+							s, err = gate.NewEventSimWidth(cpu.Netlist, j.Width)
+						}
+						if err != nil {
+							errs[w] = err
+							return
+						}
+						r = newPassRunner(cpu, s, golden)
+						runners[lg] = r
+					}
+					var start []uint64
+					if fused {
+						start = cur.stateAt(j.Start)
+					}
+					r.runPass(faults, j, res.DetectedAt, res.SignatureGroups, start)
+				}
+			}
 			for lg, r := range runners {
 				if r == nil {
 					continue
@@ -363,11 +405,62 @@ func packPasses(n *gate.Netlist, golden *plasma.Golden, faults []Fault, engine E
 	return jobs, skipped
 }
 
+// groupWindows splits the packed pass plan into maximal runs of
+// consecutive passes whose start cycles share a checkpoint window. The
+// packer sorts passes by (quantized) activation, so equal-floor passes are
+// adjacent and the grouping preserves plan order exactly — fusion changes
+// how passes are dispatched, never which passes exist or what they carry.
+func groupWindows(jobs []PassGroup, g *plasma.Golden) [][]PassGroup {
+	wins := make([][]PassGroup, 0, len(jobs))
+	for lo := 0; lo < len(jobs); {
+		hi := lo + 1
+		floor := g.CheckpointFloor(jobs[lo].Start)
+		for hi < len(jobs) && g.CheckpointFloor(jobs[hi].Start) == floor {
+			hi++
+		}
+		wins = append(wins, jobs[lo:hi])
+		lo = hi
+	}
+	return wins
+}
+
+// stateCursor reconstructs the golden flip-flop state entering ascending
+// cycles with one rolling buffer: a request inside the cursor's current
+// checkpoint window advances by applying only the XOR deltas between the
+// cursor and the target (one batched AdvanceStateRange), a request in a
+// later window re-bases on that window's boundary snapshot first, and a
+// request behind the cursor (a retrograde width switch inside a window)
+// re-bases the same way. Each fused pass start costs a handful of delta
+// words instead of a simulated golden replay.
+type stateCursor struct {
+	g   *plasma.Golden
+	buf []uint64
+	at  int32
+	ok  bool
+}
+
+func (c *stateCursor) stateAt(t int32) []uint64 {
+	b := c.g.CheckpointFloor(t)
+	if !c.ok || t < c.at || b > c.at {
+		copy(c.buf, c.g.Snapshot(b))
+		c.at, c.ok = b, true
+	}
+	c.g.AdvanceStateRange(c.buf, c.at, t)
+	c.at = t
+	return c.buf
+}
+
 // passRunner owns one logic simulator and the precomputed signal lists.
 type passRunner struct {
 	sim    *gate.Sim
 	golden *plasma.Golden
 	stats  SimStats
+
+	// warm marks a simulator that already graded a fused pass: its signal
+	// values satisfy the event invariant for some recent golden-adjacent
+	// state, so the next fused pass restores by diffing (ReplaceFaults +
+	// RestoreState) instead of the cold Reset+SetFaults+LoadState.
+	warm bool
 
 	rdata   []gate.Sig
 	addr    []gate.Sig
@@ -398,19 +491,34 @@ var spread = [2]uint64{0, ^uint64(0)}
 
 // runPass simulates one group of up to 64*LaneWords faults to completion,
 // writing each lane's outcome through the pass's original-index mapping.
-// Lane L lives in bit L%64 of lane word L/64 of every signal. A pass
-// starting past cycle 0 is fast-forwarded by loading the golden flip-flop
-// snapshot at the nearest checkpoint boundary at or before its earliest
-// activation, then replaying the (at most CheckpointK-1) golden cycles up
-// to it on the already-warm event simulator: before its earliest
-// activation every faulty machine is bit-identical to the golden machine,
-// so nothing is lost at the boundary and the replayed cycles generate only
-// the golden machine's own switching activity. When checkpoints are
-// available, each detected lane is conformed back to the golden
-// trajectory (state overwrite + fault disarm) — sound because detected
-// lanes are masked out of all future detection logic — which starves the
-// event queue of its activity.
-func (r *passRunner) runPass(faults []Fault, job PassGroup, detectedAt []int32, sigGroups []uint8) {
+// Lane L lives in bit L%64 of lane word L/64 of every signal.
+//
+// Unfused (start == nil): a pass starting past cycle 0 is fast-forwarded
+// by loading the golden flip-flop snapshot at the nearest checkpoint
+// boundary at or before its earliest activation, then replaying the (at
+// most CheckpointK-1) golden cycles up to it on the already-warm event
+// simulator: before its earliest activation every faulty machine is
+// bit-identical to the golden machine, so nothing is lost at the boundary
+// and the replayed cycles generate only the golden machine's own switching
+// activity.
+//
+// Fused (start != nil): start is the golden flip-flop state entering
+// job.Start, reconstructed from the checkpoint trace by batched XOR-delta
+// application. The same bit-identity argument removes the simulated replay
+// outright — the faulty machines' state entering their earliest activation
+// *is* the golden state, the replayed cycles can produce no detection
+// (every output equals the golden trace by definition), so simulation
+// begins at job.Start directly. A warm simulator additionally restores by
+// diffing: ReplaceFaults swaps hook sets without a full invalidation and
+// RestoreState overwrites only the flip-flops that differ, so the next
+// Eval re-evaluates the changed cones instead of obliviously sweeping the
+// whole netlist as Reset+SetFaults+LoadState would force.
+//
+// When checkpoints are available, each detected lane is conformed back to
+// the golden trajectory (state overwrite + fault disarm) — sound because
+// detected lanes are masked out of all future detection logic — which
+// starves the event queue of its activity.
+func (r *passRunner) runPass(faults []Fault, job PassGroup, detectedAt []int32, sigGroups []uint8, start []uint64) {
 	s := r.sim
 	w := s.LaneWords()
 	lf := make([]gate.LaneFault, len(job.Idxs))
@@ -418,27 +526,54 @@ func (r *passRunner) runPass(faults []Fault, job PassGroup, detectedAt []int32, 
 		lf[lane] = gate.LaneFault{Site: faults[idx].Site, Lane: lane}
 	}
 	g := r.golden
-	s.Reset()
-	s.SetFaults(lf)
 	conform := g.HasActivation() && s.EventDriven()
-	ff := int32(0)
-	if job.Start > 0 {
-		ff = g.CheckpointFloor(job.Start)
-		if ff > 0 {
-			s.LoadState(g.DFFs, g.Snapshot(ff))
+	var ff int32
+	if start != nil {
+		ff = job.Start
+		boundary := g.CheckpointFloor(job.Start)
+		if r.warm {
+			s.ReplaceFaults(lf)
+			s.RestoreState(g.DFFs, start)
+			r.stats.HookDiffs++
+		} else {
+			// First fused pass on this simulator: its construction state is
+			// all zeros (a fresh machine's reset state), so no Reset is
+			// needed before loading the start snapshot.
+			s.SetFaults(lf)
+			s.LoadState(g.DFFs, start)
+			r.warm = true
 		}
+		// FastForwarded keeps its unfused meaning (cycles skipped by
+		// jumping to the checkpoint boundary) so the counter is invariant
+		// under fusion; the boundary-to-activation cycles move from
+		// ReplayedCycles to ReplaySavedCycles.
+		r.stats.FastForwarded += int64(boundary)
+		r.stats.ReplaySavedCycles += int64(job.Start - boundary)
+	} else {
+		s.Reset()
+		s.SetFaults(lf)
+		if job.Start > 0 {
+			ff = g.CheckpointFloor(job.Start)
+			if ff > 0 {
+				s.LoadState(g.DFFs, g.Snapshot(ff))
+			}
+		}
+		r.stats.FastForwarded += int64(ff)
+		r.stats.ReplayedCycles += int64(job.Start - ff)
 	}
 	if conform {
 		if r.gstate == nil {
 			r.gstate = make([]uint64, g.StateWords())
 		}
-		copy(r.gstate, g.Snapshot(ff))
+		if start != nil {
+			copy(r.gstate, start)
+		} else {
+			copy(r.gstate, g.Snapshot(ff))
+		}
 	}
 
 	r.stats.Passes++
 	r.stats.PassWidthHist[widthLog2(w)]++
-	r.stats.FastForwarded += int64(ff)
-	r.stats.ReplayedCycles += int64(job.Start - ff)
 
 	// Per-lane-word bitmaps of live, detected and to-be-conformed lanes.
 	var active, detected, toConform [gate.MaxLaneWords]uint64

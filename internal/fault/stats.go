@@ -29,7 +29,19 @@ type SimStats struct {
 	// ReplayedCycles is the number of golden cycles simulated between a
 	// pass's checkpoint boundary and its earliest fault activation: the
 	// price of sparse checkpoints, bounded by CheckpointK-1 per pass.
+	// Replay fusion eliminates these (see ReplaySavedCycles), so the
+	// counter is nonzero only with fusion disabled.
 	ReplayedCycles int64
+	// FusedWindows counts checkpoint windows that fused more than one pass
+	// onto one warm simulator; ReplaySavedCycles is the number of
+	// boundary-to-activation golden cycles those passes reconstructed by
+	// batched XOR-delta application instead of simulating (each one a cycle
+	// ReplayedCycles would otherwise count); HookDiffs counts warm-restart
+	// hook-set swaps (diff-patched fault installs on an already-valid
+	// simulator, replacing a full Reset+SetFaults+oblivious re-sweep).
+	FusedWindows      int64
+	ReplaySavedCycles int64
+	HookDiffs         int64
 	// SkippedFaults counts faults never simulated because their site never
 	// holds the activating value anywhere in the golden run (provably
 	// undetectable by this program).
@@ -100,6 +112,9 @@ func (s *SimStats) Add(other *SimStats) {
 	s.SimCycles += other.SimCycles
 	s.FastForwarded += other.FastForwarded
 	s.ReplayedCycles += other.ReplayedCycles
+	s.FusedWindows += other.FusedWindows
+	s.ReplaySavedCycles += other.ReplaySavedCycles
+	s.HookDiffs += other.HookDiffs
 	s.SkippedFaults += other.SkippedFaults
 	s.GateEvals += other.GateEvals
 	s.Events += other.Events
@@ -177,6 +192,8 @@ func (s *SimStats) String() string {
 	fmt.Fprintf(&b, "sim cycles        %d\n", s.SimCycles)
 	fmt.Fprintf(&b, "fast-forwarded    %d cycles\n", s.FastForwarded)
 	fmt.Fprintf(&b, "replayed          %d cycles (checkpoint boundary to first activation)\n", s.ReplayedCycles)
+	fmt.Fprintf(&b, "replay fusion     %d windows fused, %d replay cycles saved, %d hook-set diffs\n",
+		s.FusedWindows, s.ReplaySavedCycles, s.HookDiffs)
 	fmt.Fprintf(&b, "skipped faults    %d (never activated)\n", s.SkippedFaults)
 	fmt.Fprintf(&b, "gate evals        %d (%.1f/cycle)\n", s.GateEvals, s.EvalsPerCycle())
 	fmt.Fprintf(&b, "events            %d\n", s.Events)

@@ -109,8 +109,14 @@ func chooseWidth(order []actFault, lo, maxW int, golden *plasma.Golden) (w, hi i
 }
 
 // passCost estimates the per-fault grading cost of one pass of width w
-// carrying the given faults from their earliest activation.
+// carrying the given faults from their earliest activation. An empty
+// candidate costs nothing: the guard keeps the division from producing
+// NaN when a caller (PlanPasses on an empty or fully-skipped universe)
+// reaches the cost model with no faults to carry.
 func passCost(golden *plasma.Golden, start int32, faults []actFault, w int) float64 {
+	if len(faults) == 0 {
+		return 0
+	}
 	var cones uint64
 	for i := range faults {
 		cones |= faults[i].cone
@@ -120,7 +126,12 @@ func passCost(golden *plasma.Golden, start int32, faults []actFault, w int) floa
 	return float64(span) * perCycle / float64(len(faults))
 }
 
+// minAct returns the earliest activation cycle among the faults, or 0 for
+// an empty slice (the guard against indexing an empty candidate range).
 func minAct(faults []actFault) int32 {
+	if len(faults) == 0 {
+		return 0
+	}
 	start := faults[0].act
 	for i := 1; i < len(faults); i++ {
 		if faults[i].act < start {

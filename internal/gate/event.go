@@ -283,8 +283,12 @@ func (s *Sim) evalEvent() {
 	gates := s.n.Gates
 	// Gates whose hook set changed since the last Eval re-present (sources)
 	// or re-queue (combinational) once, releasing or installing injections.
+	// Entries emptied by ReplaceFaults are pruned afterwards: they needed
+	// exactly this one revisit to release their stale injected values, and
+	// from then on they are ordinary unhooked gates.
 	if inc.hooksDirty {
 		inc.hooksDirty = false
+		prune := false
 		for _, sig := range s.hooked {
 			switch gates[sig].Kind {
 			case DFF, Const0, Const1, Input:
@@ -292,6 +296,12 @@ func (s *Sim) evalEvent() {
 			default:
 				inc.enqueue(sig)
 			}
+			if len(s.hooks[s.hookIdx[sig]]) == 0 {
+				prune = true
+			}
+		}
+		if prune {
+			s.pruneHooks()
 		}
 	}
 	// Flip-flops whose latched state changed present their new output.
@@ -364,8 +374,11 @@ func (s *Sim) latchEvent() {
 		}
 		return
 	}
-	for _, sig := range s.hooked {
-		if s.n.Gates[sig].Kind == DFF && !inc.dffPendSet[sig] {
+	// Only flip-flops with a D-pin injection record need the unconditional
+	// latch (the injection changes their latched value without a D event);
+	// output-hooked flip-flops latch on D events like any other.
+	for _, sig := range s.hookedDFFs {
+		if !inc.dffPendSet[sig] {
 			s.latchOne(sig)
 		}
 	}
@@ -394,6 +407,52 @@ func (s *Sim) LoadState(dffs []Sig, bits []uint64) {
 		}
 	}
 	s.invalidate()
+}
+
+// RestoreState is LoadState without the invalidation: it broadcasts the
+// snapshot into all lanes like LoadState, but instead of marking the whole
+// simulator dirty it marks only the flip-flops whose state actually
+// changed, so the next Eval re-evaluates their fanout cones and leaves the
+// rest of the netlist's established values alone. This is the warm-restart
+// path of fused fault passes: consecutive passes of one checkpoint window
+// start from nearby golden states, so the diff is small and the oblivious
+// re-sweep LoadState would force is almost entirely wasted. Falls back to
+// LoadState on an oblivious simulator or one that is already fully dirty
+// (where there is no established invariant worth preserving).
+func (s *Sim) RestoreState(dffs []Sig, bits []uint64) {
+	if s.inc == nil || s.inc.allDirty {
+		s.LoadState(dffs, bits)
+		return
+	}
+	inc := s.inc
+	w := s.w
+	for i, sig := range dffs {
+		var word uint64
+		if bits[i>>6]>>(uint(i)&63)&1 != 0 {
+			word = ^uint64(0)
+		}
+		o := int(sig) * w
+		st := s.state[o : o+w]
+		changed := false
+		for k := range st {
+			if st[k] != word {
+				st[k] = word
+				changed = true
+			}
+		}
+		if changed {
+			// Present the new output on the next Eval, and force the next
+			// Latch to recapture D: the latch-skip optimization assumes
+			// state holds the D value of the last Latch, which the restore
+			// just broke for this flip-flop — its post-Eval D value may
+			// differ from the restored state without any D event firing.
+			s.markDFFChanged(sig)
+			if !inc.dffPendSet[sig] {
+				inc.dffPendSet[sig] = true
+				inc.dffPending = append(inc.dffPending, sig)
+			}
+		}
+	}
 }
 
 // SetLaneState overwrites one lane's flip-flop state with a recorded
@@ -430,12 +489,17 @@ func (s *Sim) DropLaneFaults(lane int) {
 	changed := false
 	for _, g := range s.hooked {
 		h := s.hookIdx[g]
+		dropped := false
 		for j := range s.hooks[h] {
 			if s.hooks[h][j].word == wi && s.hooks[h][j].mask&m != 0 {
 				s.hooks[h][j].mask = 0
 				s.hooks[h][j].stuck = 0
-				changed = true
+				dropped = true
 			}
+		}
+		if dropped {
+			s.compileHook(h)
+			changed = true
 		}
 	}
 	if changed && s.inc != nil {

@@ -46,6 +46,19 @@ type laneInject struct {
 	stuck uint64 // mask when stuck-at-1, 0 when stuck-at-0
 }
 
+// patchEntry is one injected lane word of a hooked gate with every armed
+// injection merged per operand: apply in to pin p means
+// v = v&^pMask | pStuck. Lane masks of distinct faults never overlap (one
+// site occupies one lane), so OR-merging is exact.
+type patchEntry struct {
+	word             int32
+	in               bool // any armed input-pin injection in this word
+	aMask, aStuck    uint64
+	bMask, bStuck    uint64
+	cMask, cStuck    uint64
+	outMask, outStuck uint64
+}
+
 // Sim is a cycle-accurate, bit-parallel simulator over a fixed netlist.
 // Each signal carries W lane words of 64 bits (W in {1,2,4,8}): one
 // independent machine per bit lane, up to 512 machines at W=8. Lanes are
@@ -66,6 +79,23 @@ type Sim struct {
 	hookIdx []int32 // per signal: -1 or index into hooks
 	hooks   [][]laneInject
 	hooked  []Sig // signals that currently have hooks, for cheap clearing
+
+	// patch is the compiled form of hooks, rebuilt whenever a hook set
+	// changes (SetFaults, ReplaceFaults, DropLaneFaults): per hooked gate,
+	// one entry per distinct injected lane word with the pin injections
+	// merged into per-operand masks. Hooked gates are re-patched on every
+	// evaluation — they are the permanently dirty gates of the event
+	// engine — so the per-cycle patch must not re-derive this from the
+	// raw injection list (a quadratic loop over hooks per injected word);
+	// compiling once per hook-set change amortizes it to O(injected words)
+	// per evaluation.
+	patch [][]patchEntry
+	// hookedDFFs lists the flip-flops carrying a D-pin injection record
+	// (armed or disarmed): the ones latchEvent must clock every cycle
+	// because the injection changes their latched value without any
+	// D-input event. Scanning this instead of the whole hooked list keeps
+	// the per-Latch overhead proportional to the D-pin fault sites.
+	hookedDFFs []Sig
 
 	// uni marks signals whose lane words are all equal (every machine
 	// agrees). In a fault pass most switching activity is the golden
@@ -161,30 +191,170 @@ func (s *Sim) Reset() {
 func (s *Sim) SetFaults(faults []LaneFault) {
 	s.ClearFaults()
 	for _, lf := range faults {
-		if lf.Lane < 0 || lf.Lane >= 64*s.w {
-			panic(fmt.Sprintf("gate: lane %d out of range [0,%d)", lf.Lane, 64*s.w))
-		}
-		g := lf.Site.Gate
-		if g < 0 || int(g) >= len(s.n.Gates) {
-			panic(fmt.Sprintf("gate: fault site gate %d out of range", g))
-		}
-		inj := laneInject{
-			pin:  lf.Site.Pin,
-			word: int32(lf.Lane >> 6),
-			mask: 1 << uint(lf.Lane&63),
-		}
-		if lf.Site.Stuck {
-			inj.stuck = inj.mask
-		}
-		if s.hookIdx[g] < 0 {
-			s.hookIdx[g] = int32(len(s.hooks))
-			s.hooks = append(s.hooks, nil)
-			s.hooked = append(s.hooked, g)
-		}
-		h := s.hookIdx[g]
-		s.hooks[h] = append(s.hooks[h], inj)
+		s.installFault(lf)
 	}
+	s.compileHooks()
 	s.invalidate()
+}
+
+// compileHooks rebuilds every hooked gate's patch entries and the
+// D-pin-hooked flip-flop list after a wholesale hook-set change.
+func (s *Sim) compileHooks() {
+	s.hookedDFFs = s.hookedDFFs[:0]
+	for _, g := range s.hooked {
+		h := s.hookIdx[g]
+		s.compileHook(h)
+		if s.n.Gates[g].Kind == DFF && hasPinInject(s.hooks[h]) {
+			s.hookedDFFs = append(s.hookedDFFs, g)
+		}
+	}
+}
+
+// hasPinInject reports whether the list carries an input-pin injection
+// record, armed or disarmed. Disarmed records count: a flip-flop whose
+// D-pin injection was just disarmed still needs its always-latch until the
+// next wholesale hook change, so the clean D value gets recaptured.
+func hasPinInject(hooks []laneInject) bool {
+	for i := range hooks {
+		if hooks[i].pin != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// compileHook rebuilds one gate's patch entries from its raw injection
+// list, merging armed injections per (word, pin) and dropping disarmed
+// ones.
+func (s *Sim) compileHook(h int32) {
+	entries := s.patch[h][:0]
+	for _, inj := range s.hooks[h] {
+		if inj.mask == 0 {
+			continue // disarmed by DropLaneFaults
+		}
+		var pe *patchEntry
+		for i := range entries {
+			if entries[i].word == inj.word {
+				pe = &entries[i]
+				break
+			}
+		}
+		if pe == nil {
+			entries = append(entries, patchEntry{word: inj.word})
+			pe = &entries[len(entries)-1]
+		}
+		switch inj.pin {
+		case 0:
+			pe.outMask |= inj.mask
+			pe.outStuck |= inj.stuck
+		case 1:
+			pe.in = true
+			pe.aMask |= inj.mask
+			pe.aStuck |= inj.stuck
+		case 2:
+			pe.in = true
+			pe.bMask |= inj.mask
+			pe.bStuck |= inj.stuck
+		case 3:
+			pe.in = true
+			pe.cMask |= inj.mask
+			pe.cStuck |= inj.stuck
+		}
+	}
+	s.patch[h] = entries
+}
+
+// installFault compiles one lane fault into its gate's hook list, creating
+// the hook entry on first use.
+func (s *Sim) installFault(lf LaneFault) {
+	if lf.Lane < 0 || lf.Lane >= 64*s.w {
+		panic(fmt.Sprintf("gate: lane %d out of range [0,%d)", lf.Lane, 64*s.w))
+	}
+	g := lf.Site.Gate
+	if g < 0 || int(g) >= len(s.n.Gates) {
+		panic(fmt.Sprintf("gate: fault site gate %d out of range", g))
+	}
+	inj := laneInject{
+		pin:  lf.Site.Pin,
+		word: int32(lf.Lane >> 6),
+		mask: 1 << uint(lf.Lane&63),
+	}
+	if lf.Site.Stuck {
+		inj.stuck = inj.mask
+	}
+	if s.hookIdx[g] < 0 {
+		s.hookIdx[g] = int32(len(s.hooks))
+		s.hooks = append(s.hooks, nil)
+		s.patch = append(s.patch, nil)
+		s.hooked = append(s.hooked, g)
+	}
+	h := s.hookIdx[g]
+	s.hooks[h] = append(s.hooks[h], inj)
+}
+
+// ReplaceFaults swaps the installed fault set for a new one by diffing
+// hook sets instead of tearing everything down: where SetFaults marks the
+// whole simulator dirty (one oblivious sweep on the next Eval),
+// ReplaceFaults empties the current hook lists in place, installs the new
+// injections, and only marks the union of old and new hooked gates for
+// re-evaluation. Gates that lose every hook are revisited once by the next
+// Eval — releasing their stale injected values — and then pruned from the
+// hooked set. On an oblivious simulator, or an event simulator that is
+// already fully dirty, it is identical to SetFaults.
+func (s *Sim) ReplaceFaults(faults []LaneFault) {
+	if s.inc == nil || s.inc.allDirty {
+		s.SetFaults(faults)
+		return
+	}
+	inc := s.inc
+	for _, g := range s.hooked {
+		h := s.hookIdx[g]
+		if s.n.Gates[g].Kind == DFF {
+			// A D-pin injection lives in the flip-flop's latched state, not
+			// its hook-applied output; removing it silently would leave the
+			// injected bit latched until the next genuine D event. Pend the
+			// flip-flop so the next Latch recaptures its clean D value.
+			for _, inj := range s.hooks[h] {
+				if inj.pin != 0 {
+					if !inc.dffPendSet[g] {
+						inc.dffPendSet[g] = true
+						inc.dffPending = append(inc.dffPending, g)
+					}
+					break
+				}
+			}
+		}
+		s.hooks[h] = s.hooks[h][:0]
+	}
+	for _, lf := range faults {
+		s.installFault(lf)
+	}
+	s.compileHooks()
+	inc.hooksDirty = true
+}
+
+// pruneHooks compacts away hooked-gate entries whose hook list is empty
+// (every injection removed by ReplaceFaults). Only called after the
+// emptied gates were re-presented or re-queued by the hooksDirty prologue,
+// so their stale injected values are already released. Compaction keeps
+// the hookIdx[hooked[i]] == i layout the hook machinery relies on.
+func (s *Sim) pruneHooks() {
+	kept := 0
+	for _, g := range s.hooked {
+		h := s.hookIdx[g]
+		if len(s.hooks[h]) == 0 {
+			s.hookIdx[g] = -1
+			continue
+		}
+		s.hooks[kept] = s.hooks[h]
+		s.patch[kept] = s.patch[h]
+		s.hooked[kept] = g
+		s.hookIdx[g] = int32(kept)
+		kept++
+	}
+	s.hooked = s.hooked[:kept]
+	s.hooks = s.hooks[:kept]
+	s.patch = s.patch[:kept]
 }
 
 // ClearFaults removes all installed faults.
@@ -194,6 +364,8 @@ func (s *Sim) ClearFaults() {
 	}
 	s.hooked = s.hooked[:0]
 	s.hooks = s.hooks[:0]
+	s.patch = s.patch[:0]
+	s.hookedDFFs = s.hookedDFFs[:0]
 	s.invalidate()
 }
 
@@ -334,11 +506,16 @@ func (s *Sim) SigWords(sig Sig) []uint64 {
 }
 
 // applyHooks applies a hooked gate's fault injections for one pin (0 = the
-// gate output) to the lane words in v.
+// gate output, 1 = the first input — a flip-flop's D) to the lane words in
+// v, from the compiled patch entries.
 func (s *Sim) applyHooks(h int32, pin int8, v []uint64) {
-	for _, inj := range s.hooks[h] {
-		if inj.pin == pin {
-			v[inj.word] = v[inj.word]&^inj.mask | inj.stuck
+	for i := range s.patch[h] {
+		pe := &s.patch[h][i]
+		switch pin {
+		case 0:
+			v[pe.word] = v[pe.word]&^pe.outMask | pe.outStuck
+		case 1:
+			v[pe.word] = v[pe.word]&^pe.aMask | pe.aStuck
 		}
 	}
 }
@@ -370,52 +547,36 @@ func (s *Sim) computeInto(sig Sig, dst []uint64) {
 }
 
 // patchHooks repairs the injected words of a hooked gate's freshly
-// computed output. Each input-pin injection's word is recomputed from its
-// scalar pin values with every input injection for that word applied;
-// output (pin 0) injections are then masked into dst directly.
+// computed output from the compiled patch entries: each word carrying an
+// armed input-pin injection is recomputed once from its scalar pin values
+// with the merged input masks applied, then output (pin 0) injections are
+// masked into dst directly. One entry per injected word — the per-cycle
+// cost no longer scales with the square of the gate's injection count.
 func (s *Sim) patchHooks(sig Sig, h int32, dst []uint64) {
 	g := &s.n.Gates[sig]
 	w := s.w
 	val := s.val
-	hooks := s.hooks[h]
-	for i := range hooks {
-		inj := &hooks[i]
-		if inj.pin == 0 {
-			continue
-		}
-		k := int(inj.word)
-		var a, b, c uint64
-		switch g.Kind.NumInputs() {
-		case 3:
-			c = val[int(g.In[2])*w+k]
-			fallthrough
-		case 2:
-			b = val[int(g.In[1])*w+k]
-			fallthrough
-		case 1:
-			a = val[int(g.In[0])*w+k]
-		}
-		for j := range hooks {
-			nj := &hooks[j]
-			if nj.word != inj.word {
-				continue
-			}
-			switch nj.pin {
-			case 1:
-				a = a&^nj.mask | nj.stuck
-			case 2:
-				b = b&^nj.mask | nj.stuck
+	for i := range s.patch[h] {
+		pe := &s.patch[h][i]
+		k := int(pe.word)
+		if pe.in {
+			var a, b, c uint64
+			switch g.Kind.NumInputs() {
 			case 3:
-				c = c&^nj.mask | nj.stuck
+				c = val[int(g.In[2])*w+k]
+				fallthrough
+			case 2:
+				b = val[int(g.In[1])*w+k]
+				fallthrough
+			case 1:
+				a = val[int(g.In[0])*w+k]
 			}
+			a = a&^pe.aMask | pe.aStuck
+			b = b&^pe.bMask | pe.bStuck
+			c = c&^pe.cMask | pe.cStuck
+			dst[k] = evalWord(g.Kind, a, b, c)
 		}
-		dst[k] = evalWord(g.Kind, a, b, c)
-	}
-	for i := range hooks {
-		inj := &hooks[i]
-		if inj.pin == 0 {
-			dst[inj.word] = dst[inj.word]&^inj.mask | inj.stuck
-		}
+		dst[k] = dst[k]&^pe.outMask | pe.outStuck
 	}
 }
 

@@ -148,9 +148,7 @@ func (g *Golden) Snapshot(cycle int32) []uint64 {
 func (g *Golden) StateAt(t int32, dst []uint64) {
 	b := g.CheckpointFloor(t)
 	copy(dst, g.Snapshot(b))
-	for c := b; c < t; c++ {
-		g.AdvanceState(dst, c)
-	}
+	g.AdvanceStateRange(dst, b, t)
 }
 
 // AdvanceState applies cycle t's delta to a state buffer, advancing it
@@ -158,8 +156,24 @@ func (g *Golden) StateAt(t int32, dst []uint64) {
 // simulation keeps one rolling buffer per pass this way, paying only for
 // the words that actually changed.
 func (g *Golden) AdvanceState(dst []uint64, t int32) {
-	for j := g.DeltaIdx[t]; j < g.DeltaIdx[t+1]; j++ {
-		dst[g.DeltaPos[j]] ^= g.DeltaXor[j]
+	g.AdvanceStateRange(dst, t, t+1)
+}
+
+// AdvanceStateRange applies the deltas of cycles [from, to) to a state
+// buffer in one sweep, advancing it from the state entering cycle from to
+// the state entering cycle to. The delta stream is flat, so a multi-cycle
+// advance is a single scan over one contiguous (pos, xor) range — the
+// per-cycle index loads and loop restarts of repeated AdvanceState calls
+// disappear. This is how fused fault passes reconstruct their start state:
+// one window's worth of deltas applied in a batch replaces the simulated
+// golden replay of those cycles. The body is a scatter XOR (each entry
+// hits an arbitrary state word), which vectorizes poorly, so unlike the
+// gate kernels it stays a Go loop; the win is algorithmic (no gate
+// evaluation at all), not data-parallel.
+func (g *Golden) AdvanceStateRange(dst []uint64, from, to int32) {
+	pos, xor := g.DeltaPos, g.DeltaXor
+	for j, end := g.DeltaIdx[from], g.DeltaIdx[to]; j < end; j++ {
+		dst[pos[j]] ^= xor[j]
 	}
 }
 

@@ -275,7 +275,14 @@ func gradeShard(cpu *plasma.CPU, golden *plasma.Golden, faults []fault.Fault, id
 // runAttempt drives one worker through the protocol under a deadline and
 // validates the response against the request.
 func runAttempt(w Worker, req *Request, timeout time.Duration) (*Response, error) {
-	defer w.Kill()
+	// Every exit path must both stop the worker AND reap it: a Kill
+	// without a Wait leaves the dead child as a zombie holding its
+	// process-table slot for the life of the coordinator (Worker.Wait is
+	// idempotent, so the success path's explicit Wait is unaffected).
+	defer func() {
+		w.Kill()
+		_ = w.Wait()
+	}()
 	var timedOut atomic.Bool
 	timer := time.AfterFunc(timeout, func() {
 		timedOut.Store(true)

@@ -463,3 +463,49 @@ func TestSpawnFailureFallsBack(t *testing.T) {
 		t.Fatalf("SimStats fallback counter: %+v", got.Stats)
 	}
 }
+
+// TestHangingWorkerIsReaped asserts the no-zombie guarantee: a worker
+// process that hangs before writing a single response frame is killed by
+// the attempt timeout AND reaped — its exit status is collected on every
+// failure path, so no dead child lingers in the process table for the
+// life of the coordinator. Grade only returns after all shard goroutines
+// (and their reaping defers) finish, so inspecting ProcessState here is
+// race-free.
+func TestHangingWorkerIsReaped(t *testing.T) {
+	cpu := getCPU(t)
+	g := captureTestGolden(t, 60)
+	all := fault.Universe(cpu.Netlist)
+	var mu sync.Mutex
+	var spawned []*execWorker
+	// sleep is spawned directly (no shell) so Kill hits the hanging
+	// process itself rather than a parent whose orphan would keep the
+	// stdout pipe open.
+	hang := ExecSpawner("sleep", "60")
+	capture := func() (Worker, error) {
+		w, err := hang()
+		if err == nil {
+			mu.Lock()
+			spawned = append(spawned, w.(*execWorker))
+			mu.Unlock()
+		}
+		return w, err
+	}
+	_, _, err := Grade(cpu, g, all, Options{
+		Shards:  2,
+		Sample:  128,
+		Seed:    5,
+		Timeout: 100 * time.Millisecond,
+		Spawn:   capture,
+	})
+	if err == nil {
+		t.Fatal("want the hung workers to fail the run")
+	}
+	if len(spawned) == 0 {
+		t.Fatal("spawner was never called")
+	}
+	for i, w := range spawned {
+		if w.cmd.ProcessState == nil {
+			t.Fatalf("worker %d was killed but never reaped (zombie pid %d)", i, w.cmd.Process.Pid)
+		}
+	}
+}

@@ -80,12 +80,22 @@ type execWorker struct {
 	out io.ReadCloser
 
 	killOnce sync.Once
+	waitOnce sync.Once
+	waitErr  error
 }
 
 func (w *execWorker) Write(p []byte) (int, error) { return w.in.Write(p) }
 func (w *execWorker) Read(p []byte) (int, error)  { return w.out.Read(p) }
 func (w *execWorker) CloseWrite() error           { return w.in.Close() }
-func (w *execWorker) Wait() error                 { return w.cmd.Wait() }
+
+// Wait is idempotent (exec.Cmd.Wait is not): the coordinator reaps every
+// worker on all exit paths of an attempt, which means a successful attempt
+// Waits twice — once to collect the exit status and once from the reaping
+// defer.
+func (w *execWorker) Wait() error {
+	w.waitOnce.Do(func() { w.waitErr = w.cmd.Wait() })
+	return w.waitErr
+}
 func (w *execWorker) Kill() {
 	w.killOnce.Do(func() {
 		if w.cmd.Process != nil {
