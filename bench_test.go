@@ -9,25 +9,85 @@
 package repro
 
 import (
+	"fmt"
+	"net"
 	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
+	"repro/internal/asm"
 	"repro/internal/bench"
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/plasma"
+	"repro/internal/serve"
 	"repro/internal/shard"
 	"repro/internal/synth"
 )
 
-// TestMain lets this test binary double as a shard-grading worker: the
-// coordinator benchmarks below re-execute it with the worker environment
-// marker set, and ServeIfWorker takes over before any test runs.
+// TestMain lets this test binary double as a shard-grading worker and as
+// a cold-start grading process: the coordinator benchmarks re-execute it
+// with the worker environment marker set (ServeIfWorker takes over), and
+// BenchmarkServeThroughput's baseline re-executes it with the cold-grade
+// marker so each request pays a real process start.
 func TestMain(m *testing.M) {
 	shard.ServeIfWorker()
+	if spec := os.Getenv("SBST_BENCH_COLDGRADE"); spec != "" {
+		os.Exit(coldGradeMain(spec))
+	}
 	os.Exit(m.Run())
+}
+
+// coldGradeMain is the per-request body of BenchmarkServeThroughput's
+// cold baseline: everything a one-shot grading invocation pays after
+// exec. spec is "progFile cycles sample seed"; progFile holds the
+// fragment as decimal words, origin first.
+func coldGradeMain(spec string) int {
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, "coldgrade:", err)
+		return 1
+	}
+	var progFile string
+	var cycles, sample int
+	var seed int64
+	if _, err := fmt.Sscanf(spec, "%s %d %d %d", &progFile, &cycles, &sample, &seed); err != nil {
+		return fail(err)
+	}
+	data, err := os.ReadFile(progFile)
+	if err != nil {
+		return fail(err)
+	}
+	var prog asm.Program
+	for i, f := range strings.Fields(string(data)) {
+		w, err := strconv.ParseUint(f, 10, 32)
+		if err != nil {
+			return fail(err)
+		}
+		if i == 0 {
+			prog.Origin = uint32(w)
+		} else {
+			prog.Words = append(prog.Words, uint32(w))
+		}
+	}
+	cpu, err := plasma.Build(synth.NativeLib{})
+	if err != nil {
+		return fail(err)
+	}
+	g, err := plasma.CaptureGoldenK(cpu, &prog, cycles, plasma.DefaultCheckpointK)
+	if err != nil {
+		return fail(err)
+	}
+	opt := fault.Options{Sample: sample, Seed: seed, Workers: 1}
+	if _, err := fault.Simulate(cpu, g, fault.Universe(cpu.Netlist), opt); err != nil {
+		return fail(err)
+	}
+	return 0
 }
 
 var (
@@ -270,6 +330,140 @@ func BenchmarkFusedReplay(b *testing.B) {
 			b.ReportMetric(float64(detected), "detected")
 		})
 	}
+}
+
+// BenchmarkServeThroughput measures the warm-state grading service's
+// reason to exist: programs graded per second at 8 concurrent clients.
+// The workload is the iterative-generation inner loop the service targets
+// (ISSUE motivation; "Combined Deterministic and Pseudoexhaustive Test
+// Generation", PAPERS.md): re-grading a short candidate fragment — the
+// first 80 cycles of the Phase A program — against a small fault sample,
+// where per-request fixed costs dominate the actual simulation.
+//
+//   - warm: one long-running serve.Server, 8 persistent TCP clients,
+//     memoized golden + pass plan, pooled warm simulators. The fragment's
+//     fault list is elided on the wire (universe-hash match).
+//   - cold: what every invocation pays today, per request: a real process
+//     start (this test binary re-exec'd, see TestMain), then synthesize
+//     the core, capture the fragment golden, enumerate the fault universe,
+//     fault.Simulate (plan + simulator construction inside). Process start
+//     (exec + runtime/package init) measures ~3ms of a ~14ms cold request
+//     on this box — real but not dominant; the fixed in-process costs
+//     (capture + universe + plan + simulator construction) are the bulk
+//     of the gap.
+//
+// Served results are asserted bit-identical to fault.Simulate in
+// internal/serve's tests, so the programs/s ratio is pure fixed-cost
+// amortization. Honesty caveats (single-core box, as in PRs 4-6): with 1
+// core the 8 clients pipeline into the pool rather than run in parallel,
+// so the ratio measures per-request cost, not scaling; and the advantage
+// decays as per-request simulation grows — grading the full 6626-cycle
+// Phase A program measures ~1.1x, because both paths then
+// spend their time in the same pass kernels (measured in-process at
+// Sample 512; a ~3ms process start does not move a ~290ms request).
+func BenchmarkServeThroughput(b *testing.B) {
+	e := benchEnv(b)
+	st, err := e.SelfTest(core.PhaseA)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const (
+		clients    = 8
+		fragCycles = 64
+	)
+	opt := fault.Options{Sample: 32, Seed: 1, Workers: 1}
+	golden, err := plasma.CaptureGoldenK(e.CPU, st.Program, fragCycles, plasma.DefaultCheckpointK)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	// each runs fn once per client per iteration and reports programs/s.
+	each := func(b *testing.B, fn func(c int) error) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			errs := make([]error, clients)
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					errs[c] = fn(c)
+				}(c)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(clients*b.N)/b.Elapsed().Seconds(), "programs/s")
+	}
+
+	b.Run("warm", func(b *testing.B) {
+		srv, err := serve.NewServer(serve.Config{CPU: e.CPU, Pool: clients})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- srv.Serve(ln) }()
+		defer func() {
+			if err := srv.Shutdown(10 * time.Second); err != nil {
+				b.Error(err)
+			}
+			<-done
+		}()
+		cls := make([]*serve.Client, clients)
+		for c := range cls {
+			if cls[c], err = serve.Dial(ln.Addr().String()); err != nil {
+				b.Fatal(err)
+			}
+			defer cls[c].Close()
+		}
+		faults := e.Faults()
+		// One warmup round memoizes the golden and plan and builds the
+		// simulator pool — the steady state a long-running daemon lives in.
+		for _, cl := range cls {
+			if _, err := cl.Grade(e.CPU, golden, faults, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+		each(b, func(c int) error {
+			_, err := cls[c].Grade(e.CPU, golden, faults, opt)
+			return err
+		})
+	})
+
+	b.Run("cold", func(b *testing.B) {
+		exe, err := os.Executable()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var words []string
+		words = append(words, strconv.FormatUint(uint64(st.Program.Origin), 10))
+		for _, w := range st.Program.Words {
+			words = append(words, strconv.FormatUint(uint64(w), 10))
+		}
+		progFile := filepath.Join(b.TempDir(), "fragment.prog")
+		if err := os.WriteFile(progFile, []byte(strings.Join(words, "\n")), 0o644); err != nil {
+			b.Fatal(err)
+		}
+		env := append(os.Environ(), fmt.Sprintf("SBST_BENCH_COLDGRADE=%s %d %d %d",
+			progFile, fragCycles, opt.Sample, opt.Seed))
+		each(b, func(c int) error {
+			cmd := exec.Command(exe)
+			cmd.Env = env
+			if out, err := cmd.CombinedOutput(); err != nil {
+				return fmt.Errorf("cold grade process: %w: %s", err, out)
+			}
+			return nil
+		})
+	})
 }
 
 // BenchmarkTechLibIndependence regenerates the Section 4 technology-

@@ -6,7 +6,7 @@
 //
 //	report [-table all|1|2|3|4|5|techlib|baseline|cost] [-sample N] [-seed S] [-workers W]
 //	       [-engine event|oblivious] [-lanes W] [-stats] [-checkpoint-k K]
-//	       [-shards N] [-shard-timeout D]
+//	       [-shards N] [-shard-timeout D] [-server ADDR]
 //	       [-cache DIR] [-cache-max-bytes N] [-cpuprofile FILE] [-memprofile FILE]
 //
 // With -sample 0 (the default for -table 5 via -full) the fault simulations
@@ -41,6 +41,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/gate"
 	"repro/internal/plasma"
+	"repro/internal/serve"
 	"repro/internal/shard"
 	"repro/internal/synth"
 )
@@ -60,6 +61,7 @@ func main() {
 	fuse := flag.Bool("fuse", true, "fuse checkpoint-window replay across passes (false = unfused reference path)")
 	shards := flag.Int("shards", 1, "fault-grading worker processes per simulation (1 = in-process)")
 	shardTimeout := flag.Duration("shard-timeout", 0, "per-shard-worker wall-clock budget (0 = default)")
+	server := flag.String("server", "", "grade through a running sbstd daemon at this address (serves one synthesized core, so use a native-lib table like -table 5; the techlib table is rejected by the netlist guard)")
 	checkpointK := flag.Int("checkpoint-k", 0, "golden-trace checkpoint interval in cycles (0 = default)")
 	cacheDir := flag.String("cache", "", "directory for the netlist/golden artifact cache (empty = disabled)")
 	cacheMax := flag.Int64("cache-max-bytes", 0, "cache size bound with LRU eviction (0 = unbounded)")
@@ -121,7 +123,21 @@ func main() {
 	// With -shards > 1, every fault simulation in the harness goes through
 	// the sharded coordinator instead of in-process fault.Simulate. The
 	// shard stats merged into Result.Stats flow into -stats via CollectInto.
+	// With -server, they instead travel to a warm-state grading daemon
+	// (internal/serve), which memoizes goldens and plans per program and
+	// grades on persistent simulators; results stay bit-identical.
 	var grader func(cpu *plasma.CPU, golden *plasma.Golden, faults []fault.Fault, opt fault.Options) (*fault.Result, error)
+	if *server != "" && *shards > 1 {
+		log.Fatal("-server and -shards are mutually exclusive")
+	}
+	if *server != "" {
+		client, err := serve.Dial(*server)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer client.Close()
+		grader = client.Grader()
+	}
 	if *shards > 1 {
 		grader = func(cpu *plasma.CPU, golden *plasma.Golden, faults []fault.Fault, opt fault.Options) (*fault.Result, error) {
 			res, _, err := shard.Grade(cpu, golden, faults, shard.Options{

@@ -1,0 +1,35 @@
+// Command sbstd is the warm-state fault-grading daemon: it synthesizes
+// the core, enumerates the fault universe and builds the SIMD dispatch
+// tables once, then serves concurrent grading requests over TCP — each
+// request a test program, each response fault.Result outcomes
+// bit-identical to an in-process fault.Simulate. Golden traces and pass
+// plans are memoized per program, and simulations run on a pool of warm
+// per-goroutine simulators that survive across requests, so the
+// steady-state cost of a grade is the simulation alone.
+//
+// Usage:
+//
+//	sbstd [-addr HOST:PORT] [-lib native-0.35um-A|nand2-0.35um-B]
+//	      [-engine event|oblivious] [-lanes W] [-pool N]
+//	      [-checkpoint-k K] [-cache DIR] [-cache-max-bytes N]
+//	      [-drain D] [-stats]
+//
+// The daemon prints "listening on ADDR" once ready (use -addr :0 for an
+// ephemeral port), and shuts down gracefully on SIGINT/SIGTERM: it stops
+// accepting, drains in-flight grades up to -drain, then prints the -stats
+// report (requests served, golden/plan memo hits, warm simulator reuses
+// vs cold constructions, mean latency).
+//
+// Clients: report -server ADDR grades through a running daemon; the wire
+// protocol is documented in internal/serve.
+package main
+
+import (
+	"os"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	os.Exit(serve.RunDaemon(os.Args[1:], os.Stdout, os.Stderr))
+}

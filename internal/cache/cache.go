@@ -17,6 +17,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/asm"
 	"repro/internal/gate"
@@ -33,6 +34,12 @@ type Cache struct {
 	hashes   map[*gate.Netlist]string // memoized netlist content hashes
 	maxBytes int64                    // LRU size bound; 0 disables GC
 	putBytes int64                    // bytes stored since the last GC sweep
+
+	// gcMu serializes GC sweeps; sweeping lets maybeGC observe an
+	// in-flight sweep without blocking on it (concurrent stores skip the
+	// sweep rather than pile up behind gcMu).
+	gcMu     sync.Mutex
+	sweeping atomic.Bool
 }
 
 // Open creates (if needed) and opens a cache directory.
@@ -184,8 +191,10 @@ func (c *Cache) storeCPU(lib synth.Library, cpu *plasma.CPU) error {
 // reaps them) instead of letting gob decode an old layout into the new
 // struct with silently missing fields. Version 2 is the sparse
 // delta-encoded checkpoint format; version 3 run-length encodes the
-// read-data and primary-output trace streams.
-const goldenFormat = 3
+// read-data and primary-output trace streams; version 4 records the
+// program image on the golden (self-describing traces for the grading
+// server).
+const goldenFormat = 4
 
 // goldenKey derives the content address of a golden trace from everything
 // that determines it: the artifact format version, the netlist, the

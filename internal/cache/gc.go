@@ -49,13 +49,19 @@ func (c *Cache) touch(path string) {
 const gcSweepFraction = 8
 
 // maybeGC records wrote bytes stored and runs a collection sweep if a
-// size bound is armed and enough has been written since the last sweep to
-// justify one.
+// size bound is armed, enough has been written since the last sweep to
+// justify one, and no sweep is already running. The grading server stores
+// artifacts from many goroutines concurrently; without the in-flight
+// check, every goroutine crossing the threshold would launch its own
+// directory walk, and the overlapping sweeps — each working from a
+// directory listing the others are concurrently deleting from — would
+// together evict far past the LRU budget. One sweep runs, the rest skip;
+// their stored bytes re-arm the next sweep as usual.
 func (c *Cache) maybeGC(wrote int64) {
 	c.mu.Lock()
 	max := c.maxBytes
 	c.putBytes += wrote
-	sweep := max > 0 && c.putBytes >= max/gcSweepFraction
+	sweep := max > 0 && c.putBytes >= max/gcSweepFraction && !c.sweeping.Load()
 	if sweep {
 		c.putBytes = 0
 	}
@@ -71,11 +77,18 @@ var osRemove = os.Remove
 
 // GC deletes least-recently-used cache entries until the directory's total
 // size is at or under maxBytes, returning the number of bytes reclaimed.
-// In-flight temp files (writeAtomic) are never touched.
+// In-flight temp files (writeAtomic) are never touched. Sweeps are
+// serialized: a GC call that finds another in progress waits its turn
+// (explicit calls must not silently do nothing), while the amortized
+// maybeGC path skips instead of queueing.
 func (c *Cache) GC(maxBytes int64) (int64, error) {
 	if c == nil {
 		return 0, nil
 	}
+	c.gcMu.Lock()
+	defer c.gcMu.Unlock()
+	c.sweeping.Store(true)
+	defer c.sweeping.Store(false)
 	ents, err := os.ReadDir(c.dir)
 	if err != nil {
 		return 0, err

@@ -132,6 +132,13 @@ type PassGroup struct {
 // second return) appear in no group — their site never holds the
 // activating value anywhere in the golden run, so they are provably
 // undetectable by this program and Simulate would not grade them either.
+//
+// The returned plan, like the golden trace and fault list it was derived
+// from, is immutable shared state: grading never writes through it, so
+// one plan may back any number of concurrent Simulate or Warm.Grade
+// calls (asserted under the race detector in this package's and
+// internal/serve's tests). This is what lets a grading service compute a
+// program's plan once and serve every subsequent request from it.
 func PlanPasses(n *gate.Netlist, golden *plasma.Golden, faults []Fault, engine Engine, laneWords int) ([]PassGroup, int64, error) {
 	maxW, err := normLaneWords(laneWords)
 	if err != nil {
@@ -472,6 +479,10 @@ type passRunner struct {
 	// pass is about to simulate, advanced each cycle by the golden trace's
 	// sparse delta stream; detected lanes are conformed back to it.
 	gstate []uint64
+
+	// lf is the per-pass lane-fault scratch list, reused across passes so
+	// a warm runner's steady state allocates nothing per pass.
+	lf []gate.LaneFault
 }
 
 func newPassRunner(cpu *plasma.CPU, s *gate.Sim, golden *plasma.Golden) *passRunner {
@@ -521,10 +532,11 @@ var spread = [2]uint64{0, ^uint64(0)}
 func (r *passRunner) runPass(faults []Fault, job PassGroup, detectedAt []int32, sigGroups []uint8, start []uint64) {
 	s := r.sim
 	w := s.LaneWords()
-	lf := make([]gate.LaneFault, len(job.Idxs))
+	lf := r.lf[:0]
 	for lane, idx := range job.Idxs {
-		lf[lane] = gate.LaneFault{Site: faults[idx].Site, Lane: lane}
+		lf = append(lf, gate.LaneFault{Site: faults[idx].Site, Lane: lane})
 	}
+	r.lf = lf
 	g := r.golden
 	conform := g.HasActivation() && s.EventDriven()
 	var ff int32

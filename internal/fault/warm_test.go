@@ -1,0 +1,140 @@
+package fault
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/plasma"
+)
+
+// warmTestPlan samples the universe and plans it against a golden the way
+// a grading service would: sample once, plan once, grade many times.
+func warmTestPlan(t *testing.T, g *plasma.Golden, sample int) ([]Fault, []PassGroup) {
+	t.Helper()
+	cpu := getCPU(t)
+	faults := SampleFaults(Universe(cpu.Netlist), sample, 1)
+	plan, _, err := PlanPasses(cpu.Netlist, g, faults, EngineEvent, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return faults, plan
+}
+
+func requireSameOutcomes(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	if len(got.DetectedAt) != len(want.DetectedAt) {
+		t.Fatalf("%s: %d outcomes, want %d", label, len(got.DetectedAt), len(want.DetectedAt))
+	}
+	for i := range want.DetectedAt {
+		if got.DetectedAt[i] != want.DetectedAt[i] || got.SignatureGroups[i] != want.SignatureGroups[i] {
+			t.Fatalf("%s: fault %d: warm (%d, %d) vs Simulate (%d, %d)",
+				label, i, got.DetectedAt[i], got.SignatureGroups[i], want.DetectedAt[i], want.SignatureGroups[i])
+		}
+	}
+}
+
+// TestWarmGradeMatchesSimulate grades two different programs repeatedly,
+// interleaved, on ONE Warm grader — the grading-service steady state,
+// where every request after the first restores warm simulators by hook
+// and state diffs — and requires each grade bit-identical to a fresh
+// in-process Simulate of the same golden and faults.
+func TestWarmGradeMatchesSimulate(t *testing.T) {
+	cpu := getCPU(t)
+	gA := captureTestGolden(t, equivTestProgram, 400)
+	gB := captureTestGolden(t, smokeProgram, 80)
+	sample := 256
+	if testing.Short() {
+		sample = 96
+	}
+	faultsA, planA := warmTestPlan(t, gA, sample)
+	faultsB, planB := warmTestPlan(t, gB, sample)
+
+	wantA, err := Simulate(cpu, gA, faultsA, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantB, err := Simulate(cpu, gB, faultsB, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w := NewWarm(cpu, EngineEvent)
+	var res Result
+	for round := 0; round < 3; round++ {
+		GrowResult(&res, faultsA)
+		if err := w.Grade(gA, faultsA, planA, &res); err != nil {
+			t.Fatal(err)
+		}
+		requireSameOutcomes(t, "golden A", &res, wantA)
+		GrowResult(&res, faultsB)
+		if err := w.Grade(gB, faultsB, planB, &res); err != nil {
+			t.Fatal(err)
+		}
+		requireSameOutcomes(t, "golden B", &res, wantB)
+	}
+	if w.ColdSims == 0 {
+		t.Fatal("no simulator was ever constructed")
+	}
+	// The grader must not have rebuilt simulators per request: at most one
+	// construction per distinct pass width across all six grades (the two
+	// plans may land on different widths, e.g. at the -short sample), and
+	// every other grade must have reused a warm simulator.
+	widths := map[int]bool{}
+	for _, j := range append(append([]PassGroup{}, planA...), planB...) {
+		widths[j.Width] = true
+	}
+	if int(w.ColdSims) > len(widths) {
+		t.Fatalf("ColdSims = %d over %d distinct widths; simulators are being rebuilt", w.ColdSims, len(widths))
+	}
+	if want := int64(6 - len(widths)); w.WarmGrades < want {
+		t.Fatalf("WarmGrades = %d, want >= %d; grades after a width's first should reuse its warm simulator", w.WarmGrades, want)
+	}
+}
+
+// TestWarmConcurrentSharedPlan is the concurrent-read-sharing contract of
+// PlanPasses output and plasma.Golden: N goroutines, each with its own
+// Warm grader, grade the SAME golden trace and the SAME plan slices
+// concurrently (run under -race by scripts/check.sh), and every one must
+// be bit-identical to the sequential Simulate reference.
+func TestWarmConcurrentSharedPlan(t *testing.T) {
+	cpu := getCPU(t)
+	g := captureTestGolden(t, equivTestProgram, 400)
+	sample := 256
+	if testing.Short() {
+		sample = 96
+	}
+	faults, plan := warmTestPlan(t, g, sample)
+	want, err := Simulate(cpu, g, faults, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const graders = 4
+	const grades = 3
+	var wg sync.WaitGroup
+	errs := make([]error, graders)
+	results := make([]*Result, graders)
+	for i := 0; i < graders; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := NewWarm(cpu, EngineEvent)
+			res := &Result{}
+			for r := 0; r < grades; r++ {
+				GrowResult(res, faults)
+				if err := w.Grade(g, faults, plan, res); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("grader %d: %v", i, err)
+		}
+		requireSameOutcomes(t, "concurrent grader", results[i], want)
+	}
+}

@@ -66,6 +66,18 @@ type Golden struct {
 	// from the fault-free machine at the first cycle its site holds 1-v,
 	// so these bound every fault's activation cycle.
 	First0, First1 []int32
+
+	// ProgOrigin/ProgWords record the program image the trace was captured
+	// from, making a Golden self-describing: a grading client can hand a
+	// golden to a remote service and the service re-derives the program
+	// identity (and can re-capture the trace) without a side channel.
+	ProgOrigin uint32
+	ProgWords  []uint32
+}
+
+// Program reconstructs the captured program image.
+func (g *Golden) Program() *asm.Program {
+	return &asm.Program{Origin: g.ProgOrigin, Words: g.ProgWords}
 }
 
 // RDataAt returns the memory read data of cycle t.
@@ -220,6 +232,8 @@ func CaptureGoldenK(cpu *CPU, prog *asm.Program, cycles int, k int) (*Golden, er
 		Cycles:      cycles,
 		DFFs:        dffs,
 		CheckpointK: k,
+		ProgOrigin:  prog.Origin,
+		ProgWords:   append([]uint32(nil), prog.Words...),
 		Snaps:       make([]uint64, 0, (cycles/k+1)*words),
 		DeltaIdx:    make([]uint32, cycles+1),
 		First0:      make([]int32, len(n.Gates)),

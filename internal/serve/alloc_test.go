@@ -1,0 +1,59 @@
+//go:build !race
+
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/plasma"
+)
+
+// TestGradeAllocBudget gates the steady-state request path's allocations
+// (fasthttp-style timing test): once the golden and plan are memoized and
+// the warm simulators built, Server.Grade must allocate at most a small
+// fixed budget per request — the response reuses its outcome buffers, the
+// pass runners their lane scratch, the cursor its state buffer. The gob
+// wire path (encode/decode per frame) is measured separately by
+// BenchmarkServeGrade's wire variant and is NOT under this budget; the
+// budget covers the grading engine a connection handler invokes.
+//
+// Excluded under -race: the race runtime adds bookkeeping allocations.
+func TestGradeAllocBudget(t *testing.T) {
+	srv := newTestServer(t, 1)
+	g, err := plasma.CaptureGolden(testCPU(t), assemble(t, progLoop), testCycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := Request{
+		ProgOrigin: g.ProgOrigin,
+		ProgWords:  g.ProgWords,
+		Cycles:     testCycles,
+		Sample:     256,
+		Seed:       1,
+	}
+	var resp Response
+	// Warm up: memoize golden + plan, build simulators, size every buffer.
+	for i := 0; i < 3; i++ {
+		if err := srv.Grade(&req, &resp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Measured 0.0 on this box; 2 absorbs runtime jitter (map growth,
+	// channel internals) without letting a real regression through.
+	const budget = 2
+	avg := testing.AllocsPerRun(10, func() {
+		if err := srv.Grade(&req, &resp); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > budget {
+		t.Fatalf("steady-state Grade allocates %.1f objects/request, budget %d", avg, budget)
+	}
+	if srv.Stats().Errors != 0 {
+		t.Fatal("grades failed during the alloc measurement")
+	}
+	// The measurement must have exercised the warm path, not cold builds.
+	if st := srv.Stats(); st.WarmGrades < st.Requests-1 {
+		t.Fatalf("only %d of %d grades were warm", st.WarmGrades, st.Requests)
+	}
+}

@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/plasma"
+)
+
+// BenchmarkServeGrade measures the steady-state request paths with
+// -benchmem (the alloc gate scripts/benchguard.sh watches):
+//
+//   - inproc: Server.Grade alone — the grading engine a connection handler
+//     invokes; zero allocations in steady state (see TestGradeAllocBudget).
+//   - wire: the same request through a real TCP connection and the gob
+//     frame codec, i.e. what one client request costs end to end. The gob
+//     encode/decode dominates the allocation count here; it is reported
+//     honestly rather than hidden, and excluded from the inproc budget.
+func BenchmarkServeGrade(b *testing.B) {
+	srv, err := NewServer(Config{CPU: testCPU(b), Pool: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := plasma.CaptureGolden(testCPU(b), assemble(b, progLoop), testCycles)
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := Request{
+		ProgOrigin: g.ProgOrigin,
+		ProgWords:  g.ProgWords,
+		Cycles:     testCycles,
+		Sample:     512,
+		Seed:       1,
+	}
+
+	b.Run("inproc", func(b *testing.B) {
+		var resp Response
+		if err := srv.Grade(&req, &resp); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := srv.Grade(&req, &resp); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("wire", func(b *testing.B) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- srv.Serve(ln) }()
+		defer func() {
+			if err := srv.Shutdown(5 * time.Second); err != nil {
+				b.Error(err)
+			}
+			<-done
+		}()
+		cl, err := Dial(ln.Addr().String())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cl.Close()
+		cpu := testCPU(b)
+		universe := fault.Universe(cpu.Netlist)
+		opt := fault.Options{Sample: 512, Seed: 1}
+		if _, err := cl.Grade(cpu, g, universe, opt); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cl.Grade(cpu, g, universe, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,237 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/cache"
+	"repro/internal/fault"
+	"repro/internal/plasma"
+	"repro/internal/shard"
+)
+
+// Client is one connection to a grading server. Do is serialized per
+// client (the protocol is one request in flight per connection); open one
+// client per goroutine for concurrent grading.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *shard.Encoder
+	dec  *shard.Decoder
+	bw   *bufio.Writer
+	info Info
+	seq  uint64
+
+	verifiedNetlist map[*plasma.CPU]bool
+	universes       []universeMemo
+	samples         map[sampleKey]*sampleMemo
+}
+
+// universeMemo caches fault.UniverseHash per distinct fault list, keyed
+// by backing-array identity: grading loops pass the same universe slice
+// on every request, and rehashing thousands of faults per request would
+// dominate a short grade.
+type universeMemo struct {
+	ptr  *fault.Fault
+	n    int
+	hash string
+}
+
+// sampleMemo caches one deterministic SampleFaults reconstruction (and
+// its hash) per (universe, sample, seed): the client must materialize the
+// graded list locally to build the Result, but the sampling is a pure
+// function of this key, so repeat requests reuse one copy.
+type sampleKey struct {
+	universe string
+	sample   int
+	seed     int64
+}
+
+type sampleMemo struct {
+	faults []fault.Fault
+	hash   string
+}
+
+// Dial connects to a grading server and reads its Info handshake.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:            conn,
+		bw:              bufio.NewWriter(conn),
+		dec:             shard.NewDecoder(bufio.NewReader(conn)),
+		verifiedNetlist: make(map[*plasma.CPU]bool),
+		samples:         make(map[sampleKey]*sampleMemo),
+	}
+	c.enc = shard.NewEncoder(c.bw)
+	if err := c.dec.ReadFrame(&c.info); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("serve: handshake: %w", err)
+	}
+	return c, nil
+}
+
+// Info returns the server's handshake frame.
+func (c *Client) Info() Info { return c.info }
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Do sends one request and reads its response. A transport error poisons
+// the connection; a server-side grading failure arrives as resp.Err with
+// the connection still usable.
+func (c *Client) Do(req *Request, resp *Response) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	req.Seq = c.seq
+	if err := c.enc.WriteFrame(req); err != nil {
+		return err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return err
+	}
+	*resp = Response{}
+	if err := c.dec.ReadFrame(resp); err != nil {
+		return err
+	}
+	if resp.Seq != req.Seq {
+		return fmt.Errorf("serve: response for request %d, want %d", resp.Seq, req.Seq)
+	}
+	return nil
+}
+
+// Grader adapts the client to the bench.Env.Grader hook signature: every
+// fault simulation in an Env grades through the daemon instead of
+// in-process, bit-identical to fault.Simulate. The golden must be
+// self-describing (captured with program recording, as all goldens now
+// are); the server re-derives its own golden and plan from the program
+// identity, so only the program and (when not the server's universe) the
+// fault list travel on the wire.
+func (c *Client) Grader() func(cpu *plasma.CPU, golden *plasma.Golden, faults []fault.Fault, opt fault.Options) (*fault.Result, error) {
+	return func(cpu *plasma.CPU, golden *plasma.Golden, faults []fault.Fault, opt fault.Options) (*fault.Result, error) {
+		return c.Grade(cpu, golden, faults, opt)
+	}
+}
+
+// Grade grades one golden's program remotely, returning a fault.Result
+// bit-identical to in-process fault.Simulate(cpu, golden, faults, opt).
+func (c *Client) Grade(cpu *plasma.CPU, golden *plasma.Golden, faults []fault.Fault, opt fault.Options) (*fault.Result, error) {
+	if len(golden.ProgWords) == 0 {
+		return nil, fmt.Errorf("serve: golden carries no program image; cannot grade remotely")
+	}
+	if opt.Engine != c.info.Engine {
+		return nil, fmt.Errorf("serve: server grades with engine %d, request wants %d", c.info.Engine, opt.Engine)
+	}
+	if err := c.verifyNetlist(cpu); err != nil {
+		return nil, err
+	}
+	req := Request{
+		ProgOrigin: golden.ProgOrigin,
+		ProgWords:  golden.ProgWords,
+		Cycles:     golden.Cycles,
+		Sample:     opt.Sample,
+		Seed:       opt.Seed,
+		LaneWords:  opt.LaneWords,
+	}
+	// The hot path sends no faults: a list matching the server's universe
+	// is elided and re-derived server-side from the shared netlist.
+	if c.universeHash(faults) != c.info.UniverseHash {
+		req.Faults = faults
+	}
+	var resp Response
+	if err := c.Do(&req, &resp); err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("serve: server: %s", resp.Err)
+	}
+	graded, gradedHash := faults, c.universeHash(faults)
+	if opt.Sample > 0 {
+		graded, gradedHash = c.sampled(faults, opt.Sample, opt.Seed)
+	}
+	if gradedHash != resp.UniverseHash {
+		return nil, fmt.Errorf("serve: graded universe %s, want %s", resp.UniverseHash, gradedHash)
+	}
+	if len(resp.DetectedAt) != len(graded) || len(resp.SignatureGroups) != len(graded) {
+		return nil, fmt.Errorf("serve: %d/%d outcomes for %d faults",
+			len(resp.DetectedAt), len(resp.SignatureGroups), len(graded))
+	}
+	if opt.CollectInto != nil {
+		opt.CollectInto.Add(&resp.Stats)
+	}
+	return &fault.Result{
+		Faults:          graded,
+		DetectedAt:      resp.DetectedAt,
+		SignatureGroups: resp.SignatureGroups,
+		Cycles:          resp.Cycles,
+		Stats:           resp.Stats,
+	}, nil
+}
+
+// universeHash returns fault.UniverseHash(faults), memoized by backing
+// array so steady-state requests don't rehash an unchanged universe.
+func (c *Client) universeHash(faults []fault.Fault) string {
+	var ptr *fault.Fault
+	if len(faults) > 0 {
+		ptr = &faults[0]
+	}
+	c.mu.Lock()
+	for i := range c.universes {
+		if m := &c.universes[i]; m.ptr == ptr && m.n == len(faults) {
+			c.mu.Unlock()
+			return m.hash
+		}
+	}
+	c.mu.Unlock()
+	h := fault.UniverseHash(faults)
+	c.mu.Lock()
+	c.universes = append(c.universes, universeMemo{ptr: ptr, n: len(faults), hash: h})
+	c.mu.Unlock()
+	return h
+}
+
+// sampled returns the deterministic graded subset (and its hash) for a
+// sampling request, memoized per (universe, sample, seed).
+func (c *Client) sampled(faults []fault.Fault, sample int, seed int64) ([]fault.Fault, string) {
+	key := sampleKey{universe: c.universeHash(faults), sample: sample, seed: seed}
+	c.mu.Lock()
+	m := c.samples[key]
+	c.mu.Unlock()
+	if m != nil {
+		return m.faults, m.hash
+	}
+	graded := fault.SampleFaults(faults, sample, seed)
+	m = &sampleMemo{faults: graded, hash: fault.UniverseHash(graded)}
+	c.mu.Lock()
+	c.samples[key] = m
+	c.mu.Unlock()
+	return m.faults, m.hash
+}
+
+// verifyNetlist checks (once per CPU value) that the local core is the
+// core the server grades on, so a mismatched daemon fails loudly instead
+// of returning coverage for a different netlist.
+func (c *Client) verifyNetlist(cpu *plasma.CPU) error {
+	c.mu.Lock()
+	ok := c.verifiedNetlist[cpu]
+	c.mu.Unlock()
+	if ok {
+		return nil
+	}
+	h, err := cache.NetlistHash(cpu.Netlist)
+	if err != nil {
+		return err
+	}
+	if h != c.info.NetlistHash {
+		return fmt.Errorf("serve: server netlist %.12s differs from local %.12s", c.info.NetlistHash, h)
+	}
+	c.mu.Lock()
+	c.verifiedNetlist[cpu] = true
+	c.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/fault"
+	"repro/internal/gate"
+	"repro/internal/synth"
+)
+
+// RunDaemon is the sbstd entry point, factored here so tests can drive the
+// full daemon — flags, listener, signal handling, drain, stats flush —
+// in a re-executed subprocess. It returns the process exit code.
+//
+// The daemon prints "listening on ADDR" (the bound address, useful with
+// -addr :0) on stdout once it accepts connections, shuts down gracefully
+// on SIGINT/SIGTERM — stops accepting, drains in-flight grades up to
+// -drain, then force-closes stragglers — and flushes the -stats report
+// after the listener closes.
+func RunDaemon(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sbstd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:0", "TCP address to listen on")
+	libName := fs.String("lib", synth.NativeLib{}.Name(), "technology library")
+	engine := fs.String("engine", "event", "fault-simulation engine: event or oblivious")
+	lanes := fs.Int("lanes", 0, "default lane words per fault pass (0 = cost-model adaptive)")
+	pool := fs.Int("pool", 0, "warm graders, i.e. concurrent grades (0 = GOMAXPROCS)")
+	checkpointK := fs.Int("checkpoint-k", 0, "golden-trace checkpoint interval in cycles (0 = default)")
+	cacheDir := fs.String("cache", "", "directory for the netlist/golden artifact cache (empty = disabled)")
+	cacheMax := fs.Int64("cache-max-bytes", 0, "cache size bound with LRU eviction (0 = unbounded)")
+	drain := fs.Duration("drain", 10*time.Second, "shutdown drain deadline for in-flight grades")
+	stats := fs.Bool("stats", false, "print serving statistics on shutdown")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	lib := synth.LibraryByName(*libName)
+	if lib == nil {
+		fmt.Fprintf(stderr, "sbstd: unknown -lib %q\n", *libName)
+		return 2
+	}
+	var eng fault.Engine
+	switch *engine {
+	case "event":
+		eng = fault.EngineEvent
+	case "oblivious":
+		eng = fault.EngineOblivious
+	default:
+		fmt.Fprintf(stderr, "sbstd: unknown -engine %q (want event or oblivious)\n", *engine)
+		return 2
+	}
+	var disk *cache.Cache
+	if *cacheDir != "" {
+		var err error
+		disk, err = cache.Open(*cacheDir)
+		if err != nil {
+			fmt.Fprintf(stderr, "sbstd: %v\n", err)
+			return 1
+		}
+		disk.SetMaxBytes(*cacheMax)
+	}
+
+	srv, err := NewServer(Config{
+		Lib:         lib,
+		Cache:       disk,
+		Engine:      eng,
+		LaneWords:   *lanes,
+		CheckpointK: *checkpointK,
+		Pool:        *pool,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "sbstd: %v\n", err)
+		return 1
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "sbstd: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "listening on %s\n", ln.Addr())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	shutdownErr := make(chan error, 1)
+	go func() {
+		<-sigc
+		signal.Stop(sigc)
+		shutdownErr <- srv.Shutdown(*drain)
+	}()
+
+	code := 0
+	if err := srv.Serve(ln); err != nil {
+		fmt.Fprintf(stderr, "sbstd: %v\n", err)
+		code = 1
+	} else if err := <-shutdownErr; err != nil {
+		fmt.Fprintf(stderr, "sbstd: %v\n", err)
+		code = 1
+	}
+	if *stats {
+		fmt.Fprintf(stdout, "serving statistics (engine=%s, simd=%s):\n%s\n",
+			*engine, gate.SIMDKernelName(), srv.Stats().String())
+	}
+	return code
+}

@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+)
+
+// serverCounters are the server's live atomic counters; Stats() snapshots
+// them into a plain value for printing.
+type serverCounters struct {
+	requests       atomic.Int64
+	errors         atomic.Int64
+	goldenCaptures atomic.Int64
+	goldenHits     atomic.Int64
+	planBuilds     atomic.Int64
+	planHits       atomic.Int64
+	coldSims       atomic.Int64
+	warmGrades     atomic.Int64
+	latencyNs      atomic.Int64
+}
+
+// Stats is a point-in-time snapshot of the server's request counters: how
+// much of the fixed cost the warm state actually amortized.
+type Stats struct {
+	// Requests served (including failed ones, counted in Errors).
+	Requests int64
+	Errors   int64
+	// Golden captures vs memo hits, and pass-plan builds vs memo hits:
+	// every hit is a capture or plan a cold-start run would have paid.
+	GoldenCaptures int64
+	GoldenHits     int64
+	PlanBuilds     int64
+	PlanHits       int64
+	// ColdSims counts simulator constructions across the grader pool (at
+	// most pool × distinct pass widths over the server's lifetime);
+	// WarmGrades counts grades that reused at least one warm simulator.
+	ColdSims   int64
+	WarmGrades int64
+	// LatencyNs is summed request wall clock (queueing + grading).
+	LatencyNs int64
+}
+
+// Stats snapshots the server's counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Requests:       s.stats.requests.Load(),
+		Errors:         s.stats.errors.Load(),
+		GoldenCaptures: s.stats.goldenCaptures.Load(),
+		GoldenHits:     s.stats.goldenHits.Load(),
+		PlanBuilds:     s.stats.planBuilds.Load(),
+		PlanHits:       s.stats.planHits.Load(),
+		ColdSims:       s.stats.coldSims.Load(),
+		WarmGrades:     s.stats.warmGrades.Load(),
+		LatencyNs:      s.stats.latencyNs.Load(),
+	}
+}
+
+// MeanLatency is the mean request wall clock in seconds (0 when no
+// requests were served).
+func (st Stats) MeanLatency() float64 {
+	if st.Requests == 0 {
+		return 0
+	}
+	return float64(st.LatencyNs) / 1e9 / float64(st.Requests)
+}
+
+// String renders the snapshot in the compact aligned style of the CLIs'
+// -stats output.
+func (st Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "requests          %d served, %d failed\n", st.Requests, st.Errors)
+	fmt.Fprintf(&b, "golden traces     %d captured, %d memo hits\n", st.GoldenCaptures, st.GoldenHits)
+	fmt.Fprintf(&b, "pass plans        %d built, %d memo hits\n", st.PlanBuilds, st.PlanHits)
+	fmt.Fprintf(&b, "simulators        %d cold constructions, %d warm-reuse grades\n", st.ColdSims, st.WarmGrades)
+	fmt.Fprintf(&b, "mean latency      %.3fs per request", st.MeanLatency())
+	return b.String()
+}

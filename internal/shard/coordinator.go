@@ -295,14 +295,14 @@ func runAttempt(w Worker, req *Request, timeout time.Duration) (*Response, error
 		}
 		return nil, err
 	}
-	if err := writeFrame(w, req); err != nil {
+	if err := WriteFrame(w, req); err != nil {
 		return fail(err)
 	}
 	if err := w.CloseWrite(); err != nil {
 		return fail(err)
 	}
 	var resp Response
-	if err := readFrame(w, &resp); err != nil {
+	if err := ReadFrame(w, &resp); err != nil {
 		return fail(err)
 	}
 	if err := w.Wait(); err != nil {

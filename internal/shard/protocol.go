@@ -70,8 +70,102 @@ type Response struct {
 // header cannot demand an absurd allocation.
 const maxFrameBytes = 1 << 30
 
-// writeFrame writes one length-prefixed, CRC-guarded gob frame.
-func writeFrame(w io.Writer, v any) error {
+// Encoder writes a persistent stream of length-prefixed, CRC-guarded gob
+// frames. Unlike the one-shot WriteFrame it keeps one gob stream alive
+// across frames, so type descriptors are transmitted once per connection
+// instead of once per message — the difference between ~KB and ~tens of
+// bytes per request on a long-lived grading connection. Frames produced
+// by an Encoder must be consumed in order by the matching Decoder (the
+// gob stream spans frames); use WriteFrame/ReadFrame for one-shot
+// exchanges like shard workers.
+type Encoder struct {
+	w   io.Writer
+	buf bytes.Buffer
+	enc *gob.Encoder
+}
+
+// NewEncoder returns an Encoder framing a persistent gob stream onto w.
+func NewEncoder(w io.Writer) *Encoder {
+	e := &Encoder{w: w}
+	e.enc = gob.NewEncoder(&e.buf)
+	return e
+}
+
+// WriteFrame appends v to the gob stream and writes it as one frame. Any
+// type descriptors v needs for the first time travel inside the same
+// frame, so each frame still decodes independently in arrival order.
+func (e *Encoder) WriteFrame(v any) error {
+	e.buf.Reset()
+	if err := e.enc.Encode(v); err != nil {
+		return fmt.Errorf("shard: encode frame: %w", err)
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(e.buf.Len()))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(e.buf.Bytes()))
+	if _, err := e.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("shard: write frame header: %w", err)
+	}
+	if _, err := e.w.Write(e.buf.Bytes()); err != nil {
+		return fmt.Errorf("shard: write frame payload: %w", err)
+	}
+	return nil
+}
+
+// Decoder reads the frame stream an Encoder produces, verifying each
+// frame's CRC before handing its bytes to the persistent gob stream. The
+// payload buffer is reused across frames, so steady-state reads allocate
+// only what gob itself needs for the decoded values.
+type Decoder struct {
+	r       io.Reader
+	payload []byte
+	cur     bytes.Reader
+	dec     *gob.Decoder
+}
+
+// NewDecoder returns a Decoder consuming an Encoder's frame stream from r.
+func NewDecoder(r io.Reader) *Decoder {
+	d := &Decoder{r: r}
+	d.dec = gob.NewDecoder(&d.cur)
+	return d
+}
+
+// ReadFrame reads one frame into v. Truncation and corruption are
+// distinct, explicit errors, exactly as with the one-shot ReadFrame.
+func (d *Decoder) ReadFrame(v any) error {
+	var hdr [8]byte
+	if _, err := io.ReadFull(d.r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return fmt.Errorf("shard: truncated frame header: %w", err)
+		}
+		return fmt.Errorf("shard: read frame header: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n > maxFrameBytes {
+		return fmt.Errorf("shard: frame of %d bytes exceeds the %d-byte limit", n, maxFrameBytes)
+	}
+	if uint32(cap(d.payload)) < n {
+		d.payload = make([]byte, n)
+	}
+	d.payload = d.payload[:n]
+	if _, err := io.ReadFull(d.r, d.payload); err != nil {
+		return fmt.Errorf("shard: truncated frame: got fewer than the declared %d bytes: %w", n, err)
+	}
+	if crc := crc32.ChecksumIEEE(d.payload); crc != binary.LittleEndian.Uint32(hdr[4:]) {
+		return fmt.Errorf("shard: frame CRC mismatch")
+	}
+	d.cur.Reset(d.payload)
+	if err := d.dec.Decode(v); err != nil {
+		return fmt.Errorf("shard: decode frame: %w", err)
+	}
+	return nil
+}
+
+// WriteFrame writes one length-prefixed, CRC-guarded gob frame. It is
+// exported as the wire framing shared by every inter-process protocol in
+// this repo: shard workers and the grading server (internal/serve) both
+// frame their gob messages this way, so corruption and truncation are
+// detected identically on either channel.
+func WriteFrame(w io.Writer, v any) error {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
 		return fmt.Errorf("shard: encode frame: %w", err)
@@ -88,9 +182,9 @@ func writeFrame(w io.Writer, v any) error {
 	return nil
 }
 
-// readFrame reads one frame into v. Truncation (stream ends mid-frame)
+// ReadFrame reads one frame into v. Truncation (stream ends mid-frame)
 // and corruption (CRC mismatch) are distinct, explicit errors.
-func readFrame(r io.Reader, v any) error {
+func ReadFrame(r io.Reader, v any) error {
 	var hdr [8]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		if err == io.ErrUnexpectedEOF {

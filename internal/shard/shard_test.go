@@ -110,12 +110,12 @@ func TestFrameRoundTrip(t *testing.T) {
 		Workers:      2,
 	}
 	var buf bytes.Buffer
-	if err := writeFrame(&buf, req); err != nil {
+	if err := WriteFrame(&buf, req); err != nil {
 		t.Fatal(err)
 	}
 	frame := append([]byte(nil), buf.Bytes()...)
 	var got Request
-	if err := readFrame(&buf, &got); err != nil {
+	if err := ReadFrame(&buf, &got); err != nil {
 		t.Fatal(err)
 	}
 	if got.Shard != req.Shard || got.UniverseHash != req.UniverseHash ||
@@ -128,7 +128,7 @@ func TestFrameRoundTrip(t *testing.T) {
 	// explicit truncation errors, not bare EOFs or decode garbage.
 	for _, cut := range []int{4, len(frame) - 3} {
 		var r Request
-		err := readFrame(bytes.NewReader(frame[:cut]), &r)
+		err := ReadFrame(bytes.NewReader(frame[:cut]), &r)
 		if err == nil || !strings.Contains(err.Error(), "truncated") {
 			t.Errorf("cut at %d: err = %v, want truncation", cut, err)
 		}
@@ -138,14 +138,14 @@ func TestFrameRoundTrip(t *testing.T) {
 	corrupt := append([]byte(nil), frame...)
 	corrupt[len(corrupt)-1] ^= 0x40
 	var r Request
-	if err := readFrame(bytes.NewReader(corrupt), &r); err == nil || !strings.Contains(err.Error(), "CRC") {
+	if err := ReadFrame(bytes.NewReader(corrupt), &r); err == nil || !strings.Contains(err.Error(), "CRC") {
 		t.Errorf("corrupted payload: err = %v, want CRC mismatch", err)
 	}
 
 	// An absurd declared length is rejected without allocating it.
 	huge := append([]byte(nil), frame...)
 	huge[0], huge[1], huge[2], huge[3] = 0xff, 0xff, 0xff, 0xff
-	if err := readFrame(bytes.NewReader(huge), &r); err == nil || !strings.Contains(err.Error(), "limit") {
+	if err := ReadFrame(bytes.NewReader(huge), &r); err == nil || !strings.Contains(err.Error(), "limit") {
 		t.Errorf("oversized frame: err = %v, want limit error", err)
 	}
 }
@@ -335,7 +335,7 @@ func failFirstSpawner(bad Worker) Spawner {
 func validResponseFrame(t *testing.T) []byte {
 	t.Helper()
 	var buf bytes.Buffer
-	if err := writeFrame(&buf, &Response{}); err != nil {
+	if err := WriteFrame(&buf, &Response{}); err != nil {
 		t.Fatal(err)
 	}
 	return buf.Bytes()

@@ -38,10 +38,10 @@ func ServeIfWorker() {
 // no response could be delivered at all.
 func RunWorker(r io.Reader, w io.Writer) error {
 	var req Request
-	if err := readFrame(r, &req); err != nil {
+	if err := ReadFrame(r, &req); err != nil {
 		return err
 	}
-	return writeFrame(w, grade(&req))
+	return WriteFrame(w, grade(&req))
 }
 
 // grade runs one shard's fault simulation from a request.

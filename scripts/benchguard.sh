@@ -1,10 +1,15 @@
 #!/bin/sh
 # benchguard.sh — regression guard for the headline fault-grading
 # benchmarks. Runs BenchmarkTable5FaultCoverage, its 4-worker sharded
-# variant BenchmarkTable5FaultCoverageSharded, and the replay-fusion
-# microbench BenchmarkFusedReplay/fused once each and fails if any
-# comes in more than 15% over its baseline ns/op, or allocates more
-# than 15% over its baseline B/op, recorded in BENCH_faultsim.json.
+# variant BenchmarkTable5FaultCoverageSharded, the replay-fusion
+# microbench BenchmarkFusedReplay/fused, and the grading-service pair
+# (BenchmarkServeThroughput warm/cold, BenchmarkServeGrade/inproc)
+# once each and fails if any comes in more than 15% over its baseline
+# ns/op, or allocates more than 15% over its baseline B/op, recorded
+# in BENCH_faultsim.json. The service rows add two extra guards: the
+# steady-state request path must stay allocation-free (a 0 B/op
+# baseline, so any allocation fails), and warm throughput must hold
+# the recorded multiple over the cold-start-per-request baseline.
 # Run from the repository root:
 #
 #   ./scripts/benchguard.sh
@@ -19,9 +24,18 @@ json_int() {
     grep -o "\"$1\": *[0-9]*" BENCH_faultsim.json | grep -o '[0-9]*$' | head -1
 }
 
-out=$(go test -bench 'BenchmarkTable5FaultCoverage$|BenchmarkTable5FaultCoverageSharded$|BenchmarkFusedReplay/fused' \
+out=$(go test -bench 'BenchmarkTable5FaultCoverage$|BenchmarkTable5FaultCoverageSharded$|BenchmarkFusedReplay/fused|BenchmarkServeThroughput' \
     -benchtime 1x -benchmem -run '^$' -timeout 3600s .)
 echo "$out"
+
+# The steady-state request-path alloc gate lives with its package; the
+# throughput pair above runs 1x, but the alloc measurement wants a few
+# iterations so one-time warm-up noise cannot hide in (or inflate) it.
+serveout=$(go test -bench 'BenchmarkServeGrade/inproc' \
+    -benchtime 20x -benchmem -run '^$' -timeout 3600s ./internal/serve)
+echo "$serveout"
+out="$out
+$serveout"
 
 fail=0
 
@@ -59,6 +73,16 @@ guard() {
     else
         echo "benchguard: OK — $name ${ns} ns/op is ${pct}% of the ${nsbase} ns/op baseline"
     fi
+    if [ "$bbase" -eq 0 ]; then
+        # A zero baseline is the allocation-free contract: any B/op fails.
+        if [ "$bytes" -gt 0 ]; then
+            echo "benchguard: FAIL — $name allocates ${bytes} B/op against an allocation-free (0 B/op) baseline" >&2
+            fail=1
+        else
+            echo "benchguard: OK — $name holds the allocation-free (0 B/op) baseline"
+        fi
+        return
+    fi
     blimit=$((bbase * 115 / 100))
     bpct=$((bytes * 100 / bbase))
     if [ "$bytes" -gt "$blimit" ]; then
@@ -72,5 +96,27 @@ guard() {
 guard BenchmarkTable5FaultCoverage baseline_ns_per_op baseline_bytes_per_op
 guard BenchmarkTable5FaultCoverageSharded sharded_baseline_ns_per_op sharded_baseline_bytes_per_op
 guard BenchmarkFusedReplay/fused fused_baseline_ns_per_op fused_baseline_bytes_per_op
+guard BenchmarkServeThroughput/warm serve_warm_baseline_ns_per_op serve_warm_baseline_bytes_per_op
+guard BenchmarkServeGrade/inproc serve_grade_baseline_ns_per_op serve_grade_baseline_bytes_per_op
+
+# Throughput-ratio guard: the warm service must hold its recorded
+# multiple over the cold-start-per-request baseline (both sub-benches
+# grade the same fragment, so ns/op compare directly).
+minx=$(json_int serve_min_speedup_x || true)
+if [ -z "$minx" ]; then
+    echo "benchguard: WARNING — no serve_min_speedup_x row in BENCH_faultsim.json; skipping the warm/cold ratio guard." >&2
+else
+    warm_ns=$(bench_ns "BenchmarkServeThroughput/warm")
+    cold_ns=$(bench_ns "BenchmarkServeThroughput/cold")
+    if [ -z "$warm_ns" ] || [ -z "$cold_ns" ]; then
+        echo "benchguard: BenchmarkServeThroughput produced no warm/cold pair" >&2
+        fail=1
+    elif [ "$cold_ns" -lt $((warm_ns * minx)) ]; then
+        echo "benchguard: FAIL — warm service is only $((cold_ns / warm_ns))x the cold-start baseline (${warm_ns} vs ${cold_ns} ns/op), need >=${minx}x" >&2
+        fail=1
+    else
+        echo "benchguard: OK — warm service is $((cold_ns / warm_ns))x the cold-start baseline (need >=${minx}x)"
+    fi
+fi
 
 exit $fail

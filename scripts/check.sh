@@ -30,8 +30,8 @@ go vet ./...
 echo "== go test $short ./..."
 go test $short ./...
 
-echo "== go test -race -short ./internal/gate ./internal/fault ./internal/shard"
-go test -race -short ./internal/gate ./internal/fault ./internal/shard
+echo "== go test -race -short ./internal/gate ./internal/fault ./internal/shard ./internal/serve ./internal/cache"
+go test -race -short ./internal/gate ./internal/fault ./internal/shard ./internal/serve ./internal/cache
 
 echo "== go test -tags purego $short ./internal/gate ./internal/fault (generic kernels)"
 go test -tags purego $short ./internal/gate ./internal/fault
