@@ -7,6 +7,7 @@
 //	report [-table all|1|2|3|4|5|techlib|baseline|cost] [-sample N] [-seed S] [-workers W]
 //	       [-engine event|oblivious] [-lanes W] [-stats] [-checkpoint-k K]
 //	       [-shards N] [-shard-timeout D] [-server ADDR]
+//	       [-hosts SPEC] [-calibrate]
 //	       [-cache DIR] [-cache-max-bytes N] [-cpuprofile FILE] [-memprofile FILE]
 //
 // With -sample 0 (the default for -table 5 via -full) the fault simulations
@@ -26,6 +27,14 @@
 // the shard counters (launches, retries, bytes shipped, per-shard wall
 // clock) and the gate-kernel dispatch counters (SIMD vs generic runs,
 // batched gates, fast-path hits) into the cumulative statistics block.
+//
+// -hosts routes every fault simulation through the multi-host
+// distributed coordinator instead (see sbst -hosts for the spec syntax
+// and worker modes): artifacts replicate to each worker's cache at most
+// once per content hash, host capacities come from "=WEIGHT" suffixes or
+// -calibrate, and -stats additionally folds in the distributed counters
+// (live hosts, straggler re-dispatches, ship and merge wall clock).
+// Results stay bit-identical to the in-process path.
 package main
 
 import (
@@ -62,6 +71,8 @@ func main() {
 	shards := flag.Int("shards", 1, "fault-grading worker processes per simulation (1 = in-process)")
 	shardTimeout := flag.Duration("shard-timeout", 0, "per-shard-worker wall-clock budget (0 = default)")
 	server := flag.String("server", "", "grade through a running sbstd daemon at this address (serves one synthesized core, so use a native-lib table like -table 5; the techlib table is rejected by the netlist guard)")
+	hosts := flag.String("hosts", "", "distribute grading across remote hosts: addr[=weight],exec:argv[=weight],...")
+	calibrate := flag.Bool("calibrate", false, "derive missing -hosts weights from a per-host calibration kernel")
 	checkpointK := flag.Int("checkpoint-k", 0, "golden-trace checkpoint interval in cycles (0 = default)")
 	cacheDir := flag.String("cache", "", "directory for the netlist/golden artifact cache (empty = disabled)")
 	cacheMax := flag.Int64("cache-max-bytes", 0, "cache size bound with LRU eviction (0 = unbounded)")
@@ -127,8 +138,40 @@ func main() {
 	// (internal/serve), which memoizes goldens and plans per program and
 	// grades on persistent simulators; results stay bit-identical.
 	var grader func(cpu *plasma.CPU, golden *plasma.Golden, faults []fault.Fault, opt fault.Options) (*fault.Result, error)
-	if *server != "" && *shards > 1 {
-		log.Fatal("-server and -shards are mutually exclusive")
+	exclusive := 0
+	for _, on := range []bool{*server != "", *shards > 1, *hosts != ""} {
+		if on {
+			exclusive++
+		}
+	}
+	if exclusive > 1 {
+		log.Fatal("-server, -shards and -hosts are mutually exclusive")
+	}
+	if *hosts != "" {
+		specs, err := shard.ParseHosts(*hosts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		grader = func(cpu *plasma.CPU, golden *plasma.Golden, faults []fault.Fault, opt fault.Options) (*fault.Result, error) {
+			res, _, err := shard.GradeDist(cpu, golden, faults, shard.DistOptions{
+				Hosts:     specs,
+				Timeout:   *shardTimeout,
+				Engine:    opt.Engine,
+				LaneWords: opt.LaneWords,
+				Workers:   opt.Workers,
+				Sample:    opt.Sample,
+				Seed:      opt.Seed,
+				Cache:     disk,
+				Calibrate: *calibrate,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if opt.CollectInto != nil {
+				opt.CollectInto.Add(&res.Stats)
+			}
+			return res, nil
+		}
 	}
 	if *server != "" {
 		client, err := serve.Dial(*server)

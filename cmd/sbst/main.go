@@ -36,6 +36,18 @@
 // directory). -shard-worker runs this process as a one-shot protocol
 // worker on stdin/stdout (the coordinator normally triggers the same
 // mode via the SBST_SHARD_WORKER environment variable).
+//
+// -hosts distributes the grading across remote worker hosts instead
+// (still bit-identical): a comma-separated list of TCP addresses of
+// hosts running `sbst -shard-serve ADDR`, or exec argvs prefixed with
+// "exec:" (an ssh wrapper like `exec:ssh h2 sbst -shard-session` turns
+// any machine with the binary into a worker), each optionally suffixed
+// "=WEIGHT" with the host's relative capacity. The netlist, CPU sidecar
+// and golden trace replicate to each worker's cache push-on-miss — each
+// content hash ships at most once per worker — and -calibrate derives
+// missing weights from a short calibration kernel per host. -shard-serve
+// and -shard-session run this process as the worker side (TCP daemon /
+// one stdio session), with -cache naming the worker's artifact cache.
 package main
 
 import (
@@ -86,6 +98,10 @@ func main() {
 	shards := flag.Int("shards", 1, "fault-grading worker processes (1 = in-process)")
 	shardTimeout := flag.Duration("shard-timeout", 0, "per-shard-worker wall-clock budget (0 = default)")
 	shardWorker := flag.Bool("shard-worker", false, "serve one shard-grading request on stdin/stdout and exit")
+	hosts := flag.String("hosts", "", "distribute grading across remote hosts: addr[=weight],exec:argv[=weight],...")
+	calibrate := flag.Bool("calibrate", false, "derive missing -hosts weights from a per-host calibration kernel")
+	shardServe := flag.String("shard-serve", "", "serve distributed-grading sessions on this TCP address")
+	shardSession := flag.Bool("shard-session", false, "serve one distributed-grading session on stdin/stdout and exit")
 	checkpointK := flag.Int("checkpoint-k", 0, "golden-trace checkpoint interval in cycles (0 = default)")
 	cacheDir := flag.String("cache", "", "directory for the netlist/golden artifact cache (empty = disabled)")
 	cacheMax := flag.Int64("cache-max-bytes", 0, "cache size bound with LRU eviction (0 = unbounded)")
@@ -95,6 +111,18 @@ func main() {
 
 	if *shardWorker {
 		if err := shard.RunWorker(os.Stdin, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *shardSession {
+		if err := shard.ServeSessionStdio(*cacheDir); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *shardServe != "" {
+		if err := shard.ServeHostTCP(*shardServe, *cacheDir); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -212,7 +240,25 @@ func main() {
 			len(faults), fault.TotalEquiv(faults))
 		var res *fault.Result
 		var shardStats *shard.Stats
-		if *shards > 1 {
+		var distStats *shard.DistStats
+		switch {
+		case *hosts != "":
+			specs, err2 := shard.ParseHosts(*hosts)
+			if err2 != nil {
+				log.Fatal(err2)
+			}
+			res, distStats, err = shard.GradeDist(cpu, golden, faults, shard.DistOptions{
+				Hosts:     specs,
+				Timeout:   *shardTimeout,
+				Engine:    eng,
+				LaneWords: *lanes,
+				Workers:   *workers,
+				Sample:    *sample,
+				Seed:      *seed,
+				Cache:     disk,
+				Calibrate: *calibrate,
+			})
+		case *shards > 1:
 			res, shardStats, err = shard.Grade(cpu, golden, faults, shard.Options{
 				Shards:    *shards,
 				Timeout:   *shardTimeout,
@@ -223,7 +269,7 @@ func main() {
 				Seed:      *seed,
 				Cache:     disk,
 			})
-		} else {
+		default:
 			opt := fault.Options{Sample: *sample, Seed: *seed, Workers: *workers, Engine: eng, LaneWords: *lanes, NoFusion: !*fuse}
 			res, err = fault.Simulate(cpu, golden, faults, opt)
 		}
@@ -236,6 +282,9 @@ func main() {
 				*engine, gate.SIMDKernelName(), res.Stats.String())
 			if shardStats != nil {
 				fmt.Printf("\nsharding statistics (%d shards requested):\n%s\n", *shards, shardStats.String())
+			}
+			if distStats != nil {
+				fmt.Printf("\ndistributed grading statistics:\n%s\n", distStats.String())
 			}
 		}
 

@@ -32,6 +32,7 @@ type Cache struct {
 
 	mu       sync.Mutex
 	hashes   map[*gate.Netlist]string // memoized netlist content hashes
+	pins     map[string]int           // pinned entry base names (refcounted), exempt from GC
 	maxBytes int64                    // LRU size bound; 0 disables GC
 	putBytes int64                    // bytes stored since the last GC sweep
 
@@ -47,7 +48,7 @@ func Open(dir string) (*Cache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("cache: %w", err)
 	}
-	return &Cache{dir: dir, hashes: make(map[*gate.Netlist]string)}, nil
+	return &Cache{dir: dir, hashes: make(map[*gate.Netlist]string), pins: make(map[string]int)}, nil
 }
 
 // NetlistHash returns the hex SHA-256 of the netlist's canonical text

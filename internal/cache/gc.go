@@ -77,7 +77,10 @@ var osRemove = os.Remove
 
 // GC deletes least-recently-used cache entries until the directory's total
 // size is at or under maxBytes, returning the number of bytes reclaimed.
-// In-flight temp files (writeAtomic) are never touched. Sweeps are
+// In-flight temp files (writeAtomic) and pinned entries (Pin, held by
+// replication pushes and distributed grading runs mid-flight) are never
+// touched — a pinned artifact stays resident even when the sweep cannot
+// otherwise reach its budget. Sweeps are
 // serialized: a GC call that finds another in progress waits its turn
 // (explicit calls must not silently do nothing), while the amortized
 // maybeGC path skips instead of queueing.
@@ -125,6 +128,12 @@ func (c *Cache) GC(maxBytes int64) (int64, error) {
 	for _, e := range entries {
 		if total <= maxBytes {
 			break
+		}
+		if c.pinned(filepath.Base(e.path)) {
+			// An in-flight artifact: a replication push or a distributed
+			// run is still reading it. Evicting it now would fail that
+			// transfer mid-stream; leave it and reclaim elsewhere.
+			continue
 		}
 		if err := osRemove(e.path); err != nil && !errors.Is(err, fs.ErrNotExist) {
 			continue

@@ -1,0 +1,231 @@
+package cache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/plasma"
+	"repro/internal/synth"
+)
+
+// Replicating a CPU and a golden trace byte-for-byte into a second cache
+// must reproduce artifacts the normal Get paths accept, and a repeat push
+// of the same content must cost zero bytes.
+func TestArtifactReplicationRoundTrip(t *testing.T) {
+	src, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu, err := src.BuildCPU(synth.NativeLib{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpuKey, _, err := src.PutCPU(cpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := &plasma.Golden{Cycles: 7, ProgWords: []uint32{1, 2, 3, 4}}
+	goldenKey, _, err := src.PutGolden(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, a := range []struct {
+		kind ArtifactKind
+		key  string
+	}{{KindNetlist, cpuKey}, {KindCPU, cpuKey}, {KindGolden, goldenKey}} {
+		if dst.HasArtifact(a.kind, a.key) {
+			t.Fatalf("empty destination claims to have %s %s", a.kind, a.key)
+		}
+		data, err := src.ReadArtifact(a.kind, a.key)
+		if err != nil {
+			t.Fatalf("ReadArtifact(%s): %v", a.kind, err)
+		}
+		n, err := dst.PutArtifactBytes(a.kind, a.key, data)
+		if err != nil {
+			t.Fatalf("PutArtifactBytes(%s): %v", a.kind, err)
+		}
+		if n != int64(len(data)) {
+			t.Fatalf("first push of %s wrote %d bytes, want %d", a.kind, n, len(data))
+		}
+		// Idempotence: re-pushing identical content ships zero bytes.
+		n, err = dst.PutArtifactBytes(a.kind, a.key, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 0 {
+			t.Fatalf("re-push of %s wrote %d bytes, want 0", a.kind, n)
+		}
+		if !dst.HasArtifact(a.kind, a.key) {
+			t.Fatalf("destination missing %s %s after push", a.kind, a.key)
+		}
+	}
+
+	got, err := dst.GetCPU(cpuKey)
+	if err != nil {
+		t.Fatalf("GetCPU on replicated cache: %v", err)
+	}
+	hGot, err := NetlistHash(got.Netlist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hGot != cpuKey {
+		t.Fatalf("replicated CPU hashes to %s, want %s", hGot, cpuKey)
+	}
+	g, err := dst.GetGoldenArtifact(goldenKey)
+	if err != nil {
+		t.Fatalf("GetGoldenArtifact on replicated cache: %v", err)
+	}
+	if !reflect.DeepEqual(g, golden) {
+		t.Fatalf("replicated golden differs from the original")
+	}
+}
+
+// PutArtifactBytes must refuse bytes that fail their content address and
+// must heal an existing corrupt entry when pushed the good bytes — that
+// overwrite is what lets a coordinator's forced re-push repair a worker
+// cache instead of failing on it forever.
+func TestPutArtifactBytesVerifiesAndHeals(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := []byte("golden payload bytes")
+	sum := sha256.Sum256(good)
+	key := hex.EncodeToString(sum[:])
+
+	if _, err := c.PutArtifactBytes(KindGolden, key, []byte("tampered")); err == nil {
+		t.Fatalf("PutArtifactBytes accepted bytes that fail their content hash")
+	}
+	if c.HasArtifact(KindGolden, key) {
+		t.Fatalf("rejected push left an entry behind")
+	}
+
+	// Plant a corrupt entry under the right name, then push the good bytes.
+	name, err := artifactName(KindGolden, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(c.dir, name)
+	if err := os.WriteFile(path, []byte("rotted on disk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ReadArtifact(KindGolden, key); err == nil {
+		t.Fatalf("ReadArtifact served a corrupt entry")
+	}
+	n, err := c.PutArtifactBytes(KindGolden, key, good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(good)) {
+		t.Fatalf("healing push wrote %d bytes, want %d", n, len(good))
+	}
+	data, err := c.ReadArtifact(KindGolden, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, good) {
+		t.Fatalf("healed entry holds the wrong bytes")
+	}
+}
+
+// Artifact keys arrive over the wire and become file names; anything that
+// is not plain lowercase hex must be refused before touching the
+// filesystem.
+func TestArtifactKeyValidation(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"", "../../etc/passwd", "ABCDEF", "deadbeef/x", "zz"} {
+		if c.HasArtifact(KindGolden, key) {
+			t.Fatalf("HasArtifact accepted key %q", key)
+		}
+		if _, err := c.ReadArtifact(KindGolden, key); err == nil {
+			t.Fatalf("ReadArtifact accepted key %q", key)
+		}
+		if _, err := c.PutArtifactBytes(KindGolden, key, nil); err == nil {
+			t.Fatalf("PutArtifactBytes accepted key %q", key)
+		}
+	}
+	if _, err := c.PutArtifactBytes(ArtifactKind("plan"), "ab", []byte{}); err == nil {
+		t.Fatalf("PutArtifactBytes accepted an unknown artifact kind")
+	}
+}
+
+// A pinned artifact must survive an LRU sweep even when it is the oldest
+// entry and the sweep cannot reach its budget without it; the osRemove
+// hook asserts the sweep never even attempts the delete. Pins are
+// refcounted, and releasing the last reference makes the entry ordinary
+// LRU prey again.
+func TestGCSkipsPinnedEntries(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := hex.EncodeToString(bytes.Repeat([]byte{0xaa}, 32))
+	name, err := artifactName(KindGolden, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinnedPath := plantEntry(t, dir, name, 10_000, 2*time.Hour) // oldest: first in LRU order
+	victim := plantEntry(t, dir, "golden-victim.gob", 10_000, time.Hour)
+	fresh := plantEntry(t, dir, "golden-fresh.gob", 10_000, time.Minute)
+
+	var attempted []string
+	defer func() { osRemove = os.Remove }()
+	osRemove = func(path string) error {
+		attempted = append(attempted, path)
+		return os.Remove(path)
+	}
+
+	c.Pin(KindGolden, key)
+	c.Pin(KindGolden, key) // second reference: an overlapping pinner
+
+	// 30KB on disk, 15KB budget: without the pin the sweep would take the
+	// two oldest entries; with it, it must take the two unpinned ones.
+	if _, err := c.GC(15_000); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range attempted {
+		if p == pinnedPath {
+			t.Fatalf("GC attempted to remove a pinned artifact")
+		}
+	}
+	if _, err := os.Stat(pinnedPath); err != nil {
+		t.Fatalf("pinned artifact evicted mid-flight: %v", err)
+	}
+	if _, err := os.Stat(victim); !os.IsNotExist(err) {
+		t.Fatalf("sweep kept an unpinned older entry over its budget (stat err: %v)", err)
+	}
+	_ = fresh
+
+	// One Unpin leaves the other reference holding the pin.
+	c.Unpin(KindGolden, key)
+	if _, err := c.GC(1_000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(pinnedPath); err != nil {
+		t.Fatalf("artifact evicted while still holding a pin reference: %v", err)
+	}
+
+	// Releasing the last reference returns the entry to the LRU pool.
+	c.Unpin(KindGolden, key)
+	if _, err := c.GC(1_000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(pinnedPath); !os.IsNotExist(err) {
+		t.Fatalf("unpinned artifact survived a sweep below its size (stat err: %v)", err)
+	}
+}

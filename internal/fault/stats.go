@@ -79,6 +79,16 @@ type SimStats struct {
 	// serial machine would pay); the coordinator's own wall-clock is the
 	// slowest shard, reported separately by shard.Stats.
 	ShardWallNs int64
+	// Distributed-grading counters, populated by the internal/shard
+	// multi-host coordinator (zero otherwise). DistHosts counts live
+	// remote hosts the run graded on; DistRedispatched counts duplicate
+	// straggler dispatches to idle hosts; DistShipNs is the wall clock the
+	// coordinator spent replicating artifacts to worker caches; DistMergeNs
+	// is the wall clock spent merging shard results.
+	DistHosts        int64
+	DistRedispatched int64
+	DistShipNs       int64
+	DistMergeNs      int64
 	// Kernel dispatch counters from the gate evaluators (summed over every
 	// simulator of the run): batch runs dispatched to the SIMD assembly
 	// kernels vs the generic Go run kernels, gates evaluated through those
@@ -129,6 +139,10 @@ func (s *SimStats) Add(other *SimStats) {
 	s.ShardsFallback += other.ShardsFallback
 	s.ShardBytesShipped += other.ShardBytesShipped
 	s.ShardWallNs += other.ShardWallNs
+	s.DistHosts += other.DistHosts
+	s.DistRedispatched += other.DistRedispatched
+	s.DistShipNs += other.DistShipNs
+	s.DistMergeNs += other.DistMergeNs
 	s.SIMDKernelRuns += other.SIMDKernelRuns
 	s.GenericKernelRuns += other.GenericKernelRuns
 	s.BatchedGateEvals += other.BatchedGateEvals
@@ -213,6 +227,11 @@ func (s *SimStats) String() string {
 			s.ShardsLaunched, s.ShardsRetried, s.ShardsFailed, s.ShardsFallback)
 		fmt.Fprintf(&b, "\nshard shipping    %d B artifacts written", s.ShardBytesShipped)
 		fmt.Fprintf(&b, "\nshard wall-clock  %.3fs summed across shards", float64(s.ShardWallNs)/1e9)
+	}
+	if s.DistHosts > 0 {
+		fmt.Fprintf(&b, "\ndist hosts        %d live, %d straggler re-dispatches", s.DistHosts, s.DistRedispatched)
+		fmt.Fprintf(&b, "\ndist wall-clock   %.3fs shipping artifacts, %.3fs merging",
+			float64(s.DistShipNs)/1e9, float64(s.DistMergeNs)/1e9)
 	}
 	return b.String()
 }

@@ -13,6 +13,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/fault"
 	"repro/internal/gate"
+	"repro/internal/shard"
 	"repro/internal/synth"
 )
 
@@ -38,8 +39,19 @@ func RunDaemon(args []string, stdout, stderr io.Writer) int {
 	cacheMax := fs.Int64("cache-max-bytes", 0, "cache size bound with LRU eviction (0 = unbounded)")
 	drain := fs.Duration("drain", 10*time.Second, "shutdown drain deadline for in-flight grades")
 	stats := fs.Bool("stats", false, "print serving statistics on shutdown")
+	hosts := fs.String("hosts", "", "delegate oversized grades to remote worker hosts: addr[=weight],exec:argv[=weight],...")
+	distMin := fs.Int("dist-min", 0, "smallest sampled fault-list length delegated to -hosts (0 = all)")
+	calibrate := fs.Bool("calibrate", false, "derive missing -hosts weights from a per-host calibration kernel")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	var hostSpecs []shard.HostSpec
+	if *hosts != "" {
+		var err error
+		if hostSpecs, err = shard.ParseHosts(*hosts); err != nil {
+			fmt.Fprintf(stderr, "sbstd: %v\n", err)
+			return 2
+		}
 	}
 
 	lib := synth.LibraryByName(*libName)
@@ -69,12 +81,15 @@ func RunDaemon(args []string, stdout, stderr io.Writer) int {
 	}
 
 	srv, err := NewServer(Config{
-		Lib:         lib,
-		Cache:       disk,
-		Engine:      eng,
-		LaneWords:   *lanes,
-		CheckpointK: *checkpointK,
-		Pool:        *pool,
+		Lib:           lib,
+		Cache:         disk,
+		Engine:        eng,
+		LaneWords:     *lanes,
+		CheckpointK:   *checkpointK,
+		Pool:          *pool,
+		Hosts:         hostSpecs,
+		DistMinFaults: *distMin,
+		DistCalibrate: *calibrate,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "sbstd: %v\n", err)

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/asm"
+	"repro/internal/cache"
 	"repro/internal/fault"
 	"repro/internal/plasma"
 	"repro/internal/shard"
@@ -456,5 +457,83 @@ func TestDaemonSignalShutdown(t *testing.T) {
 		if !strings.Contains(stats, want) {
 			t.Fatalf("stats flush missing %q in:\n%s", want, stats)
 		}
+	}
+}
+
+// TestServerDelegatesToRemoteHosts arms distributed delegation: the
+// server coordinates two remote worker hosts (real TCP transport, each
+// with its own artifact cache) instead of grading on the local warm
+// pool. Responses stay bit-identical to fault.Simulate, and the dist
+// counters record the delegation and the one-time artifact replication.
+func TestServerDelegatesToRemoteHosts(t *testing.T) {
+	var hosts []shard.HostSpec
+	for i := 0; i < 2; i++ {
+		c, err := cache.Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := shard.NewHost(c)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ln.Close() })
+		go h.Serve(ln)
+		hosts = append(hosts, shard.HostSpec{Addr: ln.Addr().String()})
+	}
+	opt := fault.Options{Sample: 384, Seed: 1}
+	g, want := reference(t, progLoop, opt)
+	srv, err := NewServer(Config{CPU: testCPU(t), Pool: 1, Hosts: hosts, DistMinFaults: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := Request{
+		ProgOrigin: g.ProgOrigin,
+		ProgWords:  g.ProgWords,
+		Cycles:     testCycles,
+		Sample:     opt.Sample,
+		Seed:       opt.Seed,
+	}
+	var resp Response
+	for i := 0; i < 2; i++ {
+		if err := srv.Grade(&req, &resp); err != nil {
+			t.Fatal(err)
+		}
+		got := &fault.Result{
+			Faults:          want.Faults,
+			DetectedAt:      resp.DetectedAt,
+			SignatureGroups: resp.SignatureGroups,
+			Cycles:          resp.Cycles,
+		}
+		requireSameOutcomes(t, fmt.Sprintf("dist grade %d", i), got, want)
+		if resp.UniverseHash != fault.UniverseHash(want.Faults) {
+			t.Fatalf("dist grade %d: universe hash mismatch", i)
+		}
+	}
+	st := srv.Stats()
+	if st.DistGrades != 2 {
+		t.Fatalf("DistGrades = %d, want 2", st.DistGrades)
+	}
+	if st.DistShipBytes <= 0 {
+		t.Fatal("delegation shipped no artifact bytes to fresh worker caches")
+	}
+	if resp.Stats.DistHosts != 2 {
+		t.Fatalf("response DistHosts = %d, want 2", resp.Stats.DistHosts)
+	}
+
+	// A tiny explicit fault subset stays under DistMinFaults and grades
+	// on the local pool — the delegation threshold is honored.
+	srv2, err := NewServer(Config{CPU: testCPU(t), Pool: 1, Hosts: hosts, DistMinFaults: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv2.Grade(&req, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if st := srv2.Stats(); st.DistGrades != 0 {
+		t.Fatalf("undersized request was delegated (DistGrades = %d)", st.DistGrades)
+	}
+	if resp.Stats.DistHosts != 0 {
+		t.Fatal("local grade carries dist counters")
 	}
 }

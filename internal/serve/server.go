@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"net"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -40,6 +41,21 @@ type Config struct {
 	// Pool is the number of warm graders, i.e. the number of requests
 	// simulated concurrently (0 = GOMAXPROCS). Requests beyond it queue.
 	Pool int
+	// Hosts arms distributed delegation: a request whose sampled fault
+	// list has at least DistMinFaults entries is graded across these
+	// remote worker hosts (shard.GradeDist) instead of the local warm
+	// pool — the daemon turns into the cluster's coordinator. Results
+	// stay bit-identical either way, so the threshold is pure policy.
+	Hosts []shard.HostSpec
+	// DistMinFaults is the smallest fault-list length worth delegating
+	// (0 = delegate everything when Hosts is set): small grades are
+	// usually cheaper on the warm local pool than a round of remote
+	// dispatches.
+	DistMinFaults int
+	// DistCalibrate derives missing host weights from a per-host
+	// calibration kernel on every delegated grade (explicit "=WEIGHT"
+	// specs avoid the extra round trip).
+	DistCalibrate bool
 }
 
 // graderSlot pairs a warm grader with the result buffers it fills; slots
@@ -109,6 +125,11 @@ type Server struct {
 	universe     []fault.Fault
 	universeHash string
 
+	hosts         []shard.HostSpec
+	distMinFaults int
+	distCalibrate bool
+	distCache     *cache.Cache
+
 	pool chan *graderSlot
 
 	mu      sync.Mutex
@@ -159,20 +180,37 @@ func NewServer(cfg Config) (*Server, error) {
 	if lib != nil {
 		libName = lib.Name()
 	}
+	// Delegation replicates artifacts from a coordinator-side cache; a
+	// daemon without a disk cache gets a private one so each content
+	// hash still ships to each worker only once over the server's life.
+	distCache := cfg.Cache
+	if len(cfg.Hosts) > 0 && distCache == nil {
+		dir, err := os.MkdirTemp("", "sbstd-dist-")
+		if err != nil {
+			return nil, err
+		}
+		if distCache, err = cache.Open(dir); err != nil {
+			return nil, err
+		}
+	}
 	s := &Server{
-		cpu:          cpu,
-		disk:         cfg.Cache,
-		engine:       cfg.Engine,
-		laneWords:    cfg.LaneWords,
-		checkpointK:  k,
-		libName:      libName,
-		netlistHash:  nh,
-		universe:     universe,
-		universeHash: fault.UniverseHash(universe),
-		pool:         make(chan *graderSlot, pool),
-		goldens:      make(map[goldenKey][]*goldenEntry),
-		plans:        make(map[planKey]*planEntry),
-		conns:        make(map[net.Conn]struct{}),
+		cpu:           cpu,
+		disk:          cfg.Cache,
+		hosts:         cfg.Hosts,
+		distMinFaults: cfg.DistMinFaults,
+		distCalibrate: cfg.DistCalibrate,
+		distCache:     distCache,
+		engine:        cfg.Engine,
+		laneWords:     cfg.LaneWords,
+		checkpointK:   k,
+		libName:       libName,
+		netlistHash:   nh,
+		universe:      universe,
+		universeHash:  fault.UniverseHash(universe),
+		pool:          make(chan *graderSlot, pool),
+		goldens:       make(map[goldenKey][]*goldenEntry),
+		plans:         make(map[planKey]*planEntry),
+		conns:         make(map[net.Conn]struct{}),
 	}
 	for i := 0; i < pool; i++ {
 		s.pool <- &graderSlot{w: fault.NewWarm(cpu, cfg.Engine)}
@@ -346,6 +384,9 @@ func (s *Server) grade(req *Request, resp *Response) error {
 	if pe.err != nil {
 		return pe.err
 	}
+	if len(s.hosts) > 0 && len(pe.faults) >= s.distMinFaults {
+		return s.gradeDist(ge, pe, req, resp)
+	}
 
 	slot := <-s.pool
 	// The result borrows resp's outcome buffers, so the grade writes its
@@ -366,6 +407,39 @@ func (s *Server) grade(req *Request, resp *Response) error {
 	slot.prevCold, slot.prevWarm = slot.w.ColdSims, slot.w.WarmGrades
 	s.pool <- slot
 	return err
+}
+
+// gradeDist serves one oversized request across the configured remote
+// hosts. pe.faults is already sampled (the plan memo did it), so the
+// distributed options must not sample again; the per-fault outcomes and
+// the universe hash are bit-identical to the local warm-pool path.
+func (s *Server) gradeDist(ge *goldenEntry, pe *planEntry, req *Request, resp *Response) error {
+	lanes := req.LaneWords
+	if lanes == 0 {
+		lanes = s.laneWords
+	}
+	res, dstats, err := shard.GradeDist(s.cpu, ge.g, pe.faults, shard.DistOptions{
+		Hosts:     s.hosts,
+		Engine:    s.engine,
+		LaneWords: lanes,
+		Cache:     s.distCache,
+		Calibrate: s.distCalibrate,
+	})
+	if err != nil {
+		return err
+	}
+	s.stats.distGrades.Add(1)
+	if dstats != nil {
+		s.stats.distShipBytes.Add(dstats.BytesShipped)
+		s.stats.distShipNs.Add(dstats.ShipNs)
+		s.stats.distRedispatched.Add(int64(dstats.Redispatched))
+	}
+	resp.DetectedAt = append(resp.DetectedAt[:0], res.DetectedAt...)
+	resp.SignatureGroups = append(resp.SignatureGroups[:0], res.SignatureGroups...)
+	resp.Cycles = res.Cycles
+	resp.Stats = res.Stats
+	resp.UniverseHash = pe.hash
+	return nil
 }
 
 // Serve accepts connections on ln until Shutdown closes it. Each

@@ -18,6 +18,11 @@ type serverCounters struct {
 	coldSims       atomic.Int64
 	warmGrades     atomic.Int64
 	latencyNs      atomic.Int64
+
+	distGrades       atomic.Int64
+	distShipBytes    atomic.Int64
+	distShipNs       atomic.Int64
+	distRedispatched atomic.Int64
 }
 
 // Stats is a point-in-time snapshot of the server's request counters: how
@@ -39,6 +44,15 @@ type Stats struct {
 	WarmGrades int64
 	// LatencyNs is summed request wall clock (queueing + grading).
 	LatencyNs int64
+	// DistGrades counts requests delegated to remote worker hosts;
+	// DistShipBytes/DistShipNs measure the artifact replication those
+	// delegations paid (each content hash ships to each worker at most
+	// once, so a warm cluster pins these near zero); DistRedispatched
+	// counts straggler shards re-dispatched to an idle host.
+	DistGrades       int64
+	DistShipBytes    int64
+	DistShipNs       int64
+	DistRedispatched int64
 }
 
 // Stats snapshots the server's counters.
@@ -53,6 +67,11 @@ func (s *Server) Stats() Stats {
 		ColdSims:       s.stats.coldSims.Load(),
 		WarmGrades:     s.stats.warmGrades.Load(),
 		LatencyNs:      s.stats.latencyNs.Load(),
+
+		DistGrades:       s.stats.distGrades.Load(),
+		DistShipBytes:    s.stats.distShipBytes.Load(),
+		DistShipNs:       s.stats.distShipNs.Load(),
+		DistRedispatched: s.stats.distRedispatched.Load(),
 	}
 }
 
@@ -74,5 +93,9 @@ func (st Stats) String() string {
 	fmt.Fprintf(&b, "pass plans        %d built, %d memo hits\n", st.PlanBuilds, st.PlanHits)
 	fmt.Fprintf(&b, "simulators        %d cold constructions, %d warm-reuse grades\n", st.ColdSims, st.WarmGrades)
 	fmt.Fprintf(&b, "mean latency      %.3fs per request", st.MeanLatency())
+	if st.DistGrades > 0 {
+		fmt.Fprintf(&b, "\ndist delegation   %d grades, %d straggler re-dispatches", st.DistGrades, st.DistRedispatched)
+		fmt.Fprintf(&b, "\ndist replication  %d B shipped in %.1fms", st.DistShipBytes, float64(st.DistShipNs)/1e6)
+	}
 	return b.String()
 }

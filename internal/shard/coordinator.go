@@ -311,15 +311,8 @@ func runAttempt(w Worker, req *Request, timeout time.Duration) (*Response, error
 	if resp.Err != "" {
 		return nil, fmt.Errorf("worker error: %s", resp.Err)
 	}
-	if resp.Shard != req.Shard {
-		return nil, fmt.Errorf("response for shard %d, want %d", resp.Shard, req.Shard)
-	}
-	if resp.UniverseHash != req.UniverseHash {
-		return nil, fmt.Errorf("response universe %s, want %s", resp.UniverseHash, req.UniverseHash)
-	}
-	if len(resp.DetectedAt) != len(req.Faults) || len(resp.SignatureGroups) != len(req.Faults) {
-		return nil, fmt.Errorf("response carries %d detections and %d signatures for %d faults",
-			len(resp.DetectedAt), len(resp.SignatureGroups), len(req.Faults))
+	if err := checkResponse(req, &resp); err != nil {
+		return nil, err
 	}
 	return &resp, nil
 }

@@ -22,12 +22,35 @@ import (
 // them identically (their count is the second return, for stats). Groups
 // can come back empty when there are fewer passes than shards.
 func Partition(n *gate.Netlist, golden *plasma.Golden, faults []fault.Fault, engine fault.Engine, laneWords, shards int) ([][]int, int64, error) {
+	if shards < 1 {
+		shards = 1
+	}
+	return PartitionWeighted(n, golden, faults, engine, laneWords, make([]float64, shards))
+}
+
+// PartitionWeighted is Partition with one shard per entry of weights, each
+// balanced by host capacity: a pass group goes to the shard minimizing
+// (load+cost)/weight, i.e. the one that would finish its assignment
+// soonest if it processes cost at `weight` units per second. Weights <= 0
+// count as 1 (so a zero-filled slice degenerates to the uniform split),
+// only ratios matter, and ties go to the lowest shard index — the
+// partition is a pure function of (plan, weights), deterministic across
+// coordinator runs.
+func PartitionWeighted(n *gate.Netlist, golden *plasma.Golden, faults []fault.Fault, engine fault.Engine, laneWords int, weights []float64) ([][]int, int64, error) {
 	groups, skipped, err := fault.PlanPasses(n, golden, faults, engine, laneWords)
 	if err != nil {
 		return nil, 0, err
 	}
+	shards := len(weights)
 	if shards < 1 {
 		shards = 1
+	}
+	w := make([]float64, shards)
+	for i := range w {
+		w[i] = 1
+		if i < len(weights) && weights[i] > 0 {
+			w[i] = weights[i]
+		}
 	}
 	order := make([]int, len(groups))
 	for i := range order {
@@ -39,14 +62,16 @@ func Partition(n *gate.Netlist, golden *plasma.Golden, faults []fault.Fault, eng
 	out := make([][]int, shards)
 	load := make([]float64, shards)
 	for _, gi := range order {
+		cost := groups[gi].Cost
 		best := 0
+		bestDone := (load[0] + cost) / w[0]
 		for s := 1; s < shards; s++ {
-			if load[s] < load[best] {
-				best = s
+			if done := (load[s] + cost) / w[s]; done < bestDone {
+				best, bestDone = s, done
 			}
 		}
 		out[best] = append(out[best], groups[gi].Idxs...)
-		load[best] += groups[gi].Cost
+		load[best] += cost
 	}
 	return out, skipped, nil
 }

@@ -64,6 +64,11 @@ type Response struct {
 	DetectedAt      []int32
 	SignatureGroups []uint8
 	Stats           fault.SimStats
+	// WallNs is the worker-side wall clock of the simulation itself,
+	// reported by session workers (internal/shard remote hosts) so the
+	// coordinator can split an attempt's latency into ship/queue/sim
+	// components; one-shot subprocess workers leave it zero.
+	WallNs int64
 }
 
 // maxFrameBytes bounds a frame's declared payload length so a corrupted

@@ -1,0 +1,275 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/fault"
+	"repro/internal/plasma"
+)
+
+// Multi-host session protocol. A remote worker (any process embedding
+// this package: sbst, the test binaries, an sbstd sidecar) serves a
+// persistent session over one byte stream — a TCP connection, or
+// stdin/stdout under an ssh-style exec wrapper. Frames ride the same
+// persistent CRC-guarded gob streams the grading service uses
+// (Encoder/Decoder), so type descriptors cross the wire once per session
+// and a corrupted or truncated frame is a diagnosed error on either end.
+//
+// The session is strictly coordinator-driven request/response:
+//
+//	worker → hello                         (protocol version, cores)
+//	coord  → have(refs)   → worker → want(missing refs)
+//	coord  → put(ref,data)→ worker → putOK(err?)        (per wanted ref)
+//	coord  → grade(req)   → worker → result(resp)
+//	coord  → calibrate(n) → worker → calibrated(ns)
+//
+// Artifacts are content-addressed and immutable, so replication is a
+// one-way push-on-miss: the HAVE/WANT handshake before each dispatch
+// ships each content hash to each worker at most once (zero on a warm
+// worker cache), and a forced re-push of the same bytes can only heal a
+// corrupt entry (cache.PutArtifactBytes verifies before it stores).
+
+// sessionProto is the session protocol version, exchanged in the hello
+// frame; a coordinator refuses a worker speaking a different version
+// rather than mis-decoding its frames.
+const sessionProto = 1
+
+// Session frame kinds (sessionFrame.Kind).
+const (
+	frameHello = iota + 1
+	frameHave
+	frameWant
+	framePut
+	framePutOK
+	frameGrade
+	frameResult
+	frameCalibrate
+	frameCalibrated
+)
+
+// ArtifactRef names one content-addressed cache artifact in the
+// replication handshake.
+type ArtifactRef struct {
+	Kind cache.ArtifactKind
+	Key  string
+}
+
+// sessionFrame is the tagged union every session message travels in; the
+// Kind selects which fields are meaningful.
+type sessionFrame struct {
+	Kind  int
+	Proto int           // hello: protocol version
+	Cores int           // hello: worker GOMAXPROCS capacity
+	Refs  []ArtifactRef // have, want
+	Ref   ArtifactRef   // put
+	Data  []byte        // put: raw artifact bytes
+	Err   string        // putOK: storage/verification failure
+	Req   *Request      // grade
+	Resp  *Response     // result
+	Iters int           // calibrate: kernel iterations
+	Ns    int64         // calibrated: elapsed wall clock
+}
+
+// Host is the worker side of the distributed grading protocol: a local
+// artifact cache plus memoized decoded artifacts (a CPU or golden trace
+// is parsed once per content hash, not once per shard dispatch), serving
+// any number of concurrent coordinator sessions.
+type Host struct {
+	c *cache.Cache
+
+	mu      sync.Mutex
+	cpus    map[string]*plasma.CPU
+	goldens map[string]*plasma.Golden
+}
+
+// NewHost returns a worker host over the given artifact cache (the
+// worker's local replica store; it must not be nil).
+func NewHost(c *cache.Cache) *Host {
+	return &Host{
+		c:       c,
+		cpus:    make(map[string]*plasma.CPU),
+		goldens: make(map[string]*plasma.Golden),
+	}
+}
+
+// Serve accepts coordinator connections until the listener closes, one
+// session goroutine per connection. A closed listener is a clean
+// shutdown, not an error.
+func (h *Host) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go func() {
+			defer conn.Close()
+			_ = h.ServeSession(conn, conn)
+		}()
+	}
+}
+
+// ServeSession serves one coordinator session over a byte stream: the
+// transport for the exec/ssh worker path (stdin/stdout) and the body of
+// every TCP session. It returns nil when the coordinator closes the
+// stream, and the transport error otherwise.
+func (h *Host) ServeSession(r io.Reader, w io.Writer) error {
+	enc := NewEncoder(w)
+	dec := NewDecoder(r)
+	if err := enc.WriteFrame(&sessionFrame{Kind: frameHello, Proto: sessionProto, Cores: runtime.GOMAXPROCS(0)}); err != nil {
+		return err
+	}
+	for {
+		var f sessionFrame
+		if err := dec.ReadFrame(&f); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil // coordinator hung up between exchanges: session over
+			}
+			return err
+		}
+		var reply sessionFrame
+		switch f.Kind {
+		case frameHave:
+			reply.Kind = frameWant
+			for _, ref := range f.Refs {
+				if !h.c.HasArtifact(ref.Kind, ref.Key) {
+					reply.Refs = append(reply.Refs, ref)
+				}
+			}
+		case framePut:
+			reply.Kind = framePutOK
+			if _, err := h.c.PutArtifactBytes(f.Ref.Kind, f.Ref.Key, f.Data); err != nil {
+				reply.Err = err.Error()
+			}
+		case frameGrade:
+			if f.Req == nil {
+				return fmt.Errorf("shard: grade frame without a request")
+			}
+			reply.Kind = frameResult
+			reply.Resp = h.grade(f.Req)
+		case frameCalibrate:
+			reply.Kind = frameCalibrated
+			reply.Ns = calibrationKernel(f.Iters)
+		default:
+			return fmt.Errorf("shard: unexpected session frame kind %d", f.Kind)
+		}
+		if err := enc.WriteFrame(&reply); err != nil {
+			return err
+		}
+	}
+}
+
+// grade runs one shard's fault simulation against the host's local
+// artifact replicas, memoizing the decoded CPU and golden per content
+// hash. Worker-side problems (missing or corrupt artifact, simulation
+// error) travel back in Response.Err so the coordinator can retry with a
+// forced re-push.
+func (h *Host) grade(req *Request) *Response {
+	fail := func(format string, args ...any) *Response {
+		return &Response{Shard: req.Shard, Err: fmt.Sprintf(format, args...)}
+	}
+	if hash := fault.UniverseHash(req.Faults); hash != req.UniverseHash {
+		return fail("shard %d fault subset hashes to %s, request says %s", req.Shard, hash, req.UniverseHash)
+	}
+	cpu, err := h.cpu(req.CPUKey)
+	if err != nil {
+		return fail("shard %d: %v", req.Shard, err)
+	}
+	golden, err := h.golden(req.GoldenKey)
+	if err != nil {
+		return fail("shard %d: %v", req.Shard, err)
+	}
+	start := time.Now()
+	res, err := fault.Simulate(cpu, golden, req.Faults, fault.Options{
+		Workers:   req.Workers,
+		Engine:    req.Engine,
+		LaneWords: req.LaneWords,
+	})
+	if err != nil {
+		return fail("shard %d: %v", req.Shard, err)
+	}
+	return &Response{
+		Shard:           req.Shard,
+		UniverseHash:    req.UniverseHash,
+		Cycles:          res.Cycles,
+		DetectedAt:      res.DetectedAt,
+		SignatureGroups: res.SignatureGroups,
+		Stats:           res.Stats,
+		WallNs:          time.Since(start).Nanoseconds(),
+	}
+}
+
+// cpu returns the decoded CPU for a content hash, loading it from the
+// local cache on first use. Content addressing makes the memo safe: the
+// same key can only ever decode to the same core.
+func (h *Host) cpu(key string) (*plasma.CPU, error) {
+	h.mu.Lock()
+	cpu := h.cpus[key]
+	h.mu.Unlock()
+	if cpu != nil {
+		return cpu, nil
+	}
+	cpu, err := h.c.GetCPU(key)
+	if err != nil {
+		return nil, err
+	}
+	h.mu.Lock()
+	h.cpus[key] = cpu
+	h.mu.Unlock()
+	return cpu, nil
+}
+
+func (h *Host) golden(key string) (*plasma.Golden, error) {
+	h.mu.Lock()
+	g := h.goldens[key]
+	h.mu.Unlock()
+	if g != nil {
+		return g, nil
+	}
+	g, err := h.c.GetGoldenArtifact(key)
+	if err != nil {
+		return nil, err
+	}
+	h.mu.Lock()
+	h.goldens[key] = g
+	h.mu.Unlock()
+	return g, nil
+}
+
+// defaultCalibrateIters sizes the calibration kernel: ~tens of
+// milliseconds on current cores, enough to average over scheduler noise
+// without delaying the run noticeably.
+const defaultCalibrateIters = 64
+
+// calibrationKernel measures single-thread throughput on a fixed
+// CPU-bound kernel (CRC32 over a 256 KiB buffer, iters times) and
+// returns the elapsed wall clock. The coordinator converts it to a host
+// weight (cores/ns, only ratios matter) when no explicit weight spec is
+// given.
+func calibrationKernel(iters int) int64 {
+	if iters <= 0 {
+		iters = defaultCalibrateIters
+	}
+	buf := make([]byte, 256<<10)
+	for i := range buf {
+		buf[i] = byte(i * 31)
+	}
+	start := time.Now()
+	var sum uint32
+	for i := 0; i < iters; i++ {
+		sum = crc32.Update(sum, crc32.IEEETable, buf)
+		buf[0] = byte(sum) // serialize iterations so they cannot be hoisted
+	}
+	runtime.KeepAlive(sum)
+	return time.Since(start).Nanoseconds()
+}

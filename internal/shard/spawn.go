@@ -57,8 +57,17 @@ func ExecSpawner(argv ...string) Spawner {
 }
 
 func startExec(name string, args ...string) (Worker, error) {
+	return startExecEnv([]string{EnvVar + "=1"}, name, args...)
+}
+
+// startExecEnv spawns argv with extra environment entries appended — the
+// shared launcher of one-shot workers (EnvVar) and persistent session
+// workers (EnvSession, used by the distributed coordinator's exec
+// transport). Environment only reaches direct children; wrappers that
+// hop machines (ssh) need the explicit CLI flags instead.
+func startExecEnv(extraEnv []string, name string, args ...string) (*execWorker, error) {
 	cmd := exec.Command(name, args...)
-	cmd.Env = append(os.Environ(), EnvVar+"=1")
+	cmd.Env = append(os.Environ(), extraEnv...)
 	cmd.Stderr = os.Stderr
 	in, err := cmd.StdinPipe()
 	if err != nil {

@@ -1,7 +1,8 @@
 #!/bin/sh
 # benchguard.sh — regression guard for the headline fault-grading
 # benchmarks. Runs BenchmarkTable5FaultCoverage, its 4-worker sharded
-# variant BenchmarkTable5FaultCoverageSharded, the replay-fusion
+# variant BenchmarkTable5FaultCoverageSharded, the 2-TCP-worker
+# distributed variant BenchmarkDistributedGrade, the replay-fusion
 # microbench BenchmarkFusedReplay/fused, and the grading-service pair
 # (BenchmarkServeThroughput warm/cold, BenchmarkServeGrade/inproc)
 # once each and fails if any comes in more than 15% over its baseline
@@ -24,7 +25,7 @@ json_int() {
     grep -o "\"$1\": *[0-9]*" BENCH_faultsim.json | grep -o '[0-9]*$' | head -1
 }
 
-out=$(go test -bench 'BenchmarkTable5FaultCoverage$|BenchmarkTable5FaultCoverageSharded$|BenchmarkFusedReplay/fused|BenchmarkServeThroughput' \
+out=$(go test -bench 'BenchmarkTable5FaultCoverage$|BenchmarkTable5FaultCoverageSharded$|BenchmarkDistributedGrade$|BenchmarkFusedReplay/fused|BenchmarkServeThroughput' \
     -benchtime 1x -benchmem -run '^$' -timeout 3600s .)
 echo "$out"
 
@@ -95,6 +96,7 @@ guard() {
 
 guard BenchmarkTable5FaultCoverage baseline_ns_per_op baseline_bytes_per_op
 guard BenchmarkTable5FaultCoverageSharded sharded_baseline_ns_per_op sharded_baseline_bytes_per_op
+guard BenchmarkDistributedGrade dist_baseline_ns_per_op dist_baseline_bytes_per_op
 guard BenchmarkFusedReplay/fused fused_baseline_ns_per_op fused_baseline_bytes_per_op
 guard BenchmarkServeThroughput/warm serve_warm_baseline_ns_per_op serve_warm_baseline_bytes_per_op
 guard BenchmarkServeGrade/inproc serve_grade_baseline_ns_per_op serve_grade_baseline_bytes_per_op
