@@ -4,11 +4,20 @@
 //
 // Usage:
 //
-//	report [-table all|1|2|3|4|5|techlib|baseline|cost] [-sample N] [-seed S] [-workers W]
+//	report [-table all|1|2|3|4|5|ladder|techlib|baseline|cost] [-variant NAME]
+//	       [-sample N] [-seed S] [-workers W]
 //	       [-engine event|oblivious] [-lanes W] [-stats] [-checkpoint-k K]
 //	       [-shards N] [-shard-timeout D] [-server ADDR]
 //	       [-hosts SPEC] [-calibrate]
 //	       [-cache DIR] [-cache-max-bytes N] [-cpuprofile FILE] [-memprofile FILE]
+//
+// -variant selects the core under test (base, fwd5, nomul) for the
+// single-core tables. -table ladder instead runs the full Table 3-5 flow
+// on every variant and appends the comparative summary: per-variant gate
+// counts, fault-universe sizes, program sizes, cycle counts and coverage
+// from one invocation. The ladder is excluded from -table all (it runs
+// three full flows); request it explicitly. -server pins one synthesized
+// core, so it composes with -variant but not with -table ladder.
 //
 // With -sample 0 (the default for -table 5 via -full) the fault simulations
 // run the complete collapsed fault universe, which takes a few minutes;
@@ -44,9 +53,11 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"repro/internal/bench"
 	"repro/internal/cache"
+	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/gate"
 	"repro/internal/plasma"
@@ -59,7 +70,8 @@ func main() {
 	shard.ServeIfWorker()
 	log.SetFlags(0)
 	log.SetPrefix("report: ")
-	table := flag.String("table", "all", "which table to regenerate: all, 1, 2, 3, 4, 5, techlib, baseline, cost, ablation, atpg, latency, periodic, arch, compaction")
+	table := flag.String("table", "all", "which table to regenerate: all, 1, 2, 3, 4, 5, ladder, techlib, baseline, cost, ablation, atpg, latency, periodic, arch, compaction")
+	variant := flag.String("variant", plasma.VariantBase, "core variant under test: "+strings.Join(plasma.VariantNames(), ", "))
 	sample := flag.Int("sample", 0, "fault sample size (0 = full fault universe)")
 	seed := flag.Int64("seed", 1, "fault sampling seed")
 	workers := flag.Int("workers", 0, "fault simulation goroutines (0 = GOMAXPROCS)")
@@ -203,7 +215,10 @@ func main() {
 		}
 	}
 
-	env, err := bench.NewEnvCached(synth.NativeLib{}, disk)
+	if plasma.VariantByName(*variant) == nil {
+		log.Fatalf("unknown -variant %q (want one of %v)", *variant, plasma.VariantNames())
+	}
+	env, err := bench.NewEnvVariant(*variant, synth.NativeLib{}, disk)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -262,8 +277,43 @@ func main() {
 	run("arch", func() (string, error) { _, s, err := bench.AdderArchIndependence(); return s, err })
 	run("compaction", func() (string, error) { _, s, err := bench.PatternCompaction(); return s, err })
 
+	// The core ladder runs the whole Table 3-5 flow once per variant plus
+	// the comparative summary; it is explicit-only (not part of -table all).
+	if *table == "ladder" {
+		if *server != "" {
+			log.Fatal("-table ladder spans multiple cores; -server pins one (use -shards or -hosts instead)")
+		}
+		envs, err := bench.LadderEnvs(synth.NativeLib{}, disk)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, e := range envs {
+			e.CheckpointK = *checkpointK
+			e.Grader = grader
+		}
+		for _, e := range envs {
+			_, s3 := bench.Table3(e)
+			fmt.Printf("==== Table 3 [%s] ====\n%s\n", e.Variant, s3)
+			_, s4, err := bench.Table4(e)
+			if err != nil {
+				log.Fatalf("ladder %s table 4: %v", e.Variant, err)
+			}
+			fmt.Printf("==== Table 4 [%s] ====\n%s\n", e.Variant, s4)
+			_, s5, err := bench.Table5(e, opt, true)
+			if err != nil {
+				log.Fatalf("ladder %s table 5: %v", e.Variant, err)
+			}
+			fmt.Printf("==== Table 5 [%s] ====\n%s\n", e.Variant, s5)
+		}
+		_, s, err := bench.Ladder(envs, core.PhaseC, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("==== Core ladder ====\n%s\n", s)
+	}
+
 	switch *table {
-	case "all", "1", "2", "3", "4", "5", "techlib", "baseline", "cost", "ablation", "atpg", "latency", "periodic", "arch", "compaction":
+	case "all", "1", "2", "3", "4", "5", "ladder", "techlib", "baseline", "cost", "ablation", "atpg", "latency", "periodic", "arch", "compaction":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -table %q\n", *table)
 		flag.Usage()

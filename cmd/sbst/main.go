@@ -57,6 +57,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"repro/internal/cache"
 	"repro/internal/core"
@@ -84,6 +85,8 @@ func main() {
 	log.SetPrefix("sbst: ")
 	phase := flag.String("phase", "A", "deepest test phase to include: A, B or C")
 	libName := flag.String("lib", synth.NativeLib{}.Name(), "technology library")
+	variant := flag.String("variant", plasma.VariantBase,
+		"core variant under test: "+strings.Join(plasma.VariantNames(), ", "))
 	emit := flag.Bool("emit", false, "print the generated assembly source")
 	listing := flag.Bool("listing", false, "print the assembled listing")
 	faultsim := flag.Bool("faultsim", false, "fault-simulate the program on the gate-level core")
@@ -184,7 +187,10 @@ func main() {
 		log.Fatalf("unknown library %q", *libName)
 	}
 
-	cpu, err := disk.BuildCPU(lib)
+	if plasma.VariantByName(*variant) == nil {
+		log.Fatalf("unknown variant %q (want one of %s)", *variant, strings.Join(plasma.VariantNames(), ", "))
+	}
+	cpu, err := disk.BuildVariantCPU(*variant, lib)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -231,7 +237,18 @@ func main() {
 		if k <= 0 {
 			k = plasma.DefaultCheckpointK
 		}
-		golden, err := disk.CaptureGoldenK(cpu, st.Program, st.GateCycles(), k)
+		cycles := st.GateCycles()
+		if cpu.Variant != plasma.VariantBase {
+			// Non-base cores retire the program in a different number of
+			// cycles than the ISS measurement; use the cached gate-level
+			// halt measurement instead of the base-core shortcut.
+			halt, err := disk.HaltCycles(cpu, st.Program, st.Cycles*4+4096)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cycles = int(halt) + 16
+		}
+		golden, err := disk.CaptureGoldenK(cpu, st.Program, cycles, k)
 		if err != nil {
 			log.Fatal(err)
 		}

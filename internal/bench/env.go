@@ -17,12 +17,14 @@ import (
 	"repro/internal/synth"
 )
 
-// Env caches the expensive artifacts of one technology library: the built
-// CPU, its fault universe, and generated self-test programs.
+// Env caches the expensive artifacts of one (core variant, technology
+// library) pair: the built CPU, its fault universe, and generated
+// self-test programs.
 type Env struct {
-	Lib   synth.Library
-	CPU   *plasma.CPU
-	Comps []core.Component
+	Lib     synth.Library
+	Variant string // core-ladder variant name (plasma.Variant*)
+	CPU     *plasma.CPU
+	Comps   []core.Component
 
 	disk *cache.Cache // optional on-disk artifact cache (nil = in-memory only)
 
@@ -46,19 +48,30 @@ type Env struct {
 	goldens   map[core.PhaseID]*plasma.Golden
 }
 
-// NewEnv builds the CPU for a library and classifies its components.
+// NewEnv builds the base-core CPU for a library and classifies its
+// components.
 func NewEnv(lib synth.Library) (*Env, error) { return NewEnvCached(lib, nil) }
 
 // NewEnvCached is NewEnv backed by an on-disk artifact cache: synthesis
 // and golden capture read through (and populate) the cache. A nil cache
 // behaves exactly like NewEnv.
 func NewEnvCached(lib synth.Library, disk *cache.Cache) (*Env, error) {
-	cpu, err := disk.BuildCPU(lib)
+	return NewEnvVariant(plasma.VariantBase, lib, disk)
+}
+
+// NewEnvVariant builds the environment for one rung of the core ladder:
+// the named Plasma variant synthesized with lib, with the inventory
+// classified from that variant's netlist. Everything downstream — routine
+// generation, golden capture, fault grading — adapts through the
+// inventory and the variant-aware cache keys.
+func NewEnvVariant(variant string, lib synth.Library, disk *cache.Cache) (*Env, error) {
+	cpu, err := disk.BuildVariantCPU(variant, lib)
 	if err != nil {
 		return nil, err
 	}
 	return &Env{
 		Lib:       lib,
+		Variant:   variant,
 		CPU:       cpu,
 		Comps:     core.ClassifyNetlist(cpu.Netlist),
 		disk:      disk,
@@ -99,17 +112,38 @@ func (e *Env) Golden(maxPhase core.PhaseID) (*plasma.Golden, error) {
 	if err != nil {
 		return nil, err
 	}
+	cycles, err := e.gateCycles(st)
+	if err != nil {
+		return nil, err
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if g, ok := e.goldens[maxPhase]; ok {
 		return g, nil
 	}
-	g, err := e.disk.CaptureGoldenK(e.CPU, st.Program, st.GateCycles(), e.checkpointK())
+	g, err := e.disk.CaptureGoldenK(e.CPU, st.Program, cycles, e.checkpointK())
 	if err != nil {
 		return nil, err
 	}
 	e.goldens[maxPhase] = g
 	return g, nil
+}
+
+// gateCycles sizes the golden capture for st on this environment's core.
+// The base core retires the program in the ISS cycle count plus a fixed
+// pipeline offset, so st.GateCycles() is exact and free; other variants
+// take a different number of cycles (bubbles, squashed fetches), so the
+// halt cycle is measured gate-level once and cached on disk.
+func (e *Env) gateCycles(st *core.SelfTest) (int, error) {
+	if e.Variant == "" || e.Variant == plasma.VariantBase {
+		return st.GateCycles(), nil
+	}
+	budget := st.Cycles*4 + 4096
+	halt, err := e.disk.HaltCycles(e.CPU, st.Program, budget)
+	if err != nil {
+		return 0, err
+	}
+	return int(halt) + 16, nil
 }
 
 func (e *Env) checkpointK() int {

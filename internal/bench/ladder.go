@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/plasma"
+	"repro/internal/synth"
+)
+
+// LadderRow is one rung of the core-ladder comparative table: the paper's
+// Table 3/4/5 headline numbers for one micro-architecture, produced by the
+// same methodology run (same routine library, same fault engine).
+type LadderRow struct {
+	Variant     string
+	Description string
+	Gates       float64 // NAND2 equivalents (Table 3 total)
+	Faults      int     // collapsed fault-universe size
+	Words       int     // self-test program size (Table 4)
+	ISSCycles   uint64  // program execution on the golden model
+	GateCycles  int     // golden-capture length on this core (gate-measured)
+	FC          float64 // overall fault coverage (Table 5, under opt)
+}
+
+// LadderEnvs builds one environment per core-ladder variant, sharing the
+// technology library and the on-disk cache (variant identity is part of
+// every cache key, so sharing one directory is safe).
+func LadderEnvs(lib synth.Library, disk *cache.Cache) ([]*Env, error) {
+	var envs []*Env
+	for _, v := range plasma.Variants() {
+		e, err := NewEnvVariant(v.Name(), lib, disk)
+		if err != nil {
+			return nil, fmt.Errorf("ladder: %s: %w", v.Name(), err)
+		}
+		envs = append(envs, e)
+	}
+	return envs, nil
+}
+
+// Ladder runs the full Table 3-5 flow on every core variant and renders the
+// majorana-style comparative table: one shared methodology, N cores, gate
+// counts, program sizes, per-variant cycle counts and fault coverage side
+// by side. The self-test program differs per variant only where the
+// inventory demands it (no MulD routine or mul/div opcodes on nomul, an
+// extra FWD routine on fwd5).
+func Ladder(envs []*Env, maxPhase core.PhaseID, opt fault.Options) ([]LadderRow, string, error) {
+	var rows []LadderRow
+	for _, e := range envs {
+		v := plasma.VariantByName(e.Variant)
+		if v == nil {
+			return nil, "", fmt.Errorf("ladder: env has unknown variant %q", e.Variant)
+		}
+		_, total := e.CPU.Netlist.GateCount()
+		st, err := e.SelfTest(maxPhase)
+		if err != nil {
+			return nil, "", fmt.Errorf("ladder: %s self-test: %w", e.Variant, err)
+		}
+		gateCycles, err := e.gateCycles(st)
+		if err != nil {
+			return nil, "", fmt.Errorf("ladder: %s cycle measurement: %w", e.Variant, err)
+		}
+		rep, err := e.FaultSimSelfTest(maxPhase, opt)
+		if err != nil {
+			return nil, "", fmt.Errorf("ladder: %s fault sim: %w", e.Variant, err)
+		}
+		rows = append(rows, LadderRow{
+			Variant:     e.Variant,
+			Description: v.Description(),
+			Gates:       total,
+			Faults:      len(e.Faults()),
+			Words:       st.Words,
+			ISSCycles:   st.Cycles,
+			GateCycles:  gateCycles,
+			FC:          overallFC(rep),
+		})
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Core ladder, library %s, Phase A..%s", envs[0].Lib.Name(), maxPhase)
+	if opt.Sample > 0 {
+		fmt.Fprintf(&sb, " (sampled: %d faults, seed %d)", opt.Sample, opt.Seed)
+	}
+	sb.WriteString("\n")
+	fmt.Fprintf(&sb, "%-8s %8s %8s %8s %10s %11s %8s\n",
+		"Variant", "Gates", "Faults", "Words", "ISS cyc", "Gate cyc", "FC%")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-8s %8.0f %8d %8d %10d %11d %8s\n",
+			r.Variant, r.Gates, r.Faults, r.Words, r.ISSCycles, r.GateCycles, fmtPct(r.FC))
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %s: %s\n", r.Variant, r.Description)
+	}
+	return rows, sb.String(), nil
+}

@@ -77,38 +77,49 @@ func (c *Cache) netlistHash(n *gate.Netlist) (string, error) {
 
 // cpuAux is the gob sidecar that rebuilds a plasma.CPU around a cached
 // netlist: the content address of the netlist plus the debug/co-simulation
-// handles that plasma.Build assigns during synthesis.
+// handles that plasma synthesis assigns, and the variant identity the
+// entry was built for (verified on load so an index file can never serve
+// a different micro-architecture).
 type cpuAux struct {
 	NetHash        string
+	Variant        string
 	PC, IR, Hi, Lo synth.Bus
 	MemCycle, Busy gate.Sig
 }
 
-// libFile maps a library name to a filesystem-safe index file name.
-func libFile(lib synth.Library) string {
+// cpuFile maps a (variant, library) pair to a filesystem-safe index file
+// name. The variant qualifier keeps the core ladder's entries from
+// colliding when several variants share one cache directory.
+func cpuFile(variant string, lib synth.Library) string {
 	name := strings.Map(func(r rune) rune {
 		switch {
 		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '.':
 			return r
 		}
 		return '_'
-	}, lib.Name())
+	}, variant+"-"+lib.Name())
 	return "cpu-" + name + ".gob"
 }
 
-// BuildCPU returns the synthesized CPU for a technology library, reading
-// the netlist and its synthesis handles from the cache when present and
-// populating the cache after a cold build. The cached netlist text is
-// re-hashed and re-validated on load, so a corrupted entry falls back to a
-// fresh build instead of producing a wrong core.
+// BuildCPU is BuildVariantCPU for the base 3-stage core.
 func (c *Cache) BuildCPU(lib synth.Library) (*plasma.CPU, error) {
+	return c.BuildVariantCPU(plasma.VariantBase, lib)
+}
+
+// BuildVariantCPU returns the synthesized CPU for a (variant, library)
+// pair, reading the netlist and its synthesis handles from the cache when
+// present and populating the cache after a cold build. The cached netlist
+// text is re-hashed and re-validated on load, and the recorded variant
+// identity is checked, so a corrupted or aliased entry falls back to a
+// fresh build instead of producing a wrong core.
+func (c *Cache) BuildVariantCPU(variant string, lib synth.Library) (*plasma.CPU, error) {
 	if c == nil {
-		return plasma.Build(lib)
+		return plasma.BuildVariant(variant, lib)
 	}
-	if cpu := c.loadCPU(lib); cpu != nil {
+	if cpu := c.loadCPU(variant, lib); cpu != nil {
 		return cpu, nil
 	}
-	cpu, err := plasma.Build(lib)
+	cpu, err := plasma.BuildVariant(variant, lib)
 	if err != nil {
 		return nil, err
 	}
@@ -119,15 +130,18 @@ func (c *Cache) BuildCPU(lib synth.Library) (*plasma.CPU, error) {
 }
 
 // loadCPU attempts a cache hit; any failure (missing entry, hash mismatch,
-// parse error) reads as a miss.
-func (c *Cache) loadCPU(lib synth.Library) *plasma.CPU {
-	f, err := os.Open(filepath.Join(c.dir, libFile(lib)))
+// variant mismatch, parse error) reads as a miss.
+func (c *Cache) loadCPU(variant string, lib synth.Library) *plasma.CPU {
+	f, err := os.Open(filepath.Join(c.dir, cpuFile(variant, lib)))
 	if err != nil {
 		return nil
 	}
 	defer f.Close()
 	var aux cpuAux
 	if err := gob.NewDecoder(f).Decode(&aux); err != nil {
+		return nil
+	}
+	if aux.Variant != variant {
 		return nil
 	}
 	text, err := os.ReadFile(filepath.Join(c.dir, "netlist-"+aux.NetHash+".txt"))
@@ -147,6 +161,7 @@ func (c *Cache) loadCPU(lib synth.Library) *plasma.CPU {
 	return &plasma.CPU{
 		Netlist:  n,
 		Lib:      lib,
+		Variant:  aux.Variant,
 		PC:       aux.PC,
 		IR:       aux.IR,
 		Hi:       aux.Hi,
@@ -175,6 +190,7 @@ func (c *Cache) storeCPU(lib synth.Library, cpu *plasma.CPU) error {
 	}
 	aux := cpuAux{
 		NetHash:  hash,
+		Variant:  cpu.Variant,
 		PC:       cpu.PC,
 		IR:       cpu.IR,
 		Hi:       cpu.Hi,
@@ -182,7 +198,7 @@ func (c *Cache) storeCPU(lib synth.Library, cpu *plasma.CPU) error {
 		MemCycle: cpu.MemCycle,
 		Busy:     cpu.Busy,
 	}
-	return writeAtomic(filepath.Join(c.dir, libFile(lib)), func(f *os.File) error {
+	return writeAtomic(filepath.Join(c.dir, cpuFile(cpu.Variant, lib)), func(f *os.File) error {
 		return gob.NewEncoder(f).Encode(&aux)
 	})
 }
@@ -198,9 +214,11 @@ func (c *Cache) storeCPU(lib synth.Library, cpu *plasma.CPU) error {
 const goldenFormat = 4
 
 // goldenKey derives the content address of a golden trace from everything
-// that determines it: the artifact format version, the netlist, the
-// program image (origin + words), the cycle count, and the checkpoint
-// interval.
+// that determines it: the artifact format version, the netlist, the core
+// variant, the program image (origin + words), the cycle count, and the
+// checkpoint interval. The variant is in the key explicitly (not only via
+// the netlist name embedded in the netlist hash) so golden entries stay
+// distinct even if two variants ever serialize to identical netlist text.
 func (c *Cache) goldenKey(cpu *plasma.CPU, prog *asm.Program, cycles, k int) (string, error) {
 	netHash, err := c.netlistHash(cpu.Netlist)
 	if err != nil {
@@ -211,6 +229,7 @@ func (c *Cache) goldenKey(cpu *plasma.CPU, prog *asm.Program, cycles, k int) (st
 	binary.LittleEndian.PutUint64(buf[:], goldenFormat)
 	h.Write(buf[:])
 	h.Write([]byte(netHash))
+	h.Write([]byte(cpu.Variant))
 	binary.LittleEndian.PutUint32(buf[:4], prog.Origin)
 	h.Write(buf[:4])
 	binary.LittleEndian.PutUint64(buf[:], uint64(cycles))
@@ -267,6 +286,64 @@ func (c *Cache) CaptureGoldenK(cpu *plasma.CPU, prog *asm.Program, cycles, k int
 	}
 	c.maybeGC(wrote)
 	return g, nil
+}
+
+// HaltCycles measures the gate-level cycle count at which prog reaches its
+// halt loop on cpu, caching the measurement by netlist + variant + program.
+// The base core finishes a program in ISS cycles + a fixed pipeline offset,
+// but that shortcut does not transfer to other variants (fwd5 inserts
+// branch bubbles, for example), so golden captures for the core ladder are
+// sized by this gate-level measurement instead. Errors if the program does
+// not halt within maxCycles.
+func (c *Cache) HaltCycles(cpu *plasma.CPU, prog *asm.Program, maxCycles uint64) (uint64, error) {
+	measure := func() (uint64, error) {
+		m, halted, err := plasma.RunProgram(cpu, prog, maxCycles, false)
+		if err != nil {
+			return 0, err
+		}
+		if !halted {
+			return 0, fmt.Errorf("cache: program did not halt on %s within %d cycles", cpu.Variant, maxCycles)
+		}
+		return m.Cycle, nil
+	}
+	if c == nil {
+		return measure()
+	}
+	netHash, err := c.netlistHash(cpu.Netlist)
+	if err != nil {
+		return 0, err
+	}
+	h := sha256.New()
+	h.Write([]byte("halt-cycles\x00"))
+	h.Write([]byte(netHash))
+	h.Write([]byte(cpu.Variant))
+	var buf [8]byte
+	binary.LittleEndian.PutUint32(buf[:4], prog.Origin)
+	h.Write(buf[:4])
+	for _, w := range prog.Words {
+		binary.LittleEndian.PutUint32(buf[:4], w)
+		h.Write(buf[:4])
+	}
+	path := filepath.Join(c.dir, "cycles-"+hex.EncodeToString(h.Sum(nil))+".gob")
+	if f, err := os.Open(path); err == nil {
+		var n uint64
+		err := gob.NewDecoder(f).Decode(&n)
+		f.Close()
+		if err == nil && n > 0 && n <= maxCycles {
+			c.touch(path)
+			return n, nil
+		}
+	}
+	n, err := measure()
+	if err != nil {
+		return 0, err
+	}
+	if err := writeAtomic(path, func(f *os.File) error {
+		return gob.NewEncoder(f).Encode(n)
+	}); err != nil {
+		return 0, err
+	}
+	return n, nil
 }
 
 // writeAtomic writes through a temp file + rename so concurrent processes

@@ -1,0 +1,131 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/plasma"
+	"repro/internal/synth"
+)
+
+// TestVariantCacheIsolation builds every core-ladder variant into one cache
+// directory and asserts no cross-contamination: each warm load returns the
+// variant it was asked for, with that variant's netlist hash and identity,
+// and golden traces captured for different variants get distinct keys.
+func TestVariantCacheIsolation(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := synth.NativeLib{}
+
+	type built struct {
+		cold, warm *plasma.CPU
+		hash       string
+	}
+	cores := map[string]*built{}
+	for _, v := range plasma.Variants() {
+		cold, err := c.BuildVariantCPU(v.Name(), lib)
+		if err != nil {
+			t.Fatalf("cold %s: %v", v.Name(), err)
+		}
+		h, err := NetlistHash(cold.Netlist)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cores[v.Name()] = &built{cold: cold, hash: h}
+	}
+	for _, v := range plasma.Variants() {
+		warm, err := c.BuildVariantCPU(v.Name(), lib)
+		if err != nil {
+			t.Fatalf("warm %s: %v", v.Name(), err)
+		}
+		b := cores[v.Name()]
+		if warm.Netlist == b.cold.Netlist {
+			t.Fatalf("%s: warm build did not come from the cache", v.Name())
+		}
+		if warm.Variant != v.Name() {
+			t.Fatalf("%s: warm load has variant %q", v.Name(), warm.Variant)
+		}
+		h, err := NetlistHash(warm.Netlist)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h != b.hash {
+			t.Fatalf("%s: warm netlist hash %s != cold %s", v.Name(), h, b.hash)
+		}
+		b.warm = warm
+	}
+
+	// All three variants have pairwise-distinct netlists (and hence hashes).
+	seen := map[string]string{}
+	for name, b := range cores {
+		if prev, dup := seen[b.hash]; dup {
+			t.Fatalf("variants %s and %s share a netlist hash", prev, name)
+		}
+		seen[b.hash] = name
+	}
+
+	// Golden keys must not alias across variants even for the same program
+	// and cycle count.
+	prog := buildProgram(t)
+	keys := map[string]string{}
+	for name, b := range cores {
+		key, err := c.goldenKey(b.warm, prog, 64, plasma.DefaultCheckpointK)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, dup := keys[key]; dup {
+			t.Fatalf("golden key collides between %s and %s", prev, name)
+		}
+		keys[key] = name
+	}
+}
+
+// TestVariantCPUFileNames pins the index-file naming: one file per
+// (variant, library) pair, so two variants built with the same library
+// cannot overwrite each other's index.
+func TestVariantCPUFileNames(t *testing.T) {
+	lib := synth.NativeLib{}
+	names := map[string]bool{}
+	for _, v := range plasma.VariantNames() {
+		f := cpuFile(v, lib)
+		if names[f] {
+			t.Fatalf("duplicate index file name %s", f)
+		}
+		names[f] = true
+	}
+}
+
+// TestHaltCyclesCached measures a program's gate-level halt cycle per
+// variant, and asserts the warm path returns the identical measurement.
+func TestHaltCyclesCached(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := synth.NativeLib{}
+	prog := buildProgram(t)
+	got := map[string]uint64{}
+	for _, v := range plasma.VariantNames() {
+		cpu, err := c.BuildVariantCPU(v, lib)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := c.HaltCycles(cpu, prog, 4096)
+		if err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		warm, err := c.HaltCycles(cpu, prog, 4096)
+		if err != nil {
+			t.Fatalf("%s warm: %v", v, err)
+		}
+		if cold != warm {
+			t.Fatalf("%s: warm HaltCycles %d != cold %d", v, warm, cold)
+		}
+		if cold == 0 || cold > 4096 {
+			t.Fatalf("%s: implausible halt cycle %d", v, cold)
+		}
+		got[v] = cold
+	}
+	t.Logf("halt cycles per variant: %v", got)
+}

@@ -125,7 +125,11 @@ type Component struct {
 }
 
 // plasmaClasses is the classification of the Plasma/MIPS components
-// (Table 2). Glue logic is listed with the control class at lowest size.
+// (Table 2), covering the union of components across the core-variant
+// ladder: FWD (the fwd5 variant's forwarding/hazard network) is hidden —
+// it exists only for performance and is invisible to the assembly
+// programmer, exactly the paper's definition. Glue logic is listed with
+// the control class at lowest size.
 var plasmaClasses = map[string]Class{
 	"RegF":  Functional,
 	"MulD":  Functional,
@@ -136,6 +140,7 @@ var plasmaClasses = map[string]Class{
 	"CTRL":  Control,
 	"BMUX":  Control,
 	"PLN":   Hidden,
+	"FWD":   Hidden,
 	"GL":    Control,
 }
 

@@ -89,7 +89,7 @@ func TestPrioritizeOrder(t *testing.T) {
 
 func TestRoutinesGenerate(t *testing.T) {
 	for name, gen := range routineGenerators {
-		r := gen()
+		r := gen(RoutineOptions{})
 		if r.Component != name {
 			t.Errorf("%s routine reports component %s", name, r.Component)
 		}

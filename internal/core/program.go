@@ -32,14 +32,24 @@ type SelfTest struct {
 	Cycles uint64
 	// RespWords is the size of the response region written.
 	RespWords int
+
+	// noMulDiv marks a program generated for a multiplier-less inventory;
+	// the golden-model measurement then rejects any mul/div opcode,
+	// catching generator bugs at build time.
+	noMulDiv bool
 }
 
 // GenerateSelfTest builds the self-test program for all components whose
 // phase is at most maxPhase, in test-priority order, then assembles it and
-// measures its execution on the golden model.
+// measures its execution on the golden model. The component inventory
+// drives generation completely: a variant without a MulD region gets no
+// MulD routine (it is simply absent from comps) and no mul/div sequences
+// in any other routine, so one call works unchanged across the core
+// ladder.
 func GenerateSelfTest(comps []Component, maxPhase PhaseID) (*SelfTest, error) {
+	opts := OptionsFor(comps)
 	order := Prioritize(comps)
-	st := &SelfTest{MaxPhase: maxPhase, Order: order}
+	st := &SelfTest{MaxPhase: maxPhase, Order: order, noMulDiv: opts.NoMulDiv}
 	for _, c := range order {
 		if c.Class.Phase() > maxPhase {
 			continue
@@ -48,7 +58,7 @@ func GenerateSelfTest(comps []Component, maxPhase PhaseID) (*SelfTest, error) {
 		if !ok {
 			continue
 		}
-		st.Routines = append(st.Routines, gen())
+		st.Routines = append(st.Routines, gen(opts))
 	}
 	if err := st.build(); err != nil {
 		return nil, err
@@ -90,6 +100,7 @@ func (st *SelfTest) build() error {
 	mem := sim.NewMemory()
 	mem.LoadProgram(prog)
 	cpu := sim.New(mem, 0)
+	cpu.NoMulDiv = st.noMulDiv
 	halted, err := cpu.Run(2_000_000)
 	if err != nil {
 		return fmt.Errorf("core: self-test program crashed on the golden model: %w", err)
@@ -105,18 +116,28 @@ func (st *SelfTest) build() error {
 	return nil
 }
 
-// RoutineByName generates a single component routine from the library.
+// RoutineByName generates a single component routine from the library,
+// tailored for the full base core.
 func RoutineByName(name string) (Routine, bool) {
+	return RoutineByNameFor(name, RoutineOptions{})
+}
+
+// RoutineByNameFor generates a single component routine tailored to a
+// variant's options (see OptionsFor).
+func RoutineByNameFor(name string, opts RoutineOptions) (Routine, bool) {
 	gen, ok := routineGenerators[name]
 	if !ok {
 		return Routine{}, false
 	}
-	return gen(), true
+	return gen(opts), true
 }
 
-// GateCycles is the golden-capture length for gate-level fault simulation:
-// the measured execution plus a small margin covering the reset offset and
-// the halt loop.
+// GateCycles is the golden-capture length for gate-level fault simulation
+// on the base core: the measured execution plus a small margin covering the
+// reset offset and the halt loop. Other core variants retire the same
+// program in a different number of cycles (pipeline bubbles), so their
+// capture length comes from a gate-level measurement (cache.HaltCycles)
+// rather than this ISS-derived shortcut.
 func (st *SelfTest) GateCycles() int { return int(st.Cycles) + 16 }
 
 // buildSource stitches routines into one program: response-pointer setup,

@@ -24,6 +24,28 @@ const (
 	scratchReg = "$k1"
 )
 
+// RoutineOptions tailor generated routines to a core variant's component
+// inventory. The zero value targets the full base core.
+type RoutineOptions struct {
+	// NoMulDiv omits every mult/div/HI/LO sequence — required for
+	// multiplier-less variants, where those opcodes are reserved and the
+	// golden model rejects them.
+	NoMulDiv bool
+}
+
+// OptionsFor derives routine options from a component inventory: a core
+// without a MulD region must not receive mul/div sequences anywhere, not
+// just skip the MulD routine.
+func OptionsFor(comps []Component) RoutineOptions {
+	opts := RoutineOptions{NoMulDiv: true}
+	for _, c := range comps {
+		if c.Name == "MulD" {
+			opts.NoMulDiv = false
+		}
+	}
+	return opts
+}
+
 // emitter builds one routine.
 type emitter struct {
 	code   strings.Builder
@@ -484,11 +506,15 @@ func PCLRoutine() Routine {
 // jrRAWord is the machine encoding of `jr $ra`, planted by the PCL routine.
 const jrRAWord = 0x03E00008
 
-// PipelineRoutine generates the Phase C hidden-component test: branch and
+// PipelineRoutine generates the Phase C hidden-component test for the full
+// base core; pipelineRoutine is the variant-tailored generator behind it.
+func PipelineRoutine() Routine { return pipelineRoutine(RoutineOptions{}) }
+
+// pipelineRoutine generates the Phase C hidden-component test: branch and
 // jump control flow in every flavor, delay-slot interactions with loads,
-// and multiply-busy pipeline stalls — the sequences that exercise the
-// pipeline registers and interlock logic.
-func PipelineRoutine() Routine {
+// and (on cores that have a multiplier) multiply-busy pipeline stalls —
+// the sequences that exercise the pipeline registers and interlock logic.
+func pipelineRoutine(opts RoutineOptions) Routine {
 	e := newEmitter("pln")
 	l := func(n string) string { return e.label(n) }
 
@@ -564,34 +590,153 @@ func PipelineRoutine() Routine {
 	e.f("\taddu $t2, $t1, $t1")
 	e.store("$t2")
 
-	// Multiply busy stall: HI/LO access immediately after issue, and a
-	// second issue while busy.
-	e.f("\tli $t0, 0x1234")
-	e.f("\tli $t1, 0x5678")
-	e.f("\tmult $t0, $t1")
-	e.f("\tmfhi $t3")
-	e.f("\tmflo $t4")
-	e.f("\tmult $t4, $t0")
-	e.f("\tdiv $t4, $t1")
-	e.f("\tmflo $t5")
-	e.store("$t3")
-	e.store("$t4")
-	e.store("$t5")
+	if !opts.NoMulDiv {
+		// Multiply busy stall: HI/LO access immediately after issue, and a
+		// second issue while busy.
+		e.f("\tli $t0, 0x1234")
+		e.f("\tli $t1, 0x5678")
+		e.f("\tmult $t0, $t1")
+		e.f("\tmfhi $t3")
+		e.f("\tmflo $t4")
+		e.f("\tmult $t4, $t0")
+		e.f("\tdiv $t4, $t1")
+		e.f("\tmflo $t5")
+		e.store("$t3")
+		e.store("$t4")
+		e.store("$t5")
+	}
 
 	e.df("%s:", l("w"))
 	e.df("\t.space 4")
 	return e.routine("PLN", PhaseC)
 }
 
-// routineGenerators maps component names to their routine generators.
-var routineGenerators = map[string]func() Routine{
-	"RegF":  RegFileRoutine,
-	"MulD":  MulDivRoutine,
-	"ALU":   ALURoutine,
-	"BSH":   ShifterRoutine,
-	"MCTRL": MemCtrlRoutine,
-	"PCL":   PCLRoutine,
-	"PLN":   PipelineRoutine,
+// ForwardingRoutine generates the Phase C test for the fwd5 variant's FWD
+// component: forwardingRoutine behind default options.
+func ForwardingRoutine() Routine { return forwardingRoutine(RoutineOptions{}) }
+
+// forwardingRoutine targets the operand-forwarding network and hazard
+// control of the pipelined variant: dependent-operation chains at every
+// bypass distance (X-stage, writeback-stage, register file), both operand
+// ports, load-use sequences, store-data forwarding, branch conditions on
+// just-computed values, and link-register consumption right after linking.
+// On a core without forwarding paths the sequences still execute correctly
+// (the register file serves every read), so the routine is portable across
+// the ladder — but on fwd5 each sequence steers data through a specific
+// bypass mux, making the FWD comparators and muxes observable at the bus.
+func forwardingRoutine(opts RoutineOptions) Routine {
+	e := newEmitter("fwd")
+	l := func(n string) string { return e.label(n) }
+
+	// Distance-1 and distance-2 dependent chains on both operand ports,
+	// with backgrounds that flip every data bit through the bypass muxes.
+	e.f("\t# FWD dependent-chain sweep, both ports, distances 1 and 2")
+	for i, seed := range []uint32{0x00000001, 0xFFFFFFFE, 0x55555555, 0xAAAAAAAA, 0x80000000} {
+		e.f("\tli $t0, %#x", seed)
+		e.f("\taddu $t1, $t0, $t0   # d1 via rs and rt")
+		e.f("\txor $t2, $t1, $t0   # d1 rs, d2 rt")
+		e.f("\tsubu $t3, $t0, $t2  # d2 rs... d1 rt")
+		e.f("\tor $t4, $t3, $t1")
+		e.store("$t1")
+		e.store("$t2")
+		e.store("$t3")
+		e.store("$t4")
+		_ = i
+	}
+
+	// Writeback-distance chain with an independent instruction between
+	// producer and consumer: exercises the W-stage bypass specifically.
+	e.f("\t# FWD writeback-stage bypass (producer, filler, consumer)")
+	e.f("\tli $t0, 0x0F0F0F0F")
+	e.f("\taddiu $t1, $t0, 0x111")
+	e.f("\tli $t6, 0          # filler: no dependence")
+	e.f("\taddu $t2, $t1, $t1")
+	e.store("$t2")
+
+	// $0 must never forward: a producer targeting $zero followed by a $zero
+	// consumer checks the nonzero-address guard in the bypass comparators.
+	e.f("\t# FWD zero-register guard")
+	e.f("\taddu $zero, $t0, $t0")
+	e.f("\taddu $t3, $zero, $zero")
+	e.store("$t3")
+
+	// Load-use at distance 1 and 2, plus store-data forwarding: a result
+	// computed in the previous instruction is the store operand.
+	e.f("\t# FWD load-use and store-data forwarding")
+	e.f("\tla $t8, %s", l("w"))
+	e.f("\tli $t0, 0x13572468")
+	e.f("\taddiu $t1, $t0, 1   # value to store, forwarded to sw")
+	e.f("\tsw $t1, 0($t8)")
+	e.f("\tlw $t2, 0($t8)")
+	e.f("\taddu $t3, $t2, $t2  # load-use distance 1")
+	e.store("$t3")
+	e.f("\tlw $t4, 0($t8)")
+	e.f("\tli $t6, 0")
+	e.f("\txor $t5, $t4, $t0   # load-use distance 2")
+	e.store("$t5")
+
+	// Branch conditions on just-computed values: the comparator consumes a
+	// forwarded operand, and the store in the delay slot observes it.
+	e.f("\t# FWD branch-condition forwarding")
+	e.f("\tli $t7, 0")
+	e.f("\taddiu $t0, $zero, 5")
+	e.f("\taddiu $t1, $t0, 0   # equal value, distance 1")
+	e.f("\tbeq $t0, $t1, %s", l("beq1"))
+	e.f("\taddiu $t7, $t7, 1")
+	e.f("\tli $t7, 0xbad")
+	e.f("%s:", l("beq1"))
+	e.f("\tsubu $t2, $t0, $t1  # zero, distance 1")
+	e.f("\tbne $t2, $zero, %s", l("bad"))
+	e.f("\taddiu $t7, $t7, 2")
+	e.f("\tb %s", l("bq2"))
+	e.f("\tnop")
+	e.f("%s:", l("bad"))
+	e.f("\tli $t7, 0xbad")
+	e.f("%s:", l("bq2"))
+	e.store("$t7")
+
+	// Link-register consumption immediately after linking.
+	e.f("\t# FWD link-value forwarding")
+	e.f("\tjal %s", l("sub"))
+	e.f("\tnop")
+	e.f("\tb %s", l("after"))
+	e.f("\tnop")
+	e.f("%s:", l("sub"))
+	e.f("\taddiu $t4, $ra, 4   # consume $ra right after jal wrote it")
+	e.f("\tjr $ra")
+	e.f("\tnop")
+	e.f("%s:", l("after"))
+	e.store("$t4")
+
+	if !opts.NoMulDiv {
+		// HI/LO moves feeding dependent consumers through the bypass.
+		e.f("\t# FWD mfhi/mflo consumers")
+		e.f("\tli $t0, 0x9abc")
+		e.f("\tli $t1, 0x0123")
+		e.f("\tmult $t0, $t1")
+		e.f("\tmflo $t2")
+		e.f("\taddu $t3, $t2, $t2  # consume mflo result at distance 1")
+		e.store("$t3")
+	}
+
+	e.df("%s:", l("w"))
+	e.df("\t.space 4")
+	return e.routine("FWD", PhaseC)
+}
+
+// routineGenerators maps component names to their routine generators. Most
+// routines are inherently single-component and ignore the options; the
+// hidden-component routines adapt to the inventory (no mul/div sequences on
+// multiplier-less cores).
+var routineGenerators = map[string]func(RoutineOptions) Routine{
+	"RegF":  func(RoutineOptions) Routine { return RegFileRoutine() },
+	"MulD":  func(RoutineOptions) Routine { return MulDivRoutine() },
+	"ALU":   func(RoutineOptions) Routine { return ALURoutine() },
+	"BSH":   func(RoutineOptions) Routine { return ShifterRoutine() },
+	"MCTRL": func(RoutineOptions) Routine { return MemCtrlRoutine() },
+	"PCL":   func(RoutineOptions) Routine { return PCLRoutine() },
+	"PLN":   pipelineRoutine,
+	"FWD":   forwardingRoutine,
 }
 
 // HasRoutine reports whether the library holds a dedicated routine for the

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/plasma"
+	"repro/internal/synth"
+)
+
+// TestVariantInventoriesSelfConsistent regenerates the component inventory
+// and test-priority table for every core-ladder variant and asserts the
+// paper's invariants hold on each: the netlist's component regions match
+// the variant's declared inventory, every gate is tagged into a region that
+// appears in the classification, and the priority order follows the cost
+// model (class first, then descending gate count).
+func TestVariantInventoriesSelfConsistent(t *testing.T) {
+	for _, v := range plasma.Variants() {
+		v := v
+		t.Run(v.Name(), func(t *testing.T) {
+			cpu, err := v.Build(synth.NativeLib{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := cpu.Netlist.CompNames, v.Components(); len(got) != len(want) {
+				t.Fatalf("netlist has %d component regions %v, variant declares %v", len(got), got, want)
+			} else {
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("component region %d = %s, variant declares %s", i, got[i], want[i])
+					}
+				}
+			}
+
+			comps := ClassifyNetlist(cpu.Netlist)
+			perComp, total := cpu.Netlist.GateCount()
+			var sum float64
+			for i, c := range comps {
+				if c.GateCount <= 0 {
+					t.Errorf("component %s has no gates", c.Name)
+				}
+				if c.GateCount != perComp[i] {
+					t.Errorf("component %s gate count %v != netlist %v", c.Name, c.GateCount, perComp[i])
+				}
+				sum += c.GateCount
+			}
+			if sum != total {
+				t.Errorf("classified gates %v != netlist total %v: untagged gates", sum, total)
+			}
+
+			// Variant-specific classifications.
+			byName := map[string]Class{}
+			for _, c := range comps {
+				byName[c.Name] = c.Class
+			}
+			if v.Name() == plasma.VariantFwd5 {
+				if cl, ok := byName["FWD"]; !ok || cl != Hidden {
+					t.Errorf("FWD classified %v, want Hidden", cl)
+				}
+			}
+			if v.Name() == plasma.VariantNoMul {
+				if _, ok := byName["MulD"]; ok {
+					t.Error("nomul inventory contains MulD")
+				}
+			}
+
+			// Priority table: classes ascend, sizes descend within a class.
+			order := Prioritize(comps)
+			if order[0].Name != "RegF" {
+				t.Errorf("highest-priority component = %s, want RegF", order[0].Name)
+			}
+			for i := 1; i < len(order); i++ {
+				prev, cur := order[i-1], order[i]
+				if cur.Class < prev.Class {
+					t.Errorf("class order violated at %s", cur.Name)
+				}
+				if cur.Class == prev.Class && cur.GateCount > prev.GateCount {
+					t.Errorf("size order violated: %s (%v) after %s (%v)",
+						cur.Name, cur.GateCount, prev.Name, prev.GateCount)
+				}
+			}
+		})
+	}
+}
+
+// TestVariantSelfTestGeneration generates the full Phase A+B+C self-test
+// for each variant inventory and asserts the routine set adapts: the fwd5
+// program gains an FWD routine, the nomul program drops MulD and contains
+// no mul/div opcode anywhere (the golden model enforces this during the
+// build measurement — reaching a cycle count proves it ran clean).
+func TestVariantSelfTestGeneration(t *testing.T) {
+	for _, v := range plasma.Variants() {
+		v := v
+		t.Run(v.Name(), func(t *testing.T) {
+			cpu, err := v.Build(synth.NativeLib{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			comps := ClassifyNetlist(cpu.Netlist)
+			st, err := GenerateSelfTest(comps, PhaseC)
+			if err != nil {
+				t.Fatal(err)
+			}
+			routines := map[string]bool{}
+			for _, r := range st.Routines {
+				routines[r.Component] = true
+			}
+			switch v.Name() {
+			case plasma.VariantBase:
+				for _, want := range []string{"RegF", "MulD", "ALU", "BSH", "MCTRL", "PCL", "PLN"} {
+					if !routines[want] {
+						t.Errorf("base self-test missing %s routine", want)
+					}
+				}
+				if routines["FWD"] {
+					t.Error("base self-test has an FWD routine without an FWD component")
+				}
+			case plasma.VariantFwd5:
+				if !routines["FWD"] {
+					t.Error("fwd5 self-test missing the FWD routine")
+				}
+				if !routines["MulD"] {
+					t.Error("fwd5 self-test missing the MulD routine")
+				}
+			case plasma.VariantNoMul:
+				if routines["MulD"] {
+					t.Error("nomul self-test contains a MulD routine")
+				}
+				if !routines["PLN"] {
+					t.Error("nomul self-test missing the PLN routine")
+				}
+			}
+			if st.Cycles == 0 || st.Words == 0 {
+				t.Fatalf("degenerate self-test: %d cycles, %d words", st.Cycles, st.Words)
+			}
+			t.Logf("%s: %d routines, %d words, %d cycles", v.Name(), len(st.Routines), st.Words, st.Cycles)
+		})
+	}
+}
+
+// TestOptionsFor pins the inventory-driven option derivation.
+func TestOptionsFor(t *testing.T) {
+	with := []Component{{Name: "ALU"}, {Name: "MulD"}}
+	without := []Component{{Name: "ALU"}, {Name: "PLN"}}
+	if OptionsFor(with).NoMulDiv {
+		t.Error("inventory with MulD derived NoMulDiv")
+	}
+	if !OptionsFor(without).NoMulDiv {
+		t.Error("inventory without MulD kept mul/div sequences")
+	}
+}
+
+// TestForwardingRoutineResponses runs the FWD routine on the golden model
+// and checks its sentinel responses: no 0xbad markers (control flow and
+// forwarding-dependent comparisons all resolved correctly).
+func TestForwardingRoutineResponses(t *testing.T) {
+	cpu, st := runRoutine(t, ForwardingRoutine())
+	for i := 0; i < st.RespWords; i++ {
+		if got := resp(cpu, i); got == 0xbad {
+			t.Fatalf("forwarding routine response %d = %#x", i, got)
+		}
+	}
+}
+
+// TestPipelineRoutineNoMulDiv asserts the multiplier-less flavor has no
+// HI/LO opcodes and still executes cleanly under the NoMulDiv golden model.
+func TestPipelineRoutineNoMulDiv(t *testing.T) {
+	r := pipelineRoutine(RoutineOptions{NoMulDiv: true})
+	for _, op := range []string{"mult", "div", "mfhi", "mflo", "mthi", "mtlo"} {
+		if containsOpcode(r.Code, op) {
+			t.Fatalf("NoMulDiv pipeline routine contains %s", op)
+		}
+	}
+	st, err := BuildProgram([]Routine{r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cycles == 0 {
+		t.Fatal("empty measurement")
+	}
+}
+
+// containsOpcode reports whether asm text uses the given mnemonic as an
+// instruction (first field of a line).
+func containsOpcode(code, op string) bool {
+	for _, line := range splitLines(code) {
+		f := fields(line)
+		if len(f) > 0 && f[0] == op {
+			return true
+		}
+	}
+	return false
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+func fields(s string) []string {
+	var out []string
+	cur := ""
+	for _, r := range s {
+		if r == ' ' || r == '\t' || r == ',' {
+			if cur != "" {
+				out = append(out, cur)
+				cur = ""
+			}
+			continue
+		}
+		cur += string(r)
+	}
+	if cur != "" {
+		out = append(out, cur)
+	}
+	return out
+}

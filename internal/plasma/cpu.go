@@ -1,13 +1,17 @@
-// Package plasma builds the gate-level Plasma/MIPS CPU core: a 3-stage
-// (fetch / execute / memory-pause) pipeline implementing the MIPS I subset
-// in internal/isa, assembled from the component generators in
-// internal/synth and tagged with the component regions of Table 2 of the
-// paper (RegF, MulD, ALU, BSH, MCTRL, PCL, CTRL, BMUX, PLN, glue).
+// Package plasma builds the gate-level Plasma/MIPS CPU core variants: the
+// default 3-stage (fetch / execute / memory-pause) pipeline implementing
+// the MIPS I subset in internal/isa, a 5-stage pipeline with operand
+// forwarding (see fwd5.go), and a multiplier-less configuration — all
+// assembled from the component generators in internal/synth and tagged
+// with the component regions of Table 2 of the paper (RegF, MulD, ALU,
+// BSH, MCTRL, PCL, CTRL, BMUX, PLN, glue; the forwarding variant adds
+// FWD). The variant factory lives in variant.go.
 //
-// The core has a single shared memory port: on normal cycles it fetches the
-// next instruction at PC; a load/store occupies the bus for one extra data
-// cycle (the Plasma "memory pause"). Multiply/divide run in the sequential
-// MulD unit; instructions that touch HI/LO stall while it is busy.
+// Every core has a single shared memory port: on normal cycles it fetches
+// the next instruction at PC; a load/store occupies the bus for one extra
+// data cycle (the Plasma "memory pause"). Multiply/divide run in the
+// sequential MulD unit; instructions that touch HI/LO stall while it is
+// busy.
 //
 // Primary outputs are exactly the memory bus (address, write data, write
 // strobes, access kind): the fault-observation points.
@@ -36,31 +40,61 @@ type CPU struct {
 	Netlist *gate.Netlist
 	Lib     synth.Library
 
+	// Variant names the micro-architecture this core was built from (a
+	// Variant.Name(); "base" for the default 3-stage core). It is part of
+	// the cache identity of the core and everything derived from it.
+	Variant string
+
 	PC synth.Bus
 	IR synth.Bus
-	Hi synth.Bus
-	Lo synth.Bus
+	Hi synth.Bus // nil on multiplier-less variants
+	Lo synth.Bus // nil on multiplier-less variants
 
 	MemCycle gate.Sig
 	Busy     gate.Sig
 }
 
-// Build synthesizes the CPU with the given technology library.
+// Build synthesizes the default 3-stage CPU with the given technology
+// library (the "base" variant).
 func Build(lib synth.Library) (*CPU, error) {
-	c := synth.NewCtx("plasma", lib)
+	return buildSingleIssue("plasma", VariantBase, lib, true)
+}
+
+// buildNoMul synthesizes the multiplier-less configuration: the same
+// 3-stage core with the MulD unit and the HI/LO instruction group removed.
+// Multiply/divide and HI/LO opcodes decode as reserved no-ops; test
+// programs for this variant must not use them (the ISS reference rejects
+// them when sim.CPU.NoMulDiv is set, so generation catches violations).
+func buildNoMul(lib synth.Library) (*CPU, error) {
+	return buildSingleIssue("plasma-nomul", VariantNoMul, lib, false)
+}
+
+// buildSingleIssue synthesizes the 3-stage core. withMul gates the MulD
+// unit and its decode/stall/result plumbing; with it true the emitted gate
+// sequence is exactly the historical base core (the base netlist hash must
+// not change), with it false the multiplier-less variant.
+func buildSingleIssue(netName, variant string, lib synth.Library, withMul bool) (*CPU, error) {
+	c := synth.NewCtx(netName, lib)
 	b := c.B
 
 	rdata := synth.Bus(b.InputBus(PortRData, 32))
 
 	// Forward wires across component build order.
-	busyW := b.Wire()      // MulD busy flag
+	var busyW gate.Sig // MulD busy flag
+	if withMul {
+		busyW = b.Wire()
+	}
 	dataCycleW := b.Wire() // current cycle is a load/store data access
 
 	// ---------------- PLN: pipeline register (IR) ----------------
 	b.BeginComponent("PLN")
 	ir := c.RegBusPlaceholder(32)
-	stallW := b.Wire() // HI/LO access stall while MulD busy
-	hold := c.Or(stallW, dataCycleW)
+	hold := dataCycleW
+	var stallW gate.Sig // HI/LO access stall while MulD busy
+	if withMul {
+		stallW = b.Wire()
+		hold = c.Or(stallW, dataCycleW)
+	}
 	c.ConnectRegBus(ir, c.MuxBus(rdata, ir, hold))
 
 	// Instruction fields (pure wiring).
@@ -91,14 +125,18 @@ func Build(lib synth.Library) (*CPU, error) {
 	shiftArith := f0
 	spJr := c.AndN(opSpecial, nf5, nf4, f3, nf2, nf1, nf0)  // 0x08
 	spJalr := c.AndN(opSpecial, nf5, nf4, f3, nf2, nf1, f0) // 0x09
-	hiLoGrp := c.AndN(opSpecial, nf5, f4, nf3, nf2)         // 0x10-0x13
-	mfhi := c.AndN(hiLoGrp, nf1, nf0)
-	mthi := c.AndN(hiLoGrp, nf1, f0)
-	mflo := c.AndN(hiLoGrp, f1, nf0)
-	mtlo := c.AndN(hiLoGrp, f1, f0)
-	multDiv := c.AndN(opSpecial, nf5, f4, f3, nf2) // 0x18-0x1b
-	mdDiv := f1
-	mdSigned := nf0
+	var hiLoGrp, mfhi, mthi, mflo, mtlo, multDiv gate.Sig
+	var mdDiv, mdSigned gate.Sig
+	if withMul {
+		hiLoGrp = c.AndN(opSpecial, nf5, f4, nf3, nf2) // 0x10-0x13
+		mfhi = c.AndN(hiLoGrp, nf1, nf0)
+		mthi = c.AndN(hiLoGrp, nf1, f0)
+		mflo = c.AndN(hiLoGrp, f1, nf0)
+		mtlo = c.AndN(hiLoGrp, f1, f0)
+		multDiv = c.AndN(opSpecial, nf5, f4, f3, nf2) // 0x18-0x1b
+		mdDiv = f1
+		mdSigned = nf0
+	}
 	aluR := c.And(opSpecial, f5) // 0x20-0x2b
 
 	rSub := c.AndN(aluR, nf3, nf2, f1)
@@ -150,21 +188,35 @@ func Build(lib synth.Library) (*CPU, error) {
 	}
 
 	// Register write destination and enable.
-	wrR := c.OrN(aluR, isShift, mfhi, mflo, spJalr)
+	var wrR gate.Sig
+	if withMul {
+		wrR = c.OrN(aluR, isShift, mfhi, mflo, spJalr)
+	} else {
+		wrR = c.OrN(aluR, isShift, spJalr)
+	}
 	wrLink31 := c.Or(jLink, rimmLink)
 	regWrite := c.OrN(wrR, immGrp, isLoad, wrLink31)
 	waddr := c.MuxBus(synth.Bus(rtF), synth.Bus(rdF), wrR)
 	waddr = c.OrBus(waddr, c.Repeat(wrLink31, 5))
 
-	stall := c.And(c.OrN(multDiv, hiLoGrp), busyW)
-	b.DriveWire(stallW, stall)
-	notBusy := c.Not(busyW)
-	mdStart := multDiv
-	mdSetHi := c.And(mthi, notBusy)
-	mdSetLo := c.And(mtlo, notBusy)
+	var stall, mdStart, mdSetHi, mdSetLo gate.Sig
+	if withMul {
+		stall = c.And(c.OrN(multDiv, hiLoGrp), busyW)
+		b.DriveWire(stallW, stall)
+		notBusy := c.Not(busyW)
+		mdStart = multDiv
+		mdSetHi = c.And(mthi, notBusy)
+		mdSetLo = c.And(mtlo, notBusy)
+	}
 
+	var wrMain gate.Sig
+	if withMul {
+		wrMain = c.AndN(regWrite, c.Not(isMem), c.Not(stall))
+	} else {
+		wrMain = c.AndN(regWrite, c.Not(isMem))
+	}
 	wen := c.Or(
-		c.AndN(regWrite, c.Not(isMem), c.Not(stall)),
+		wrMain,
 		c.And(isLoad, dataCycleW),
 	)
 
@@ -199,9 +251,12 @@ func Build(lib synth.Library) (*CPU, error) {
 	shiftOut := c.BarrelShifter(rtVal, shAmt, shiftRight, shiftArith)
 
 	// ---------------- MulD: multiplier/divider ----------------
-	b.BeginComponent("MulD")
-	md := c.MulDiv(rsVal, rtVal, mdStart, mdDiv, mdSigned, mdSetHi, mdSetLo)
-	b.DriveWire(busyW, md.Busy)
+	var md synth.MulDivUnit
+	if withMul {
+		b.BeginComponent("MulD")
+		md = c.MulDiv(rsVal, rtVal, mdStart, mdDiv, mdSigned, mdSetHi, mdSetLo)
+		b.DriveWire(busyW, md.Busy)
+	}
 
 	// ---------------- MCTRL: memory controller ----------------
 	b.BeginComponent("MCTRL")
@@ -288,8 +343,10 @@ func Build(lib synth.Library) (*CPU, error) {
 	// ---------------- BMUX: result bus ----------------
 	b.SetComponent(bmuxID)
 	result := c.MuxBus(aluOut, shiftOut, isShift)
-	result = c.MuxBus(result, md.Hi, mfhi)
-	result = c.MuxBus(result, md.Lo, mflo)
+	if withMul {
+		result = c.MuxBus(result, md.Hi, mfhi)
+		result = c.MuxBus(result, md.Lo, mflo)
+	}
 	result = c.MuxBus(result, loadData, isLoad)
 	result = c.MuxBus(result, pcPlus4, isLink)
 	c.DriveBus(wdataW, result)
@@ -305,12 +362,15 @@ func Build(lib synth.Library) (*CPU, error) {
 	cpu := &CPU{
 		Netlist:  b.N,
 		Lib:      lib,
+		Variant:  variant,
 		PC:       pc,
 		IR:       ir,
-		Hi:       md.Hi,
-		Lo:       md.Lo,
 		MemCycle: memCycle,
-		Busy:     md.Busy,
+	}
+	if withMul {
+		cpu.Hi, cpu.Lo, cpu.Busy = md.Hi, md.Lo, md.Busy
+	} else {
+		cpu.Busy = b.Const0() // memoized: referenced by the branch offset above
 	}
 	if err := b.N.Validate(); err != nil {
 		return nil, fmt.Errorf("plasma: built netlist invalid: %w", err)

@@ -1,0 +1,67 @@
+package plasma
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+// fuzzCores builds the non-base ladder variants once per test binary; the
+// differential fuzzer runs every input on all of them.
+var (
+	fuzzOnce  sync.Once
+	fuzzCores []*CPU
+	fuzzErr   error
+)
+
+func getFuzzCores(t *testing.T) []*CPU {
+	t.Helper()
+	fuzzOnce.Do(func() {
+		for _, name := range []string{VariantFwd5, VariantNoMul} {
+			cpu, err := BuildVariant(name, synth.NativeLib{})
+			if err != nil {
+				fuzzErr = err
+				return
+			}
+			fuzzCores = append(fuzzCores, cpu)
+		}
+	})
+	if fuzzErr != nil {
+		t.Fatal(fuzzErr)
+	}
+	return fuzzCores
+}
+
+// FuzzVariantVsISS is the differential fuzzer across the core ladder: a
+// seed-derived random program (straight-line or structured with loops,
+// branches and a subroutine) runs on each gate-level variant and on the
+// instruction-set simulator, and the two must agree on the complete bus
+// event sequence (cycle stamps excluded — variants time differently), the
+// final memory image, and the register file (dumped to memory by the
+// program's epilogue). Multiplier traffic is excluded on the nomul core,
+// where mul/div opcodes are reserved; branches never carry control-flow
+// instructions in their delay slots, by construction of the generators.
+//
+// The f.Add corpus below runs as ordinary seed tests under plain
+// `go test`; `go test -fuzz=FuzzVariantVsISS ./internal/plasma` explores
+// beyond it.
+func FuzzVariantVsISS(f *testing.F) {
+	for _, seed := range []int64{1, 7, 42, 99, 777, 31337} {
+		f.Add(seed, false)
+		f.Add(seed, true)
+	}
+	f.Fuzz(func(t *testing.T, seed int64, structured bool) {
+		for _, cpu := range getFuzzCores(t) {
+			rng := rand.New(rand.NewSource(seed))
+			var src string
+			if structured {
+				src = randomLoopProgram(rng, int(uint16(seed)))
+			} else {
+				src = randomProgramMulDiv(rng, 90, cpu.Variant != VariantNoMul)
+			}
+			coSimLoose(t, cpu, src)
+		}
+	})
+}

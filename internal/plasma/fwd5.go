@@ -1,0 +1,363 @@
+package plasma
+
+import (
+	"fmt"
+
+	"repro/internal/synth"
+)
+
+// buildFwd5 synthesizes the 5-stage forwarding variant: instruction fetch,
+// decode/operand-read (D), execute (X, which also owns the memory data
+// cycle), and a registered writeback stage (W), with a full operand
+// forwarding network in place of the base core's single-instruction-in-
+// flight execution.
+//
+// Pipeline state:
+//
+//	IF:  pc
+//	D:   irD/validD/pcD — the decoded instruction and its address
+//	X:   irX/validX/pcX plus latched operands opA/opB
+//	W:   wenW/waddrW/wvalW — the registered register-file write port
+//
+// Operands are read in D (register file plus forwarding muxes) and latch
+// into opA/opB as the instruction advances into X, exactly when the X
+// instruction's result is final (ALU output, HI/LO after a stall, or load
+// data on its bus cycle), so a one-deep bypass from X plus a bypass from W
+// covers every hazard distance with no load-use interlock beyond the bus
+// structural bubble. Branches and jumps resolve in X; the delay slot
+// (already in D, or being fetched) proceeds, and the one younger fetch is
+// squashed — a taken control transfer costs one bubble, unlike the base
+// core's zero. Memory instructions own the bus for one data cycle in X,
+// displacing that cycle's fetch (same structural hazard as the base core).
+//
+// The forwarding comparators and bypass muxes are tagged FWD — a hidden
+// component (Phase C) new to this variant; the pipeline registers and the
+// advance/squash control are tagged PLN.
+func buildFwd5(lib synth.Library) (*CPU, error) {
+	c := synth.NewCtx("plasma-fwd5", lib)
+	b := c.B
+
+	rdata := synth.Bus(b.InputBus(PortRData, 32))
+
+	// Forward wires across component build order.
+	busyW := b.Wire()         // MulD busy flag
+	dataCycleW := b.Wire()    // X owns the bus for a load/store this cycle
+	advanceW := b.Wire()      // X completes and accepts from D this cycle
+	fetchIntoW := b.Wire()    // the fetched word latches into D this cycle
+	redirectW := b.Wire()     // X resolves a taken branch or jump
+	takenW := b.Wire()        // conditional branch in X is taken
+	resultXW := c.WireBus(32) // X writeback value (driven by the result mux)
+
+	// ---------------- PLN: pipeline registers ----------------
+	plnID := b.BeginComponent("PLN")
+	irD := c.RegBusPlaceholder(32)
+	validD := b.DFFPlaceholder()
+	pcD := c.RegBusPlaceholder(32)
+	irX := c.RegBusPlaceholder(32)
+	validX := b.DFFPlaceholder()
+	pcX := c.RegBusPlaceholder(32)
+	opA := c.RegBusPlaceholder(32)
+	opB := c.RegBusPlaceholder(32)
+	wenW := b.DFFPlaceholder()
+	waddrW := c.RegBusPlaceholder(5)
+	wvalW := c.RegBusPlaceholder(32)
+
+	// D-stage register source fields (pure wiring).
+	rsD := synth.Bus(irD[21:26])
+	rtD := synth.Bus(irD[16:21])
+
+	// X-stage instruction fields.
+	op := irX[26:32]
+	rtF := irX[16:21]
+	rdF := irX[11:16]
+	shamt := irX[6:11]
+	funct := irX[0:6]
+	imm := irX[0:16]
+
+	// ---------------- CTRL: instruction decoder (X stage) ----------------
+	b.BeginComponent("CTRL")
+	opN := c.NotBus(op)
+	fnN := c.NotBus(funct)
+	f0, f1, f2, f3, f4, f5 := funct[0], funct[1], funct[2], funct[3], funct[4], funct[5]
+	nf0, nf1, nf2, nf3, nf4, nf5 := fnN[0], fnN[1], fnN[2], fnN[3], fnN[4], fnN[5]
+	o0, o1, o2, o3, o5 := op[0], op[1], op[2], op[3], op[5]
+	no0, no1, no2, no3, no4, no5 := opN[0], opN[1], opN[2], opN[3], opN[4], opN[5]
+
+	opSpecial := c.AndN(no5, no4, no3, no2, no1, no0)
+	opRegimm := c.AndN(no5, no4, no3, no2, no1, o0)
+
+	isShift := c.AndN(opSpecial, nf5, nf4, nf3)
+	shiftVar := c.And(isShift, f2)
+	shiftRight := f1
+	shiftArith := f0
+	spJr := c.AndN(opSpecial, nf5, nf4, f3, nf2, nf1, nf0)
+	spJalr := c.AndN(opSpecial, nf5, nf4, f3, nf2, nf1, f0)
+	hiLoGrp := c.AndN(opSpecial, nf5, f4, nf3, nf2)
+	mfhi := c.AndN(hiLoGrp, nf1, nf0)
+	mthi := c.AndN(hiLoGrp, nf1, f0)
+	mflo := c.AndN(hiLoGrp, f1, nf0)
+	mtlo := c.AndN(hiLoGrp, f1, f0)
+	multDiv := c.AndN(opSpecial, nf5, f4, f3, nf2)
+	mdDiv := f1
+	mdSigned := nf0
+	aluR := c.And(opSpecial, f5)
+
+	rSub := c.AndN(aluR, nf3, nf2, f1)
+	rAnd := c.AndN(aluR, nf3, f2, nf1, nf0)
+	rOr := c.AndN(aluR, nf3, f2, nf1, f0)
+	rXor := c.AndN(aluR, nf3, f2, f1, nf0)
+	rNor := c.AndN(aluR, nf3, f2, f1, f0)
+	rSlt := c.AndN(aluR, f3, f1, nf0)
+	rSltu := c.AndN(aluR, f3, f1, f0)
+
+	immGrp := c.AndN(no5, no4, o3)
+	iSlt := c.AndN(immGrp, no2, o1, no0)
+	iSltu := c.AndN(immGrp, no2, o1, o0)
+	iAnd := c.AndN(immGrp, o2, no1, no0)
+	iOr := c.AndN(immGrp, o2, no1, o0)
+	iXor := c.AndN(immGrp, o2, o1, no0)
+	isLui := c.AndN(immGrp, o2, o1, o0)
+	zeroExtImm := c.OrN(iAnd, iOr, iXor)
+
+	isMem := o5
+	isStore := c.And(o5, o3)
+	isLoad := c.And(o5, c.Not(o3))
+	memHalf := c.And(o0, c.Not(o1))
+	memWord := o1
+	loadUnsigned := o2
+
+	brOp := c.AndN(no5, no4, no3, o2)
+	jOp := c.AndN(no5, no4, no3, no2, o1)
+	jLink := c.And(jOp, o0)
+	rimmGez := rtF[0]
+	rimmLink := c.And(opRegimm, rtF[4])
+	isLink := c.OrN(jLink, spJalr, rimmLink)
+
+	selSub := rSub
+	selAnd := c.Or(rAnd, iAnd)
+	selOr := c.Or(rOr, iOr)
+	selXor := c.Or(rXor, iXor)
+	selNor := rNor
+	selSlt := c.Or(rSlt, iSlt)
+	selSltu := c.Or(rSltu, iSltu)
+	aluOp := synth.Bus{
+		c.OrN(selSub, selOr, selNor, selSltu),
+		c.OrN(selAnd, selOr, selSlt, selSltu),
+		c.OrN(selXor, selNor, selSlt, selSltu),
+	}
+
+	wrR := c.OrN(aluR, isShift, mfhi, mflo, spJalr)
+	wrLink31 := c.Or(jLink, rimmLink)
+	regWrite := c.OrN(wrR, immGrp, isLoad, wrLink31)
+	waddrX := c.MuxBus(synth.Bus(rtF), synth.Bus(rdF), wrR)
+	waddrX = c.OrBus(waddrX, c.Repeat(wrLink31, 5))
+
+	// HI/LO interlock: the instruction waits in X while MulD is busy. All
+	// side effects below are gated by validX so bubbles are inert.
+	stallX := c.AndN(validX, c.OrN(multDiv, hiLoGrp), busyW)
+	notBusy := c.Not(busyW)
+	mdStart := c.And(validX, multDiv)
+	mdSetHi := c.AndN(validX, mthi, notBusy)
+	mdSetLo := c.AndN(validX, mtlo, notBusy)
+
+	// ---------------- RegF: register file ----------------
+	b.BeginComponent("RegF")
+	rsVal, rtVal := c.RegFile(waddrW, wvalW, wenW, rsD, rtD)
+
+	// ---------------- FWD: forwarding network + pipeline control ----------
+	b.BeginComponent("FWD")
+	// Bypass priority: the completing X instruction (newest), then the
+	// registered writeback, then the register file. $0 never forwards.
+	bypassX := c.And(validX, regWrite)
+	nzX := c.OrN(waddrX...)
+	nzW := c.OrN(waddrW...)
+	fwdAselX := c.AndN(bypassX, nzX, c.EqBus(waddrX, rsD))
+	fwdAselW := c.AndN(wenW, nzW, c.EqBus(waddrW, rsD))
+	fwdA := c.MuxBus(rsVal, wvalW, fwdAselW)
+	fwdA = c.MuxBus(fwdA, resultXW, fwdAselX)
+	fwdBselX := c.AndN(bypassX, nzX, c.EqBus(waddrX, rtD))
+	fwdBselW := c.AndN(wenW, nzW, c.EqBus(waddrW, rtD))
+	fwdB := c.MuxBus(rtVal, wvalW, fwdBselW)
+	fwdB = c.MuxBus(fwdB, resultXW, fwdBselX)
+
+	// Pipeline advance: X completes unless interlocked on MulD, or it is a
+	// memory instruction still waiting for its bus cycle.
+	advance := c.Or(c.Not(validX), c.AndN(c.Not(stallX), c.Or(c.Not(isMem), dataCycleW)))
+	b.DriveWire(advanceW, advance)
+	// Control transfer resolved in X. The delay slot — already in D, or
+	// the very word being fetched when D is a bubble — proceeds; only a
+	// younger fetch is squashed.
+	redirect := c.And(validX, c.OrN(takenW, jOp, spJr, spJalr))
+	b.DriveWire(redirectW, redirect)
+	fetchInto := c.And(c.Not(dataCycleW), c.Or(advance, c.Not(validD)))
+	b.DriveWire(fetchIntoW, fetchInto)
+	squash := c.And(redirect, validD)
+
+	// ---------------- BMUX: operand selection (X stage) ----------------
+	bmuxID := b.BeginComponent("BMUX")
+	notLui := c.Not(isLui)
+	signSel := c.Not(c.Or(zeroExtImm, isLui))
+	signFill := c.And(imm[15], signSel)
+	immExt := make(synth.Bus, 32)
+	for i := 0; i < 16; i++ {
+		immExt[i] = c.And(imm[i], notLui)
+	}
+	for i := 16; i < 32; i++ {
+		immExt[i] = c.Mux(signFill, imm[i-16], isLui)
+	}
+	useImm := c.Or(immGrp, isMem)
+	aluA := c.AndBus(opA, c.Repeat(notLui, 32))
+	aluB := c.MuxBus(opB, immExt, useImm)
+	shAmt := c.MuxBus(synth.Bus(shamt), opA[0:5], shiftVar)
+
+	// ---------------- ALU ----------------
+	b.BeginComponent("ALU")
+	aluOut := c.ALU(aluA, aluB, aluOp)
+
+	// ---------------- BSH: barrel shifter ----------------
+	b.BeginComponent("BSH")
+	shiftOut := c.BarrelShifter(opB, shAmt, shiftRight, shiftArith)
+
+	// ---------------- MulD: multiplier/divider ----------------
+	b.BeginComponent("MulD")
+	md := c.MulDiv(opA, opB, mdStart, mdDiv, mdSigned, mdSetHi, mdSetLo)
+	b.DriveWire(busyW, md.Busy)
+
+	// ---------------- MCTRL: memory controller ----------------
+	b.BeginComponent("MCTRL")
+	memCycle := b.DFFPlaceholder()
+	memOpX := c.And(validX, isMem)
+	dataCycle := c.And(memOpX, c.Not(memCycle))
+	b.ConnectD(memCycle, dataCycle)
+	b.DriveWire(dataCycleW, dataCycle)
+
+	a0, a1 := aluOut[0], aluOut[1]
+	na0, na1 := c.Not(a0), c.Not(a1)
+	lane3 := c.And(na1, na0)
+	lane2 := c.And(na1, a0)
+	lane1 := c.And(a1, na0)
+	lane0 := c.And(a1, a0)
+	strobeByte := synth.Bus{lane0, lane1, lane2, lane3}
+	strobeHalf := synth.Bus{a1, a1, na1, na1}
+	ones4 := synth.Bus{b.Const1(), b.Const1(), b.Const1(), b.Const1()}
+	strobe := c.MuxBus(strobeByte, strobeHalf, memHalf)
+	strobe = c.MuxBus(strobe, ones4, memWord)
+	strobeEn := c.And(isStore, dataCycle)
+	strobe = c.AndBus(strobe, c.Repeat(strobeEn, 4))
+
+	byteRep := make(synth.Bus, 32)
+	halfRep := make(synth.Bus, 32)
+	for i := 0; i < 32; i++ {
+		byteRep[i] = opB[i%8]
+		halfRep[i] = opB[i%16]
+	}
+	wdataOut := c.MuxBus(byteRep, halfRep, memHalf)
+	wdataOut = c.MuxBus(wdataOut, opB, memWord)
+
+	byteOpts := []synth.Bus{rdata[24:32], rdata[16:24], rdata[8:16], rdata[0:8]}
+	byteVal := c.MuxTree(byteOpts, synth.Bus{a0, a1})
+	halfVal := c.MuxBus(rdata[16:32], rdata[0:16], a1)
+	loadSigned := c.Not(loadUnsigned)
+	byteFill := c.And(byteVal[7], loadSigned)
+	halfFill := c.And(halfVal[15], loadSigned)
+	byteExt := append(append(synth.Bus{}, byteVal...), c.Repeat(byteFill, 24)...)
+	halfExt := append(append(synth.Bus{}, halfVal...), c.Repeat(halfFill, 16)...)
+	loadData := c.MuxBus(byteExt, halfExt, memHalf)
+	loadData = c.MuxBus(loadData, rdata, memWord)
+
+	// ---------------- PCL: program counter logic ----------------
+	b.BeginComponent("PCL")
+	pc := c.RegBusPlaceholder(32)
+	pcInc, _ := c.Incrementer(pc[2:32], b.Const1())
+	pcPlus4 := append(synth.Bus{pc[0], pc[1]}, pcInc...)
+
+	// X-relative addresses: the delay slot (pcX+4, the base of branch and
+	// jump targets) and the link value (pcX+8).
+	pcXInc, _ := c.Incrementer(pcX[2:32], b.Const1())
+	pcXp4 := append(synth.Bus{pcX[0], pcX[1]}, pcXInc...)
+	linkInc, _ := c.Incrementer(pcXp4[2:32], b.Const1())
+	linkVal := append(synth.Bus{pcX[0], pcX[1]}, linkInc...)
+
+	brOff := make(synth.Bus, 32)
+	brOff[0], brOff[1] = b.Const0(), b.Const0()
+	for i := 0; i < 16; i++ {
+		brOff[i+2] = imm[i]
+	}
+	for i := 18; i < 32; i++ {
+		brOff[i] = imm[15]
+	}
+	brTarget, _ := c.RippleAdder(pcXp4, brOff, b.Const0())
+
+	jTarget := make(synth.Bus, 32)
+	jTarget[0], jTarget[1] = b.Const0(), b.Const0()
+	for i := 0; i < 26; i++ {
+		jTarget[i+2] = irX[i]
+	}
+	copy(jTarget[28:], pcXp4[28:])
+
+	eq := c.EqBus(opA, opB)
+	rsSign := opA[31]
+	lez := c.Or(rsSign, c.IsZero(opA))
+	brCond := c.MuxTree([]synth.Bus{{eq}, {c.Not(eq)}, {lez}, {c.Not(lez)}}, synth.Bus{o0, o1})[0]
+	rimmCond := c.Mux(rsSign, c.Not(rsSign), rimmGez)
+	taken := c.Or(c.And(brOp, brCond), c.And(opRegimm, rimmCond))
+	b.DriveWire(takenW, taken)
+
+	target := c.MuxBus(brTarget, jTarget, jOp)
+	target = c.MuxBus(target, opA, c.Or(spJr, spJalr))
+	pcNext := c.MuxBus(pc, pcPlus4, fetchIntoW)
+	pcNext = c.MuxBus(pcNext, target, redirectW)
+	c.ConnectRegBus(pc, pcNext)
+
+	// ---------------- BMUX: result bus ----------------
+	b.SetComponent(bmuxID)
+	result := c.MuxBus(aluOut, shiftOut, isShift)
+	result = c.MuxBus(result, md.Hi, mfhi)
+	result = c.MuxBus(result, md.Lo, mflo)
+	result = c.MuxBus(result, loadData, isLoad)
+	result = c.MuxBus(result, linkVal, isLink)
+	c.DriveBus(resultXW, result)
+
+	// ---------------- PLN: pipeline register updates ----------------
+	b.SetComponent(plnID)
+	c.ConnectRegBus(irD, c.MuxBus(irD, rdata, fetchIntoW))
+	b.ConnectD(validD, c.Mux(c.And(validD, c.Not(advanceW)), c.Not(squash), fetchIntoW))
+	c.ConnectRegBus(pcD, c.MuxBus(pcD, pc, fetchIntoW))
+
+	c.ConnectRegBus(irX, c.MuxBus(irX, irD, advanceW))
+	b.ConnectD(validX, c.Mux(validX, validD, advanceW))
+	c.ConnectRegBus(pcX, c.MuxBus(pcX, pcD, advanceW))
+	c.ConnectRegBus(opA, c.MuxBus(opA, fwdA, advanceW))
+	c.ConnectRegBus(opB, c.MuxBus(opB, fwdB, advanceW))
+
+	b.ConnectD(wenW, c.Mux(wenW, c.And(validX, regWrite), advanceW))
+	c.ConnectRegBus(waddrW, c.MuxBus(waddrW, waddrX, advanceW))
+	c.ConnectRegBus(wvalW, c.MuxBus(wvalW, resultXW, advanceW))
+
+	// ---------------- Glue: bus outputs ----------------
+	b.EndComponent()
+	memAddr := c.MuxBus(pc, aluOut, dataCycleW)
+	b.OutputBus(PortAddr, memAddr)
+	b.OutputBus(PortWData, wdataOut)
+	b.OutputBus(PortWStrobe, strobe)
+	b.Output(PortDataAccess, dataCycle)
+
+	cpu := &CPU{
+		Netlist:  b.N,
+		Lib:      lib,
+		Variant:  VariantFwd5,
+		PC:       pc,
+		IR:       irX,
+		Hi:       md.Hi,
+		Lo:       md.Lo,
+		MemCycle: memCycle,
+		Busy:     md.Busy,
+	}
+	if err := b.N.Validate(); err != nil {
+		return nil, fmt.Errorf("plasma: fwd5 netlist invalid: %w", err)
+	}
+	if err := checkNoRDataToOutputPath(b.N); err != nil {
+		return nil, err
+	}
+	return cpu, nil
+}

@@ -142,27 +142,61 @@ func (m *Machine) readBusLane(bus []gate.Sig) uint64 {
 
 // Run executes up to maxCycles cycles, stopping early (and reporting true)
 // once the CPU reaches a jump-to-self steady state: fetch addresses repeat
-// with period <= 2 for several cycles with no data activity and the
+// with a short period for several cycles with no data activity and the
 // multiply/divide unit idle (a mid-stall refetch is not a halt).
+//
+// On the base core a halt loop has fetch period <= 2. The fwd5 pipeline
+// refetches the squashed slot each iteration, so its halt loop has fetch
+// period 3 — but so does an innocent three-instruction delay loop
+// (addiu; bne; nop). Period-3 repetition therefore only counts as a halt
+// when the repeating window fetches an unconditional self-loop word
+// (j/jal-to-self, or beq rs,rs,-1); that check makes the detector
+// conservative — a jr-to-self spin loop is not recognized on period-3
+// variants, and the repo's halt idioms use `j self` or `beq $0,$0,self`.
 func (m *Machine) Run(maxCycles uint64) bool {
-	h0, h1 := uint32(0xFFFFFFFF), uint32(0xFFFFFFFE) // fetch address history
+	// Fetch address history: h1 = two cycles ago, h2 = three cycles ago.
+	h0, h1, h2 := uint32(0xFFFFFFFF), uint32(0xFFFFFFFE), uint32(0xFFFFFFFD)
 	stable := 0
+	selfJmp := false
 	for i := uint64(0); i < maxCycles; i++ {
 		bs := m.Step()
 		busy := m.Sim.SigWord(m.CPU.Busy)&1 != 0
 		if bs.DataAccess || bs.WStrobe != 0 || busy {
-			stable = 0
+			stable, selfJmp = 0, false
 			continue
 		}
-		if bs.Addr == h1 {
+		switch {
+		case bs.Addr == h1: // period <= 2
 			stable++
 			if stable >= 6 {
 				return true
 			}
-		} else {
-			stable = 0
+		case bs.Addr == h2: // period 3
+			if isSelfLoop(m.Mem.Word(bs.Addr&^3), bs.Addr) {
+				selfJmp = true
+			}
+			stable++
+			if stable >= 9 && selfJmp {
+				return true
+			}
+		default:
+			stable, selfJmp = 0, false
 		}
-		h1, h0 = h0, bs.Addr
+		h2, h1, h0 = h1, h0, bs.Addr
+	}
+	return false
+}
+
+// isSelfLoop reports whether word w, fetched from address a, is an
+// unconditional transfer to its own address — the canonical halt
+// instructions: j/jal-to-self, or beq rs,rs with branch offset -1.
+func isSelfLoop(w, a uint32) bool {
+	op := w >> 26
+	if op == 2 || op == 3 {
+		return w&0x03FFFFFF == (a>>2)&0x03FFFFFF
+	}
+	if op == 4 { // beq rs,rt,-1 with rs==rt always loops to itself
+		return w&0xFFFF == 0xFFFF && (w>>21)&31 == (w>>16)&31
 	}
 	return false
 }

@@ -319,6 +319,14 @@ func TestCoSimNandLib(t *testing.T) {
 // randomProgram emits a straight-line random program over r8..r23 with
 // occasional memory traffic and mul/div, ending with a register dump.
 func randomProgram(rng *rand.Rand, n int) string {
+	return randomProgramMulDiv(rng, n, true)
+}
+
+// randomProgramMulDiv is randomProgram with the mul/div traffic optional,
+// so the same generator drives multiplier-less cores. The instruction
+// picker consumes identical randomness either way; only the emitted text
+// differs.
+func randomProgramMulDiv(rng *rand.Rand, n int, allowMulDiv bool) string {
 	reg := func() int { return 8 + rng.Intn(16) }
 	src := "li $fp, 0x3000\n"
 	for r := 8; r < 24; r++ {
@@ -357,14 +365,21 @@ func randomProgram(rng *rand.Rand, n int) string {
 		case 9:
 			md := []string{"mult", "multu", "div", "divu"}[rng.Intn(4)]
 			a, b := reg(), reg()
+			lo, hi := reg(), reg()
+			if !allowMulDiv {
+				// Same randomness consumed, multiplier-free text emitted.
+				src += fmt.Sprintf("xor $%d, $%d, $%d\n", lo, a, b)
+				src += fmt.Sprintf("addu $%d, $%d, $%d\n", hi, a, b)
+				break
+			}
 			if md == "div" || md == "divu" {
 				// Keep divisor nonzero and away from the signed-overflow
 				// pair so ISS and hardware agree by construction.
 				src += fmt.Sprintf("ori $%d, $%d, 3\n", b, b)
 			}
 			src += fmt.Sprintf("%s $%d, $%d\n", md, a, b)
-			src += fmt.Sprintf("mflo $%d\n", reg())
-			src += fmt.Sprintf("mfhi $%d\n", reg())
+			src += fmt.Sprintf("mflo $%d\n", lo)
+			src += fmt.Sprintf("mfhi $%d\n", hi)
 		}
 	}
 	return src + storeAllRegs(0x2000)

@@ -1,0 +1,102 @@
+package plasma
+
+import (
+	"fmt"
+
+	"repro/internal/synth"
+)
+
+// Variant names. These are stable identifiers: they key cache entries and
+// appear in reports, so renaming one orphans cached artifacts.
+const (
+	VariantBase  = "base"  // 3-stage fetch/execute/memory-pause core
+	VariantFwd5  = "fwd5"  // 5-stage pipeline with operand forwarding
+	VariantNoMul = "nomul" // 3-stage core without the MulD unit
+)
+
+// Variant is a Plasma micro-architecture that the self-test methodology is
+// applied to: a named factory for gate-level cores plus the component
+// inventory the synthesis tags. The methodology's claim is that test
+// generation survives micro-architectural change; the variant ladder is
+// how the repo exercises that claim.
+type Variant interface {
+	// Name is the stable variant identifier (part of cache keys).
+	Name() string
+	// Description is a one-line summary for reports.
+	Description() string
+	// Build synthesizes the variant's core with a technology library.
+	Build(lib synth.Library) (*CPU, error)
+	// Components lists the component regions the synthesis tags, in build
+	// order. Classification tests assert the built netlist matches.
+	Components() []string
+}
+
+type variantDef struct {
+	name  string
+	desc  string
+	build func(synth.Library) (*CPU, error)
+	comps []string
+}
+
+func (v *variantDef) Name() string                          { return v.name }
+func (v *variantDef) Description() string                   { return v.desc }
+func (v *variantDef) Build(lib synth.Library) (*CPU, error) { return v.build(lib) }
+func (v *variantDef) Components() []string                  { return append([]string(nil), v.comps...) }
+
+var variants = []*variantDef{
+	{
+		name:  VariantBase,
+		desc:  "3-stage Plasma core (fetch / execute / memory-pause)",
+		build: Build,
+		comps: []string{"GL", "PLN", "CTRL", "RegF", "BMUX", "ALU", "BSH", "MulD", "MCTRL", "PCL"},
+	},
+	{
+		name:  VariantFwd5,
+		desc:  "5-stage pipeline with operand forwarding and branch squash",
+		build: buildFwd5,
+		comps: []string{"GL", "PLN", "CTRL", "RegF", "FWD", "BMUX", "ALU", "BSH", "MulD", "MCTRL", "PCL"},
+	},
+	{
+		name:  VariantNoMul,
+		desc:  "multiplier-less 3-stage core (MulD removed, mul/div reserved)",
+		build: buildNoMul,
+		comps: []string{"GL", "PLN", "CTRL", "RegF", "BMUX", "ALU", "BSH", "MCTRL", "PCL"},
+	},
+}
+
+// Variants returns the core ladder in report order (base first).
+func Variants() []Variant {
+	out := make([]Variant, len(variants))
+	for i, v := range variants {
+		out[i] = v
+	}
+	return out
+}
+
+// VariantByName resolves a variant identifier; nil if unknown.
+func VariantByName(name string) Variant {
+	for _, v := range variants {
+		if v.name == name {
+			return v
+		}
+	}
+	return nil
+}
+
+// VariantNames lists the valid variant identifiers (for CLI usage text).
+func VariantNames() []string {
+	out := make([]string, len(variants))
+	for i, v := range variants {
+		out[i] = v.name
+	}
+	return out
+}
+
+// BuildVariant builds the named variant, erroring on unknown names.
+func BuildVariant(name string, lib synth.Library) (*CPU, error) {
+	v := VariantByName(name)
+	if v == nil {
+		return nil, fmt.Errorf("plasma: unknown variant %q (want one of %v)", name, VariantNames())
+	}
+	return v.Build(lib)
+}

@@ -1,0 +1,233 @@
+package plasma
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/sim"
+	"repro/internal/synth"
+)
+
+// coSimLoose: like coSim but ignores cycle stamps (for variants with
+// different timing).
+func coSimLoose(t *testing.T, cpu *CPU, src string) (*sim.CPU, *Machine) {
+	t.Helper()
+	full := src + "\ncosim_halt__: j cosim_halt__\nnop\n"
+	prog, err := asm.Assemble(full, 0)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	issMem := sim.NewMemory()
+	issMem.LoadProgram(prog)
+	iss := sim.New(issMem, 0)
+	iss.TraceBus = true
+	halted, err := iss.Run(200000)
+	if err != nil {
+		t.Fatalf("ISS: %v", err)
+	}
+	if !halted {
+		t.Fatal("ISS did not halt")
+	}
+	m, gateHalted, err := RunProgram(cpu, prog, iss.Cycle*3+400, true)
+	if err != nil {
+		t.Fatalf("gate machine: %v", err)
+	}
+	if !gateHalted {
+		t.Fatalf("gate CPU (%s) did not halt (ISS took %d cycles); PC=%#x IR=%#x",
+			cpu.Variant, iss.Cycle, m.PCLane(), m.IRLane())
+	}
+	if len(iss.Bus) != len(m.Bus) {
+		max := len(iss.Bus)
+		if len(m.Bus) > max {
+			max = len(m.Bus)
+		}
+		for i := 0; i < max && i < 40; i++ {
+			var a, b interface{}
+			if i < len(iss.Bus) {
+				a = iss.Bus[i]
+			}
+			if i < len(m.Bus) {
+				b = m.Bus[i]
+			}
+			t.Logf("%2d ISS %v  gate %v", i, a, b)
+		}
+		t.Fatalf("bus event count: ISS %d vs gate %d", len(iss.Bus), len(m.Bus))
+	}
+	for i := range iss.Bus {
+		ie, ge := iss.Bus[i], m.Bus[i]
+		if ie.Addr != ge.Addr || ie.Data != ge.Data || ie.Strobe != ge.Strobe || ie.Write != ge.Write {
+			t.Fatalf("bus event %d differs:\nISS:  %v\ngate: %v", i, ie, ge)
+		}
+	}
+	if eq, diff := issMem.Equal(m.Mem); !eq {
+		t.Fatalf("final memory differs: %s", diff)
+	}
+	return iss, m
+}
+
+func buildFwd5ForTest(t *testing.T) *CPU {
+	cpu, err := buildFwd5(synth.NativeLib{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cpu
+}
+
+func TestFwd5Arithmetic(t *testing.T) {
+	coSimLoose(t, buildFwd5ForTest(t), `
+		li $t0, 100
+		li $t1, -30
+		add $t2, $t0, $t1
+		sub $t3, $t0, $t1
+		and $t4, $t0, $t1
+		or  $t5, $t0, $t1
+		slt $s0, $t1, $t0
+		addiu $s2, $t0, -1000
+		lui $t8, 0xabcd
+	`+storeAllRegs(0x2000))
+}
+
+func TestFwd5Forwarding(t *testing.T) {
+	coSimLoose(t, buildFwd5ForTest(t), `
+		li $t0, 5
+		addiu $t1, $t0, 1    # distance-1 hazard
+		addiu $t2, $t1, 1    # distance-1 again
+		add $t3, $t1, $t2    # both from X and W
+		add $t4, $t0, $t0    # distance-3+ (regfile)
+		sll $t5, $t3, 2      # shift uses forwarded
+	`+storeAllRegs(0x2000))
+}
+
+func TestFwd5LoadUse(t *testing.T) {
+	coSimLoose(t, buildFwd5ForTest(t), `
+		li $t0, 0x1000
+		li $t1, 0x89abcdef
+		sw $t1, 0($t0)
+		lw $t2, 0($t0)
+		addiu $t3, $t2, 1    # load-use distance 1
+		lw $t4, 0($t0)
+		nop
+		addiu $t5, $t4, 2    # load-use distance 2
+		lb $t6, 0($t0)
+		lbu $t7, 1($t0)
+		lh $s0, 0($t0)
+		lhu $s1, 2($t0)
+		sb $t1, 4($t0)
+		sh $t1, 8($t0)
+		lw $s2, 4($t0)
+		lw $s3, 8($t0)
+	`+storeAllRegs(0x2000))
+}
+
+func TestFwd5Branches(t *testing.T) {
+	coSimLoose(t, buildFwd5ForTest(t), `
+		li $t0, 5
+		li $s0, 0
+	loop:
+		addiu $s0, $s0, 3
+		addiu $t0, $t0, -1
+		bne $t0, $zero, loop
+		nop
+		beq $s0, $zero, never
+		li $s1, 1
+		bltz $s0, never
+		nop
+		bgez $s0, took1
+		nop
+	never:
+		li $s7, 0xbad
+	took1:
+		blez $zero, took2
+		nop
+		li $s7, 0xbad2
+	took2:
+		bgtz $s0, took3
+		nop
+		li $s7, 0xbad3
+	took3:
+		addiu $t9, $s0, 0    # branch-condition forwarding next
+		beq $t9, $s0, took4
+		nop
+		li $s7, 0xbad4
+	took4:
+	`+storeAllRegs(0x2000))
+}
+
+func TestFwd5Jumps(t *testing.T) {
+	coSimLoose(t, buildFwd5ForTest(t), `
+		jal sub1
+		nop
+		la $t0, sub2
+		jalr $s5, $t0
+		nop
+		bgezal $zero, sub3
+		nop
+		b end
+		nop
+	sub1:
+		li $s0, 0x111
+		jr $ra
+		nop
+	sub2:
+		li $s1, 0x222
+		jr $s5
+		nop
+	sub3:
+		li $s2, 0x333
+		jr $ra
+		nop
+	end:
+		move $s3, $ra
+	`+storeAllRegs(0x2000))
+}
+
+func TestFwd5MulDiv(t *testing.T) {
+	coSimLoose(t, buildFwd5ForTest(t), `
+		li $t0, -7
+		li $t1, 9
+		mult $t0, $t1
+		mflo $t2
+		mfhi $t3
+		div $t0, $t1
+		mflo $t6
+		mfhi $t7
+		li $s2, 0x1234
+		mthi $s2
+		mtlo $t1
+		mfhi $s3
+		mflo $s4
+		mult $t1, $t1
+		addiu $s5, $zero, 7
+		mflo $s6
+	`+storeAllRegs(0x2000))
+}
+
+func TestFwd5Random(t *testing.T) {
+	cpu := buildFwd5ForTest(t)
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 4; trial++ {
+		coSimLoose(t, cpu, randomProgram(rng, 100))
+	}
+	rng2 := rand.New(rand.NewSource(777))
+	for trial := 0; trial < 3; trial++ {
+		coSimLoose(t, cpu, randomLoopProgram(rng2, trial+100))
+	}
+}
+
+func TestNoMulBasic(t *testing.T) {
+	cpu, err := buildNoMul(synth.NativeLib{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coSimLoose(t, cpu, `
+		li $t0, 100
+		li $t1, -30
+		add $t2, $t0, $t1
+		sub $t3, $t0, $t1
+		sll $t5, $t0, 3
+		li $t6, 0x1000
+		sw $t2, 0($t6)
+		lw $t7, 0($t6)
+	`+storeAllRegs(0x2000))
+}

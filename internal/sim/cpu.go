@@ -48,6 +48,12 @@ type CPU struct {
 	// TraceExec, when non-nil, receives every retired instruction.
 	TraceExec func(pc, word uint32)
 
+	// NoMulDiv makes HI/LO-group instructions (mult/div/mfhi/mflo/mthi/
+	// mtlo) hard errors. Set when modeling the multiplier-less variant:
+	// programs targeting it must not contain these opcodes, and an error
+	// here catches a generator or fuzzer violating that contract.
+	NoMulDiv bool
+
 	mulBusyUntil uint64
 }
 
@@ -124,18 +130,33 @@ func (c *CPU) Step() error {
 			c.setReg(f.Rd, cur+8)
 			c.NPC = rs
 		case isa.FnMfhi:
+			if c.NoMulDiv {
+				return fmt.Errorf("sim: HI/LO instruction %#x at %#x on multiplier-less config", w, cur)
+			}
 			c.stallMulDiv()
 			c.setReg(f.Rd, c.Hi)
 		case isa.FnMflo:
+			if c.NoMulDiv {
+				return fmt.Errorf("sim: HI/LO instruction %#x at %#x on multiplier-less config", w, cur)
+			}
 			c.stallMulDiv()
 			c.setReg(f.Rd, c.Lo)
 		case isa.FnMthi:
+			if c.NoMulDiv {
+				return fmt.Errorf("sim: HI/LO instruction %#x at %#x on multiplier-less config", w, cur)
+			}
 			c.stallMulDiv()
 			c.Hi = rs
 		case isa.FnMtlo:
+			if c.NoMulDiv {
+				return fmt.Errorf("sim: HI/LO instruction %#x at %#x on multiplier-less config", w, cur)
+			}
 			c.stallMulDiv()
 			c.Lo = rs
 		case isa.FnMult, isa.FnMultu, isa.FnDiv, isa.FnDivu:
+			if c.NoMulDiv {
+				return fmt.Errorf("sim: mul/div instruction %#x at %#x on multiplier-less config", w, cur)
+			}
 			c.stallMulDiv()
 			isDiv := f.Funct == isa.FnDiv || f.Funct == isa.FnDivu
 			isSigned := f.Funct == isa.FnMult || f.Funct == isa.FnDiv

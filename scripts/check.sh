@@ -33,6 +33,9 @@ go test $short ./...
 echo "== go test -race -short ./internal/gate ./internal/fault ./internal/shard ./internal/serve ./internal/cache"
 go test -race -short ./internal/gate ./internal/fault ./internal/shard ./internal/serve ./internal/cache
 
+echo "== go test -run FuzzVariantVsISS -count=1 ./internal/plasma (differential fuzz seed corpus)"
+go test -run FuzzVariantVsISS -count=1 ./internal/plasma
+
 echo "== go test -tags purego $short ./internal/gate ./internal/fault (generic kernels)"
 go test -tags purego $short ./internal/gate ./internal/fault
 
