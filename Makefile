@@ -5,8 +5,9 @@ GO ?= go
 build:
 	$(GO) build ./...
 
-# Regenerate the gate-evaluation kernel family (Go + AVX2 asm) from
-# internal/gate/gen. check.sh fails when the committed output is stale.
+# Regenerate the gate-evaluation kernel matrix (Go + AVX2/AVX-512 +
+# NEON asm) from internal/gate/gen. check.sh fails when the committed
+# output is stale.
 generate:
 	$(GO) generate ./internal/gate
 

@@ -23,7 +23,7 @@
 // run the complete collapsed fault universe, which takes a few minutes;
 // -sample trades accuracy for speed with a deterministic fault sample.
 // -lanes caps the lane words per fault pass (0 = cost-model adaptive up to
-// 32 words = 2048 faulty machines); -checkpoint-k sets the golden-trace
+// 64 words = 4096 faulty machines); -checkpoint-k sets the golden-trace
 // checkpoint interval (0 = default); -cache persists synthesized netlists
 // and golden traces across runs, bounded by -cache-max-bytes (LRU, 0 =
 // unbounded); -cpuprofile/-memprofile write pprof profiles.
@@ -77,7 +77,7 @@ func main() {
 	workers := flag.Int("workers", 0, "fault simulation goroutines (0 = GOMAXPROCS)")
 	rounds := flag.String("rounds", "16,64,256", "pseudorandom baseline round counts")
 	engine := flag.String("engine", "event", "fault-simulation engine: event or oblivious")
-	lanes := flag.Int("lanes", 0, "lane words per fault pass: a power of two up to 32 (0 = cost-model adaptive)")
+	lanes := flag.Int("lanes", 0, "lane words per fault pass: a power of two up to 64 (0 = cost-model adaptive)")
 	stats := flag.Bool("stats", false, "print cumulative fault-simulation work statistics")
 	fuse := flag.Bool("fuse", true, "fuse checkpoint-window replay across passes (false = unfused reference path)")
 	shards := flag.Int("shards", 1, "fault-grading worker processes per simulation (1 = in-process)")

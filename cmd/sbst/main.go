@@ -16,8 +16,8 @@
 // per-component coverage report. -workers sets the simulation parallelism
 // (0 = GOMAXPROCS), -engine selects the differential event-driven engine
 // (default) or the oblivious reference engine, -lanes caps the lane words
-// per pass (a power of two up to 32 = 64..2048 faulty machines; 0 =
-// cost-model adaptive up to 32), and -stats prints the engine's work
+// per pass (a power of two up to 64 = 64..4096 faulty machines; 0 =
+// cost-model adaptive up to 64), and -stats prints the engine's work
 // counters (gate evals/cycle, fast-forwarded and replayed cycles, lane
 // drops, pass-width histogram, SIMD/generic kernel dispatch, bus-trace
 // and golden-trace compression). -checkpoint-k
@@ -95,7 +95,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "fault sampling seed")
 	workers := flag.Int("workers", 0, "fault simulation goroutines (0 = GOMAXPROCS)")
 	engine := flag.String("engine", "event", "fault-simulation engine: event or oblivious")
-	lanes := flag.Int("lanes", 0, "lane words per fault pass: a power of two up to 32 (0 = cost-model adaptive)")
+	lanes := flag.Int("lanes", 0, "lane words per fault pass: a power of two up to 64 (0 = cost-model adaptive)")
 	stats := flag.Bool("stats", false, "print fault-simulation work statistics")
 	fuse := flag.Bool("fuse", true, "fuse checkpoint-window replay across passes (false = unfused reference path)")
 	shards := flag.Int("shards", 1, "fault-grading worker processes (1 = in-process)")

@@ -218,7 +218,7 @@ func checkWidthEquivalence(t *testing.T, cpu *plasma.CPU, goldens []namedGolden,
 	var refName string
 	for _, ng := range goldens {
 		for _, eng := range []Engine{EngineOblivious, EngineEvent} {
-			for _, w := range []int{1, 2, 4, 8, 16, 32} {
+			for _, w := range []int{1, 2, 4, 8, 16, 32, 64} {
 				g := ng.g
 				opt.Engine = eng
 				opt.LaneWords = w
@@ -273,6 +273,56 @@ func TestWidthEquivalencePhaseA(t *testing.T) {
 	}
 	goldens := captureGoldenKSweep(t, cpu, st.Program, st.GateCycles())
 	checkWidthEquivalence(t, cpu, goldens, Universe(cpu.Netlist), Options{Sample: 512, Seed: 9, Workers: 1})
+}
+
+// TestTierEquivalencePhaseA asserts the kernel fallback chain end to
+// end: a full Phase A grade forced through every SIMD tier this host can
+// run (on an AVX-512 box that exercises avx512, avx2, and generic in
+// turn) must produce bit-identical DetectedAt and SignatureGroups. This
+// is the whole-pipeline half of the dispatch-chain guarantee; the
+// per-kernel half lives in gate's equivalence/fuzz suites.
+func TestTierEquivalencePhaseA(t *testing.T) {
+	if testing.Short() {
+		t.Skip("forced-tier Phase-A sweep is long; skipped with -short")
+	}
+	defer gate.SetSIMDTier("auto")
+	cpu := getCPU(t)
+	comps := core.ClassifyNetlist(cpu.Netlist)
+	st, err := core.GenerateSelfTest(comps, core.PhaseA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := plasma.CaptureGolden(cpu, st.Program, st.GateCycles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := Universe(cpu.Netlist)
+	opt := Options{Sample: 512, Seed: 9, Workers: 1}
+	var ref *Result
+	var refTier string
+	for _, tier := range gate.SIMDTiers() {
+		if _, err := gate.SetSIMDTier(tier); err != nil {
+			t.Fatal(err)
+		}
+		res, err := Simulate(cpu, golden, faults, opt)
+		if err != nil {
+			t.Fatalf("tier %s: %v", tier, err)
+		}
+		if res.Stats.SIMDKernelRuns == 0 && tier != "generic" && tier != "purego" {
+			t.Errorf("tier %s: no SIMD kernel runs recorded", tier)
+		}
+		if ref == nil {
+			ref, refTier = res, tier
+			continue
+		}
+		for i := range ref.DetectedAt {
+			if res.DetectedAt[i] != ref.DetectedAt[i] || res.SignatureGroups[i] != ref.SignatureGroups[i] {
+				t.Fatalf("tier %s fault %d (%v): DetectedAt=%d groups=%#x, tier %s says %d/%#x",
+					tier, i, res.Faults[i].Site, res.DetectedAt[i], res.SignatureGroups[i],
+					refTier, ref.DetectedAt[i], ref.SignatureGroups[i])
+			}
+		}
+	}
 }
 
 // TestWidthEquivalenceRandomProgram asserts width equivalence on a seeded

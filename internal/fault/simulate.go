@@ -34,8 +34,8 @@ type Options struct {
 	// 0 means GOMAXPROCS.
 	Workers int
 	// LaneWords caps the per-pass lane width in 64-lane words: a power of
-	// two from 1 to 32 words carries 64..2048 faulty machines per pass. 0
-	// means the default of 32 (2048 lanes). Passes are packed
+	// two from 1 to 64 words carries 64..4096 faulty machines per pass. 0
+	// means the default of 64 (4096 lanes). Passes are packed
 	// width-adaptively up to this cap by a cost model (see chooseWidth):
 	// each pass takes the width minimizing estimated grading cost per
 	// fault, trading per-cycle fixed-cost amortization against
@@ -166,11 +166,12 @@ func normLaneWords(laneWords int) (int, error) {
 // slot.
 func widthLog2(w int) int { return bits.TrailingZeros(uint(w)) }
 
-// widthSlots is the number of distinct lane widths (1, 2, 4, 8, 16, 32).
-const widthSlots = 6
+// widthSlots is the number of distinct lane widths
+// (1, 2, 4, 8, 16, 32, 64).
+const widthSlots = 7
 
 // DefaultLaneWords is the lane-width cap used when Options.LaneWords is 0:
-// the widest supported pass (32 words = 2048 faulty machines).
+// the widest supported pass (64 words = 4096 faulty machines).
 const DefaultLaneWords = gate.MaxLaneWords
 
 // Simulate fault-simulates the collapsed fault list against a recorded
@@ -299,6 +300,8 @@ func Simulate(cpu *plasma.CPU, golden *plasma.Golden, faults []Fault, opt Option
 				ks := r.sim.KernelStats()
 				r.stats.SIMDKernelRuns = int64(ks.SIMDRuns)
 				r.stats.GenericKernelRuns = int64(ks.GenericRuns)
+				r.stats.SIMDRunsByWidth[lg] = int64(ks.SIMDRuns)
+				r.stats.GenericRunsByWidth[lg] = int64(ks.GenericRuns)
 				r.stats.BatchedGateEvals = int64(ks.BatchedGates)
 				r.stats.UniformFastPathHits = int64(ks.UniformHits)
 				r.stats.ScalarKernelEvals = int64(ks.ScalarEvals)

@@ -13,7 +13,7 @@ type SimStats struct {
 	// to 64*LaneWords faulty machines).
 	Passes int64
 	// PassWidthHist histograms passes by lane width: slot i counts passes
-	// run at width 2^i words (1, 2, 4, 8, 16, 32).
+	// run at width 2^i words (1, 2, 4, 8, 16, 32, 64).
 	PassWidthHist [widthSlots]int64
 	// GateEvalsByWidth splits GateEvals by the lane width of the pass that
 	// performed them, same slot mapping as PassWidthHist. One eval of a
@@ -99,6 +99,12 @@ type SimStats struct {
 	BatchedGateEvals    int64
 	UniformFastPathHits int64
 	ScalarKernelEvals   int64
+	// SIMDRunsByWidth / GenericRunsByWidth split the kernel-run counters
+	// by the lane width of the dispatching pass, same slot mapping as
+	// PassWidthHist: together with the tier name (gate.SIMDKernelName)
+	// they show which kernel of the matrix did the work.
+	SIMDRunsByWidth    [widthSlots]int64
+	GenericRunsByWidth [widthSlots]int64
 	// TraceDenseBytes is the size the golden read-data and primary-output
 	// streams would occupy as dense per-cycle arrays; TraceStoredBytes is
 	// the size the run-length encoded streams actually occupy.
@@ -145,6 +151,10 @@ func (s *SimStats) Add(other *SimStats) {
 	s.DistMergeNs += other.DistMergeNs
 	s.SIMDKernelRuns += other.SIMDKernelRuns
 	s.GenericKernelRuns += other.GenericKernelRuns
+	for i := range s.SIMDRunsByWidth {
+		s.SIMDRunsByWidth[i] += other.SIMDRunsByWidth[i]
+		s.GenericRunsByWidth[i] += other.GenericRunsByWidth[i]
+	}
 	s.BatchedGateEvals += other.BatchedGateEvals
 	s.UniformFastPathHits += other.UniformFastPathHits
 	s.ScalarKernelEvals += other.ScalarKernelEvals
@@ -216,6 +226,7 @@ func (s *SimStats) String() string {
 	fmt.Fprintf(&b, "pass exit decile  %s\n", histString(&s.ExitHist))
 	fmt.Fprintf(&b, "kernel runs       %d simd, %d generic (%d gates batched)\n",
 		s.SIMDKernelRuns, s.GenericKernelRuns, s.BatchedGateEvals)
+	fmt.Fprintf(&b, "simd runs/width   %s\n", widthHistString(&s.SIMDRunsByWidth))
 	fmt.Fprintf(&b, "kernel fast paths %d uniform, %d hooked full-width\n",
 		s.UniformFastPathHits, s.ScalarKernelEvals)
 	fmt.Fprintf(&b, "bus trace         %d B stored, %d B dense-equivalent (%.1fx smaller)\n",

@@ -181,6 +181,8 @@ func (w *Warm) collectStats(dst *SimStats) {
 		ks := r.sim.KernelStats()
 		r.stats.SIMDKernelRuns = int64(ks.SIMDRuns - w.prevKernel[lg].SIMDRuns)
 		r.stats.GenericKernelRuns = int64(ks.GenericRuns - w.prevKernel[lg].GenericRuns)
+		r.stats.SIMDRunsByWidth[lg] = r.stats.SIMDKernelRuns
+		r.stats.GenericRunsByWidth[lg] = r.stats.GenericKernelRuns
 		r.stats.BatchedGateEvals = int64(ks.BatchedGates - w.prevKernel[lg].BatchedGates)
 		r.stats.UniformFastPathHits = int64(ks.UniformHits - w.prevKernel[lg].UniformHits)
 		r.stats.ScalarKernelEvals = int64(ks.ScalarEvals - w.prevKernel[lg].ScalarEvals)

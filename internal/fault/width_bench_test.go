@@ -55,7 +55,7 @@ func benchWorkload(b *testing.B) (*plasma.CPU, *plasma.Golden, []Fault) {
 // across 8x the faulty machines.
 func BenchmarkPassRunnerWidth(b *testing.B) {
 	cpu, golden, faults := benchWorkload(b)
-	for _, w := range []int{1, 2, 4, 8, 16, 32} {
+	for _, w := range []int{1, 2, 4, 8, 16, 32, 64} {
 		b.Run(fmt.Sprintf("w=%d", w), func(b *testing.B) {
 			opt := Options{Sample: 2048, Seed: 1, Workers: 1, LaneWords: w}
 			var detected int

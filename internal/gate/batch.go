@@ -6,13 +6,13 @@ import "sync/atomic"
 
 // Batched run evaluation. The event sweeps and the oblivious evaluator
 // group same-level same-kind gates into contiguous runs and dispatch each
-// run with a single kernel call — the AVX2 assembly kernel when the host
-// supports it (kernels_amd64.s), else the generated Go run kernel
-// (kernels_generated.go). Gates at the same combinational level are
-// mutually independent (levels strictly increase along fanout), so
-// deferring their evaluation to the end of the level cannot change any
-// signal value, eval count, or event count; both kernel families are
-// asserted bit-identical in tests.
+// run with a single kernel call — the assembly kernel of the active SIMD
+// tier (AVX-512 or AVX2 on amd64, NEON on arm64; see tier.go), else the
+// generated Go run kernel (kernels_generated.go). Gates at the same
+// combinational level are mutually independent (levels strictly increase
+// along fanout), so deferring their evaluation to the end of the level
+// cannot change any signal value, eval count, or event count; all kernel
+// families are asserted bit-identical in tests.
 
 // runGate addresses one gate of a run: lane-word offsets into Sim.val
 // for the output and the (up to three) input operands. The layout is
@@ -40,12 +40,13 @@ func batchFlags(diff, nun uint64) uint8 {
 	return f
 }
 
-// batchKernel is the signature shared by the AVX2 run kernels.
+// batchKernel is the signature shared by all assembly run kernels.
 type batchKernel func(val *uint64, gates *runGate, flags *uint8, n int)
 
-// compKernel is the signature shared by the AVX2 raw-compute kernels:
-// one gate's unhooked output into dst, no flags. Unused operand
-// pointers may be nil — the kernel never dereferences them.
+// compKernel is the signature shared by all assembly raw-compute
+// kernels: one gate's unhooked output into dst, no flags. Unused operand
+// pointers point at val[0] (offset zero in the compiled runGate) — the
+// kernel never dereferences them.
 type compKernel func(dst, a, b, c *uint64)
 
 // batchList accumulates one kind's pending run for the current level.
@@ -57,7 +58,7 @@ type batchList struct {
 
 // KernelStats counts batch-kernel dispatch activity of one simulator.
 type KernelStats struct {
-	SIMDRuns     uint64 // runs dispatched to the AVX2 kernels
+	SIMDRuns     uint64 // runs dispatched to the tier's asm kernels
 	GenericRuns  uint64 // runs dispatched to the Go run kernels
 	BatchedGates uint64 // gates evaluated through batch runs
 	UniformHits  uint64 // sweep scalar uniform fast-path evaluations
@@ -77,18 +78,20 @@ func (s *KernelStats) Add(other KernelStats) {
 func (s *Sim) KernelStats() KernelStats { return s.kstats }
 
 // simdDisabled lets tests and benchmarks force the Go run kernels on
-// hosts that have the asm path. It gates construction-time capture only
-// (Sim.simd), so toggling never races with running simulators.
+// hosts that have an asm tier. It gates construction-time capture only
+// (Sim.tier), so toggling never races with running simulators.
 var simdDisabled atomic.Bool
 
 // SIMDAvailable reports whether this build and host have assembly batch
-// kernels (amd64 with AVX2, not built with the purego tag).
-func SIMDAvailable() bool { return simdAvailable() }
+// kernels (AVX-512 or AVX2 on amd64, NEON on arm64; never under the
+// purego tag).
+func SIMDAvailable() bool { return detectedTier != tierGeneric }
 
 // SetSIMD enables or disables the assembly kernels for simulators
 // constructed afterwards and returns the previous setting. A disabled or
 // unavailable SIMD path falls back to the generated Go run kernels,
-// which are bit-identical.
+// which are bit-identical. Tier selection within the assembly backends
+// is SetSIMDTier's job (tier.go).
 func SetSIMD(on bool) bool {
 	prev := !simdDisabled.Load()
 	simdDisabled.Store(!on)
@@ -96,17 +99,14 @@ func SetSIMD(on bool) bool {
 }
 
 // SIMDEnabled reports whether newly constructed simulators will dispatch
-// to the assembly kernels.
-func SIMDEnabled() bool { return simdAvailable() && !simdDisabled.Load() }
+// to assembly kernels.
+func SIMDEnabled() bool { return activeTier() != tierGeneric }
 
-// SIMDKernelName names the active assembly kernel family ("none" when
-// unavailable or disabled).
-func SIMDKernelName() string {
-	if SIMDEnabled() {
-		return "avx2"
-	}
-	return "none"
-}
+// SIMDKernelName names the kernel backend newly constructed simulators
+// use: "avx512", "avx2", or "neon" for the assembly tiers, "generic"
+// when no assembly is available / SIMD is disabled / the generic tier is
+// forced, and "purego" for a build under the purego tag.
+func SIMDKernelName() string { return activeTier().String() }
 
 // widthIdx maps a SIMD-kerneled lane width to its dispatch-table row.
 func widthIdx(w int) int {
@@ -117,6 +117,8 @@ func widthIdx(w int) int {
 		return 1
 	case 32:
 		return 2
+	case 64:
+		return 3
 	}
 	panic("gate: no batch kernels at this width")
 }
@@ -152,23 +154,26 @@ func (s *Sim) flushBatches() {
 }
 
 // dispatchBatch evaluates one contiguous same-kind run through the
-// assembly kernel when enabled, else the generated Go run kernel. Both
-// write outputs into val and per-gate flag bytes, bit-identically.
+// kernels resolved at construction (the compiled kernel plan): the
+// tier's assembly kernel when the sim has one for this kind, else the
+// width-bound Go run kernel. No per-run width or tier branching
+// survives to here — only a table load and an indirect call. All
+// kernels write outputs into val and per-gate flag bytes,
+// bit-identically.
 func (s *Sim) dispatchBatch(kind Kind, gates []runGate, flags []uint8) {
-	s.kstats.BatchedGates += uint64(len(gates))
-	if s.simd && simdBatch(s.w, kind, s.val, gates, flags) {
-		s.kstats.SIMDRuns++
+	if len(gates) == 0 {
 		return
 	}
-	s.kstats.GenericRuns++
-	switch s.w {
-	case 8:
-		batchEvalGo8(s.val, kind, gates, flags)
-	case 16:
-		batchEvalGo16(s.val, kind, gates, flags)
-	default:
-		batchEvalGo32(s.val, kind, gates, flags)
+	s.kstats.BatchedGates += uint64(len(gates))
+	if s.kern != nil {
+		if k := s.kern[kind]; k != nil {
+			s.kstats.SIMDRuns++
+			k(&s.val[0], &gates[0], &flags[0], len(gates))
+			return
+		}
 	}
+	s.kstats.GenericRuns++
+	s.goKern(s.val, kind, gates, flags)
 }
 
 // oblRun is one contiguous same-kind run of the oblivious level plan.
@@ -180,18 +185,24 @@ type oblRun struct {
 }
 
 // oblPlan groups the topological order into per-level same-kind runs for
-// batched oblivious evaluation at the SIMD widths. Built lazily on the
-// first oblivious sweep and reused: the grouping depends only on the
-// netlist and the lane width.
+// batched oblivious evaluation at the SIMD widths. Built once at Sim
+// construction (part of the compiled kernel plan) and reused: the
+// grouping depends only on the netlist and the lane width.
 type oblPlan struct {
 	level  []int32    // per signal: combinational level (sources at 0)
 	levels [][]oblRun // runs by level; index 0 unused (sources)
 }
 
 func (s *Sim) oblivPlan() *oblPlan {
-	if s.obl != nil {
-		return s.obl
+	if s.obl == nil {
+		s.obl = s.buildOblivPlan()
 	}
+	return s.obl
+}
+
+// buildOblivPlan compiles the oblivious level plan; requires the
+// compiled runGate records (s.rg), so only call at the SIMD widths.
+func (s *Sim) buildOblivPlan() *oblPlan {
 	ng := len(s.n.Gates)
 	p := &oblPlan{level: make([]int32, ng)}
 	var maxLevel int32
@@ -214,7 +225,6 @@ func (s *Sim) oblivPlan() *oblPlan {
 		byLevel[lv] = append(byLevel[lv], sig)
 	}
 	p.levels = make([][]oblRun, maxLevel+1)
-	w := int32(s.w)
 	for lv := int32(1); lv <= maxLevel; lv++ {
 		var idx [numKinds]int
 		for i := range idx {
@@ -227,18 +237,7 @@ func (s *Sim) oblivPlan() *oblPlan {
 				p.levels[lv] = append(p.levels[lv], oblRun{kind: g.Kind})
 			}
 			r := &p.levels[lv][idx[g.Kind]]
-			rg := runGate{dst: int32(sig) * w}
-			switch g.Kind.NumInputs() {
-			case 3:
-				rg.c = int32(g.In[2]) * w
-				fallthrough
-			case 2:
-				rg.b = int32(g.In[1]) * w
-				fallthrough
-			case 1:
-				rg.a = int32(g.In[0]) * w
-			}
-			r.gates = append(r.gates, rg)
+			r.gates = append(r.gates, s.rg[sig])
 			r.sigs = append(r.sigs, sig)
 		}
 		for i := range p.levels[lv] {
@@ -246,7 +245,6 @@ func (s *Sim) oblivPlan() *oblPlan {
 			r.flags = make([]uint8, len(r.gates))
 		}
 	}
-	s.obl = p
 	return p
 }
 

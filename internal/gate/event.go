@@ -320,6 +320,9 @@ func (s *Sim) evalEvent() {
 	case 32:
 		s.sweep32()
 		return
+	case 64:
+		s.sweep64()
+		return
 	}
 	w := s.w
 	out := s.tout[:w]

@@ -1,16 +1,14 @@
-//go:build !amd64 || purego
+//go:build (!amd64 && !arm64) || purego
 
 package gate
 
 // Portable fallback: no assembly batch kernels. Every run dispatches to
 // the generated Go run kernels (kernels_generated.go).
 
-func simdAvailable() bool { return false }
+func detectTier() simdTier { return tierGeneric }
 
-func simdBatch(w int, kind Kind, val []uint64, gates []runGate, flags []uint8) bool {
-	return false
-}
+func tierAvailable(t simdTier) bool { return t == tierGeneric }
 
-func simdComputeRaw(wi int, kind Kind, dst, a, b, c *uint64) bool {
-	return false
-}
+func archBatchKernels(simdTier, int) *[numKinds]batchKernel { return nil }
+
+func archCompKernels(simdTier, int) *[numKinds]compKernel { return nil }

@@ -8,7 +8,19 @@ import (
 
 // simdWidths are the lane-word counts with specialized batch kernels,
 // indexed as widthIdx maps them.
-var simdWidths = []int{8, 16, 32}
+var simdWidths = []int{8, 16, 32, 64}
+
+// asmTiers lists the assembly kernel tiers runnable on this host/build
+// (possibly empty — e.g. under purego).
+func asmTiers() []simdTier {
+	var ts []simdTier
+	for _, t := range []simdTier{tierAVX512, tierAVX2, tierNEON} {
+		if tierAvailable(t) {
+			ts = append(ts, t)
+		}
+	}
+	return ts
+}
 
 // buildRun lays out one same-kind run over a fresh val image: n dst
 // slots followed by 3n operand slots, all filled with random words.
@@ -70,19 +82,6 @@ func refBatch(val []uint64, kind Kind, gates []runGate, flags []uint8, w int) {
 	}
 }
 
-func dispatchGoBatch(w int, val []uint64, kind Kind, gates []runGate, flags []uint8) {
-	switch w {
-	case 8:
-		batchEvalGo8(val, kind, gates, flags)
-	case 16:
-		batchEvalGo16(val, kind, gates, flags)
-	case 32:
-		batchEvalGo32(val, kind, gates, flags)
-	default:
-		panic("no Go batch kernel at this width")
-	}
-}
-
 func compareRun(t *testing.T, tag string, want, got []uint64, wantF, gotF []uint8) {
 	t.Helper()
 	for i := range want {
@@ -98,8 +97,8 @@ func compareRun(t *testing.T, tag string, want, got []uint64, wantF, gotF []uint
 }
 
 // checkRunEquivalence runs one (kind, width, run) case through the
-// scalar reference, the generated Go kernel, and (when available) the
-// AVX2 kernel, asserting bit-identical outputs and flag bytes.
+// scalar reference, the generated Go kernel, and every assembly tier
+// runnable on this host, asserting bit-identical outputs and flag bytes.
 func checkRunEquivalence(t *testing.T, kind Kind, w int, val []uint64, gates []runGate) {
 	t.Helper()
 	n := len(gates)
@@ -109,22 +108,23 @@ func checkRunEquivalence(t *testing.T, kind Kind, w int, val []uint64, gates []r
 
 	goVal := append([]uint64(nil), val...)
 	goFlags := make([]uint8, n)
-	dispatchGoBatch(w, goVal, kind, gates, goFlags)
+	goBatchKernels[widthIdx(w)](goVal, kind, gates, goFlags)
 	compareRun(t, fmt.Sprintf("go kernel %s w=%d", kind, w), refVal, goVal, refFlags, goFlags)
 
-	if !SIMDAvailable() {
-		return
+	for _, tier := range asmTiers() {
+		k := archBatchKernels(tier, widthIdx(w))[kind]
+		if k == nil {
+			t.Fatalf("tier %s has no batch kernel for %s w=%d", tier, kind, w)
+		}
+		asmVal := append([]uint64(nil), val...)
+		asmFlags := make([]uint8, n)
+		k(&asmVal[0], &gates[0], &asmFlags[0], n)
+		compareRun(t, fmt.Sprintf("%s kernel %s w=%d", tier, kind, w), refVal, asmVal, refFlags, asmFlags)
 	}
-	asmVal := append([]uint64(nil), val...)
-	asmFlags := make([]uint8, n)
-	if !simdBatch(w, kind, asmVal, gates, asmFlags) {
-		t.Fatalf("simdBatch refused %s w=%d", kind, w)
-	}
-	compareRun(t, fmt.Sprintf("asm kernel %s w=%d", kind, w), refVal, asmVal, refFlags, asmFlags)
 }
 
-// TestBatchKernelEquivalence asserts the AVX2 batch kernels and the
-// generated Go run kernels are bit-identical to an independent scalar
+// TestBatchKernelEquivalence asserts every assembly batch kernel tier and
+// the generated Go run kernels are bit-identical to an independent scalar
 // model across every kind, every SIMD width, and random run shapes —
 // including crafted uniform-output and unchanged-output gates.
 func TestBatchKernelEquivalence(t *testing.T) {
@@ -140,8 +140,8 @@ func TestBatchKernelEquivalence(t *testing.T) {
 	}
 }
 
-// FuzzBatchKernels drives the three kernel implementations with fuzzed
-// run shapes and operand bits, asserting they never disagree.
+// FuzzBatchKernels drives all kernel implementations with fuzzed run
+// shapes and operand bits, asserting they never disagree.
 func FuzzBatchKernels(f *testing.F) {
 	f.Add(int64(1), uint8(0), uint8(0))
 	f.Add(int64(42), uint8(6), uint8(31))
@@ -157,29 +157,35 @@ func FuzzBatchKernels(f *testing.F) {
 	})
 }
 
-// TestRawComputeKernelEquivalence asserts the AVX2 raw-compute kernels
-// match evalWord word for word across kinds and widths.
+// TestRawComputeKernelEquivalence asserts every tier's raw-compute
+// kernels match evalWord word for word across kinds and widths.
 func TestRawComputeKernelEquivalence(t *testing.T) {
-	if !SIMDAvailable() {
+	tiers := asmTiers()
+	if len(tiers) == 0 {
 		t.Skip("no assembly kernels on this host/build")
 	}
-	r := rand.New(rand.NewSource(11))
-	for wi, w := range simdWidths {
-		a := make([]uint64, w)
-		b := make([]uint64, w)
-		c := make([]uint64, w)
-		dst := make([]uint64, w)
-		for kind := Buf; kind <= Mux2; kind++ {
-			for trial := 0; trial < 16; trial++ {
-				for k := 0; k < w; k++ {
-					a[k], b[k], c[k], dst[k] = r.Uint64(), r.Uint64(), r.Uint64(), r.Uint64()
+	for _, tier := range tiers {
+		r := rand.New(rand.NewSource(11))
+		for wi, w := range simdWidths {
+			comp := archCompKernels(tier, wi)
+			a := make([]uint64, w)
+			b := make([]uint64, w)
+			c := make([]uint64, w)
+			dst := make([]uint64, w)
+			for kind := Buf; kind <= Mux2; kind++ {
+				k := comp[kind]
+				if k == nil {
+					t.Fatalf("tier %s has no raw-compute kernel for %s w=%d", tier, kind, w)
 				}
-				if !simdComputeRaw(wi, kind, &dst[0], &a[0], &b[0], &c[0]) {
-					t.Fatalf("simdComputeRaw refused %s w=%d", kind, w)
-				}
-				for k := 0; k < w; k++ {
-					if want := evalWord(kind, a[k], b[k], c[k]); dst[k] != want {
-						t.Fatalf("%s w=%d word %d = %#x, want %#x", kind, w, k, dst[k], want)
+				for trial := 0; trial < 16; trial++ {
+					for j := 0; j < w; j++ {
+						a[j], b[j], c[j], dst[j] = r.Uint64(), r.Uint64(), r.Uint64(), r.Uint64()
+					}
+					k(&dst[0], &a[0], &b[0], &c[0])
+					for j := 0; j < w; j++ {
+						if want := evalWord(kind, a[j], b[j], c[j]); dst[j] != want {
+							t.Fatalf("tier %s %s w=%d word %d = %#x, want %#x", tier, kind, w, j, dst[j], want)
+						}
 					}
 				}
 			}
@@ -187,22 +193,64 @@ func TestRawComputeKernelEquivalence(t *testing.T) {
 	}
 }
 
-// TestSimSIMDOnOffEquivalence runs the same faulted random circuit with
-// the assembly kernels enabled and disabled, on both engines, asserting
-// every signal word agrees cycle for cycle and that the uniformity index
-// never claims a divergent signal uniform. It also checks the dispatch
-// counters attribute runs to the right kernel family.
-func TestSimSIMDOnOffEquivalence(t *testing.T) {
-	if !SIMDAvailable() {
-		t.Skip("no assembly kernels on this host/build")
+// TestSetSIMDTier exercises the forcing API: every tier the host can run
+// is forceable (and newly constructed sims capture it), unavailable and
+// unknown tiers error without changing the setting, and "auto" restores
+// detection.
+func TestSetSIMDTier(t *testing.T) {
+	defer SetSIMDTier("auto")
+	for _, name := range SIMDTiers() {
+		if _, err := SetSIMDTier(name); err != nil {
+			t.Fatalf("SetSIMDTier(%q): %v", name, err)
+		}
+		if got := SIMDKernelName(); got != name && !(name == "generic" && got == "purego") {
+			t.Fatalf("SIMDKernelName() = %q after forcing %q", got, name)
+		}
 	}
-	prev := SetSIMD(true)
-	defer SetSIMD(prev)
+	if _, err := SetSIMDTier("no-such-tier"); err == nil {
+		t.Fatal("SetSIMDTier accepted an unknown tier name")
+	}
+	for _, name := range []string{"avx512", "avx2", "neon"} {
+		tier, _ := parseTier(name)
+		if tierAvailable(tier) {
+			continue
+		}
+		if _, err := SetSIMDTier(name); err == nil {
+			t.Fatalf("SetSIMDTier(%q) succeeded on a host without it", name)
+		}
+	}
+	if _, err := SetSIMDTier("auto"); err != nil {
+		t.Fatal(err)
+	}
+	if forcedTier.Load() != -1 {
+		t.Fatal("auto did not clear the forced tier")
+	}
+}
+
+// TestSimTierEquivalence runs the same faulted random circuit on every
+// runnable kernel tier plus the generic Go path, on both engines,
+// asserting every signal word agrees cycle for cycle and that the
+// uniformity index never claims a divergent signal uniform. It also
+// checks the dispatch counters attribute runs to the right kernel
+// family. This is the whole-sim half of the fallback-chain guarantee: an
+// AVX-512 host exercises avx512, avx2, and generic here.
+func TestSimTierEquivalence(t *testing.T) {
+	defer SetSIMDTier("auto")
+	names := make([]string, 0, 4)
+	for _, tier := range asmTiers() {
+		names = append(names, tier.String())
+	}
+	names = append(names, "generic")
 	for _, w := range simdWidths {
 		r := rand.New(rand.NewSource(int64(w)))
 		n := randSeqNetlist(r, 10, 300, 16)
-		mkSims := func(simd bool) (*Sim, *Sim) {
-			SetSIMD(simd)
+		faults := randFaults(r, n, 48)
+		var sims []*Sim
+		var tags []string
+		for _, name := range names {
+			if _, err := SetSIMDTier(name); err != nil {
+				t.Fatal(err)
+			}
 			ob, err := NewSimWidth(n, w)
 			if err != nil {
 				t.Fatal(err)
@@ -211,47 +259,90 @@ func TestSimSIMDOnOffEquivalence(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			return ob, ev
+			sims = append(sims, ob, ev)
+			tags = append(tags, name+"/obliv", name+"/event")
 		}
-		obOn, evOn := mkSims(true)
-		obOff, evOff := mkSims(false)
-		sims := []*Sim{obOn, evOn, obOff, evOff}
-		faults := randFaults(r, n, 48)
 		for _, s := range sims {
 			s.Reset()
 			s.SetFaults(faults)
 		}
+		ref := sims[0]
 		for cyc := 0; cyc < 120; cyc++ {
 			in := r.Uint64()
 			for _, s := range sims {
 				s.SetBusUniform("in", in)
 				s.Step()
 			}
-			for i := range evOn.val {
-				if evOn.val[i] != obOn.val[i] || evOn.val[i] != evOff.val[i] || evOn.val[i] != obOff.val[i] {
-					t.Fatalf("w=%d cycle %d: val[%d] diverges: evOn=%#x obOn=%#x evOff=%#x obOff=%#x",
-						w, cyc, i, evOn.val[i], obOn.val[i], evOff.val[i], obOff.val[i])
+			for si, s := range sims[1:] {
+				for i := range ref.val {
+					if s.val[i] != ref.val[i] {
+						t.Fatalf("w=%d cycle %d: val[%d] diverges: %s=%#x %s=%#x",
+							w, cyc, i, tags[0], ref.val[i], tags[si+1], s.val[i])
+					}
 				}
 			}
-			for _, s := range sims {
+			for si, s := range sims {
 				for sig := range s.n.Gates {
 					if s.uni[sig] && !allEqual(s.val[sig*w:(sig+1)*w]) {
-						t.Fatalf("w=%d cycle %d: uni[%d] set but lanes diverge", w, cyc, sig)
+						t.Fatalf("w=%d cycle %d %s: uni[%d] set but lanes diverge", w, cyc, tags[si], sig)
 					}
 				}
 			}
 		}
-		for _, s := range []*Sim{evOn, obOn} {
+		for si, s := range sims {
 			ks := s.KernelStats()
-			if ks.SIMDRuns == 0 || ks.GenericRuns != 0 {
-				t.Errorf("w=%d SIMD-on stats: SIMDRuns=%d GenericRuns=%d", w, ks.SIMDRuns, ks.GenericRuns)
+			generic := s.kern == nil
+			if generic && (ks.GenericRuns == 0 || ks.SIMDRuns != 0) {
+				t.Errorf("w=%d %s stats: SIMDRuns=%d GenericRuns=%d", w, tags[si], ks.SIMDRuns, ks.GenericRuns)
+			}
+			if !generic && (ks.SIMDRuns == 0 || ks.GenericRuns != 0) {
+				t.Errorf("w=%d %s stats: SIMDRuns=%d GenericRuns=%d", w, tags[si], ks.SIMDRuns, ks.GenericRuns)
 			}
 		}
-		for _, s := range []*Sim{evOff, obOff} {
-			ks := s.KernelStats()
-			if ks.GenericRuns == 0 || ks.SIMDRuns != 0 {
-				t.Errorf("w=%d SIMD-off stats: SIMDRuns=%d GenericRuns=%d", w, ks.SIMDRuns, ks.GenericRuns)
+	}
+}
+
+// TestSimSIMDOnOffEquivalence keeps the coarse on/off switch honest:
+// SetSIMD(false) must force the generic kernels regardless of tier.
+func TestSimSIMDOnOffEquivalence(t *testing.T) {
+	if !SIMDAvailable() {
+		t.Skip("no assembly kernels on this host/build")
+	}
+	prev := SetSIMD(true)
+	defer SetSIMD(prev)
+	w := 32
+	r := rand.New(rand.NewSource(32))
+	n := randSeqNetlist(r, 10, 300, 16)
+	faults := randFaults(r, n, 48)
+	mkSim := func(simd bool) *Sim {
+		SetSIMD(simd)
+		ev, err := NewEventSimWidth(n, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ev
+	}
+	on, off := mkSim(true), mkSim(false)
+	for _, s := range []*Sim{on, off} {
+		s.Reset()
+		s.SetFaults(faults)
+	}
+	for cyc := 0; cyc < 120; cyc++ {
+		in := r.Uint64()
+		for _, s := range []*Sim{on, off} {
+			s.SetBusUniform("in", in)
+			s.Step()
+		}
+		for i := range on.val {
+			if on.val[i] != off.val[i] {
+				t.Fatalf("cycle %d: val[%d] diverges: on=%#x off=%#x", cyc, i, on.val[i], off.val[i])
 			}
 		}
+	}
+	if ks := on.KernelStats(); ks.SIMDRuns == 0 || ks.GenericRuns != 0 {
+		t.Errorf("SIMD-on stats: SIMDRuns=%d GenericRuns=%d", ks.SIMDRuns, ks.GenericRuns)
+	}
+	if ks := off.KernelStats(); ks.GenericRuns == 0 || ks.SIMDRuns != 0 {
+		t.Errorf("SIMD-off stats: SIMDRuns=%d GenericRuns=%d", ks.SIMDRuns, ks.GenericRuns)
 	}
 }

@@ -1,0 +1,8 @@
+//go:build !purego
+
+package gate
+
+// builtPurego distinguishes a generic tier that fell back at runtime
+// from one forced by the purego build tag (observability only — the
+// kernels dispatched are the same generated Go).
+const builtPurego = false

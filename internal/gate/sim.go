@@ -5,9 +5,9 @@ import (
 	"math"
 )
 
-// MaxLaneWords is the widest supported lane word: 32 uint64 words per
-// signal, i.e. up to 2048 independent machines per simulation.
-const MaxLaneWords = 32
+// MaxLaneWords is the widest supported lane word: 64 uint64 words per
+// signal, i.e. up to 4096 independent machines per simulation.
+const MaxLaneWords = 64
 
 // FaultSite identifies a single stuck-at fault location: a pin of a gate.
 // Pin 0 is the gate output (equivalently the stem of the driven signal);
@@ -60,10 +60,11 @@ type patchEntry struct {
 }
 
 // Sim is a cycle-accurate, bit-parallel simulator over a fixed netlist.
-// Each signal carries W lane words of 64 bits (W in {1,2,4,8}): one
-// independent machine per bit lane, up to 512 machines at W=8. Lanes are
-// used either for test patterns (combinational characterization, W=1) or
-// faulty machines (fault simulation, any W).
+// Each signal carries W lane words of 64 bits (W a power of two up to
+// MaxLaneWords): one independent machine per bit lane, up to 4096
+// machines at W=64. Lanes are used either for test patterns
+// (combinational characterization, W=1) or faulty machines (fault
+// simulation, any W).
 //
 // A Step evaluates all combinational logic from the current inputs and DFF
 // outputs, then latches every DFF. Faults registered via SetFaults are
@@ -113,11 +114,22 @@ type Sim struct {
 
 	inc *incState // non-nil: event-driven incremental evaluation (event.go)
 
-	// Batched run evaluation at the SIMD widths (batch.go): simd is the
-	// construction-time capture of SIMDEnabled, batch the per-kind pending
-	// runs of the current sweep level, obl the lazily built oblivious
-	// level plan, kstats the dispatch counters.
-	simd   bool
+	// Compiled kernel plan (batch.go, tier.go), resolved once at
+	// construction for the SIMD widths (w >= 8) so the steady-state eval
+	// loop carries no per-gate kind/width/tier branching: tier is the
+	// captured kernel backend, kern/comp its per-kind batch and
+	// raw-compute kernel tables at this width (nil on the generic tier),
+	// goKern the width-bound Go run kernel, and rg the per-signal operand
+	// lane-word offsets every batched path reads instead of re-deriving
+	// them gate by gate (unused operands stay offset 0 — an in-bounds
+	// dead load, never a branch). batch holds the per-kind pending runs
+	// of the current sweep level, obl the oblivious level plan (also
+	// compiled at construction for w >= 8), kstats the dispatch counters.
+	tier   simdTier
+	kern   *[numKinds]batchKernel
+	comp   *[numKinds]compKernel
+	goKern func(val []uint64, kind Kind, gates []runGate, flags []uint8)
+	rg     []runGate
 	batch  [numKinds]batchList
 	obl    *oblPlan
 	kstats KernelStats
@@ -153,12 +165,51 @@ func NewSimWidth(n *Netlist, w int) (*Sim, error) {
 		hookIdx: make([]int32, len(n.Gates)),
 		hooks:   make([][]laneInject, 0, 64),
 		uni:     make([]bool, len(n.Gates)),
-		simd:    SIMDEnabled(),
+		tier:    activeTier(),
 	}
 	for i := range s.hookIdx {
 		s.hookIdx[i] = -1
 	}
+	if w >= 8 {
+		// Compile the kernel plan: resolve the dispatch tables for the
+		// captured (tier, width) and precompute every gate's operand
+		// offsets, so evaluation is a flat walk over resolved kernel
+		// calls.
+		wi := widthIdx(w)
+		s.goKern = goBatchKernels[wi]
+		s.kern = archBatchKernels(s.tier, wi)
+		s.comp = archCompKernels(s.tier, wi)
+		s.rg = compileRunGates(n, w)
+		s.obl = s.buildOblivPlan()
+	}
 	return s, nil
+}
+
+// compileRunGates precomputes each signal's runGate record: lane-word
+// offsets of the output and (up to three) input operands. Source kinds
+// (Input/Const/DFF) get a record too — only dst is meaningful there —
+// so indexing by signal is uniform. Unused operand slots stay 0: the
+// scalar gathers read val[0] harmlessly and the kernels never touch
+// them.
+func compileRunGates(n *Netlist, w int) []runGate {
+	rg := make([]runGate, len(n.Gates))
+	w32 := int32(w)
+	for i := range n.Gates {
+		g := &n.Gates[i]
+		r := &rg[i]
+		r.dst = int32(i) * w32
+		switch g.Kind.NumInputs() {
+		case 3:
+			r.c = int32(g.In[2]) * w32
+			fallthrough
+		case 2:
+			r.b = int32(g.In[1]) * w32
+			fallthrough
+		case 1:
+			r.a = int32(g.In[0]) * w32
+		}
+	}
+	return rg
 }
 
 // Netlist returns the compiled netlist.
@@ -538,6 +589,8 @@ func (s *Sim) computeInto(sig Sig, dst []uint64) {
 		s.computeInto16(sig, (*[16]uint64)(dst))
 	case 32:
 		s.computeInto32(sig, (*[32]uint64)(dst))
+	case 64:
+		s.computeInto64(sig, (*[64]uint64)(dst))
 	default:
 		s.computeIntoGeneric(sig, dst)
 	}

@@ -2,16 +2,23 @@
 
 package gate
 
-// Runtime CPU-feature detection for the AVX2 batch kernels. The module
-// is dependency-free, so the CPUID/XGETBV probes are done directly
-// (cpuid_amd64.s) instead of via golang.org/x/sys/cpu: AVX needs
-// OSXSAVE + the AVX bit in CPUID.1:ECX and OS-enabled XMM/YMM state in
-// XCR0; AVX2 is CPUID.7.0:EBX bit 5.
+// Runtime CPU-feature detection for the amd64 kernel backends. The
+// module is dependency-free, so the CPUID/XGETBV probes are done
+// directly (cpuid_amd64.s) instead of via golang.org/x/sys/cpu: AVX
+// needs OSXSAVE + the AVX bit in CPUID.1:ECX and OS-enabled XMM/YMM
+// state in XCR0; AVX2 is CPUID.7.0:EBX bit 5. The AVX-512 kernels use
+// only foundation instructions plus VPTESTMQ on quadwords, so the gate
+// is AVX512F + AVX512BW with the opmask/ZMM state bits OS-enabled in
+// XCR0 (without the XCR0 check a VM that masks state support would
+// fault on the first ZMM touch).
 
 func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
 func xgetbv() (eax, edx uint32)
 
-var hasAVX2 = detectAVX2()
+var (
+	hasAVX2   = detectAVX2()
+	hasAVX512 = detectAVX512()
+)
 
 func detectAVX2() bool {
 	maxID, _, _, _ := cpuid(0, 0)
@@ -30,28 +37,68 @@ func detectAVX2() bool {
 	return b&(1<<5) != 0
 }
 
-func simdAvailable() bool { return hasAVX2 }
-
-// simdBatch dispatches one same-kind run to its AVX2 kernel. It reports
-// false when no kernel covers the width/kind (the caller then runs the
-// Go kernel); the caller has already checked that SIMD is enabled.
-func simdBatch(w int, kind Kind, val []uint64, gates []runGate, flags []uint8) bool {
-	k := avx2Kernels[widthIdx(w)][kind]
-	if k == nil || len(gates) == 0 {
+func detectAVX512() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
 		return false
 	}
-	k(&val[0], &gates[0], &flags[0], len(gates))
-	return true
+	const osxsave = 1 << 27
+	_, _, c, _ := cpuid(1, 0)
+	if c&osxsave == 0 {
+		return false
+	}
+	// XCR0 bits: XMM (1), YMM (2), opmask (5), ZMM_Hi256 (6),
+	// Hi16_ZMM (7) all OS-enabled.
+	if x, _ := xgetbv(); x&0xe6 != 0xe6 {
+		return false
+	}
+	const avx512f, avx512bw = 1 << 16, 1 << 30
+	_, b, _, _ := cpuid(7, 0)
+	return b&avx512f != 0 && b&avx512bw != 0
 }
 
-// simdComputeRaw dispatches one gate's raw recompute to its AVX2
-// raw-compute kernel. wi is the widthIdx row; it reports false when no
-// kernel covers the kind (the caller then runs computeInto).
-func simdComputeRaw(wi int, kind Kind, dst, a, b, c *uint64) bool {
-	k := avx2Comp[wi][kind]
-	if k == nil {
-		return false
+func detectTier() simdTier {
+	switch {
+	case hasAVX512:
+		return tierAVX512
+	case hasAVX2:
+		return tierAVX2
 	}
-	k(dst, a, b, c)
-	return true
+	return tierGeneric
+}
+
+func tierAvailable(t simdTier) bool {
+	switch t {
+	case tierGeneric:
+		return true
+	case tierAVX2:
+		return hasAVX2
+	case tierAVX512:
+		return hasAVX512
+	}
+	return false
+}
+
+// archBatchKernels resolves the tier's per-kind run-kernel table for
+// widthIdx row wi; nil means no assembly at this tier (generic).
+func archBatchKernels(t simdTier, wi int) *[numKinds]batchKernel {
+	switch t {
+	case tierAVX512:
+		return &avx512Kernels[wi]
+	case tierAVX2:
+		return &avx2Kernels[wi]
+	}
+	return nil
+}
+
+// archCompKernels resolves the tier's per-kind raw-compute table for
+// widthIdx row wi; nil means no assembly at this tier.
+func archCompKernels(t simdTier, wi int) *[numKinds]compKernel {
+	switch t {
+	case tierAVX512:
+		return &avx512Comp[wi]
+	case tierAVX2:
+		return &avx2Comp[wi]
+	}
+	return nil
 }

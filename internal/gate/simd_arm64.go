@@ -1,0 +1,31 @@
+//go:build !purego
+
+package gate
+
+// NEON (AdvSIMD) is architecturally baseline on AArch64, so there is
+// nothing to probe at runtime: every arm64 build dispatches to the NEON
+// kernels unless built with the purego tag or forced lower.
+
+func detectTier() simdTier { return tierNEON }
+
+func tierAvailable(t simdTier) bool {
+	return t == tierGeneric || t == tierNEON
+}
+
+// archBatchKernels resolves the tier's per-kind run-kernel table for
+// widthIdx row wi; nil means no assembly at this tier (generic).
+func archBatchKernels(t simdTier, wi int) *[numKinds]batchKernel {
+	if t == tierNEON {
+		return &neonKernels[wi]
+	}
+	return nil
+}
+
+// archCompKernels resolves the tier's per-kind raw-compute table for
+// widthIdx row wi; nil means no assembly at this tier.
+func archCompKernels(t simdTier, wi int) *[numKinds]compKernel {
+	if t == tierNEON {
+		return &neonComp[wi]
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+package gate
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+)
+
+// simdTier enumerates the kernel backends a build can dispatch to. Each
+// architecture file (simd_amd64.go, simd_arm64.go, kernels_generic.go)
+// implements detection and table resolution for its tiers; Sim
+// construction captures the active tier once, so a running simulator
+// never re-detects.
+type simdTier int32
+
+const (
+	tierGeneric simdTier = iota // generated Go run kernels, every build
+	tierAVX2                    // amd64, 4 lane words per vector op
+	tierAVX512                  // amd64, 8 lane words and VPTERNLOG gates
+	tierNEON                    // arm64, 2 lane words per vector op
+)
+
+func (t simdTier) String() string {
+	switch t {
+	case tierAVX2:
+		return "avx2"
+	case tierAVX512:
+		return "avx512"
+	case tierNEON:
+		return "neon"
+	}
+	if builtPurego {
+		return "purego"
+	}
+	return "generic"
+}
+
+// detectedTier is the best backend this build supports on this host,
+// probed once at startup.
+var detectedTier = detectTier()
+
+// forcedTier overrides detection for simulators constructed afterwards
+// (tests, the SBST_SIMD_TIER escape hatch). Negative means auto.
+var forcedTier atomic.Int32
+
+func init() {
+	forcedTier.Store(-1)
+	if v := os.Getenv("SBST_SIMD_TIER"); v != "" {
+		if _, err := SetSIMDTier(v); err != nil {
+			fmt.Fprintf(os.Stderr, "gate: ignoring SBST_SIMD_TIER=%q: %v\n", v, err)
+		}
+	}
+}
+
+// activeTier resolves the backend newly constructed simulators capture:
+// generic when SIMD is disabled, else the forced tier if one is set,
+// else the detected one.
+func activeTier() simdTier {
+	if simdDisabled.Load() {
+		return tierGeneric
+	}
+	if f := forcedTier.Load(); f >= 0 {
+		return simdTier(f)
+	}
+	return detectedTier
+}
+
+func parseTier(name string) (simdTier, bool) {
+	switch name {
+	case "generic", "purego":
+		return tierGeneric, true
+	case "avx2":
+		return tierAVX2, true
+	case "avx512":
+		return tierAVX512, true
+	case "neon":
+		return tierNEON, true
+	}
+	return 0, false
+}
+
+// SetSIMDTier forces the kernel backend used by simulators constructed
+// afterwards. Valid names are "avx512", "avx2", "neon", "generic" (or
+// "purego"), and "auto" (or "") to restore detection. Forcing a tier the
+// host cannot run returns an error and changes nothing; forcing a lower
+// tier than detected is the supported way to exercise the fallback
+// chain. Returns the previously active backend name.
+func SetSIMDTier(name string) (prev string, err error) {
+	prev = SIMDKernelName()
+	if name == "auto" || name == "" {
+		forcedTier.Store(-1)
+		return prev, nil
+	}
+	t, ok := parseTier(name)
+	if !ok {
+		return prev, fmt.Errorf("unknown SIMD tier %q (want avx512, avx2, neon, generic, or auto)", name)
+	}
+	if !tierAvailable(t) {
+		return prev, fmt.Errorf("SIMD tier %q is not available on this host (detected %q)", name, detectedTier)
+	}
+	forcedTier.Store(int32(t))
+	return prev, nil
+}
+
+// SIMDTiers lists the backend names forceable on this host, best first;
+// the last entry is always the generic tier.
+func SIMDTiers() []string {
+	var tiers []string
+	for _, t := range []simdTier{tierAVX512, tierAVX2, tierNEON} {
+		if tierAvailable(t) {
+			tiers = append(tiers, t.String())
+		}
+	}
+	return append(tiers, tierGeneric.String())
+}

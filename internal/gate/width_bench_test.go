@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+	"unsafe"
 )
 
 // buildBenchNetlist synthesizes a deterministic sequential circuit for
@@ -53,27 +54,121 @@ func buildBenchNetlist(nRegs, nComb int) *Netlist {
 func BenchmarkEventEvalWidth(b *testing.B) {
 	n := buildBenchNetlist(256, 4000)
 	sites := collectFaultSites(n)
-	for _, w := range []int{1, 2, 4, 8, 16, 32} {
+	for _, w := range []int{1, 2, 4, 8, 16, 32, 64} {
 		b.Run(fmt.Sprintf("w=%d", w), func(b *testing.B) {
-			s, err := NewEventSimWidth(n, w)
-			if err != nil {
-				b.Fatal(err)
-			}
-			rng := rand.New(rand.NewSource(7))
-			lf := make([]LaneFault, 64*w)
-			for lane := range lf {
-				site := sites[rng.Intn(len(sites))]
-				lf[lane] = LaneFault{Site: site, Lane: lane}
-			}
-			s.Reset()
-			s.SetFaults(lf)
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				s.Step()
-			}
-			b.ReportMetric(float64(64*w)*float64(b.N)/b.Elapsed().Seconds(), "machine-cycles/s")
+			benchEventEval(b, n, sites, w)
 		})
 	}
+}
+
+// BenchmarkEventEvalTier runs the same faulted eval loop with each
+// runnable kernel tier forced in turn (plus generic), at the widths
+// where the backends differ most. On an AVX-512 host the avx512/avx2
+// rows at equal width isolate the VPTERNLOG + 512-bit-vector win from
+// everything else in the sweep.
+func BenchmarkEventEvalTier(b *testing.B) {
+	defer SetSIMDTier("auto")
+	n := buildBenchNetlist(256, 4000)
+	sites := collectFaultSites(n)
+	names := make([]string, 0, 4)
+	for _, tier := range asmTiers() {
+		names = append(names, tier.String())
+	}
+	names = append(names, "generic")
+	for _, name := range names {
+		for _, w := range []int{16, 32, 64} {
+			b.Run(fmt.Sprintf("tier=%s/w=%d", name, w), func(b *testing.B) {
+				if _, err := SetSIMDTier(name); err != nil {
+					b.Fatal(err)
+				}
+				benchEventEval(b, n, sites, w)
+			})
+		}
+	}
+}
+
+// BenchmarkBatchKernelTier measures one batch kernel in isolation: a
+// 512-gate same-kind run evaluated back to back, per tier and width.
+// Unlike the EventEval benchmarks there is no queue or batching work in
+// the loop, so the ratio between tiers here is the pure kernel speedup;
+// the gap between this ratio and the EventEvalTier ratio is the Amdahl
+// dilution of everything around the kernels.
+func BenchmarkBatchKernelTier(b *testing.B) {
+	const nGates = 512
+	for _, tc := range []struct {
+		name string
+		kind Kind
+	}{{"and2", And2}, {"xor2", Xor2}, {"mux2", Mux2}} {
+		for _, tier := range asmTiers() {
+			for _, w := range []int{16, 32, 64} {
+				wi := widthIdx(w)
+				kern := archBatchKernels(tier, wi)
+				if kern == nil || kern[tc.kind] == nil {
+					continue
+				}
+				b.Run(fmt.Sprintf("kind=%s/tier=%s/w=%d", tc.name, tier, w), func(b *testing.B) {
+					benchBatchKernel(b, kern[tc.kind], tc.kind, nGates, w)
+				})
+			}
+		}
+		for _, w := range []int{16, 32, 64} {
+			kern := goBatchKernels[widthIdx(w)]
+			b.Run(fmt.Sprintf("kind=%s/tier=generic/w=%d", tc.name, w), func(b *testing.B) {
+				benchBatchKernel(b, func(val *uint64, gates *runGate, flags *uint8, n int) {
+					vs := unsafe.Slice(val, (1+4*nGates)*w)
+					gs := unsafe.Slice(gates, n)
+					fs := unsafe.Slice(flags, n)
+					kern(vs, tc.kind, gs, fs)
+				}, tc.kind, nGates, w)
+			})
+		}
+	}
+}
+
+func benchBatchKernel(b *testing.B, kern batchKernel, kind Kind, nGates, w int) {
+	rng := rand.New(rand.NewSource(11))
+	// Signal 0 stays a scratch zero source; gates read three random
+	// operand signals and write disjoint outputs, like one flushed run
+	// of same-level gates.
+	val := make([]uint64, (1+4*nGates)*w)
+	for i := range val {
+		val[i] = rng.Uint64()
+	}
+	gates := make([]runGate, nGates)
+	for i := range gates {
+		gates[i] = runGate{
+			dst: int32((1 + 3*nGates + i) * w),
+			a:   int32((1 + rng.Intn(3*nGates)) * w),
+			b:   int32((1 + rng.Intn(3*nGates)) * w),
+			c:   int32((1 + rng.Intn(3*nGates)) * w),
+		}
+	}
+	flags := make([]uint8, nGates)
+	b.SetBytes(int64(nGates * w * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kern(&val[0], &gates[0], &flags[0], nGates)
+	}
+}
+
+func benchEventEval(b *testing.B, n *Netlist, sites []FaultSite, w int) {
+	s, err := NewEventSimWidth(n, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	lf := make([]LaneFault, 64*w)
+	for lane := range lf {
+		site := sites[rng.Intn(len(sites))]
+		lf[lane] = LaneFault{Site: site, Lane: lane}
+	}
+	s.Reset()
+	s.SetFaults(lf)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+	b.ReportMetric(float64(64*w)*float64(b.N)/b.Elapsed().Seconds(), "machine-cycles/s")
 }
 
 // collectFaultSites enumerates output stuck-at sites over the netlist's

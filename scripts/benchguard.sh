@@ -5,9 +5,11 @@
 # distributed variant BenchmarkDistributedGrade, the replay-fusion
 # microbench BenchmarkFusedReplay/fused, and the grading-service pair
 # (BenchmarkServeThroughput warm/cold, BenchmarkServeGrade/inproc)
-# once each and fails if any comes in more than 15% over its baseline
-# ns/op, or allocates more than 15% over its baseline B/op, recorded
-# in BENCH_faultsim.json. The service rows add two extra guards: the
+# three times each (-count 3, guarding on the per-benchmark median so
+# a single descheduled run cannot fail — or pass — a guard on its own)
+# and fails if any comes in more than 15% over its baseline ns/op, or
+# allocates more than 15% over its baseline B/op, recorded in
+# BENCH_faultsim.json. The service rows add two extra guards: the
 # steady-state request path must stay allocation-free (a 0 B/op
 # baseline, so any allocation fails), and warm throughput must hold
 # the recorded multiple over the cold-start-per-request baseline.
@@ -26,14 +28,14 @@ json_int() {
 }
 
 out=$(go test -bench 'BenchmarkTable5FaultCoverage$|BenchmarkTable5FaultCoverageSharded$|BenchmarkDistributedGrade$|BenchmarkFusedReplay/fused|BenchmarkServeThroughput' \
-    -benchtime 1x -benchmem -run '^$' -timeout 3600s .)
+    -benchtime 1x -count 3 -benchmem -run '^$' -timeout 3600s .)
 echo "$out"
 
 # The steady-state request-path alloc gate lives with its package; the
 # throughput pair above runs 1x, but the alloc measurement wants a few
 # iterations so one-time warm-up noise cannot hide in (or inflate) it.
 serveout=$(go test -bench 'BenchmarkServeGrade/inproc' \
-    -benchtime 20x -benchmem -run '^$' -timeout 3600s ./internal/serve)
+    -benchtime 20x -count 3 -benchmem -run '^$' -timeout 3600s ./internal/serve)
 echo "$serveout"
 out="$out
 $serveout"
@@ -41,11 +43,18 @@ $serveout"
 fail=0
 
 # Benchmark rows print as NAME or NAME-GOMAXPROCS; match both, exactly.
+# -count 3 emits one row per run, so the helpers collect every matching
+# row and reduce to the median (middle of the sorted values; with fewer
+# rows — a sub-bench the 3x count does not multiply — the middle of
+# what there is).
+median() {
+    sort -n | awk '{v[NR] = $1} END {if (NR) print v[int((NR + 1) / 2)]}'
+}
 bench_ns() {
-    echo "$out" | awk -v name="$1" '$1 == name || index($1, name "-") == 1 {print $3; exit}'
+    echo "$out" | awk -v name="$1" '$1 == name || index($1, name "-") == 1 {print $3}' | median
 }
 bench_bytes() {
-    echo "$out" | awk -v name="$1" '$1 == name || index($1, name "-") == 1 {for (i = 4; i < NF; i++) if ($(i+1) == "B/op") {print $i; exit}}'
+    echo "$out" | awk -v name="$1" '$1 == name || index($1, name "-") == 1 {for (i = 4; i < NF; i++) if ($(i+1) == "B/op") {print $i}}' | median
 }
 
 # guard NAME NS_BASELINE_KEY BYTES_BASELINE_KEY — looks up the

@@ -16,7 +16,9 @@ go generate ./internal/gate
 git diff --exit-code -- \
     internal/gate/kernels_generated.go \
     internal/gate/kernels_amd64.go \
-    internal/gate/kernels_amd64.s || {
+    internal/gate/kernels_amd64.s \
+    internal/gate/kernels_arm64.go \
+    internal/gate/kernels_arm64.s || {
     echo "check: generated kernel files are stale; rerun 'make generate' and commit the output" >&2
     exit 1
 }
